@@ -1,0 +1,1 @@
+bench/experiments/ablation.ml: Baseline Compiler Dsm Float Format Ir Isa List Machine Memsys Printf Runtime Sched Shape Sim Workload

@@ -1,0 +1,1 @@
+bench/experiments/fig1.ml: Baseline Format List Printf Shape Sim Workload

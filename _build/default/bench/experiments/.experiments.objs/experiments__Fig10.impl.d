@@ -1,0 +1,1 @@
+bench/experiments/fig10.ml: Float Format Hetmig Isa List Shape Sim String Workload

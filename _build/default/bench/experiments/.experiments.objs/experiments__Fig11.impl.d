@@ -1,0 +1,1 @@
+bench/experiments/fig11.ml: Array Baseline Float Format Hetmig Isa Kernel List Machine Shape Sim Workload

@@ -1,0 +1,1 @@
+bench/experiments/fig12.ml: Array Float Format Lazy List Sched Shape Sim

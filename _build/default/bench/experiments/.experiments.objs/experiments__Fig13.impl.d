@@ -1,0 +1,1 @@
+bench/experiments/fig13.ml: Float Format Lazy List Sched Shape Sim

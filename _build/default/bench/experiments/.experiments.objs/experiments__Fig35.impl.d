@@ -1,0 +1,1 @@
+bench/experiments/fig35.ml: Array Compiler Float Format Ir List Printf Shape Sim String Workload

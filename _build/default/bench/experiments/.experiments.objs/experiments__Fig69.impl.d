@@ -1,0 +1,1 @@
+bench/experiments/fig69.ml: Char Compiler Float Format Isa List Printf Shape Sim String Workload

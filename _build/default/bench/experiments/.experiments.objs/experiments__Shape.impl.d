@@ -1,0 +1,1 @@
+bench/experiments/shape.ml: Format String

@@ -1,0 +1,1 @@
+bench/experiments/table1.ml: Binary Compiler Float Format Isa List Memsys Printf Shape String Workload

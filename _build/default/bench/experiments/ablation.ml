@@ -1,0 +1,238 @@
+(* Ablation studies over the design choices DESIGN.md calls out. Not
+   paper figures — these answer "how much does each design decision
+   matter?" with the same machinery.
+
+   A. Interconnect: Dolphin PCIe vs 10GbE — how much of the migration
+      story depends on the fast fabric?
+   B. DSM handler latency: the software cost per page operation dominates
+      the drain time; sweep it.
+   C. Migration-point budget: response time vs number of inserted points
+      (the Section 5.2.1 trade-off).
+   D. Stack depth: transformation latency scaling (the Figure 10
+      "grows with frames and values" claim, isolated).
+   E. Migration mechanism head-to-head: stack transformation vs PadMig
+      serialization vs CRIU-style checkpoint/restore (which cannot cross
+      ISAs at all). *)
+
+let spec_is_b = Workload.Spec.spec Workload.Spec.IS Workload.Spec.B
+
+(* --- A: interconnect --------------------------------------------------- *)
+
+let interconnect_ablation ppf =
+  Format.fprintf ppf "@.A. Interconnect ablation (is.B working-set drain)@.";
+  let pages = Memsys.Page.count ~bytes:spec_is_b.Workload.Spec.footprint_bytes in
+  let drain_time ic =
+    let dsm = Dsm.Hdsm.create ~nodes:2 ~interconnect:ic () in
+    for p = 0 to pages - 1 do
+      Dsm.Hdsm.register_page dsm ~page:p ~owner:0
+    done;
+    Dsm.Hdsm.drain dsm ~from_:0 ~to_:1
+  in
+  let dolphin = drain_time Machine.Interconnect.dolphin_pxh810 in
+  let ethernet = drain_time Machine.Interconnect.ethernet_10g in
+  Format.fprintf ppf "   Dolphin PXH810: %5.2f s for %d pages@." dolphin pages;
+  Format.fprintf ppf "   10GbE:          %5.2f s for %d pages@." ethernet pages;
+  Format.fprintf ppf
+    "   -> the software handler dominates on PCIe; Ethernet adds %.0f%%@."
+    ((ethernet -. dolphin) /. dolphin *. 100.0);
+  Shape.check ppf "Ethernet slower but same order of magnitude (handler-bound)"
+    (ethernet > dolphin && ethernet < 3.0 *. dolphin)
+
+(* --- B: DSM handler latency -------------------------------------------- *)
+
+let handler_ablation ppf =
+  Format.fprintf ppf "@.B. DSM handler-latency sweep (is.B drain)@.";
+  let pages = Memsys.Page.count ~bytes:spec_is_b.Workload.Spec.footprint_bytes in
+  let results =
+    List.map
+      (fun handler ->
+        let dsm =
+          Dsm.Hdsm.create ~handler_latency_s:handler ~nodes:2
+            ~interconnect:Machine.Interconnect.dolphin_pxh810 ()
+        in
+        for p = 0 to pages - 1 do
+          Dsm.Hdsm.register_page dsm ~page:p ~owner:0
+        done;
+        (handler, Dsm.Hdsm.drain dsm ~from_:0 ~to_:1))
+      [ 10e-6; 25e-6; 50e-6; 100e-6 ]
+  in
+  List.iter
+    (fun (h, t) -> Format.fprintf ppf "   handler %3.0fus -> drain %5.2f s@." (h *. 1e6) t)
+    results;
+  let t10 = List.assoc 10e-6 results and t100 = List.assoc 100e-6 results in
+  Shape.check ppf "drain time is handler-dominated (10x handler ~> 5x drain)"
+    (t100 > 4.0 *. t10)
+
+(* --- C: migration-point budget ------------------------------------------ *)
+
+let budget_ablation ppf =
+  Format.fprintf ppf
+    "@.C. Migration-point budget sweep (cg.A): response time vs overhead@.";
+  let prog = Workload.Programs.program Workload.Spec.CG Workload.Spec.A in
+  let mips =
+    Isa.Cost_model.mips (Isa.Cost_model.of_arch Isa.Arch.X86_64)
+      Isa.Cost_model.Memory
+  in
+  let rows =
+    List.map
+      (fun budget ->
+        let inst = Compiler.Migration_points.instrument ~budget prog in
+        let points = Compiler.Migration_points.count_points inst in
+        let worst_gap = Compiler.Profiler.max_gap inst in
+        let response_ms = worst_gap /. mips /. 1e3 in
+        let checks = Workload.Programs.total_checks inst in
+        let overhead_pct =
+          checks *. 5.0 /. Workload.Programs.total_dynamic prog *. 100.0
+        in
+        (budget, points, response_ms, overhead_pct))
+      [ 1_000_000; 10_000_000; 50_000_000; 200_000_000 ]
+  in
+  Format.fprintf ppf "   %12s %8s %14s %12s@." "budget" "points"
+    "response (ms)" "overhead %";
+  List.iter
+    (fun (b, p, r, o) ->
+      Format.fprintf ppf "   %12d %8d %14.1f %12.4f@." b p r o)
+    rows;
+  let response b =
+    let _, _, r, _ = List.find (fun (b', _, _, _) -> b' = b) rows in
+    r
+  in
+  let overhead b =
+    let _, _, _, o = List.find (fun (b', _, _, _) -> b' = b) rows in
+    o
+  in
+  Shape.check ppf "smaller budget -> faster migration response"
+    (response 1_000_000 < response 200_000_000);
+  Shape.check ppf "smaller budget -> more checking overhead"
+    (overhead 1_000_000 > overhead 200_000_000);
+  Shape.check ppf "the 50M default keeps overhead negligible (<0.01%)"
+    (overhead 50_000_000 < 0.01)
+
+(* --- D: stack depth -------------------------------------------------------- *)
+
+let depth_ablation ppf =
+  Format.fprintf ppf "@.D. Transformation latency vs stack depth@.";
+  (* Chains of increasing depth, each frame with a few live locals. *)
+  let chain depth =
+    let open Ir.Prog in
+    let func i =
+      let name = if i = 0 then "main" else Printf.sprintf "c%d" i in
+      let body =
+        [
+          Def { vname = name ^ "_a"; ty = Ir.Ty.I64; init = Scalar };
+          Def { vname = name ^ "_b"; ty = Ir.Ty.F64; init = Scalar };
+          Work { instructions = 100; category = Isa.Cost_model.Mixed;
+                 memory_touched = 0 };
+        ]
+        @ (if i = depth - 1 then []
+           else
+             [ Call { site_id = 0; callee = Printf.sprintf "c%d" (i + 1);
+                      args = [] } ])
+        @ [ Use (name ^ "_a"); Use (name ^ "_b") ]
+      in
+      make_func ~name ~params:[] ~body
+    in
+    make ~name:(Printf.sprintf "chain%d" depth)
+      ~funcs:(List.init depth func) ~globals:[] ~entry:"main"
+  in
+  let latency depth =
+    let tc = Compiler.Toolchain.compile (chain depth) in
+    let deepest = Printf.sprintf "c%d" (depth - 1) in
+    let sites =
+      List.filter (fun (f, _) -> f = deepest)
+        (Runtime.Interp.reachable_mig_sites tc)
+    in
+    let fname, mig_id = List.hd sites in
+    match Runtime.Interp.state_at tc Isa.Arch.X86_64 ~fname ~mig_id with
+    | None -> nan
+    | Some st -> begin
+      match Runtime.Transform.transform tc st with
+      | Ok (_, c) -> Runtime.Transform.latency_us c
+      | Error _ -> nan
+    end
+  in
+  let depths = [ 2; 4; 8; 16 ] in
+  let ls = List.map (fun d -> (d, latency d)) depths in
+  List.iter
+    (fun (d, l) -> Format.fprintf ppf "   depth %2d -> %6.0f us@." d l)
+    ls;
+  let l2 = List.assoc 2 ls and l16 = List.assoc 16 ls in
+  Shape.check ppf "latency grows roughly linearly with depth"
+    (l16 > 3.0 *. l2 && l16 < 12.0 *. l2)
+
+(* --- E: mechanism head-to-head ---------------------------------------------- *)
+
+let mechanism_ablation ppf =
+  Format.fprintf ppf "@.E. Migration mechanisms head-to-head (is.B)@.";
+  let tc = Compiler.Toolchain.compile (Workload.Programs.program Workload.Spec.IS Workload.Spec.B) in
+  let fname, mig_id = List.hd (Runtime.Interp.reachable_mig_sites tc) in
+  let native_downtime =
+    match Runtime.Interp.state_at tc Isa.Arch.X86_64 ~fname ~mig_id with
+    | Some st -> begin
+      match Runtime.Transform.transform tc st with
+      | Ok (_, c) -> c.Runtime.Transform.latency_s
+      | Error _ -> nan
+    end
+    | None -> nan
+  in
+  let padmig =
+    Baseline.Padmig.total_migration_s
+      (Baseline.Padmig.migration_profile spec_is_b ~from_:Isa.Arch.X86_64
+         ~to_:Isa.Arch.Arm64)
+  in
+  let criu =
+    Baseline.Checkpoint.total_downtime_s
+      (Baseline.Checkpoint.migration_profile spec_is_b)
+  in
+  Format.fprintf ppf "   stack transformation: %10.6f s  (cross-ISA: yes)@."
+    native_downtime;
+  Format.fprintf ppf "   CRIU checkpoint:      %10.3f s  (cross-ISA: %b)@."
+    criu Baseline.Checkpoint.can_cross_isa;
+  Format.fprintf ppf "   PadMig (Java):        %10.3f s  (cross-ISA: yes)@."
+    padmig;
+  Shape.check ppf "transformation beats checkpointing by >100x"
+    (criu > 100.0 *. native_downtime);
+  Shape.check ppf "checkpointing beats serialization (but cannot cross ISAs)"
+    (criu < padmig && not Baseline.Checkpoint.can_cross_isa)
+
+(* --- F: admission ordering (the paper's future-work policy space) ------- *)
+
+let admission_ablation ppf =
+  Format.fprintf ppf
+    "@.F. Admission ordering: FCFS (the paper) vs shortest-job-first@.";
+  let seeds = [ 300; 301; 302; 303 ] in
+  let avg f = Sim.Stats.mean (List.map f seeds) in
+  let result admission seed =
+    Sched.Scheduler.run ~admission Sched.Policy.Dynamic_unbalanced
+      (Sched.Arrival.sustained ~seed ~jobs:20)
+  in
+  let fcfs_ms = avg (fun s -> (result Sched.Scheduler.Fcfs s).Sched.Scheduler.makespan) in
+  let sjf_ms = avg (fun s -> (result Sched.Scheduler.Sjf s).Sched.Scheduler.makespan) in
+  let fcfs_e =
+    avg (fun s -> (result Sched.Scheduler.Fcfs s).Sched.Scheduler.total_energy)
+  in
+  let sjf_e =
+    avg (fun s -> (result Sched.Scheduler.Sjf s).Sched.Scheduler.total_energy)
+  in
+  Format.fprintf ppf "   FCFS: makespan %6.1f s, energy %6.1f kJ@." fcfs_ms
+    (fcfs_e /. 1e3);
+  Format.fprintf ppf "   SJF:  makespan %6.1f s, energy %6.1f kJ@." sjf_ms
+    (sjf_e /. 1e3);
+  Shape.check ppf "both orderings complete every job"
+    (List.for_all
+       (fun s ->
+         (result Sched.Scheduler.Fcfs s).Sched.Scheduler.completed = 20
+         && (result Sched.Scheduler.Sjf s).Sched.Scheduler.completed = 20)
+       seeds);
+  Shape.check ppf "admission order changes the schedule (different makespans)"
+    (Float.abs (fcfs_ms -. sjf_ms) > 0.01)
+
+let run ppf =
+  Shape.section ppf
+    "Ablations: interconnect, DSM handler, budget, depth, mechanism, admission";
+  interconnect_ablation ppf;
+  handler_ablation ppf;
+  budget_ablation ppf;
+  depth_ablation ppf;
+  mechanism_ablation ppf;
+  admission_ablation ppf

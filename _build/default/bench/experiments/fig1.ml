@@ -1,0 +1,79 @@
+(* Figure 1: slowdown of emulated execution (KVM/QEMU DBT) versus native.
+   Top graph: ARM binaries emulated on the x86 server vs native ARM.
+   Bottom graph: x86 binaries emulated on the ARM server vs native x86.
+   Configurations: classes A/B/C at 1/2/4/8 threads; plus the Redis
+   anchor (2.6x / 34x in the paper). *)
+
+let benches = Workload.Spec.[ SP; IS; FT; BT; CG ]
+let threads = [ 1; 2; 4; 8 ]
+
+let configs =
+  List.concat_map
+    (fun t -> List.map (fun c -> (c, t)) Workload.Spec.classes)
+    threads
+
+let config_name (cls, t) = Printf.sprintf "%s%d" (Workload.Spec.cls_to_string cls) t
+
+let slowdowns dir =
+  List.map
+    (fun bench ->
+      ( bench,
+        List.map
+          (fun (cls, t) ->
+            let spec = Workload.Spec.spec bench cls in
+            ((cls, t), Baseline.Emulation.slowdown dir spec ~threads:t))
+          configs ))
+    benches
+
+let print_table ppf title dir =
+  Format.fprintf ppf "@.%s@." title;
+  Format.fprintf ppf "%-6s" "bench";
+  List.iter (fun c -> Format.fprintf ppf "%9s" (config_name c)) configs;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (bench, row) ->
+      Format.fprintf ppf "%-6s" (Workload.Spec.bench_to_string bench);
+      List.iter (fun (_, s) -> Format.fprintf ppf "%9.1f" s) row;
+      Format.fprintf ppf "@.")
+    (slowdowns dir)
+
+let run ppf =
+  Shape.section ppf
+    "Figure 1: emulation slowdown vs native (KVM/QEMU baseline)";
+  print_table ppf "Top: ARM binaries emulated on x86 (vs native ARM)"
+    Baseline.Emulation.Arm_on_x86;
+  print_table ppf "Bottom: x86 binaries emulated on ARM (vs native x86)"
+    Baseline.Emulation.X86_on_arm;
+  let redis = Workload.Spec.spec Workload.Spec.Redis Workload.Spec.A in
+  let r_a =
+    Baseline.Emulation.slowdown Baseline.Emulation.Arm_on_x86 redis ~threads:1
+  in
+  let r_x =
+    Baseline.Emulation.slowdown Baseline.Emulation.X86_on_arm redis ~threads:1
+  in
+  Format.fprintf ppf "@.Redis: %.1fx (ARM emulated on x86), %.1fx (x86 emulated on ARM)@."
+    r_a r_x;
+  Format.fprintf ppf "       paper reports 2.6x and 34x@.@.";
+  (* Shape checks. *)
+  let top = List.concat_map (fun (_, row) -> List.map snd row)
+      (slowdowns Baseline.Emulation.Arm_on_x86) in
+  let bottom = List.concat_map (fun (_, row) -> List.map snd row)
+      (slowdowns Baseline.Emulation.X86_on_arm) in
+  Shape.check ppf "top graph within its 1..100 axis"
+    (List.for_all (fun s -> s >= 1.0 && s <= 100.0) top);
+  Shape.check ppf "bottom graph within its 10..10000 axis"
+    (List.for_all (fun s -> s >= 10.0 && s <= 10000.0) bottom);
+  Shape.check ppf
+    "x86-on-ARM consistently an order of magnitude worse than ARM-on-x86"
+    (Sim.Stats.geometric_mean bottom > 8.0 *. Sim.Stats.geometric_mean top);
+  Shape.check ppf "slowdown grows with native thread count"
+    (List.for_all
+       (fun bench ->
+         let s t =
+           Baseline.Emulation.slowdown Baseline.Emulation.X86_on_arm
+             (Workload.Spec.spec bench Workload.Spec.B) ~threads:t
+         in
+         s 8 > s 1)
+       benches);
+  Shape.check ppf "Redis anchors near the paper's 2.6x / 34x"
+    (r_a > 1.5 && r_a < 4.5 && r_x > 20.0 && r_x < 55.0)

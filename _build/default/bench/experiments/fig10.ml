@@ -1,0 +1,60 @@
+(* Figure 10: stack-transformation latency. For CG, EP, FT and IS, the
+   runtime transforms the thread's stack at every reachable migration
+   point of the binary; the plot reports min / Q1 / median / Q3 / max in
+   microseconds per machine. Paper's result: under 400us for the majority
+   of cases on the x86, about 2x that on the ARM; latency grows with the
+   number of frames and live values (FT's fftz2 is the worst case). *)
+
+let benches = Workload.Spec.[ CG; EP; FT; IS ]
+
+let latencies bench arch =
+  let binary = Hetmig.Het.compile_benchmark bench Workload.Spec.A in
+  Hetmig.Het.migration_latencies_us binary arch
+
+let run ppf =
+  Shape.section ppf "Figure 10: stack transformation latencies (us)";
+  let results =
+    List.map
+      (fun bench ->
+        (bench,
+         List.map (fun arch -> (arch, latencies bench arch)) Isa.Arch.all))
+      benches
+  in
+  List.iter
+    (fun (bench, per_arch) ->
+      List.iter
+        (fun (arch, xs) ->
+          let b = Sim.Stats.boxplot xs in
+          Format.fprintf ppf "%-4s %-7s (%3d points)  %a@."
+            (String.uppercase_ascii (Workload.Spec.bench_to_string bench))
+            (Isa.Arch.to_string arch)
+            (List.length xs) Sim.Stats.pp_boxplot b)
+        per_arch)
+    results;
+  Format.fprintf ppf "@.";
+  let medians arch =
+    List.map
+      (fun (_, per_arch) ->
+        (Sim.Stats.boxplot (List.assoc arch per_arch)).Sim.Stats.bmedian)
+      results
+  in
+  let med_x86 = medians Isa.Arch.X86_64 and med_arm = medians Isa.Arch.Arm64 in
+  Shape.check ppf "x86 transforms the majority of stacks under 400us"
+    (List.for_all (fun m -> m < 400.0) med_x86);
+  Shape.check ppf "ARM needs roughly 2x the x86 latency"
+    (List.for_all2 (fun a x -> a > 1.5 *. x && a < 3.0 *. x) med_arm med_x86);
+  Shape.check ppf "all transformations complete within 2ms"
+    (List.for_all
+       (fun (_, per_arch) ->
+         List.for_all
+           (fun (_, xs) -> List.for_all (fun v -> v < 2000.0) xs)
+           per_arch)
+       results);
+  (* FT's deep fftz2 chains make it the heaviest benchmark. *)
+  let max_of bench =
+    List.fold_left Float.max 0.0 (latencies bench Isa.Arch.X86_64)
+  in
+  Shape.check ppf "FT (7-deep fftz2 chain) is the worst case"
+    (List.for_all
+       (fun b -> b = Workload.Spec.FT || max_of Workload.Spec.FT >= max_of b)
+       benches)

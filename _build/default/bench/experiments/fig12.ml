@@ -1,0 +1,104 @@
+(* Figure 12: sustained workload. Ten sets of 40 jobs; a new job is
+   admitted the moment one finishes. Compared policies (as in the paper's
+   figure): static on two identical x86 machines versus the dynamic
+   balanced and dynamic unbalanced policies on the ARM+x86 pair (with the
+   McPAT FinFET power projection for the ARM).
+
+   Reported per set: energy breakdown per machine for each policy, and
+   the makespan ratio of each heterogeneous policy to the static x86
+   baseline. Paper's headline numbers: unbalanced saves 11.61% energy on
+   average (up to 22.48%), balanced 7.88%, at an average 49% makespan
+   cost for the slowest (balanced) policy. *)
+
+let sets = 10
+let jobs_per_set = 40
+
+type set_result = {
+  seed : int;
+  static : Sched.Scheduler.result;
+  balanced : Sched.Scheduler.result;
+  unbalanced : Sched.Scheduler.result;
+}
+
+let run_set seed =
+  let jobs = Sched.Arrival.sustained ~seed ~jobs:jobs_per_set in
+  {
+    seed;
+    static = Sched.Scheduler.run Sched.Policy.Static_x86_pair jobs;
+    balanced = Sched.Scheduler.run Sched.Policy.Dynamic_balanced jobs;
+    unbalanced = Sched.Scheduler.run Sched.Policy.Dynamic_unbalanced jobs;
+  }
+
+let results = lazy (List.init sets (fun i -> run_set (1000 + i)))
+
+let savings baseline other =
+  (baseline.Sched.Scheduler.total_energy -. other.Sched.Scheduler.total_energy)
+  /. baseline.Sched.Scheduler.total_energy *. 100.0
+
+let run ppf =
+  Shape.section ppf "Figure 12: sustained workload (10 sets x 40 jobs)";
+  let rs = Lazy.force results in
+  Format.fprintf ppf
+    "%-7s | %-19s | %-19s | %-19s | makespan ratio@." "set"
+    "static x86(2) kJ" "dyn-balanced kJ" "dyn-unbalanced kJ";
+  Format.fprintf ppf
+    "%-7s | %9s %9s | %9s %9s | %9s %9s | bal    unbal@." "" "x86(1)"
+    "x86(2)" "x86" "ARM" "x86" "ARM";
+  List.iteri
+    (fun i r ->
+      let e p n = p.Sched.Scheduler.energy.(n) /. 1e3 in
+      Format.fprintf ppf
+        "set-%-3d | %9.1f %9.1f | %9.1f %9.1f | %9.1f %9.1f | %5.2f  %5.2f@." i
+        (e r.static 0) (e r.static 1) (e r.balanced 0) (e r.balanced 1)
+        (e r.unbalanced 0) (e r.unbalanced 1)
+        (r.balanced.Sched.Scheduler.makespan /. r.static.Sched.Scheduler.makespan)
+        (r.unbalanced.Sched.Scheduler.makespan /. r.static.Sched.Scheduler.makespan))
+    rs;
+  let avg f = Sim.Stats.mean (List.map f rs) in
+  let bal_saving = avg (fun r -> savings r.static r.balanced) in
+  let unbal_saving = avg (fun r -> savings r.static r.unbalanced) in
+  let max_saving =
+    List.fold_left
+      (fun m r -> Float.max m (savings r.static r.unbalanced))
+      neg_infinity rs
+  in
+  let bal_ms =
+    avg (fun r ->
+        r.balanced.Sched.Scheduler.makespan /. r.static.Sched.Scheduler.makespan)
+  in
+  let unbal_ms =
+    avg (fun r ->
+        r.unbalanced.Sched.Scheduler.makespan /. r.static.Sched.Scheduler.makespan)
+  in
+  Format.fprintf ppf
+    "@.avg energy saving vs static x86(2): balanced %.2f%%, unbalanced %.2f%% (max %.2f%%)@."
+    bal_saving unbal_saving max_saving;
+  Format.fprintf ppf "avg makespan ratio: balanced %.2f, unbalanced %.2f@."
+    bal_ms unbal_ms;
+  Format.fprintf ppf
+    "paper: balanced 7.88%%, unbalanced 11.61%% (max 22.48%%); balanced slowest at ~1.49x@.@.";
+  Shape.check ppf "every set completes all jobs under every policy"
+    (List.for_all
+       (fun r ->
+         r.static.Sched.Scheduler.completed = jobs_per_set
+         && r.balanced.Sched.Scheduler.completed = jobs_per_set
+         && r.unbalanced.Sched.Scheduler.completed = jobs_per_set)
+       rs);
+  Shape.check ppf "heterogeneous migration reduces average energy"
+    (bal_saving > 0.0 && unbal_saving > 0.0);
+  Shape.check ppf "unbalanced saves more energy than balanced (paper: 11.6% vs 7.9%)"
+    (unbal_saving > bal_saving);
+  Shape.check ppf "average unbalanced saving in the 5..25% band"
+    (unbal_saving > 5.0 && unbal_saving < 25.0);
+  Shape.check ppf "best-case saving reaches ~20% (paper: 22.48%)"
+    (max_saving > 14.0);
+  Shape.check ppf "energy is saved at a makespan cost (dynamic slower)"
+    (bal_ms > 1.05 && unbal_ms > 1.0);
+  Shape.check ppf "balanced is the slowest policy (paper: 49% avg slowdown)"
+    (bal_ms >= unbal_ms);
+  Shape.check ppf "dynamic policies actually migrate jobs"
+    (List.for_all
+       (fun r ->
+         r.balanced.Sched.Scheduler.migrations > 0
+         || r.unbalanced.Sched.Scheduler.migrations > 0)
+       rs)

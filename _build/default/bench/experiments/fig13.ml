@@ -1,0 +1,94 @@
+(* Figure 13: periodic workload. Ten sets of 5 waves of up to 14 jobs,
+   waves spaced 60-240s apart. Energy and energy-delay product of the
+   static x86 pair versus the dynamic balanced policy (the paper omits
+   dynamic unbalanced here: it differs from balanced by <1%).
+
+   Paper's headline: ~30% average energy reduction (up to 66% on set-3)
+   and ~11% average EDP reduction, with variable per-set EDP. *)
+
+let sets = 10
+let waves = 5
+let max_per_wave = 14
+
+type set_result = {
+  seed : int;
+  jobs : int;
+  static : Sched.Scheduler.result;
+  dynamic : Sched.Scheduler.result;
+  unbalanced : Sched.Scheduler.result;
+}
+
+let run_set seed =
+  let jobs = Sched.Arrival.periodic ~seed ~waves ~max_per_wave in
+  {
+    seed;
+    jobs = List.length jobs;
+    static = Sched.Scheduler.run Sched.Policy.Static_x86_pair jobs;
+    dynamic = Sched.Scheduler.run Sched.Policy.Dynamic_balanced jobs;
+    unbalanced = Sched.Scheduler.run Sched.Policy.Dynamic_unbalanced jobs;
+  }
+
+let results = lazy (List.init sets (fun i -> run_set (2000 + i)))
+
+let saving r =
+  (r.static.Sched.Scheduler.total_energy -. r.dynamic.Sched.Scheduler.total_energy)
+  /. r.static.Sched.Scheduler.total_energy *. 100.0
+
+let edp_delta r =
+  (r.static.Sched.Scheduler.edp -. r.dynamic.Sched.Scheduler.edp)
+  /. r.static.Sched.Scheduler.edp *. 100.0
+
+let run ppf =
+  Shape.section ppf
+    "Figure 13: periodic workload (10 sets x 5 waves of <=14 jobs)";
+  let rs = Lazy.force results in
+  Format.fprintf ppf "%-7s %5s | %12s %12s | %12s %12s | %8s %8s@." "set"
+    "jobs" "static kJ" "dynamic kJ" "static EDP" "dynamic EDP" "dE%" "dEDP%";
+  List.iteri
+    (fun i r ->
+      Format.fprintf ppf
+        "set-%-3d %5d | %12.1f %12.1f | %12.2f %12.2f | %8.1f %8.1f@." i r.jobs
+        (r.static.Sched.Scheduler.total_energy /. 1e3)
+        (r.dynamic.Sched.Scheduler.total_energy /. 1e3)
+        (r.static.Sched.Scheduler.edp /. 1e6)
+        (r.dynamic.Sched.Scheduler.edp /. 1e6)
+        (saving r) (edp_delta r))
+    rs;
+  let avg_saving = Sim.Stats.mean (List.map saving rs) in
+  let max_saving = List.fold_left (fun m r -> Float.max m (saving r)) neg_infinity rs in
+  let avg_edp = Sim.Stats.mean (List.map edp_delta rs) in
+  let unbal_close =
+    Sim.Stats.mean
+      (List.map
+         (fun r ->
+           Float.abs
+             (r.unbalanced.Sched.Scheduler.total_energy
+             -. r.dynamic.Sched.Scheduler.total_energy)
+           /. r.dynamic.Sched.Scheduler.total_energy *. 100.0)
+         rs)
+  in
+  Format.fprintf ppf
+    "@.avg energy reduction %.1f%% (max %.1f%%), avg EDP reduction %.1f%%@."
+    avg_saving max_saving avg_edp;
+  Format.fprintf ppf
+    "dynamic unbalanced differs from balanced by %.2f%% energy on average@."
+    unbal_close;
+  Format.fprintf ppf "paper: 30%% avg energy (66%% max), 11%% avg EDP, <1%% bal/unbal delta@.@.";
+  Shape.check ppf "all jobs complete under both policies"
+    (List.for_all
+       (fun r ->
+         r.static.Sched.Scheduler.completed = r.jobs
+         && r.dynamic.Sched.Scheduler.completed = r.jobs)
+       rs);
+  Shape.check ppf "migration reduces energy on every set (paper: all sets win)"
+    (List.for_all (fun r -> saving r > 0.0) rs);
+  Shape.check ppf "average energy reduction in the 15..55% band (paper: 30%)"
+    (avg_saving > 15.0 && avg_saving < 55.0);
+  Shape.check ppf "best set saves >45% (paper: 66% on set-3)"
+    (max_saving > 45.0);
+  Shape.check ppf "average EDP also improves (paper: 11%)" (avg_edp > 0.0);
+  Shape.check ppf "EDP reduction is variable across sets (paper: 'variable')"
+    (let deltas = List.map edp_delta rs in
+     Sim.Stats.stddev deltas > 2.0);
+  Shape.check ppf "balanced and unbalanced within a few % of each other"
+    (unbal_close < 8.0)

@@ -1,0 +1,77 @@
+(* Figures 3-5: distribution of the number of instructions between
+   migration points for NPB CG, IS and FT (class A), before ("Pre") and
+   after ("Post") the insertion pass. The paper's goal: bring the largest
+   gap under the ~50M-instruction scheduling quantum. *)
+
+let benches = Workload.Spec.[ CG; IS; FT ]
+let buckets = 11 (* 10^0 .. 10^10, as on the paper's x-axis *)
+
+let histogram gaps = Sim.Stats.log_histogram ~base:10.0 ~buckets gaps
+
+let print_histogram ppf label (h : Sim.Stats.histogram) =
+  Format.fprintf ppf "  %-5s" label;
+  Array.iter (fun c -> Format.fprintf ppf "%5d" c) h.Sim.Stats.counts;
+  Format.fprintf ppf "@."
+
+let analyze bench =
+  let prog = Workload.Programs.program bench Workload.Spec.A in
+  let pre = Compiler.Profiler.program_gaps prog in
+  let inst = Compiler.Migration_points.instrument prog in
+  let post = Compiler.Profiler.program_gaps inst in
+  (prog, inst, pre, post)
+
+let run ppf =
+  Shape.section ppf
+    "Figures 3-5: instructions between migration points (pre/post insertion)";
+  Format.fprintf ppf "bucket lower edges: 10^0 .. 10^%d instructions@."
+    (buckets - 1);
+  let results = List.map (fun b -> (b, analyze b)) benches in
+  List.iter
+    (fun (bench, (_, inst, pre, post)) ->
+      Format.fprintf ppf "@.NPB %s class A  (migration points inserted: %d)@."
+        (String.uppercase_ascii (Workload.Spec.bench_to_string bench))
+        (Compiler.Migration_points.count_points inst);
+      print_histogram ppf "Pre" (histogram pre);
+      print_histogram ppf "Post" (histogram post);
+      Format.fprintf ppf "  largest gap: pre %.2e, post %.2e instructions@."
+        (List.fold_left Float.max 0.0 pre)
+        (List.fold_left Float.max 0.0 post);
+      let dyn = Compiler.Tracer.trace inst in
+      Format.fprintf ppf
+        "  dynamic trace: %.2e instructions, %.0f checks, worst interval %.2e@."
+        dyn.Compiler.Tracer.total_instructions dyn.Compiler.Tracer.checks_executed
+        dyn.Compiler.Tracer.max_interval)
+    results;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (bench, (_, inst, pre, post)) ->
+      let name = Workload.Spec.bench_to_string bench in
+      Shape.check ppf
+        (Printf.sprintf "%s: pre-insertion gaps exceed the 50M quantum" name)
+        (List.exists
+           (fun g -> g > float_of_int Compiler.Migration_points.default_budget)
+           pre);
+      Shape.check ppf
+        (Printf.sprintf "%s: post-insertion worst gap within the quantum" name)
+        (List.for_all
+           (fun g -> g <= float_of_int Compiler.Migration_points.default_budget)
+           post);
+      Shape.check ppf
+        (Printf.sprintf "%s: instrumented program verifies the gap bound" name)
+        (Compiler.Migration_points.check_instrumented inst = Ok ());
+      (* Time inside uninstrumented library code (the Section 5.4
+         limitation) legitimately extends the dynamic interval. *)
+      let library_slack =
+        List.fold_left
+          (fun acc (_, f) ->
+            if f.Ir.Prog.is_library then
+              Float.max acc (float_of_int (Ir.Prog.dynamic_instructions f))
+            else acc)
+          0.0 inst.Ir.Prog.funcs
+      in
+      Shape.check ppf
+        (Printf.sprintf "%s: dynamic trace confirms the bound (+libc slack)" name)
+        ((Compiler.Tracer.trace inst).Compiler.Tracer.max_interval
+        <= float_of_int Compiler.Migration_points.default_budget
+           +. library_slack))
+    results

@@ -1,0 +1,11 @@
+let failed = ref 0
+
+let check ppf msg ok =
+  if not ok then incr failed;
+  Format.fprintf ppf "  [%s] %s@." (if ok then "PASS" else "FAIL") msg
+
+let failures () = !failed
+
+let section ppf title =
+  let line = String.make (String.length title + 4) '=' in
+  Format.fprintf ppf "@.%s@.= %s =@.%s@." line title line

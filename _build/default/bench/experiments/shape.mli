@@ -1,0 +1,12 @@
+(** Qualitative "shape" checks: every experiment asserts that its results
+    reproduce the paper's qualitative claims (who wins, by roughly what
+    factor) and reports PASS/FAIL lines that EXPERIMENTS.md records. *)
+
+val check : Format.formatter -> string -> bool -> unit
+(** Print "  [PASS] msg" or "  [FAIL] msg" and remember failures. *)
+
+val failures : unit -> int
+(** Total failed shape checks so far in this process. *)
+
+val section : Format.formatter -> string -> unit
+(** Print an experiment header. *)

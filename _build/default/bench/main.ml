@@ -1,0 +1,164 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 7), checks each against the paper's qualitative
+   shape, then runs a Bechamel micro-benchmark of each experiment's
+   computational kernel.
+
+   Usage:
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe -- fig12     -- one experiment
+     dune exec bench/main.exe -- --no-micro  -- skip the Bechamel pass *)
+
+let experiments =
+  [
+    ("fig1", "Figure 1 (emulation slowdown)", Experiments.Fig1.run);
+    ("fig3-5", "Figures 3-5 (migration point gaps)", Experiments.Fig35.run);
+    ("fig6-9", "Figures 6-9 (wrapper overhead)", Experiments.Fig69.run);
+    ("table1", "Table 1 (alignment cost)", Experiments.Table1.run);
+    ("fig10", "Figure 10 (stack transformation)", Experiments.Fig10.run);
+    ("fig11", "Figure 11 (PadMig vs native)", Experiments.Fig11.run);
+    ("fig12", "Figure 12 (sustained workload)", Experiments.Fig12.run);
+    ("fig13", "Figure 13 (periodic workload)", Experiments.Fig13.run);
+    ("ablations", "Ablation studies (non-paper)", Experiments.Ablation.run);
+  ]
+
+(* --- Bechamel micro-benchmarks: one per table/figure, measuring the
+   operation that experiment exercises. ---------------------------------- *)
+
+let cg_binary = lazy (Hetmig.Het.compile_benchmark Workload.Spec.CG Workload.Spec.A)
+
+let transform_input =
+  lazy
+    (let binary = Lazy.force cg_binary in
+     let fname, mig_id =
+       List.find (fun (f, _) -> f = "cg_dot")
+         (Runtime.Interp.reachable_mig_sites binary)
+     in
+     match Runtime.Interp.state_at binary Isa.Arch.X86_64 ~fname ~mig_id with
+     | Some st -> (binary, st)
+     | None -> failwith "no state")
+
+let micro_tests () =
+  let open Bechamel in
+  let spec_is_a = Workload.Spec.spec Workload.Spec.IS Workload.Spec.A in
+  [
+    (* Fig 1: one emulation slowdown evaluation. *)
+    Test.make ~name:"fig1/emulation_slowdown"
+      (Staged.stage (fun () ->
+           Baseline.Emulation.slowdown Baseline.Emulation.X86_on_arm spec_is_a
+             ~threads:4));
+    (* Figs 3-5: profiling gaps of CG.A. *)
+    Test.make ~name:"fig3_5/profile_gaps"
+      (Staged.stage (fun () ->
+           Compiler.Profiler.program_gaps
+             (Workload.Programs.program Workload.Spec.CG Workload.Spec.A)));
+    (* Figs 6-9: migration point insertion pass. *)
+    Test.make ~name:"fig6_9/instrument"
+      (Staged.stage (fun () ->
+           Compiler.Migration_points.instrument
+             (Workload.Programs.program Workload.Spec.IS Workload.Spec.A)));
+    (* Table 1: the symbol alignment tool over the CG objects. *)
+    Test.make ~name:"table1/align_symbols"
+      (Staged.stage (fun () ->
+           Compiler.Toolchain.compile
+             (Workload.Programs.program Workload.Spec.CG Workload.Spec.A)));
+    (* Fig 10: one stack transformation. *)
+    Test.make ~name:"fig10/stack_transform"
+      (Staged.stage (fun () ->
+           let binary, st = Lazy.force transform_input in
+           match Runtime.Transform.transform binary st with
+           | Ok _ -> ()
+           | Error e -> failwith e));
+    (* Fig 11: one hDSM page access + migration protocol step. *)
+    Test.make ~name:"fig11/hdsm_access"
+      (Staged.stage
+         (let dsm =
+            Dsm.Hdsm.create ~nodes:2
+              ~interconnect:Machine.Interconnect.dolphin_pxh810 ()
+          in
+          Dsm.Hdsm.register_page dsm ~page:0 ~owner:0;
+          let node = ref 0 in
+          fun () ->
+            node := 1 - !node;
+            ignore (Dsm.Hdsm.access dsm ~node:!node ~page:0 ~write:true)));
+    (* Fig 12: one sustained-scheduler run (small set). *)
+    Test.make ~name:"fig12/schedule_sustained"
+      (Staged.stage (fun () ->
+           ignore
+             (Sched.Scheduler.run Sched.Policy.Dynamic_unbalanced
+                (Sched.Arrival.sustained ~seed:7 ~jobs:4))));
+    (* Fig 13: one periodic-scheduler run (small set). *)
+    Test.make ~name:"fig13/schedule_periodic"
+      (Staged.stage (fun () ->
+           ignore
+             (Sched.Scheduler.run Sched.Policy.Dynamic_balanced
+                (Sched.Arrival.periodic ~seed:7 ~waves:2 ~max_per_wave:4))));
+  ]
+
+let run_micro ppf =
+  let open Bechamel in
+  Format.fprintf ppf "@.%s@.= Bechamel micro-benchmarks (per-experiment kernels) =@.%s@."
+    (String.make 54 '=') (String.make 54 '=');
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results =
+        List.map
+          (fun elt ->
+            let m = Benchmark.run cfg instances elt in
+            (Test.Elt.name elt, Analyze.one ols Toolkit.Instance.monotonic_clock m))
+          (Test.elements test)
+      in
+      List.iter
+        (fun (name, ols_result) ->
+          let time_ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> t
+            | Some [] | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> r
+            | None -> nan
+          in
+          Format.fprintf ppf "  %-28s %12.1f ns/run   (r^2 %.3f)@." name
+            time_ns r2)
+        results)
+    (micro_tests ());
+  Format.fprintf ppf "@."
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let no_micro = List.mem "--no-micro" args in
+  let wanted = List.filter (fun a -> a <> "--no-micro") args in
+  let ppf = Format.std_formatter in
+  let selected =
+    match wanted with
+    | [] -> experiments
+    | names ->
+      List.filter (fun (name, _, _) -> List.mem name names) experiments
+  in
+  if selected = [] then begin
+    Format.fprintf ppf "unknown experiment; available:@.";
+    List.iter (fun (n, d, _) -> Format.fprintf ppf "  %-8s %s@." n d) experiments;
+    exit 2
+  end;
+  List.iter
+    (fun (_, _, run) ->
+      let t0 = Sys.time () in
+      run ppf;
+      Format.fprintf ppf "  (experiment computed in %.1fs of host time)@."
+        (Sys.time () -. t0))
+    selected;
+  if (not no_micro) && wanted = [] then run_micro ppf;
+  let failures = Experiments.Shape.failures () in
+  Format.fprintf ppf "@.%s@." (String.make 54 '-');
+  if failures = 0 then
+    Format.fprintf ppf "All shape checks PASSED.@."
+  else begin
+    Format.fprintf ppf "%d shape check(s) FAILED.@." failures;
+    exit 1
+  end

@@ -1,0 +1,278 @@
+(* hetmig — command-line front end to the heterogeneous-ISA migration
+   system: compile benchmark models to multi-ISA binaries, inspect them,
+   migrate suspended threads between ISAs, evaluate emulation baselines,
+   run scheduling studies, and regenerate the paper's experiments. *)
+
+open Cmdliner
+
+let bench_conv =
+  let parse s =
+    let matching =
+      List.find_opt
+        (fun b -> Workload.Spec.bench_to_string b = String.lowercase_ascii s)
+        Workload.Spec.all_benches
+    in
+    match matching with
+    | Some b -> Ok b
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown benchmark %s (try: %s)" s
+              (String.concat ", "
+                 (List.map Workload.Spec.bench_to_string
+                    Workload.Spec.all_benches))))
+  in
+  Arg.conv (parse, fun ppf b ->
+      Format.pp_print_string ppf (Workload.Spec.bench_to_string b))
+
+let cls_conv =
+  let parse = function
+    | "A" | "a" -> Ok Workload.Spec.A
+    | "B" | "b" -> Ok Workload.Spec.B
+    | "C" | "c" -> Ok Workload.Spec.C
+    | s -> Error (`Msg (Printf.sprintf "unknown class %s (A, B or C)" s))
+  in
+  Arg.conv (parse, fun ppf c ->
+      Format.pp_print_string ppf (Workload.Spec.cls_to_string c))
+
+let arch_conv =
+  let parse s =
+    match Isa.Arch.of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown ISA %s" s))
+  in
+  Arg.conv (parse, Isa.Arch.pp)
+
+let bench_arg = Arg.(required & pos 0 (some bench_conv) None
+                     & info [] ~docv:"BENCH" ~doc:"Benchmark (cg, is, ft, ...).")
+let cls_arg =
+  Arg.(value & pos 1 cls_conv Workload.Spec.A
+       & info [] ~docv:"CLASS" ~doc:"Problem class: A, B or C.")
+
+(* --- compile ------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run bench cls show_script show_dwarf =
+    let binary = Hetmig.Het.compile_benchmark bench cls in
+    let spec = Workload.Spec.spec bench cls in
+    Format.printf "multi-ISA binary for %s@." spec.Workload.Spec.name;
+    Format.printf "  migration points: %d@."
+      binary.Compiler.Toolchain.migration_points;
+    List.iter
+      (fun arch ->
+        let per = Compiler.Toolchain.for_arch binary arch in
+        Format.printf "  %-7s text %6d bytes (+%d padding), entry %#x@."
+          (Isa.Arch.to_string arch)
+          (Hetmig.Het.code_size binary arch)
+          (Hetmig.Het.alignment_padding binary arch)
+          per.Compiler.Toolchain.elf.Binary.Elf.entry)
+      Isa.Arch.all;
+    Format.printf "  symbols at identical addresses: %s@."
+      (match Binary.Align.check_aligned binary.Compiler.Toolchain.aligned with
+      | Ok () -> "yes"
+      | Error e -> "NO - " ^ e);
+    if show_script then begin
+      let layout =
+        Binary.Align.layout_for binary.Compiler.Toolchain.aligned
+          Isa.Arch.X86_64
+      in
+      print_string (Binary.Linker_script.render layout)
+    end;
+    if show_dwarf then
+      List.iter
+        (fun arch -> print_string (Hetmig.Het.debug_frame binary arch))
+        Isa.Arch.all
+  in
+  let script =
+    Arg.(value & flag
+         & info [ "linker-script" ] ~doc:"Print the generated linker script.")
+  in
+  let dwarf =
+    Arg.(value & flag
+         & info [ "debug-frame" ]
+             ~doc:"Print the DWARF CFI the migration runtime consumes.")
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a benchmark to a multi-ISA binary")
+    Term.(const run $ bench_arg $ cls_arg $ script $ dwarf)
+
+(* --- migrate ------------------------------------------------------------- *)
+
+let migrate_cmd =
+  let run bench cls from_ =
+    let binary = Hetmig.Het.compile_benchmark bench cls in
+    Format.printf "%-24s %7s %7s %7s %10s %9s@." "site" "frames" "values"
+      "ptrfix" "latency" "verified";
+    List.iter
+      (fun site ->
+        let fname, id = site in
+        match Hetmig.Het.migrate_at binary ~from_ ~site with
+        | Ok r ->
+          Format.printf "%-24s %7d %7d %7d %8.0fus %9b@."
+            (Printf.sprintf "%s#%d" fname id)
+            r.Hetmig.Het.frames r.Hetmig.Het.values_copied
+            r.Hetmig.Het.pointers_fixed r.Hetmig.Het.latency_us
+            r.Hetmig.Het.verified
+        | Error e ->
+          Format.printf "%-24s error: %s@." (Printf.sprintf "%s#%d" fname id) e)
+      (Hetmig.Het.migration_points binary)
+  in
+  let from_arg =
+    Arg.(value & opt arch_conv Isa.Arch.X86_64
+         & info [ "from" ] ~docv:"ISA" ~doc:"Source ISA (default x86_64).")
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:"Transform a benchmark's stack at every migration point")
+    Term.(const run $ bench_arg $ cls_arg $ from_arg)
+
+(* --- emulation ------------------------------------------------------------ *)
+
+let emulation_cmd =
+  let run bench cls threads =
+    let spec = Workload.Spec.spec bench cls in
+    let a =
+      Baseline.Emulation.slowdown Baseline.Emulation.Arm_on_x86 spec ~threads
+    in
+    let x =
+      Baseline.Emulation.slowdown Baseline.Emulation.X86_on_arm spec ~threads
+    in
+    Format.printf "%s, %d thread(s):@." spec.Workload.Spec.name threads;
+    Format.printf "  ARM binary emulated on x86: %6.1fx slower than native ARM@." a;
+    Format.printf "  x86 binary emulated on ARM: %6.1fx slower than native x86@." x
+  in
+  let threads =
+    Arg.(value & opt int 1 & info [ "threads"; "t" ] ~doc:"Native thread count.")
+  in
+  Cmd.v
+    (Cmd.info "emulation"
+       ~doc:"KVM/QEMU DBT slowdown of the benchmark (the Figure 1 baseline)")
+    Term.(const run $ bench_arg $ cls_arg $ threads)
+
+(* --- schedule --------------------------------------------------------------- *)
+
+let schedule_cmd =
+  let run seed jobs periodic =
+    let js =
+      if periodic then Sched.Arrival.periodic ~seed ~waves:5 ~max_per_wave:14
+      else Sched.Arrival.sustained ~seed ~jobs
+    in
+    Format.printf "%d jobs (%s, seed %d):@." (List.length js)
+      (if periodic then "periodic" else "sustained")
+      seed;
+    List.iter
+      (fun p ->
+        let r = Sched.Scheduler.run p js in
+        Format.printf "  %a@." Sched.Scheduler.pp_result r)
+      Sched.Policy.all
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let jobs =
+    Arg.(value & opt int 20 & info [ "jobs" ] ~doc:"Jobs (sustained mode).")
+  in
+  let periodic =
+    Arg.(value & flag & info [ "periodic" ] ~doc:"Periodic wave arrivals.")
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Run a workload under all five scheduling policies")
+    Term.(const run $ seed $ jobs $ periodic)
+
+(* --- trace ------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run bench cls =
+    let prog = Workload.Programs.program bench cls in
+    let inst = Compiler.Migration_points.instrument prog in
+    let s = Compiler.Tracer.trace inst in
+    Format.printf "dynamic trace of %s.%s (instrumented):@."
+      (Workload.Spec.bench_to_string bench)
+      (Workload.Spec.cls_to_string cls);
+    Format.printf "  instructions:    %.3e@." s.Compiler.Tracer.total_instructions;
+    Format.printf "  checks executed: %.0f@." s.Compiler.Tracer.checks_executed;
+    Format.printf "  worst interval:  %.3e instructions@."
+      s.Compiler.Tracer.max_interval;
+    Format.printf "  mean interval:   %.3e instructions@."
+      s.Compiler.Tracer.mean_interval;
+    List.iter
+      (fun arch ->
+        Format.printf "  worst response on %-7s %.1f ms@."
+          (Isa.Arch.to_string arch)
+          (1e3 *. Compiler.Tracer.worst_response_time_s inst
+                    (Isa.Cost_model.of_arch arch)))
+      Isa.Arch.all
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Dynamic migration-response trace of an instrumented benchmark")
+    Term.(const run $ bench_arg $ cls_arg)
+
+(* --- state-map -------------------------------------------------------------- *)
+
+let state_map_cmd =
+  let run bench cls =
+    let binary = Hetmig.Het.compile_benchmark bench cls in
+    let m = Hetmig.Het.state_mapping_report binary in
+    Format.printf "Section-3 state mapping for %s.%s:@."
+      (Workload.Spec.bench_to_string bench)
+      (Workload.Spec.cls_to_string cls);
+    Format.printf "  P (globals/heap/code addresses): %s@."
+      (if m.Hetmig.Het.globals_identity then "identity mapping" else "BROKEN");
+    Format.printf "  .text: %s@."
+      (if m.Hetmig.Het.code_aliased then "aliased per-ISA at one range"
+       else "NOT aliased");
+    Format.printf "  L (thread-local storage): %s@."
+      (if m.Hetmig.Het.tls_identity then "identity mapping (x86-64 scheme)"
+       else "BROKEN");
+    Format.printf "  S (stacks): %s@."
+      (if m.Hetmig.Het.stacks_divergent then
+         "transformed by f_AB at migration" else "identical (unexpected)");
+    List.iter
+      (fun (fname, a, x) ->
+        Format.printf "    %-20s arm64 frame %4d B, x86_64 frame %4d B@." fname
+          a x)
+      m.Hetmig.Het.divergent_frames;
+    Format.printf "  R (registers): transformed by r_AB at migration@."
+  in
+  Cmd.v
+    (Cmd.info "state-map"
+       ~doc:"Verify the paper's Section-3 state-class mappings on a binary")
+    Term.(const run $ bench_arg $ cls_arg)
+
+(* --- experiment ---------------------------------------------------------------- *)
+
+let experiment_cmd =
+  let experiments =
+    [ ("fig1", Experiments.Fig1.run); ("fig3-5", Experiments.Fig35.run);
+      ("fig6-9", Experiments.Fig69.run); ("table1", Experiments.Table1.run);
+      ("fig10", Experiments.Fig10.run); ("fig11", Experiments.Fig11.run);
+      ("fig12", Experiments.Fig12.run); ("fig13", Experiments.Fig13.run);
+      ("ablations", Experiments.Ablation.run) ]
+  in
+  let run name =
+    match List.assoc_opt name experiments with
+    | Some f ->
+      f Format.std_formatter;
+      if Experiments.Shape.failures () > 0 then exit 1
+    | None ->
+      Format.eprintf "unknown experiment %s; available: %s@." name
+        (String.concat ", " (List.map fst experiments));
+      exit 2
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"EXPERIMENT" ~doc:"fig1, fig3-5, ..., fig13, table1.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables/figures")
+    Term.(const run $ name_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "hetmig" ~version:"1.0.0"
+      ~doc:"Heterogeneous-ISA execution migration (ASPLOS 2017 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ compile_cmd; migrate_cmd; emulation_cmd; schedule_cmd;
+            state_map_cmd; trace_cmd; experiment_cmd ]))

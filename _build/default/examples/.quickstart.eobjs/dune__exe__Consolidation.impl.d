@@ -1,0 +1,1 @@
+examples/consolidation.ml: Format Hetmig Kernel List Workload

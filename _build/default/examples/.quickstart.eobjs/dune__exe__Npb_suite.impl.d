@@ -1,0 +1,1 @@
+examples/npb_suite.ml: Array Compiler Format Hetmig Isa List Machine Sim Sys Workload

@@ -1,0 +1,1 @@
+examples/offload.ml: Array Baseline Compiler Dsm Format Hetmig Isa Kernel List Machine Sim Workload

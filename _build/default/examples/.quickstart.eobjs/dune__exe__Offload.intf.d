@@ -1,0 +1,1 @@
+examples/offload.mli:

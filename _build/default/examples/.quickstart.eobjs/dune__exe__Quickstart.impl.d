@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compiler Format Hetmig Ir Isa Kernel List Machine Memsys Workload

@@ -1,0 +1,1 @@
+examples/rack.ml: Array Format Kernel List Machine Printf Sim Workload

@@ -1,0 +1,1 @@
+examples/rack.mli:

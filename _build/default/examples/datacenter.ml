@@ -1,0 +1,44 @@
+(* Datacenter scheduling: run one periodic workload under all five
+   scheduling policies and compare energy, makespan and EDP — a compact
+   version of the paper's Figures 12/13 study.
+
+   Run with:  dune exec examples/datacenter.exe [seed] *)
+
+let printf = Format.printf
+
+let () =
+  let seed =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 42
+  in
+  let jobs = Sched.Arrival.periodic ~seed ~waves:4 ~max_per_wave:10 in
+  printf "== Periodic workload: %d jobs in 4 waves (seed %d) ==@.@."
+    (List.length jobs) seed;
+  printf "%-24s %10s %12s %12s %6s@." "policy" "makespan" "energy (kJ)"
+    "EDP (MJ*s)" "migr";
+  let results =
+    List.map (fun p -> Sched.Scheduler.run p jobs) Sched.Policy.all
+  in
+  List.iter
+    (fun (r : Sched.Scheduler.result) ->
+      printf "%-24s %9.1fs %12.1f %12.2f %6d@."
+        (Sched.Policy.name r.Sched.Scheduler.policy)
+        r.Sched.Scheduler.makespan
+        (r.Sched.Scheduler.total_energy /. 1e3)
+        (r.Sched.Scheduler.edp /. 1e6)
+        r.Sched.Scheduler.migrations)
+    results;
+  let static = List.hd results in
+  printf "@.vs the static x86 pair:@.";
+  List.iter
+    (fun (r : Sched.Scheduler.result) ->
+      if r.Sched.Scheduler.policy <> Sched.Policy.Static_x86_pair then
+        printf "  %-24s energy %+.1f%%, makespan %+.1f%%@."
+          (Sched.Policy.name r.Sched.Scheduler.policy)
+          ((r.Sched.Scheduler.total_energy -. static.Sched.Scheduler.total_energy)
+          /. static.Sched.Scheduler.total_energy *. 100.0)
+          ((r.Sched.Scheduler.makespan -. static.Sched.Scheduler.makespan)
+          /. static.Sched.Scheduler.makespan *. 100.0))
+    results;
+  printf
+    "@.(dynamic policies trade makespan for energy by migrating jobs to@.";
+  printf " the ARM server and sleeping through the inter-wave gaps)@."

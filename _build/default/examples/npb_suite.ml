@@ -1,0 +1,49 @@
+(* NPB suite tour: compile every benchmark model into a multi-ISA binary,
+   report toolchain statistics, run each natively on both machines, and
+   show the per-benchmark performance gap that drives all the scheduling
+   decisions (the "worst case utilization scenario for the ARM machine"
+   of paper Section 6).
+
+   Run with:  dune exec examples/npb_suite.exe [A|B|C] *)
+
+let printf = Format.printf
+
+let () =
+  let cls =
+    if Array.length Sys.argv > 1 then
+      match Sys.argv.(1) with
+      | "B" | "b" -> Workload.Spec.B
+      | "C" | "c" -> Workload.Spec.C
+      | _ -> Workload.Spec.A
+    else Workload.Spec.A
+  in
+  printf "== NPB class %s through the multi-ISA toolchain ==@.@."
+    (Workload.Spec.cls_to_string cls);
+  printf "%-6s %7s %9s %9s %10s %10s %8s %9s@." "bench" "points" "text.arm"
+    "text.x86" "t.x86 (s)" "t.arm (s)" "gap" "xform(us)";
+  List.iter
+    (fun bench ->
+      let spec = Workload.Spec.spec bench cls in
+      let binary = Hetmig.Het.compile_benchmark bench cls in
+      let native arch =
+        let m = Machine.Server.of_arch arch in
+        Isa.Cost_model.seconds_for m.Machine.Server.cost
+          spec.Workload.Spec.category
+          ~instructions:spec.Workload.Spec.total_instructions
+      in
+      let tx = native Isa.Arch.X86_64 and ta = native Isa.Arch.Arm64 in
+      let xform =
+        Sim.Stats.mean (Hetmig.Het.migration_latencies_us binary Isa.Arch.X86_64)
+      in
+      printf "%-6s %7d %8dB %8dB %10.1f %10.1f %7.1fx %9.0f@."
+        (Workload.Spec.bench_to_string bench)
+        binary.Compiler.Toolchain.migration_points
+        (Hetmig.Het.code_size binary Isa.Arch.Arm64)
+        (Hetmig.Het.code_size binary Isa.Arch.X86_64)
+        tx ta (ta /. tx) xform)
+    Workload.Spec.npb;
+  printf
+    "@.Every benchmark is migratable at every listed point in both@.";
+  printf
+    "directions; 'gap' is the native ARM/x86 single-thread time ratio the@.";
+  printf "schedulers trade energy against.@."

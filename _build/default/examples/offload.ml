@@ -1,0 +1,75 @@
+(* Function offload: the Figure-11 scenario as an application. NPB IS
+   (class B, serial) runs on the x86; when it reaches its final
+   full_verify() phase the thread migrates to the ARM server, the hDSM
+   drains the key arrays behind it, and the program finishes natively on
+   the other ISA — no serialization, no emulation.
+
+   Run with:  dune exec examples/offload.exe *)
+
+let printf = Format.printf
+
+let () =
+  let spec = Workload.Spec.spec Workload.Spec.IS Workload.Spec.B in
+  printf "== Offloading is.B full_verify() from x86 to ARM ==@.@.";
+  let binary = Hetmig.Het.compile_benchmark Workload.Spec.IS Workload.Spec.B in
+  printf "binary: %d migration points, full_verify at %#x on both ISAs@."
+    binary.Compiler.Toolchain.migration_points
+    (Hetmig.Het.symbol_address binary "full_verify");
+  let cluster = Hetmig.Het.make_cluster () in
+  let proc = Hetmig.Het.deploy cluster binary ~spec ~threads:1 ~node:0 () in
+  let main_work = spec.Workload.Spec.total_instructions *. 0.86 in
+  let migrate_at =
+    Isa.Cost_model.seconds_for
+      Machine.Server.xeon_e5_1650_v2.Machine.Server.cost
+      spec.Workload.Spec.category ~instructions:main_work
+  in
+  Hetmig.Het.start cluster proc;
+  Sim.Engine.schedule cluster.Hetmig.Het.engine ~at:migrate_at (fun () ->
+      printf "t=%6.2fs  scheduler sets the migration flag (vDSO page)@."
+        migrate_at;
+      Hetmig.Het.migrate cluster proc ~to_node:1);
+  (* Observe the thread during the run. *)
+  let th = List.hd proc.Kernel.Process.threads in
+  let rec watch last_node () =
+    if Kernel.Process.alive proc then begin
+      let node = th.Kernel.Process.node in
+      if node <> last_node then
+        printf "t=%6.2fs  thread now on node %d (%s)@."
+          (Hetmig.Het.now cluster) node
+          (Isa.Arch.to_string
+             cluster.Hetmig.Het.pop.Kernel.Popcorn.nodes.(node)
+               .Kernel.Popcorn.machine
+               .Machine.Server.arch);
+      Sim.Engine.schedule_in cluster.Hetmig.Het.engine ~after:0.1
+        (watch node)
+    end
+  in
+  watch 0 ();
+  Hetmig.Het.run cluster;
+  let finished =
+    match proc.Kernel.Process.finished_at with Some t -> t | None -> nan
+  in
+  printf "t=%6.2fs  done (%d migration(s))@." finished
+    th.Kernel.Process.migrations;
+  let dsm = Dsm.Hdsm.stats cluster.Hetmig.Het.pop.Kernel.Popcorn.dsm in
+  printf "@.hDSM traffic: %d page fetches, %.0f MB moved, %d invalidations@."
+    dsm.Dsm.Hdsm.remote_fetches
+    (float_of_int dsm.Dsm.Hdsm.bytes_transferred /. 1048576.0)
+    dsm.Dsm.Hdsm.invalidations;
+  printf "messages: %d thread-migration, %d total on the interconnect@."
+    (Kernel.Message.sent cluster.Hetmig.Het.pop.Kernel.Popcorn.bus
+       Kernel.Message.Thread_migration)
+    (Kernel.Message.total_messages cluster.Hetmig.Het.pop.Kernel.Popcorn.bus);
+  printf "energy: x86 %.1f kJ, ARM %.1f kJ@."
+    (Hetmig.Het.energy cluster 0 /. 1e3)
+    (Hetmig.Het.energy cluster 1 /. 1e3);
+  (* Contrast with the PadMig baseline. *)
+  let p =
+    Baseline.Padmig.migration_profile spec ~from_:Isa.Arch.X86_64
+      ~to_:Isa.Arch.Arm64
+  in
+  printf "@.the PadMig (Java) baseline would have spent %.1f s@."
+    (Baseline.Padmig.total_migration_s p);
+  printf "serializing/deserializing the same state; this run's migration@.";
+  printf "downtime was %.0f us of stack transformation@."
+    (proc.Kernel.Process.transform_latency Isa.Arch.X86_64 *. 1e6)

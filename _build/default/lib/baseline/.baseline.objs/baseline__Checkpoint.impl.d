@@ -1,0 +1,1 @@
+lib/baseline/checkpoint.ml: Machine Workload

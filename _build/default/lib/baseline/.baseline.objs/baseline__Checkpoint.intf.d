@@ -1,0 +1,1 @@
+lib/baseline/checkpoint.mli: Machine Workload

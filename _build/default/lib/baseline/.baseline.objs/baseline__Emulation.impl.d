@@ -1,0 +1,1 @@
+lib/baseline/emulation.ml: Char Isa Machine String Workload

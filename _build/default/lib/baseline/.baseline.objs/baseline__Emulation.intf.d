@@ -1,0 +1,1 @@
+lib/baseline/emulation.mli: Isa Workload

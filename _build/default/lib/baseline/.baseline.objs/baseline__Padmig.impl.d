@@ -1,0 +1,1 @@
+lib/baseline/padmig.ml: Isa Machine Workload

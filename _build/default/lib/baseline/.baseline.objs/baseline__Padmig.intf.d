@@ -1,0 +1,1 @@
+lib/baseline/padmig.mli: Isa Workload

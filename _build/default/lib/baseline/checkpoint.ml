@@ -1,0 +1,25 @@
+type profile = {
+  freeze_s : float;
+  dump_s : float;
+  transfer_s : float;
+  restore_s : float;
+  bytes : int;
+}
+
+(* CRIU-class rates on server hardware. *)
+let dump_rate = 1.2e9
+let restore_rate = 1.5e9
+
+let migration_profile ?(interconnect = Machine.Interconnect.dolphin_pxh810)
+    (spec : Workload.Spec.t) =
+  let bytes = spec.Workload.Spec.footprint_bytes in
+  {
+    freeze_s = 0.050;
+    dump_s = float_of_int bytes /. dump_rate;
+    transfer_s = Machine.Interconnect.transfer_time interconnect ~bytes;
+    restore_s = float_of_int bytes /. restore_rate;
+    bytes;
+  }
+
+let total_downtime_s p = p.freeze_s +. p.dump_s +. p.transfer_s +. p.restore_s
+let can_cross_isa = false

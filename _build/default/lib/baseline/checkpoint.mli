@@ -1,0 +1,38 @@
+(** Checkpoint/restore migration baseline (paper Section 8, related
+    work).
+
+    Homogeneous-ISA container migration (CRIU-style, as in LXD live
+    migration [5]) freezes the process, dumps its full memory image,
+    ships it, and restores on an identical-ISA machine. The paper's
+    contribution avoids both the stop-the-world dump (hDSM moves pages on
+    demand) and the same-ISA restriction. This model quantifies the
+    downtime a dump/restore cycle would cost for our workloads — and the
+    fact that it simply cannot target the other ISA. *)
+
+type profile = {
+  freeze_s : float;  (** quiesce + dump metadata *)
+  dump_s : float;  (** write the memory image *)
+  transfer_s : float;
+  restore_s : float;  (** map pages + rebuild kernel state *)
+  bytes : int;
+}
+
+val dump_rate : float
+(** Bytes/second for serializing memory pages into an image (page-table
+    walks + write combining). *)
+
+val restore_rate : float
+
+val migration_profile :
+  ?interconnect:Machine.Interconnect.t -> Workload.Spec.t -> profile
+(** Cost of checkpointing the workload's resident set and restoring it on
+    another (same-ISA) machine. *)
+
+val total_downtime_s : profile -> float
+(** Checkpoint/restore downtime is the whole cycle: the process runs
+    nowhere while it is being dumped, shipped and restored. *)
+
+val can_cross_isa : bool
+(** [false]: the dumped image embeds ISA-specific register state, stack
+    layouts and code; restoring on a different ISA is impossible without
+    exactly the transformation machinery this repository implements. *)

@@ -1,0 +1,46 @@
+type direction = Arm_on_x86 | X86_on_arm
+
+let dbt_factor dir (cat : Isa.Cost_model.category) =
+  match (dir, cat) with
+  (* Translating ARM64 on the Xeon: clean RISC semantics, fast host. *)
+  | Arm_on_x86, Isa.Cost_model.Compute -> 5.0
+  | Arm_on_x86, Isa.Cost_model.Memory -> 6.1
+  | Arm_on_x86, Isa.Cost_model.Branch -> 9.0
+  | Arm_on_x86, Isa.Cost_model.Mixed -> 6.5
+  (* Emulating x86-64 on the X-Gene: flag materialization, variable-length
+     decode, weak host. *)
+  | X86_on_arm, Isa.Cost_model.Compute -> 26.0
+  | X86_on_arm, Isa.Cost_model.Memory -> 14.6
+  | X86_on_arm, Isa.Cost_model.Branch -> 42.0
+  | X86_on_arm, Isa.Cost_model.Mixed -> 24.0
+
+let parallel_efficiency ~threads ~cores =
+  let t = float_of_int (min threads cores) in
+  (* Amdahl-style with a 5% serial fraction. *)
+  t /. (1.0 +. (0.05 *. (t -. 1.0)))
+
+let jitter name =
+  (* +/-10%, stable per benchmark name. *)
+  let h = ref 17 in
+  String.iter (fun c -> h := ((!h * 31) + Char.code c) land 0xFFFF) name;
+  0.9 +. (float_of_int (!h land 255) /. 255.0 *. 0.2)
+
+let slowdown dir (spec : Workload.Spec.t) ~threads =
+  if threads <= 0 then invalid_arg "Emulation.slowdown: threads <= 0";
+  let native_machine, host_machine =
+    match dir with
+    | Arm_on_x86 -> (Machine.Server.xgene1, Machine.Server.xeon_e5_1650_v2)
+    | X86_on_arm -> (Machine.Server.xeon_e5_1650_v2, Machine.Server.xgene1)
+  in
+  let cat = spec.Workload.Spec.category in
+  let native_mips =
+    Isa.Cost_model.mips native_machine.Machine.Server.cost cat
+    *. parallel_efficiency ~threads ~cores:native_machine.Machine.Server.cores
+  in
+  (* TCG generates code single-threadedly: one emulated vCPU's worth of
+     throughput regardless of guest thread count. *)
+  let emulated_mips =
+    Isa.Cost_model.mips host_machine.Machine.Server.cost cat
+    /. dbt_factor dir cat
+  in
+  native_mips /. emulated_mips *. jitter spec.Workload.Spec.name

@@ -1,0 +1,27 @@
+(** KVM/QEMU dynamic-binary-translation baseline (paper Section 2,
+    Figure 1).
+
+    The paper migrates whole applications between KVM on x86 and QEMU (TCG
+    dynamic binary translation) on ARM and measures the slowdown of
+    emulated versus native execution. Two effects dominate:
+
+    - per-instruction translation overhead, much worse when emulating
+      x86-64's CISC encodings and flag semantics on the ARM than when
+      emulating ARM64 on the fast Xeon;
+    - TCG's single-threaded code generation: a multithreaded guest gains
+      nothing from emulated SMP, so the slowdown grows with the thread
+      count of the native baseline. *)
+
+type direction =
+  | Arm_on_x86  (** ARM binary emulated on the x86 host (Figure 1 top) *)
+  | X86_on_arm  (** x86 binary emulated on the ARM host (Figure 1 bottom) *)
+
+val dbt_factor : direction -> Isa.Cost_model.category -> float
+(** Per-instruction DBT expansion factor. *)
+
+val slowdown : direction -> Workload.Spec.t -> threads:int -> float
+(** Emulated time / native time for the workload. Deterministic. *)
+
+val parallel_efficiency : threads:int -> cores:int -> float
+(** Native multithreaded scaling used for the baseline (sub-linear,
+    Amdahl-style). *)

@@ -1,0 +1,34 @@
+type profile = {
+  serialize_s : float;
+  transfer_s : float;
+  deserialize_s : float;
+  bytes : int;
+}
+
+let java_slowdown = 1.75
+
+(* Rates calibrated against Figure 11: serializing NPB IS class B takes
+   ~2 s on the x86 and de-serializing ~4 s on the ARM. *)
+let serialize_rate = function
+  | Isa.Arch.X86_64 -> 40e6
+  | Isa.Arch.Arm64 -> 16e6
+
+let deserialize_rate = function
+  | Isa.Arch.X86_64 -> 30e6
+  | Isa.Arch.Arm64 -> 12e6
+
+let migration_profile (spec : Workload.Spec.t) ~from_ ~to_ =
+  let bytes =
+    int_of_float (float_of_int spec.Workload.Spec.footprint_bytes *. 0.6)
+  in
+  let fb = float_of_int bytes in
+  {
+    serialize_s = fb /. serialize_rate from_;
+    transfer_s =
+      Machine.Interconnect.transfer_time Machine.Interconnect.dolphin_pxh810
+        ~bytes;
+    deserialize_s = fb /. deserialize_rate to_;
+    bytes;
+  }
+
+let total_migration_s p = p.serialize_s +. p.transfer_s +. p.deserialize_s

@@ -1,0 +1,32 @@
+(** PadMig-style managed-language migration baseline (paper Sections 6-7,
+    Figure 11).
+
+    PadMig migrates Java applications by reflecting over the object graph,
+    serializing it on the source, shipping the bytes, and de-serializing
+    into freshly allocated objects on the destination — the cost the
+    multi-ISA binary approach avoids. The model has three phases plus the
+    JIT/interpreter slowdown of running the benchmark in Java at all. *)
+
+type profile = {
+  serialize_s : float;  (** on the source machine *)
+  transfer_s : float;
+  deserialize_s : float;  (** on the destination machine *)
+  bytes : int;  (** serialized object-graph size *)
+}
+
+val java_slowdown : float
+(** Execution-time ratio Java/native for the NPB 3.0 Java versions the
+    paper uses (IS B serial: 23 s vs 11 s end-to-end). *)
+
+val serialize_rate : Isa.Arch.t -> float
+(** Bytes/second of reflection-based serialization on that machine. *)
+
+val deserialize_rate : Isa.Arch.t -> float
+
+val migration_profile :
+  Workload.Spec.t -> from_:Isa.Arch.t -> to_:Isa.Arch.t -> profile
+(** Costs of migrating the workload's live object graph. The graph is
+    taken as ~60% of the native footprint (boxed primitives inflate some
+    structures, but large arrays dominate NPB). *)
+
+val total_migration_s : profile -> float

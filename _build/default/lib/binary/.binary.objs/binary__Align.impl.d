@@ -1,0 +1,1 @@
+lib/binary/align.ml: Isa Layout List Memsys Obj Printf

@@ -1,0 +1,1 @@
+lib/binary/align.mli: Isa Layout Obj

@@ -1,0 +1,1 @@
+lib/binary/elf.ml: Format Isa Layout List Memsys Printf

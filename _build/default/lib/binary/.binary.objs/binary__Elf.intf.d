@@ -1,0 +1,1 @@
+lib/binary/elf.mli: Format Isa Layout

@@ -1,0 +1,1 @@
+lib/binary/elf_bytes.ml: Buffer Char Elf List Printf String

@@ -1,0 +1,1 @@
+lib/binary/elf_bytes.mli: Elf

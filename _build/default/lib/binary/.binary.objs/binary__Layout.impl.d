@@ -1,0 +1,1 @@
+lib/binary/layout.ml: Isa List Memsys Obj Printf

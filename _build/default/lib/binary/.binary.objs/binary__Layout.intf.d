@@ -1,0 +1,1 @@
+lib/binary/layout.mli: Isa Memsys Obj

@@ -1,0 +1,1 @@
+lib/binary/linker_script.ml: Buffer Isa Layout List Memsys Printf String

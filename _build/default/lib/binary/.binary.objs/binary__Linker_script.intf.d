@@ -1,0 +1,1 @@
+lib/binary/linker_script.mli: Layout

@@ -1,0 +1,1 @@
+lib/binary/obj.ml: Isa List Memsys Printf

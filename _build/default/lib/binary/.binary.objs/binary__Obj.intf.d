@@ -1,0 +1,1 @@
+lib/binary/obj.mli: Isa Memsys

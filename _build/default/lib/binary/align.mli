@@ -1,0 +1,29 @@
+(** The symbol-alignment tool.
+
+    Reimplements the paper's Java tool (Section 5.2.2): read symbol size and
+    alignment information from each per-ISA object, then assign every symbol
+    one virtual address valid for *all* ISAs by progressively walking the
+    loadable sections in layout order. Data symbols need no reconciliation
+    (identical sizes); function symbols are padded to the maximum size across
+    ISAs so that both [.text] images occupy the same address ranges and can
+    be aliased page-for-page by the heterogeneous binary loader. *)
+
+type t = {
+  layouts : (Isa.Arch.t * Layout.t) list;
+  padding : (Isa.Arch.t * int) list;
+      (** per-ISA bytes of function padding introduced by unification *)
+}
+
+val align : Obj.t list -> t
+(** Raises [Invalid_argument] unless all objects define the same symbol
+    names per section and cover distinct ISAs (at least one object). *)
+
+val layout_for : t -> Isa.Arch.t -> Layout.t
+(** Raises [Not_found]. *)
+
+val check_aligned : t -> (unit, string) result
+(** Verifies the defining property: every symbol is placed at the same
+    virtual address in every per-ISA layout, with no overlaps. *)
+
+val address_of : t -> string -> int option
+(** The (common) address of a symbol. *)

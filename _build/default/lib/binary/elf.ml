@@ -1,0 +1,70 @@
+type machine = EM_AARCH64 | EM_X86_64
+
+type segment = { vaddr : int; memsz : int; flags : string; name : string }
+
+type t = {
+  machine : machine;
+  entry : int;
+  segments : segment list;
+  image : string;
+  symtab : (string * int) list;
+}
+
+let machine_of_arch = function
+  | Isa.Arch.Arm64 -> EM_AARCH64
+  | Isa.Arch.X86_64 -> EM_X86_64
+
+let arch_of_machine = function
+  | EM_AARCH64 -> Isa.Arch.Arm64
+  | EM_X86_64 -> Isa.Arch.X86_64
+
+let flags_of_section = function
+  | Memsys.Symbol.Text -> "r-x"
+  | Memsys.Symbol.Rodata -> "r--"
+  | Memsys.Symbol.Data | Memsys.Symbol.Bss
+  | Memsys.Symbol.Tdata | Memsys.Symbol.Tbss -> "rw-"
+
+let of_layout (l : Layout.t) ~entry_symbol =
+  let entry =
+    match Layout.address_of l entry_symbol with
+    | Some a -> a
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Elf.of_layout: no entry symbol %s" entry_symbol)
+  in
+  let segments =
+    List.map
+      (fun (sec, (start, stop)) ->
+        {
+          vaddr = start;
+          memsz = stop - start;
+          flags = flags_of_section sec;
+          name = Memsys.Symbol.section_to_string sec;
+        })
+      l.Layout.section_bounds
+  in
+  let symtab =
+    List.map
+      (fun (p : Layout.placed) -> (p.symbol.Memsys.Symbol.name, p.addr))
+      l.Layout.placed
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  { machine = machine_of_arch l.Layout.arch; entry; segments;
+    image = l.Layout.image; symtab }
+
+let segment_at t addr =
+  List.find_opt (fun s -> addr >= s.vaddr && addr < s.vaddr + s.memsz) t.segments
+
+let machine_to_string = function
+  | EM_AARCH64 -> "AArch64"
+  | EM_X86_64 -> "Advanced Micro Devices X86-64"
+
+let pp_headers ppf t =
+  Format.fprintf ppf "ELF64 %s@." (machine_to_string t.machine);
+  Format.fprintf ppf "  Entry point address: 0x%x@." t.entry;
+  Format.fprintf ppf "  Program headers:@.";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "    LOAD 0x%08x memsz 0x%06x %s (%s)@." s.vaddr
+        s.memsz s.flags s.name)
+    t.segments

@@ -1,0 +1,34 @@
+(** Minimal ELF executable model.
+
+    One ELF per ISA (paper Section 5.1: "heterogeneous binaries as one
+    executable file per ISA"). The model captures what the heterogeneous
+    binary loader consumes: machine type, entry point, and loadable
+    segments derived from the layout's sections. *)
+
+type machine = EM_AARCH64 | EM_X86_64
+
+type segment = {
+  vaddr : int;
+  memsz : int;
+  flags : string;  (** "r-x", "rw-", "r--" *)
+  name : string;  (** source section name *)
+}
+
+type t = {
+  machine : machine;
+  entry : int;
+  segments : segment list;
+  image : string;
+  symtab : (string * int) list;  (** name -> address, sorted by address *)
+}
+
+val machine_of_arch : Isa.Arch.t -> machine
+val arch_of_machine : machine -> Isa.Arch.t
+
+val of_layout : Layout.t -> entry_symbol:string -> t
+(** Raises [Invalid_argument] if the entry symbol is absent. *)
+
+val segment_at : t -> int -> segment option
+
+val pp_headers : Format.formatter -> t -> unit
+(** A readelf-style dump. *)

@@ -1,0 +1,193 @@
+let header_size = 64
+let phentsize = 56
+
+let machine_code = function
+  | Elf.EM_AARCH64 -> 0xB7
+  | Elf.EM_X86_64 -> 0x3E
+
+let machine_of_code = function
+  | 0xB7 -> Some Elf.EM_AARCH64
+  | 0x3E -> Some Elf.EM_X86_64
+  | _ -> None
+
+let flags_bits = function
+  | "r-x" -> 5
+  | "rw-" -> 6
+  | "r--" -> 4
+  | s -> invalid_arg ("Elf_bytes.flags_bits: " ^ s)
+
+let flags_of_bits = function
+  | 5 -> Some "r-x"
+  | 6 -> Some "rw-"
+  | 4 -> Some "r--"
+  | _ -> None
+
+(* --- encoding ----------------------------------------------------------- *)
+
+let encode (e : Elf.t) =
+  let nseg = List.length e.Elf.segments in
+  let buf = Buffer.create (header_size + (nseg * phentsize) + 1024) in
+  let u8 v = Buffer.add_char buf (Char.chr (v land 0xFF)) in
+  let u16 v =
+    u8 (v land 0xFF);
+    u8 ((v lsr 8) land 0xFF)
+  in
+  let u32 v =
+    u16 (v land 0xFFFF);
+    u16 ((v lsr 16) land 0xFFFF)
+  in
+  let u64 v =
+    u32 (v land 0xFFFFFFFF);
+    u32 ((v lsr 32) land 0x7FFFFFFF)
+  in
+  let str s =
+    u16 (String.length s);
+    Buffer.add_string buf s
+  in
+  (* e_ident *)
+  Buffer.add_string buf "\x7fELF";
+  u8 2 (* ELFCLASS64 *);
+  u8 1 (* ELFDATA2LSB *);
+  u8 1 (* EV_CURRENT *);
+  for _ = 7 to 15 do
+    u8 0
+  done;
+  u16 2 (* ET_EXEC *);
+  u16 (machine_code e.Elf.machine);
+  u32 1 (* e_version *);
+  u64 e.Elf.entry;
+  u64 header_size (* e_phoff *);
+  u64 0 (* e_shoff: no section headers *);
+  u32 0 (* e_flags *);
+  u16 header_size (* e_ehsize *);
+  u16 phentsize;
+  u16 nseg (* e_phnum *);
+  u16 0 (* e_shentsize *);
+  u16 0 (* e_shnum *);
+  u16 0 (* e_shstrndx *);
+  assert (Buffer.length buf = header_size);
+  (* Program headers. *)
+  List.iter
+    (fun (s : Elf.segment) ->
+      u32 1 (* PT_LOAD *);
+      u32 (flags_bits s.Elf.flags);
+      u64 0 (* p_offset: images are not backed by file bytes here *);
+      u64 s.Elf.vaddr (* p_vaddr *);
+      u64 s.Elf.vaddr (* p_paddr *);
+      u64 0 (* p_filesz *);
+      u64 s.Elf.memsz;
+      (* p_align doubles as the section-name carrier in our payload
+         scheme; real alignment is the page size. *)
+      u64 4096)
+    e.Elf.segments;
+  (* Private payload: image name, per-segment section names, symtab. *)
+  str e.Elf.image;
+  List.iter (fun (s : Elf.segment) -> str s.Elf.name) e.Elf.segments;
+  u32 (List.length e.Elf.symtab);
+  List.iter
+    (fun (name, addr) ->
+      str name;
+      u64 addr)
+    e.Elf.symtab;
+  Buffer.contents buf
+
+(* --- decoding ------------------------------------------------------------ *)
+
+type cursor = { data : string; mutable pos : int }
+
+exception Malformed of string
+
+let need c n =
+  (* A corrupted 64-bit offset can wrap negative on a 63-bit int. *)
+  if c.pos < 0 || c.pos + n > String.length c.data then
+    raise (Malformed (Printf.sprintf "truncated at offset %d (need %d bytes)" c.pos n))
+
+let u8 c =
+  need c 1;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  let a = u8 c in
+  let b = u8 c in
+  a lor (b lsl 8)
+
+let u32 c =
+  let a = u16 c in
+  let b = u16 c in
+  a lor (b lsl 16)
+
+let u64 c =
+  let a = u32 c in
+  let b = u32 c in
+  a lor (b lsl 32)
+
+let str c =
+  let n = u16 c in
+  need c n;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let decode data =
+  let c = { data; pos = 0 } in
+  try
+    need c 4;
+    if String.sub data 0 4 <> "\x7fELF" then raise (Malformed "bad ELF magic");
+    c.pos <- 4;
+    if u8 c <> 2 then raise (Malformed "not ELFCLASS64");
+    if u8 c <> 1 then raise (Malformed "not little-endian");
+    if u8 c <> 1 then raise (Malformed "bad EI_VERSION");
+    c.pos <- 16;
+    if u16 c <> 2 then raise (Malformed "not ET_EXEC");
+    let machine =
+      match machine_of_code (u16 c) with
+      | Some m -> m
+      | None -> raise (Malformed "unknown e_machine")
+    in
+    let _version = u32 c in
+    let entry = u64 c in
+    let phoff = u64 c in
+    let _shoff = u64 c in
+    let _flags = u32 c in
+    let ehsize = u16 c in
+    let phes = u16 c in
+    let phnum = u16 c in
+    if ehsize <> header_size || phes <> phentsize then
+      raise (Malformed "unexpected header sizes");
+    c.pos <- phoff;
+    let raw_segments =
+      List.init phnum (fun _ ->
+          let ptype = u32 c in
+          if ptype <> 1 then raise (Malformed "non-LOAD program header");
+          let flags =
+            match flags_of_bits (u32 c) with
+            | Some f -> f
+            | None -> raise (Malformed "unknown p_flags")
+          in
+          let _off = u64 c in
+          let vaddr = u64 c in
+          let _paddr = u64 c in
+          let _filesz = u64 c in
+          let memsz = u64 c in
+          let _align = u64 c in
+          (vaddr, memsz, flags))
+    in
+    let image = str c in
+    let segments =
+      List.map
+        (fun (vaddr, memsz, flags) ->
+          let name = str c in
+          { Elf.vaddr; memsz; flags; name })
+        raw_segments
+    in
+    let nsyms = u32 c in
+    let symtab =
+      List.init nsyms (fun _ ->
+          let name = str c in
+          let addr = u64 c in
+          (name, addr))
+    in
+    Ok { Elf.machine; entry; segments; image; symtab }
+  with Malformed msg -> Error msg

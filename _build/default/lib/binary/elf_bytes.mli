@@ -1,0 +1,34 @@
+(** Byte-level ELF64 images.
+
+    Encodes the modeled executable ({!Elf.t}) as real ELF64 bytes — magic,
+    identification, header, program headers, and a symbol payload — and
+    decodes them back. The heterogeneous binary loader of a real Popcorn
+    system reads exactly these structures to map the per-ISA images; the
+    encoder/decoder pair gives this repository's binaries a concrete wire
+    format with machine-checked round-trips.
+
+    Layout: standard 64-byte ELF header (little-endian, [ET_EXEC]),
+    [e_phnum] LOAD program headers of 56 bytes each, then a private
+    symbol-table payload (the dynamic symbol information the migration
+    runtime needs: name + unified address per symbol). *)
+
+val machine_code : Elf.machine -> int
+(** [EM_AARCH64] = 0xB7, [EM_X86_64] = 0x3E. *)
+
+val flags_bits : string -> int
+(** "r-x" -> PF_R|PF_X = 5, "rw-" -> 6, "r--" -> 4. *)
+
+val encode : Elf.t -> string
+(** Serialize to bytes. Deterministic. *)
+
+val decode : string -> (Elf.t, string) result
+(** Parse an image produced by {!encode}. Validates the magic, class
+    (64-bit), endianness, type and machine; returns a descriptive error
+    for malformed input. The [image] name is stored in the payload, so
+    decode is a full inverse of encode. *)
+
+val header_size : int
+(** 64 bytes, as mandated by ELF64. *)
+
+val phentsize : int
+(** 56 bytes per program header. *)

@@ -1,0 +1,33 @@
+let render (l : Layout.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "/* aligned linker script for %s (%s) */\n" l.Layout.image
+       (Isa.Arch.to_string l.Layout.arch));
+  Buffer.add_string buf "SECTIONS\n{\n";
+  List.iter
+    (fun (sec, (start, _)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  . = 0x%x;\n  %s : {\n" start
+           (Memsys.Symbol.section_to_string sec));
+      List.iter
+        (fun (p : Layout.placed) ->
+          if p.symbol.Memsys.Symbol.section = sec then
+            Buffer.add_string buf
+              (Printf.sprintf "    . = 0x%x; %s = .; . += 0x%x;\n" p.addr
+                 p.symbol.Memsys.Symbol.name p.reserved))
+        l.Layout.placed;
+      Buffer.add_string buf "  }\n")
+    l.Layout.section_bounds;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let symbol_count script =
+  (* Each symbol assignment contains the substring " = .;". *)
+  let needle = " = .;" in
+  let n = String.length script and m = String.length needle in
+  let rec count i acc =
+    if i + m > n then acc
+    else if String.sub script i m = needle then count (i + m) (acc + 1)
+    else count (i + 1) acc
+  in
+  count 0 0

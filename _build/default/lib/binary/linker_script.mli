@@ -1,0 +1,13 @@
+(** GNU-ld linker-script rendering.
+
+    The alignment tool of the paper emits one linker script per ISA that
+    pins every symbol to its unified address. Rendering the script is
+    useful for documentation and gives the alignment result a concrete,
+    testable artifact. *)
+
+val render : Layout.t -> string
+(** A `SECTIONS { ... }` script placing every symbol of the layout at its
+    absolute address. Deterministic. *)
+
+val symbol_count : string -> int
+(** Number of symbol assignments in a rendered script (for tests). *)

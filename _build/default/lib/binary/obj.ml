@@ -1,0 +1,24 @@
+type t = { arch : Isa.Arch.t; name : string; symbols : Memsys.Symbol.t list }
+
+let make ~arch ~name ~symbols =
+  let names = List.map (fun s -> s.Memsys.Symbol.name) symbols in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg (Printf.sprintf "Obj.make %s: duplicate symbol" name);
+  { arch; name; symbols }
+
+let find t name =
+  List.find_opt (fun s -> s.Memsys.Symbol.name = name) t.symbols
+
+let functions t = List.filter Memsys.Symbol.is_function t.symbols
+
+let data_symbols t =
+  List.filter (fun s -> not (Memsys.Symbol.is_function s)) t.symbols
+
+let same_symbol_sets a b =
+  let key s = (s.Memsys.Symbol.name, s.Memsys.Symbol.section) in
+  let ka = List.sort compare (List.map key a.symbols) in
+  let kb = List.sort compare (List.map key b.symbols) in
+  ka = kb
+
+let text_bytes t =
+  List.fold_left (fun acc s -> acc + s.Memsys.Symbol.size) 0 (functions t)

@@ -1,0 +1,23 @@
+(** Per-ISA object files.
+
+    An object file is the output of one backend run: the set of symbols the
+    program defines, with this ISA's sizes. Function ([.text]) symbol sizes
+    differ between ISAs because the machine code differs; data symbol sizes
+    are identical because primitive sizes and alignments agree (paper
+    Section 5.2.2). *)
+
+type t = { arch : Isa.Arch.t; name : string; symbols : Memsys.Symbol.t list }
+
+val make : arch:Isa.Arch.t -> name:string -> symbols:Memsys.Symbol.t list -> t
+(** Raises [Invalid_argument] on duplicate symbol names. *)
+
+val find : t -> string -> Memsys.Symbol.t option
+val functions : t -> Memsys.Symbol.t list
+val data_symbols : t -> Memsys.Symbol.t list
+
+val same_symbol_sets : t -> t -> bool
+(** True when both objects define exactly the same symbol names per section
+    — the precondition for the alignment tool. *)
+
+val text_bytes : t -> int
+(** Total unpadded [.text] size. *)

@@ -1,0 +1,1 @@
+lib/compiler/backend.ml: Char Float Ir Isa List Map Set String

@@ -1,0 +1,1 @@
+lib/compiler/backend.mli: Ir Isa

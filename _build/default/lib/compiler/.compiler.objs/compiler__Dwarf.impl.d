@@ -1,0 +1,1 @@
+lib/compiler/dwarf.ml: Buffer Isa List Printf String Unwind

@@ -1,0 +1,1 @@
+lib/compiler/dwarf.mli: Isa Unwind

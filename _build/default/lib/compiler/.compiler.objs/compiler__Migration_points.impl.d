@@ -1,0 +1,1 @@
+lib/compiler/migration_points.ml: Ir List Printf Profiler

@@ -1,0 +1,1 @@
+lib/compiler/migration_points.mli: Ir

@@ -1,0 +1,1 @@
+lib/compiler/profiler.mli: Ir

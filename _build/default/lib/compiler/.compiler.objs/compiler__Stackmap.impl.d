@@ -1,0 +1,1 @@
+lib/compiler/stackmap.ml: Backend Ir List Printf

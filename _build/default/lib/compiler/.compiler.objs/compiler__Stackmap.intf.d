@@ -1,0 +1,1 @@
+lib/compiler/stackmap.mli: Backend Ir

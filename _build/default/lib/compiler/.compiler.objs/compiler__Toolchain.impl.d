@@ -1,0 +1,1 @@
+lib/compiler/toolchain.ml: Backend Binary Ir Isa List Memsys Migration_points Printf Stackmap Unwind

@@ -1,0 +1,1 @@
+lib/compiler/toolchain.mli: Backend Binary Ir Isa Memsys Stackmap Unwind

@@ -1,0 +1,1 @@
+lib/compiler/tracer.ml: Float Hashtbl Ir Isa List

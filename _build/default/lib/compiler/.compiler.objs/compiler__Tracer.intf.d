@@ -1,0 +1,1 @@
+lib/compiler/tracer.mli: Ir Isa

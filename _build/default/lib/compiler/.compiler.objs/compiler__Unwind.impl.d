@@ -1,0 +1,1 @@
+lib/compiler/unwind.ml: Backend Isa List

@@ -1,0 +1,1 @@
+lib/compiler/unwind.mli: Backend Isa

@@ -1,0 +1,110 @@
+let return_address_column = function
+  | Isa.Arch.Arm64 -> 30 (* x30, the link register *)
+  | Isa.Arch.X86_64 -> 16 (* DWARF's RA pseudo-column on x86-64 *)
+
+let code_alignment = function
+  | Isa.Arch.Arm64 -> 4
+  | Isa.Arch.X86_64 -> 1
+
+let render_cie arch =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "CIE\n";
+  Buffer.add_string buf "  Version:               4\n";
+  Buffer.add_string buf "  Augmentation:          \"\"\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  Code alignment factor: %d\n" (code_alignment arch));
+  Buffer.add_string buf "  Data alignment factor: -8\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  Return address column: %d\n" (return_address_column arch));
+  Buffer.add_string buf
+    (match arch with
+    | Isa.Arch.Arm64 -> "  DW_CFA_def_cfa: sp ofs 0\n"
+    | Isa.Arch.X86_64 -> "  DW_CFA_def_cfa: rsp ofs 8\n");
+  Buffer.contents buf
+
+let render_fde (rule : Unwind.rule) ~code_base ~code_size =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "FDE %s pc=%08x..%08x\n" rule.Unwind.fname code_base
+       (code_base + code_size));
+  (* CFA: after the prologue the frame pointer anchors the frame. *)
+  let fp_name =
+    (Isa.Register.frame_pointer rule.Unwind.arch).Isa.Register.name
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  DW_CFA_def_cfa: %s ofs 16\n" fp_name);
+  (* The frame record: caller's FP and the return address. *)
+  Buffer.add_string buf
+    (Printf.sprintf "  DW_CFA_offset: %s at cfa-16\n" fp_name);
+  begin
+    match rule.Unwind.ra with
+    | Unwind.Ra_in_link_register ->
+      Buffer.add_string buf "  DW_CFA_register: ra in lr\n"
+    | Unwind.Ra_at_offset off ->
+      Buffer.add_string buf
+        (Printf.sprintf "  DW_CFA_offset: ra at cfa-%d\n" (16 - off))
+  end;
+  (* Callee-saved register save slots, at their below-FP offsets. *)
+  List.iter
+    (fun ((r : Isa.Register.t), off) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  DW_CFA_offset: %s at fp-%d\n" r.Isa.Register.name off))
+    rule.Unwind.saved_registers;
+  Buffer.add_string buf
+    (Printf.sprintf "  DW_CFA_def_cfa_offset: %d\n" rule.Unwind.frame_bytes);
+  Buffer.contents buf
+
+let render_debug_frame arch ~rules ~code_ranges =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "Contents of the .debug_frame section (%s):\n\n"
+       (Isa.Arch.to_string arch));
+  Buffer.add_string buf (render_cie arch);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (rule : Unwind.rule) ->
+      match List.assoc_opt rule.Unwind.fname code_ranges with
+      | Some (code_base, code_size) ->
+        Buffer.add_string buf (render_fde rule ~code_base ~code_size);
+        Buffer.add_char buf '\n'
+      | None -> ())
+    rules;
+  Buffer.contents buf
+
+let parse_fde_offsets text =
+  (* Lines of the form "  DW_CFA_offset: <reg> at fp-<off>". *)
+  let lines = String.split_on_char '\n' text in
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      let prefix = "DW_CFA_offset: " in
+      if String.length line > String.length prefix
+         && String.sub line 0 (String.length prefix) = prefix
+      then begin
+        let rest =
+          String.sub line (String.length prefix)
+            (String.length line - String.length prefix)
+        in
+        match String.index_opt rest ' ' with
+        | Some i -> begin
+          let reg = String.sub rest 0 i in
+          let tail = String.sub rest i (String.length rest - i) in
+          let marker = " at fp-" in
+          let ml = String.length marker in
+          let rec find j =
+            if j + ml > String.length tail then None
+            else if String.sub tail j ml = marker then Some (j + ml)
+            else find (j + 1)
+          in
+          match find 0 with
+          | Some j -> begin
+            match int_of_string_opt (String.sub tail j (String.length tail - j)) with
+            | Some off -> Some (reg, off)
+            | None -> None
+          end
+          | None -> None
+        end
+        | None -> None
+      end
+      else None)
+    lines

@@ -1,0 +1,29 @@
+(** DWARF call-frame-information rendering.
+
+    The paper's runtime consumes "DWARF frame unwinding information"
+    emitted by the compiler (Section 5.3). Internally this repository
+    keeps unwind rules structured ({!Unwind.rule}); this module renders
+    them in the textual form `readelf --debug-dump=frames` would show —
+    one CIE per ISA and one FDE per function — giving the metadata a
+    concrete, diffable artifact, and parses the rendering back (a
+    round-trip the tests lock down). *)
+
+val render_cie : Isa.Arch.t -> string
+(** The common information entry: code/data alignment factors and the
+    return-address column for the ISA. *)
+
+val render_fde : Unwind.rule -> code_base:int -> code_size:int -> string
+(** One frame description entry: the function's PC range and its CFA /
+    register save rules derived from the unwind metadata. *)
+
+val render_debug_frame :
+  Isa.Arch.t ->
+  rules:Unwind.rule list ->
+  code_ranges:(string * (int * int)) list ->
+  string
+(** The whole `.debug_frame` section for one ISA: the CIE followed by one
+    FDE per function with a known (base, size) code range. *)
+
+val parse_fde_offsets : string -> (string * int) list
+(** Recover (register name, saved-at offset) pairs from a rendered FDE —
+    the inverse used by the round-trip tests. *)

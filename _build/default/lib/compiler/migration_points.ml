@@ -1,0 +1,180 @@
+let default_budget = 50_000_000
+
+let rec has_ep body =
+  List.exists
+    (function
+      | Ir.Prog.Call _ | Ir.Prog.Mig_point _ -> true
+      | Ir.Prog.Loop l -> has_ep l.Ir.Prog.body
+      | Ir.Prog.Work _ | Ir.Prog.Def _ | Ir.Prog.Use _ -> false)
+    body
+
+let rec dyn body =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Ir.Prog.Work w -> acc + w.instructions
+      | Ir.Prog.Loop l -> acc + (l.trips * dyn l.Ir.Prog.body)
+      | Ir.Prog.Def _ | Ir.Prog.Use _ | Ir.Prog.Call _ | Ir.Prog.Mig_point _ ->
+        acc)
+    0 body
+
+let rec max_mig_id body =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Ir.Prog.Mig_point id -> max acc id
+      | Ir.Prog.Loop l -> max acc (max_mig_id l.Ir.Prog.body)
+      | Ir.Prog.Work _ | Ir.Prog.Def _ | Ir.Prog.Use _ | Ir.Prog.Call _ -> acc)
+    (-1) body
+
+let split_work (w : Ir.Prog.work) budget fresh =
+  let pieces = (w.instructions / budget) + 1 in
+  (* Distribute the remainder across the first chunks so every chunk is
+     ceil(n/pieces) or floor(n/pieces) — both <= budget. *)
+  let base = w.instructions / pieces in
+  let extra = w.instructions mod pieces in
+  let rec build i acc =
+    if i = pieces then List.rev acc
+    else begin
+      let n = base + (if i < extra then 1 else 0) in
+      let work = Ir.Prog.Work { w with instructions = n } in
+      let acc =
+        if i = 0 then [ work ]
+        else work :: Ir.Prog.Mig_point (fresh ()) :: acc
+      in
+      build (i + 1) acc
+    end
+  in
+  build 0 []
+
+(* Pass 1: split oversized work blocks and restructure call-free hot
+   loops; loops that do contain equivalence points get a trailing check so
+   their wrap-around gap is bounded by their lead-in alone. *)
+let rec restructure body budget fresh =
+  List.concat_map
+    (fun stmt ->
+      match stmt with
+      | Ir.Prog.Work w when w.instructions > budget -> split_work w budget fresh
+      | Ir.Prog.Work _ | Ir.Prog.Def _ | Ir.Prog.Use _ | Ir.Prog.Call _
+      | Ir.Prog.Mig_point _ -> [ stmt ]
+      | Ir.Prog.Loop l ->
+        let body' = restructure l.Ir.Prog.body budget fresh in
+        let body' = bound_gaps body' budget fresh in
+        if has_ep body' then begin
+          let body' =
+            match List.rev body' with
+            | Ir.Prog.Mig_point _ :: _ -> body'
+            | _ -> body' @ [ Ir.Prog.Mig_point (fresh ()) ]
+          in
+          [ Ir.Prog.Loop { l with body = body' } ]
+        end
+        else begin
+          let per_iter = dyn body' in
+          let total = l.Ir.Prog.trips * per_iter in
+          if total <= budget || per_iter = 0 then
+            [ Ir.Prog.Loop { l with body = body' } ]
+          else begin
+            let inner_trips = max 1 (budget / per_iter) in
+            let outer_trips = (l.Ir.Prog.trips + inner_trips - 1) / inner_trips in
+            [
+              Ir.Prog.Loop
+                {
+                  trips = outer_trips;
+                  body =
+                    [
+                      Ir.Prog.Loop { trips = inner_trips; body = body' };
+                      Ir.Prog.Mig_point (fresh ());
+                    ];
+                };
+            ]
+          end
+        end)
+    body
+
+(* Pass 2: bound straight-line gaps by inserting a check whenever the
+   accumulated call-free run would exceed the budget at a statement
+   boundary. *)
+and bound_gaps body budget fresh =
+  let atomic_cost = function
+    | Ir.Prog.Work w -> Some w.instructions
+    | Ir.Prog.Loop l when not (has_ep l.Ir.Prog.body) ->
+      Some (l.trips * dyn l.Ir.Prog.body)
+    | Ir.Prog.Loop _ | Ir.Prog.Def _ | Ir.Prog.Use _ | Ir.Prog.Call _
+    | Ir.Prog.Mig_point _ -> None
+  in
+  let step (gap, acc) stmt =
+    match stmt with
+    | Ir.Prog.Call _ | Ir.Prog.Mig_point _ -> (0, stmt :: acc)
+    | Ir.Prog.Def _ | Ir.Prog.Use _ -> (gap, stmt :: acc)
+    | Ir.Prog.Work _ | Ir.Prog.Loop _ -> begin
+      match atomic_cost stmt with
+      | Some cost ->
+        if gap > 0 && gap + cost > budget then
+          (cost, stmt :: Ir.Prog.Mig_point (fresh ()) :: acc)
+        else (gap + cost, stmt :: acc)
+      | None ->
+        (* Loop containing equivalence points: restructure gave it a
+           trailing check, so the gap after it is 0; its lead-in is
+           bounded by its own body scan. Insert a check before it if we
+           are already carrying a gap. *)
+        if gap > 0 then (0, stmt :: Ir.Prog.Mig_point (fresh ()) :: acc)
+        else (0, stmt :: acc)
+    end
+  in
+  let _, acc = List.fold_left step (0, []) body in
+  List.rev acc
+
+let instrument_func budget fresh (func : Ir.Prog.func) =
+  if func.Ir.Prog.is_library then
+    (* Library code is never instrumented: threads cannot migrate during
+       library execution (paper Section 5.4). *)
+    func
+  else
+  Ir.Prog.map_body
+    (fun body ->
+      let body = restructure body budget fresh in
+      let body = bound_gaps body budget fresh in
+      let body =
+        match body with
+        | Ir.Prog.Mig_point _ :: _ -> body
+        | _ -> Ir.Prog.Mig_point (fresh ()) :: body
+      in
+      match List.rev body with
+      | Ir.Prog.Mig_point _ :: _ -> body
+      | _ -> body @ [ Ir.Prog.Mig_point (fresh ()) ])
+    func
+
+let instrument ?(budget = default_budget) (prog : Ir.Prog.t) =
+  if budget <= 0 then invalid_arg "Migration_points.instrument: budget <= 0";
+  let next =
+    ref
+      (1
+      + List.fold_left
+          (fun acc (_, f) -> max acc (max_mig_id f.Ir.Prog.body))
+          (-1) prog.Ir.Prog.funcs)
+  in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let funcs =
+    List.map (fun (_, f) -> instrument_func budget fresh f) prog.Ir.Prog.funcs
+  in
+  Ir.Prog.make ~name:prog.Ir.Prog.name ~funcs ~globals:prog.Ir.Prog.globals
+    ~entry:prog.Ir.Prog.entry
+
+let count_points prog =
+  List.fold_left
+    (fun acc (_, f) -> acc + List.length (Ir.Prog.mig_points f))
+    0 prog.Ir.Prog.funcs
+
+let check_instrumented ?(budget = default_budget) prog =
+  (* Library functions are exempt: migration is simply unavailable while
+     they execute. *)
+  let worst = Profiler.max_gap ~include_library:false prog in
+  if worst <= float_of_int budget then Ok ()
+  else
+    Error
+      (Printf.sprintf "gap of %.0f instructions exceeds budget %d" worst
+         budget)

@@ -1,0 +1,25 @@
+(** Migration-point insertion pass (paper Section 5.2.1).
+
+    Function boundaries are natural equivalence points, so the pass first
+    adds a migration point at function entry and exit. It then uses the
+    profiler's gap analysis to break up regions executing more than
+    [budget] instructions without reaching an equivalence point: long
+    straight-line work blocks are split, and call-free hot loops are
+    restructured so a check fires roughly every [budget] instructions. The
+    default budget is one scheduling quantum, ~50 million instructions. *)
+
+val default_budget : int
+(** 50_000_000. *)
+
+val instrument : ?budget:int -> Ir.Prog.t -> Ir.Prog.t
+(** Insert migration points into every function. Idempotent in effect:
+    re-instrumenting an instrumented program adds no further points.
+    Dynamic instruction counts of [Work] statements are preserved exactly
+    for split blocks and within ±1 loop chunk for restructured loops. *)
+
+val count_points : Ir.Prog.t -> int
+(** Total migration points in the program (static). *)
+
+val check_instrumented : ?budget:int -> Ir.Prog.t -> (unit, string) result
+(** Verify that no gap exceeds the budget (with a small tolerance for
+    loop-chunk rounding). *)

@@ -1,0 +1,74 @@
+let rec dyn_instructions body =
+  List.fold_left
+    (fun acc stmt ->
+      match stmt with
+      | Ir.Prog.Work w -> acc + w.instructions
+      | Ir.Prog.Loop l -> acc + (l.trips * dyn_instructions l.Ir.Prog.body)
+      | Ir.Prog.Def _ | Ir.Prog.Use _ | Ir.Prog.Call _ | Ir.Prog.Mig_point _ ->
+        acc)
+    0 body
+
+(* Walk a body threading the accumulated gap. Returns (gap_out, samples in
+   reverse order). A [None] first-sample means the body contains no
+   equivalence point. *)
+let rec walk body gap_in =
+  List.fold_left
+    (fun (gap, samples) stmt ->
+      match stmt with
+      | Ir.Prog.Work w -> (gap + w.instructions, samples)
+      | Ir.Prog.Def _ | Ir.Prog.Use _ -> (gap, samples)
+      | Ir.Prog.Call _ | Ir.Prog.Mig_point _ -> (0, gap :: samples)
+      | Ir.Prog.Loop l ->
+        let body_gap, body_samples = walk l.Ir.Prog.body 0 in
+        begin
+          match List.rev body_samples with
+          | [] ->
+            (* No equivalence point inside: the whole loop joins the
+               surrounding gap. *)
+            (gap + (l.trips * dyn_instructions l.Ir.Prog.body), samples)
+          | prefix :: interior ->
+            (* First iteration: surrounding gap + lead-in to the first
+               equivalence point. Later iterations wrap suffix->prefix. *)
+            let samples = (gap + prefix) :: samples in
+            let samples = List.rev_append interior samples in
+            let samples =
+              if l.trips > 1 then (body_gap + prefix) :: samples else samples
+            in
+            (body_gap, samples)
+        end)
+    (gap_in, []) body
+
+let gaps (func : Ir.Prog.func) =
+  let gap_out, samples = walk func.body 0 in
+  List.rev_map float_of_int (gap_out :: samples)
+
+let program_gaps ?(include_library = true) prog =
+  let graph = Ir.Callgraph.build prog in
+  let reachable = Ir.Callgraph.reachable graph prog.Ir.Prog.entry in
+  List.concat_map
+    (fun name ->
+      let func = Ir.Prog.find_func prog name in
+      if func.Ir.Prog.is_library && not (include_library) then []
+      else gaps func)
+    reachable
+
+let max_gap ?include_library prog =
+  let gaps =
+    match include_library with
+    | None -> program_gaps prog
+    | Some include_library -> program_gaps ~include_library prog
+  in
+  List.fold_left Float.max 0.0 gaps
+
+let dynamic_checks (func : Ir.Prog.func) =
+  let rec count body =
+    List.fold_left
+      (fun acc stmt ->
+        match stmt with
+        | Ir.Prog.Mig_point _ -> acc + 1
+        | Ir.Prog.Loop l -> acc + (l.trips * count l.Ir.Prog.body)
+        | Ir.Prog.Work _ | Ir.Prog.Def _ | Ir.Prog.Use _ | Ir.Prog.Call _ ->
+          acc)
+      0 body
+  in
+  count func.body

@@ -1,0 +1,32 @@
+(** Equivalence-point gap profiling (the Valgrind-based tool of Section
+    5.2.1).
+
+    The tool measures the number of instructions executed between
+    consecutive equivalence points (function entry/exit, call sites,
+    inserted migration points). The distribution tells the toolchain where
+    additional migration points are needed to bound the migration response
+    time. One sample is produced per *static* gap — mirroring the paper's
+    histograms of "average # of instructions between function calls"
+    (Figures 3-5). *)
+
+val gaps : Ir.Prog.func -> float list
+(** Static gap lengths (in dynamic instructions per traversal) between
+    consecutive equivalence points of one execution of the function,
+    including entry->first and last->exit. Loops contribute their
+    per-iteration interior gaps once, plus a wrap-around gap when they
+    iterate more than once; loops with no interior equivalence point melt
+    into the surrounding gap at their full dynamic cost. *)
+
+val program_gaps : ?include_library:bool -> Ir.Prog.t -> float list
+(** Concatenated gaps of every function reachable from the entry point.
+    [include_library] (default true) also reports gaps inside external
+    library functions — which the toolchain never instruments. *)
+
+val max_gap : ?include_library:bool -> Ir.Prog.t -> float
+(** Largest gap in the program — the worst-case migration response time in
+    instructions. 0 for an empty program. *)
+
+val dynamic_checks : Ir.Prog.func -> int
+(** Number of migration-point checks executed during one run of the
+    function body (loops multiplied) — the input to the overhead model of
+    Figures 6-9. *)

@@ -1,0 +1,50 @@
+type ty_loc = { ty : Ir.Ty.t; loc : Backend.location }
+type site_key = Ir.Liveness.site_kind * int
+
+type entry = {
+  fname : string;
+  kind : Ir.Liveness.site_kind;
+  site_id : int;
+  live : (string * ty_loc) list;
+}
+
+let generate (func : Ir.Prog.func) (frame : Backend.frame) =
+  let types =
+    List.map (fun v -> (v.Ir.Prog.vname, v.Ir.Prog.ty)) (Ir.Prog.locals func)
+  in
+  let sites = Ir.Liveness.analyze func in
+  List.map
+    (fun (s : Ir.Liveness.site) ->
+      let live =
+        List.map
+          (fun name ->
+            let ty =
+              match List.assoc_opt name types with
+              | Some ty -> ty
+              | None -> Ir.Ty.I64
+            in
+            (name, { ty; loc = Backend.location_of frame name }))
+          (List.sort compare s.live)
+      in
+      { fname = func.fname; kind = s.kind; site_id = s.id; live })
+    sites
+
+let find entries ~fname ~key:(kind, site_id) =
+  List.find_opt
+    (fun e -> e.fname = fname && e.kind = kind && e.site_id = site_id)
+    entries
+
+let common_sites a b =
+  let key e = (e.fname, e.kind, e.site_id) in
+  if List.map key a <> List.map key b then
+    invalid_arg "Stackmap.common_sites: metadata sets disagree on sites";
+  List.map2
+    (fun ea eb ->
+      let names e = List.map fst e.live in
+      if names ea <> names eb then
+        invalid_arg
+          (Printf.sprintf
+             "Stackmap.common_sites: %s site %d disagrees on live variables"
+             ea.fname ea.site_id);
+      (ea, eb))
+    a b

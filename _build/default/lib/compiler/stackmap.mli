@@ -1,0 +1,32 @@
+(** Live-value location metadata ("stackmaps").
+
+    At every equivalence point (call site or inserted migration point) the
+    compiler records, per ISA, where each live value resides — register or
+    stack slot. The stack-transformation runtime joins the source and
+    destination ISA's entries for the same site to copy values across
+    (paper Section 5.3: the metadata "maps function call return addresses
+    across architectures" and "tells the runtime how to locate all the live
+    values"). *)
+
+type ty_loc = { ty : Ir.Ty.t; loc : Backend.location }
+
+type site_key = Ir.Liveness.site_kind * int
+
+type entry = {
+  fname : string;
+  kind : Ir.Liveness.site_kind;
+  site_id : int;
+  live : (string * ty_loc) list;
+      (** live local -> type + ISA location, sorted by name *)
+}
+
+val generate : Ir.Prog.func -> Backend.frame -> entry list
+(** One entry per equivalence point of the function, in syntactic order. *)
+
+val find : entry list -> fname:string -> key:site_key -> entry option
+
+val common_sites : entry list -> entry list -> (entry * entry) list
+(** Pair up entries describing the same (function, site) on two ISAs.
+    Raises [Invalid_argument] if the two metadata sets disagree on which
+    sites exist or on the live-variable names at any site — multi-ISA
+    binaries are compiled from the same IR, so they must agree. *)

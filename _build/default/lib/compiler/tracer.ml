@@ -1,0 +1,99 @@
+type summary = {
+  total_instructions : float;
+  checks_executed : float;
+  max_interval : float;
+  mean_interval : float;
+}
+
+(* Effect of executing a region once: dynamic instructions, checks
+   crossed, lead-in to the first check, tail after the last, and the
+   worst interior interval. Loops and calls compose these algebraically,
+   so the "trace" costs O(program size), not O(instructions). *)
+type eff = {
+  dyn : float;
+  checks : float;
+  pre : float;
+  suf : float;
+  has : bool;
+  mx : float;
+}
+
+let empty = { dyn = 0.0; checks = 0.0; pre = 0.0; suf = 0.0; has = false; mx = 0.0 }
+
+let seq a b =
+  match (a.has, b.has) with
+  | false, false ->
+    let d = a.dyn +. b.dyn in
+    { dyn = d; checks = 0.0; pre = d; suf = d; has = false; mx = 0.0 }
+  | true, false ->
+    { a with dyn = a.dyn +. b.dyn; suf = a.suf +. b.dyn }
+  | false, true ->
+    { b with dyn = a.dyn +. b.dyn; pre = a.dyn +. b.pre }
+  | true, true ->
+    {
+      dyn = a.dyn +. b.dyn;
+      checks = a.checks +. b.checks;
+      pre = a.pre;
+      suf = b.suf;
+      has = true;
+      mx = Float.max (Float.max a.mx b.mx) (a.suf +. b.pre);
+    }
+
+let loop trips e =
+  let t = float_of_int trips in
+  if not e.has then
+    let d = t *. e.dyn in
+    { dyn = d; checks = 0.0; pre = d; suf = d; has = false; mx = 0.0 }
+  else
+    {
+      dyn = t *. e.dyn;
+      checks = t *. e.checks;
+      pre = e.pre;
+      suf = e.suf;
+      has = true;
+      mx =
+        Float.max e.mx (if trips > 1 then e.suf +. e.pre else 0.0);
+    }
+
+let trace (prog : Ir.Prog.t) =
+  let graph = Ir.Callgraph.build prog in
+  if Ir.Callgraph.is_recursive graph then
+    invalid_arg "Tracer.trace: recursive program";
+  let memo : (string, eff) Hashtbl.t = Hashtbl.create 16 in
+  let rec func_eff fname =
+    match Hashtbl.find_opt memo fname with
+    | Some e -> e
+    | None ->
+      let func = Ir.Prog.find_func prog fname in
+      let e = body_eff func.Ir.Prog.body in
+      Hashtbl.add memo fname e;
+      e
+  and body_eff body =
+    List.fold_left
+      (fun acc stmt ->
+        let e =
+          match stmt with
+          | Ir.Prog.Work w ->
+            let d = float_of_int w.Ir.Prog.instructions in
+            { empty with dyn = d; pre = d; suf = d }
+          | Ir.Prog.Def _ | Ir.Prog.Use _ -> empty
+          | Ir.Prog.Mig_point _ ->
+            { empty with checks = 1.0; has = true }
+          | Ir.Prog.Call c -> func_eff c.Ir.Prog.callee
+          | Ir.Prog.Loop l -> loop l.Ir.Prog.trips (body_eff l.Ir.Prog.body)
+        in
+        seq acc e)
+      empty body
+  in
+  let top = func_eff prog.Ir.Prog.entry in
+  {
+    total_instructions = top.dyn;
+    checks_executed = top.checks;
+    max_interval = Float.max top.mx (Float.max top.pre top.suf);
+    mean_interval = top.dyn /. Float.max top.checks 1.0;
+  }
+
+let worst_response_time_s prog (cost : Isa.Cost_model.t) =
+  let s = trace prog in
+  Isa.Cost_model.seconds_for cost Isa.Cost_model.Mixed
+    ~instructions:s.max_interval

@@ -1,0 +1,26 @@
+(** Dynamic execution tracer (the Valgrind side of Section 5.2.1).
+
+    Where {!Profiler} reports one sample per *static* gap, the tracer
+    walks a whole dynamic execution — loops at full trip counts,
+    interprocedural — and measures the instruction distance between
+    consecutive executed equivalence points. Loop interiors are weighted
+    exactly (arithmetic over per-iteration patterns, not literal
+    iteration), so tracing a 10^11-instruction run costs microseconds.
+
+    The tracer is the ground truth the static profiler approximates; the
+    tests cross-validate the two (identical maxima, consistent means). *)
+
+type summary = {
+  total_instructions : float;  (** dynamic instructions in the run *)
+  checks_executed : float;  (** equivalence points crossed *)
+  max_interval : float;  (** worst dynamic distance between points *)
+  mean_interval : float;
+}
+
+val trace : Ir.Prog.t -> summary
+(** Trace one full execution from the entry point. Raises
+    [Invalid_argument] for recursive programs. *)
+
+val worst_response_time_s : Ir.Prog.t -> Isa.Cost_model.t -> float
+(** [max_interval] converted to seconds on the given machine — the
+    migration response-time bound the scheduler sees. *)

@@ -1,0 +1,41 @@
+type ra_rule = Ra_in_link_register | Ra_at_offset of int
+
+type rule = {
+  fname : string;
+  arch : Isa.Arch.t;
+  frame_bytes : int;
+  ra : ra_rule;
+  saved_registers : (Isa.Register.t * int) list;
+  fp_save_offset : int;
+}
+
+let of_frame (frame : Backend.frame) =
+  let abi = Isa.Abi.of_arch frame.arch in
+  let ra =
+    match abi.Isa.Abi.return_address with
+    | Isa.Abi.In_link_register ->
+      (* ARM64 frame record: [FP, FP+8] hold saved x29 and x30. A function
+         that makes calls always spills the pair. *)
+      Ra_at_offset 8
+    | Isa.Abi.On_stack ->
+      (* x86-64: [call] pushed the RA just above the saved RBP. *)
+      Ra_at_offset 8
+  in
+  let saved_registers = frame.Backend.save_offsets in
+  {
+    fname = frame.fname;
+    arch = frame.arch;
+    frame_bytes = frame.frame_bytes;
+    ra;
+    saved_registers;
+    fp_save_offset = 0;
+  }
+
+let find rules ~fname = List.find_opt (fun r -> r.fname = fname) rules
+
+let saved_offset rule reg =
+  match
+    List.find_opt (fun (r, _) -> Isa.Register.equal r reg) rule.saved_registers
+  with
+  | None -> None
+  | Some (_, off) -> Some off

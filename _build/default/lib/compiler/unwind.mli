@@ -1,0 +1,31 @@
+(** DWARF-style frame unwinding metadata.
+
+    Per function and ISA: the frame size, where the return address lives,
+    and where the prologue saved each callee-saved register. The
+    stack-transformation runtime walks the source stack frame-by-frame with
+    these rules and rebuilds the register-save areas required by the
+    destination ABI (paper Section 5.3). *)
+
+type ra_rule =
+  | Ra_in_link_register
+      (** outermost ARM64 frame before the callee spills x30 *)
+  | Ra_at_offset of int  (** saved at FP + offset (offset >= 0) *)
+
+type rule = {
+  fname : string;
+  arch : Isa.Arch.t;
+  frame_bytes : int;
+  ra : ra_rule;
+  saved_registers : (Isa.Register.t * int) list;
+      (** callee-saved register -> byte offset below FP where the prologue
+          stored it *)
+  fp_save_offset : int;  (** where the caller's FP was saved, below FP *)
+}
+
+val of_frame : Backend.frame -> rule
+(** Derive the unwind rule from the backend's frame layout. *)
+
+val find : rule list -> fname:string -> rule option
+
+val saved_offset : rule -> Isa.Register.t -> int option
+(** Offset below FP at which the register was saved, if it was. *)

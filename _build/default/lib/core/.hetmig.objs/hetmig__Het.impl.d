@@ -1,0 +1,1 @@
+lib/core/het.ml: Binary Compiler Isa Kernel List Machine Memsys Printf Runtime Sim Workload

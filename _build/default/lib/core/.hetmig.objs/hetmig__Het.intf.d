@@ -1,0 +1,1 @@
+lib/core/het.mli: Compiler Ir Isa Kernel Machine Sim Workload

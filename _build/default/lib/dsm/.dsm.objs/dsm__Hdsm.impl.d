@@ -1,0 +1,1 @@
+lib/dsm/hdsm.ml: Fun Hashtbl List Machine Memsys Printf

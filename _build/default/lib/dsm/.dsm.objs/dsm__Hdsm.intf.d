@@ -1,0 +1,1 @@
+lib/dsm/hdsm.mli: Machine

@@ -1,0 +1,157 @@
+type node = int
+type page_state = Invalid | Shared | Exclusive
+
+type stats = {
+  mutable local_hits : int;
+  mutable remote_fetches : int;
+  mutable invalidations : int;
+  mutable bytes_transferred : int;
+}
+
+type entry = {
+  mutable owner : node;
+  mutable copies : node list;  (** nodes holding a valid copy, owner included *)
+  mutable exclusive : bool;
+  aliased : bool;
+}
+
+type t = {
+  nodes : int;
+  interconnect : Machine.Interconnect.t;
+  handler_latency_s : float;
+  pages : (int, entry) Hashtbl.t;
+  st : stats;
+}
+
+let create ?(handler_latency_s = 50e-6) ~nodes ~interconnect () =
+  {
+    nodes;
+    interconnect;
+    handler_latency_s;
+    pages = Hashtbl.create 1024;
+    st =
+      { local_hits = 0; remote_fetches = 0; invalidations = 0;
+        bytes_transferred = 0 };
+  }
+
+let check_node t node =
+  if node < 0 || node >= t.nodes then
+    invalid_arg (Printf.sprintf "Hdsm: unknown node %d" node)
+
+let register_page t ~page ~owner =
+  check_node t owner;
+  if not (Hashtbl.mem t.pages page) then
+    Hashtbl.replace t.pages page
+      { owner; copies = [ owner ]; exclusive = true; aliased = false }
+
+let register_alias t ~page =
+  Hashtbl.replace t.pages page
+    { owner = 0; copies = List.init t.nodes Fun.id; exclusive = false;
+      aliased = true }
+
+let entry t page =
+  match Hashtbl.find_opt t.pages page with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Hdsm: unknown page %d" page)
+
+let state_of t ~page node =
+  let e = entry t page in
+  if not (List.mem node e.copies) then Invalid
+  else if e.aliased then Shared
+  else if e.exclusive then Exclusive
+  else Shared
+
+let page_latency t =
+  t.handler_latency_s
+  +. Machine.Interconnect.page_transfer_time t.interconnect
+       ~page_bytes:Memsys.Page.size
+
+let invalidation_latency t =
+  t.handler_latency_s +. t.interconnect.Machine.Interconnect.latency_s
+
+let access t ~node ~page ~write =
+  check_node t node;
+  let e = entry t page in
+  if e.aliased then begin
+    t.st.local_hits <- t.st.local_hits + 1;
+    0.0
+  end
+  else begin
+    let has_copy = List.mem node e.copies in
+    if has_copy && ((not write) || (e.exclusive && e.owner = node)) then begin
+      t.st.local_hits <- t.st.local_hits + 1;
+      0.0
+    end
+    else if not write then begin
+      (* Read miss: fetch a shared copy from the owner. *)
+      t.st.remote_fetches <- t.st.remote_fetches + 1;
+      t.st.bytes_transferred <- t.st.bytes_transferred + Memsys.Page.size;
+      e.copies <- node :: e.copies;
+      e.exclusive <- false;
+      page_latency t
+    end
+    else begin
+      (* Write: invalidate every other copy, take exclusive ownership. *)
+      let others = List.filter (fun n -> n <> node) e.copies in
+      let fetch = if has_copy then 0.0 else page_latency t in
+      if not has_copy then begin
+        t.st.remote_fetches <- t.st.remote_fetches + 1;
+        t.st.bytes_transferred <- t.st.bytes_transferred + Memsys.Page.size
+      end;
+      t.st.invalidations <- t.st.invalidations + List.length others;
+      e.copies <- [ node ];
+      e.owner <- node;
+      e.exclusive <- true;
+      fetch +. (float_of_int (List.length others) *. invalidation_latency t)
+    end
+  end
+
+let owner t ~page = (entry t page).owner
+
+let pages_owned_by t node =
+  Hashtbl.fold
+    (fun page e acc ->
+      if (not e.aliased) && e.owner = node then page :: acc else acc)
+    t.pages []
+  |> List.sort compare
+
+let residual_pages t ~home = List.length (pages_owned_by t home)
+
+let drain t ~from_ ~to_ =
+  check_node t from_;
+  check_node t to_;
+  let pages = pages_owned_by t from_ in
+  List.iter
+    (fun page ->
+      let e = entry t page in
+      e.owner <- to_;
+      e.copies <- [ to_ ];
+      e.exclusive <- true;
+      t.st.remote_fetches <- t.st.remote_fetches + 1;
+      t.st.bytes_transferred <- t.st.bytes_transferred + Memsys.Page.size)
+    pages;
+  float_of_int (List.length pages) *. page_latency t
+
+let drain_pages t ~pages ~to_ =
+  check_node t to_;
+  List.fold_left
+    (fun acc page ->
+      let e = entry t page in
+      if e.aliased || e.owner = to_ then acc
+      else begin
+        e.owner <- to_;
+        e.copies <- [ to_ ];
+        e.exclusive <- true;
+        t.st.remote_fetches <- t.st.remote_fetches + 1;
+        t.st.bytes_transferred <- t.st.bytes_transferred + Memsys.Page.size;
+        acc +. page_latency t
+      end)
+    0.0 pages
+
+let stats t = t.st
+
+let reset_stats t =
+  t.st.local_hits <- 0;
+  t.st.remote_fetches <- 0;
+  t.st.invalidations <- 0;
+  t.st.bytes_transferred <- 0

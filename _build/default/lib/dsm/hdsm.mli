@@ -1,0 +1,74 @@
+(** Heterogeneous distributed shared memory (paper Section 5.1).
+
+    Page-granularity write-invalidate coherence between kernels. Pages
+    migrate on demand so subsequent accesses are local instead of
+    repeatedly crossing the interconnect. Because application data is in a
+    common format across ISAs, pages move *without any content
+    transformation*. Code pages are special: the [.text] section (and
+    vDSO) is aliased — each kernel maps its own ISA's image at the same
+    virtual range, so text pages are always local and never transferred.
+
+    Nodes are small integers (kernel ids). *)
+
+type node = int
+
+type page_state = Invalid | Shared | Exclusive
+
+type stats = {
+  mutable local_hits : int;
+  mutable remote_fetches : int;
+  mutable invalidations : int;
+  mutable bytes_transferred : int;
+}
+
+type t
+
+val create :
+  ?handler_latency_s:float ->
+  nodes:int ->
+  interconnect:Machine.Interconnect.t ->
+  unit ->
+  t
+(** [handler_latency_s] is the software cost of one DSM protocol
+    operation (page-fault handler, message marshalling, mapping update) —
+    the dominant term over a fast PCIe interconnect. Default 50 us,
+    calibrated so that draining an NPB-IS-class working set takes the ~2
+    seconds visible in the paper's Figure 11. *)
+
+val register_page : t -> page:int -> owner:node -> unit
+(** Introduce a data page, initially [Exclusive] at its owner. Idempotent
+    for an already-known page. *)
+
+val register_alias : t -> page:int -> unit
+(** Mark a page as per-ISA aliased (text / vDSO): every node always has a
+    local copy; the page never moves. *)
+
+val state_of : t -> page:int -> node -> page_state
+
+val access : t -> node:node -> page:int -> write:bool -> float
+(** Perform an access; returns the added latency in seconds (0 for local
+    hits). Read misses fetch a shared copy from the current owner; writes
+    invalidate all other copies and take exclusive ownership. Raises
+    [Invalid_argument] for unknown pages. *)
+
+val owner : t -> page:int -> node
+
+val pages_owned_by : t -> node -> int list
+(** Data pages currently owned by the node (aliased pages excluded). *)
+
+val residual_pages : t -> home:node -> int
+(** Number of pages still owned by [home] — the residual dependencies that
+    keep a migrated process tethered to its source kernel. *)
+
+val drain : t -> from_:node -> to_:node -> float
+(** Bulk-transfer every page owned by [from_] to [to_]; returns total
+    transfer latency. Used when the last thread of an application leaves a
+    kernel. *)
+
+val drain_pages : t -> pages:int list -> to_:node -> float
+(** Bulk-transfer the given pages (wherever they are owned) to [to_];
+    pages already owned by [to_] and aliased pages cost nothing. Used to
+    clear one process's residual dependencies from its home kernel. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit

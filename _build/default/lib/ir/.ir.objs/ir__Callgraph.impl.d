@@ -1,0 +1,1 @@
+lib/ir/callgraph.ml: Hashtbl List Map Prog Set String

@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: List Prog Set String

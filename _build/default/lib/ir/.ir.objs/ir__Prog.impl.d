@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Format Hashtbl Isa List Memsys Printf String Ty

@@ -1,0 +1,75 @@
+module SM = Map.Make (String)
+module SS = Set.Make (String)
+
+type t = { edges : SS.t SM.t }
+
+let build prog =
+  let edges =
+    List.fold_left
+      (fun m (name, func) ->
+        let callees =
+          List.fold_left
+            (fun s (c : Prog.call) -> SS.add c.callee s)
+            SS.empty (Prog.call_sites func)
+        in
+        SM.add name callees m)
+      SM.empty prog.Prog.funcs
+  in
+  { edges }
+
+let callees t name =
+  match SM.find_opt name t.edges with
+  | None -> []
+  | Some s -> SS.elements s
+
+let callers t name =
+  SM.fold
+    (fun caller callees acc -> if SS.mem name callees then caller :: acc else acc)
+    t.edges []
+  |> List.sort compare
+
+let reachable t root =
+  let rec visit seen name =
+    if SS.mem name seen then seen
+    else begin
+      let seen = SS.add name seen in
+      List.fold_left visit seen (callees t name)
+    end
+  in
+  SS.elements (visit SS.empty root)
+
+let is_recursive t =
+  (* DFS with colors: gray = on stack. *)
+  let color = Hashtbl.create 16 in
+  let exception Cycle in
+  let rec visit name =
+    match Hashtbl.find_opt color name with
+    | Some `Gray -> raise Cycle
+    | Some `Black -> ()
+    | None ->
+      Hashtbl.replace color name `Gray;
+      List.iter visit (callees t name);
+      Hashtbl.replace color name `Black
+  in
+  match SM.iter (fun name _ -> visit name) t.edges with
+  | () -> false
+  | exception Cycle -> true
+
+let max_depth t root =
+  if is_recursive t then None
+  else begin
+    let memo = Hashtbl.create 16 in
+    let rec depth name =
+      match Hashtbl.find_opt memo name with
+      | Some d -> d
+      | None ->
+        let d =
+          match callees t name with
+          | [] -> 1
+          | cs -> 1 + List.fold_left (fun m c -> max m (depth c)) 0 cs
+        in
+        Hashtbl.add memo name d;
+        d
+    in
+    Some (depth root)
+  end

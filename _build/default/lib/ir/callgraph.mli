@@ -1,0 +1,20 @@
+(** Static call graph of a program. *)
+
+type t
+
+val build : Prog.t -> t
+
+val callees : t -> string -> string list
+(** Direct callees, deduplicated, sorted. *)
+
+val callers : t -> string -> string list
+
+val reachable : t -> string -> string list
+(** Functions reachable from (and including) the given root, sorted. *)
+
+val is_recursive : t -> bool
+(** True when any cycle exists — such programs have unbounded stack depth
+    and the simulator caps their recursion. *)
+
+val max_depth : t -> string -> int option
+(** Longest call chain from the root, or [None] for recursive graphs. *)

@@ -1,0 +1,99 @@
+module SS = Set.Make (String)
+
+type site_kind = At_call | At_mig_point
+type site = { kind : site_kind; id : int; live : string list }
+
+(* Backwards analysis. [record] is [Some acc] only on the final pass so that
+   loop fixpoint iterations do not duplicate site entries. *)
+let rec live_in_of_body body ~live_out ~record =
+  let step stmt live =
+    match stmt with
+    | Prog.Work _ -> live
+    | Prog.Use x -> SS.add x live
+    | Prog.Def v ->
+      let live = SS.remove v.Prog.vname live in
+      (* Initializing a pointer to a sibling local reads that local's
+         address; the target must stay alive. *)
+      begin
+        match v.Prog.init with
+        | Prog.Ptr_to_local target -> SS.add target live
+        | Prog.Scalar | Prog.Ptr_to_global _ | Prog.Ptr_to_heap _ -> live
+      end
+    | Prog.Call c ->
+      begin
+        match record with
+        | Some acc ->
+          acc := { kind = At_call; id = c.site_id; live = SS.elements live } :: !acc
+        | None -> ()
+      end;
+      List.fold_left (fun l a -> SS.add a l) live c.args
+    | Prog.Mig_point id ->
+      begin
+        match record with
+        | Some acc ->
+          acc := { kind = At_mig_point; id; live = SS.elements live } :: !acc
+        | None -> ()
+      end;
+      live
+    | Prog.Loop l ->
+      (* Fixpoint: variables live at the loop head are live throughout.
+         Loops execute at least once (trips >= 1), so the live set before
+         the loop is exactly the body's live-in — values the body defines
+         on every path are NOT live at entry. This precision matters: a
+         conservative union would mark dynamically-uninitialized locals
+         live at early migration points, and the runtime would then try
+         to interpret their garbage slots (e.g. as stack pointers). *)
+      let rec fix live_top =
+        let next =
+          live_in_of_body l.Prog.body ~live_out:(SS.union live_top live)
+            ~record:None
+        in
+        if SS.subset next live_top then live_top else fix (SS.union next live_top)
+      in
+      let live_top = fix live in
+      live_in_of_body l.Prog.body ~live_out:(SS.union live_top live) ~record
+  in
+  List.fold_right step body live_out
+
+let analyze func =
+  let acc = ref [] in
+  let (_ : SS.t) =
+    live_in_of_body func.Prog.body ~live_out:SS.empty ~record:(Some acc)
+  in
+  List.rev !acc
+
+let live_at func kind id =
+  let sites = analyze func in
+  match List.find_opt (fun s -> s.kind = kind && s.id = id) sites with
+  | Some s -> s.live
+  | None -> raise Not_found
+
+let check_uses_defined func =
+  let defined =
+    ref
+      (List.fold_left
+         (fun s v -> SS.add v.Prog.vname s)
+         SS.empty func.Prog.params)
+  in
+  let exception Undefined of string in
+  let require name = if not (SS.mem name !defined) then raise (Undefined name) in
+  let rec walk body =
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Prog.Work _ | Prog.Mig_point _ -> ()
+        | Prog.Use x -> require x
+        | Prog.Def v ->
+          begin
+            match v.Prog.init with
+            | Prog.Ptr_to_local target -> require target
+            | Prog.Scalar | Prog.Ptr_to_global _ | Prog.Ptr_to_heap _ -> ()
+          end;
+          defined := SS.add v.Prog.vname !defined
+        | Prog.Call c -> List.iter require c.args
+        | Prog.Loop l -> walk l.Prog.body)
+      body
+  in
+  match walk func.Prog.body with
+  | () -> Ok func.Prog.fname
+  | exception Undefined name -> Error name

@@ -1,0 +1,29 @@
+(** Live-variable analysis at call sites and migration points.
+
+    The paper's toolchain runs an analysis pass over the LLVM bitcode to
+    collect the values live at each function call site; the backends then
+    emit per-ISA location metadata for exactly those values (Section 5.3).
+    Here liveness is computed by a backwards pass over the structured body
+    with a fixpoint around loops. *)
+
+type site_kind = At_call | At_mig_point
+
+type site = {
+  kind : site_kind;
+  id : int;  (** call [site_id] or migration-point id *)
+  live : string list;  (** names of locals live after the site, sorted *)
+}
+
+val analyze : Prog.func -> site list
+(** Liveness at every call site and migration point of the function, in
+    syntactic order. A variable is live at a site if its value may be read
+    after execution resumes there. Pointer initializers
+    ([Ptr_to_local]) count as uses of their target. *)
+
+val live_at : Prog.func -> site_kind -> int -> string list
+(** Lookup by site kind + id. Raises [Not_found]. *)
+
+val check_uses_defined : Prog.func -> (string, string) result
+(** Well-formedness: every [Use] (and pointer-target reference) must be
+    dominated by a parameter or an earlier [Def]. Returns [Error name] with
+    the first offending variable. *)

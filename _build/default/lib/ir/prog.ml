@@ -1,0 +1,182 @@
+type init = Scalar | Ptr_to_local of string | Ptr_to_global of string | Ptr_to_heap of int
+type var = { vname : string; ty : Ty.t; init : init }
+
+type work = {
+  instructions : int;
+  category : Isa.Cost_model.category;
+  memory_touched : int;
+}
+
+type stmt =
+  | Work of work
+  | Def of var
+  | Use of string
+  | Call of call
+  | Loop of loop
+  | Mig_point of int
+
+and call = { site_id : int; callee : string; args : string list }
+and loop = { trips : int; body : stmt list }
+
+type func = {
+  fname : string;
+  params : var list;
+  body : stmt list;
+  is_leaf : bool;
+  is_library : bool;
+}
+
+type t = {
+  name : string;
+  funcs : (string * func) list;
+  globals : Memsys.Symbol.t list;
+  entry : string;
+}
+
+let rec fold_stmts f acc stmts =
+  List.fold_left
+    (fun acc stmt ->
+      let acc = f acc stmt in
+      match stmt with
+      | Loop l -> fold_stmts f acc l.body
+      | Work _ | Def _ | Use _ | Call _ | Mig_point _ -> acc)
+    acc stmts
+
+let call_sites_of_body body =
+  List.rev
+    (fold_stmts
+       (fun acc stmt ->
+         match stmt with
+         | Call c -> c :: acc
+         | Work _ | Def _ | Use _ | Loop _ | Mig_point _ -> acc)
+       [] body)
+
+let rec check_trips body =
+  List.iter
+    (function
+      | Loop l ->
+        if l.trips < 1 then invalid_arg "Prog.make_func: loop trips < 1";
+        check_trips l.body
+      | Work _ | Def _ | Use _ | Call _ | Mig_point _ -> ())
+    body
+
+let make_func ~name ~params ~body =
+  check_trips body;
+  let sites = call_sites_of_body body in
+  let ids = List.map (fun c -> c.site_id) sites in
+  let sorted = List.sort_uniq compare ids in
+  if List.length sorted <> List.length ids then
+    invalid_arg (Printf.sprintf "Prog.make_func %s: duplicate call-site id" name);
+  { fname = name; params; body; is_leaf = sites = []; is_library = false }
+
+let as_library func = { func with is_library = true }
+
+let make ~name ~funcs ~globals ~entry =
+  let names = List.map (fun f -> f.fname) funcs in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Prog.make: duplicate function name";
+  if not (List.mem entry names) then
+    invalid_arg (Printf.sprintf "Prog.make: missing entry point %s" entry);
+  let arity name =
+    match List.find_opt (fun f -> f.fname = name) funcs with
+    | Some f -> Some (List.length f.params)
+    | None -> None
+  in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (c : call) ->
+          match arity c.callee with
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Prog.make: %s calls unknown function %s"
+                 f.fname c.callee)
+          | Some n ->
+            if List.length c.args <> n then
+              invalid_arg
+                (Printf.sprintf
+                   "Prog.make: %s calls %s with %d args (expects %d)" f.fname
+                   c.callee (List.length c.args) n))
+        (call_sites_of_body f.body))
+    funcs;
+  { name; funcs = List.map (fun f -> (f.fname, f)) funcs; globals; entry }
+
+let find_func t name = List.assoc name t.funcs
+
+let locals func =
+  let defs =
+    List.rev
+      (fold_stmts
+         (fun acc stmt ->
+           match stmt with
+           | Def v -> v :: acc
+           | Work _ | Use _ | Call _ | Loop _ | Mig_point _ -> acc)
+         [] func.body)
+  in
+  let seen = Hashtbl.create 16 in
+  let keep v =
+    if Hashtbl.mem seen v.vname then false
+    else begin
+      Hashtbl.add seen v.vname ();
+      true
+    end
+  in
+  List.filter keep (func.params @ defs)
+
+let call_sites func = call_sites_of_body func.body
+
+let mig_points func =
+  List.rev
+    (fold_stmts
+       (fun acc stmt ->
+         match stmt with
+         | Mig_point id -> id :: acc
+         | Work _ | Def _ | Use _ | Call _ | Loop _ -> acc)
+       [] func.body)
+
+let static_instructions func =
+  fold_stmts
+    (fun acc stmt ->
+      match stmt with
+      | Work w -> acc + w.instructions
+      | Def _ | Use _ | Call _ | Loop _ | Mig_point _ -> acc)
+    0 func.body
+
+let dynamic_instructions func =
+  let rec of_body body =
+    List.fold_left
+      (fun acc stmt ->
+        match stmt with
+        | Work w -> acc + w.instructions
+        | Loop l -> acc + (l.trips * of_body l.body)
+        | Def _ | Use _ | Call _ | Mig_point _ -> acc)
+      0 body
+  in
+  of_body func.body
+
+let map_body f func =
+  let body = f func.body in
+  { func with body; is_leaf = call_sites_of_body body = [] }
+
+let rec pp_stmt ppf = function
+  | Work w ->
+    Format.fprintf ppf "work %d %s" w.instructions
+      (Isa.Cost_model.category_to_string w.category)
+  | Def v -> Format.fprintf ppf "def %s : %a" v.vname Ty.pp v.ty
+  | Use name -> Format.fprintf ppf "use %s" name
+  | Call c ->
+    Format.fprintf ppf "call#%d %s(%s)" c.site_id c.callee
+      (String.concat ", " c.args)
+  | Loop l ->
+    Format.fprintf ppf "@[<v 2>loop %d {%a@]@,}" l.trips
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf s ->
+           Format.fprintf ppf "@,%a" pp_stmt s))
+      l.body
+  | Mig_point id -> Format.fprintf ppf "migpoint#%d" id
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v 2>func %s(%s) {%a@]@,}" f.fname
+    (String.concat ", " (List.map (fun v -> v.vname) f.params))
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf s ->
+         Format.fprintf ppf "@,%a" pp_stmt s))
+    f.body

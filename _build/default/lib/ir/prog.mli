@@ -1,0 +1,107 @@
+(** The intermediate representation.
+
+    Programs stand in for the LLVM bitcode of the paper's toolchain: typed
+    functions whose bodies interleave straight-line work, local-variable
+    definitions and uses, counted loops, and call sites. Call sites are the
+    equivalence points at which migration may occur; the compiler inserts
+    additional migration points ([Mig_point]) into long work regions
+    (Section 5.2.1). *)
+
+type init =
+  | Scalar  (** ordinary value, materialized deterministically at [Def] *)
+  | Ptr_to_local of string
+      (** pointer to another local of the same frame — exercises the
+          stack-pointer fixup path of the transformation runtime *)
+  | Ptr_to_global of string  (** pointer to a global symbol *)
+  | Ptr_to_heap of int
+      (** pointer to a fresh heap allocation of that many bytes. Heap
+          addresses live in the common address-space format, so these
+          pointers cross ISAs {e unchanged} ("pointers to global data and
+          the heap are already valid", paper Section 5.3) *)
+
+type var = { vname : string; ty : Ty.t; init : init }
+
+type work = {
+  instructions : int;  (** retired instructions for one execution *)
+  category : Isa.Cost_model.category;
+  memory_touched : int;  (** bytes of data footprint the block streams over *)
+}
+
+type stmt =
+  | Work of work
+  | Def of var
+  | Use of string  (** use of a local by name *)
+  | Call of call
+  | Loop of loop
+  | Mig_point of int  (** compiler-inserted migration point (unique id) *)
+
+and call = {
+  site_id : int;  (** unique within the function *)
+  callee : string;
+  args : string list;  (** locals passed (and therefore used) here *)
+}
+
+and loop = { trips : int; body : stmt list }
+
+type func = {
+  fname : string;
+  params : var list;
+  body : stmt list;
+  is_leaf : bool;  (** no calls anywhere in the body *)
+  is_library : bool;
+      (** external library code (libc, libm): the toolchain does not
+          instrument it and threads cannot migrate while executing it —
+          the paper's Section 5.4 limitation ("applications cannot
+          migrate during library code execution"). *)
+}
+
+type t = {
+  name : string;
+  funcs : (string * func) list;  (** insertion order preserved *)
+  globals : Memsys.Symbol.t list;
+  entry : string;
+}
+
+val make_func : name:string -> params:var list -> body:stmt list -> func
+(** Computes [is_leaf]; raises [Invalid_argument] on duplicate call-site
+    ids within the function or on a loop with [trips < 1] — loops always
+    execute at least once, which is what lets liveness treat loop-defined
+    locals as dead at the loop head. *)
+
+val as_library : func -> func
+(** Mark a function as external library code. *)
+
+val make :
+  name:string ->
+  funcs:func list ->
+  globals:Memsys.Symbol.t list ->
+  entry:string ->
+  t
+(** Raises [Invalid_argument] if the entry point is missing, a function
+    name is duplicated, or a call targets an unknown function. *)
+
+val find_func : t -> string -> func
+(** Raises [Not_found]. *)
+
+val locals : func -> var list
+(** Parameters plus every [Def]-introduced variable, in first-appearance
+    order, without duplicates. *)
+
+val call_sites : func -> call list
+(** All call sites in the body, in syntactic order (loops included once). *)
+
+val mig_points : func -> int list
+(** Ids of compiler-inserted migration points, syntactic order. *)
+
+val static_instructions : func -> int
+(** Sum of [Work] instruction counts ignoring loop trip counts — a proxy
+    for machine-code size. *)
+
+val dynamic_instructions : func -> int
+(** Instruction count for one full execution of the body (loops
+    multiplied), ignoring callees. *)
+
+val map_body : (stmt list -> stmt list) -> func -> func
+(** Rewrite the body (used by the migration-point insertion pass). *)
+
+val pp_func : Format.formatter -> func -> unit

@@ -1,0 +1,30 @@
+type t = I8 | I16 | I32 | I64 | F32 | F64 | Ptr | V128
+
+let size = function
+  | I8 -> 1
+  | I16 -> 2
+  | I32 | F32 -> 4
+  | I64 | F64 | Ptr -> 8
+  | V128 -> 16
+
+let alignment = size
+let is_pointer = function
+  | Ptr -> true
+  | I8 | I16 | I32 | I64 | F32 | F64 | V128 -> false
+
+let to_string = function
+  | I8 -> "i8"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F32 -> "f32"
+  | F64 -> "f64"
+  | Ptr -> "ptr"
+  | V128 -> "v128"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let all = [ I8; I16; I32; I64; F32; F64; Ptr; V128 ]
+
+let lanes = function
+  | V128 -> 2
+  | I8 | I16 | I32 | I64 | F32 | F64 | Ptr -> 1

@@ -1,0 +1,32 @@
+(** Primitive value types of the IR.
+
+    ARM64 and x86-64 share primitive sizes and alignments (paper Section
+    5.2.2, footnote 2), which is what makes a common data layout possible
+    without per-ISA padding. *)
+
+type t =
+  | I8
+  | I16
+  | I32
+  | I64
+  | F32
+  | F64
+  | Ptr
+  | V128
+      (** 128-bit SIMD vector (NEON q-register / SSE xmm lane pair).
+          Supporting these across ISAs is the paper's stated future work
+          (Section 5.4); here vector state migrates like any other live
+          value, with the extra twist that the x86-64 SysV ABI has no
+          callee-saved vector registers at all. *)
+
+val size : t -> int
+(** Bytes, identical on both ISAs. *)
+
+val alignment : t -> int
+val is_pointer : t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val all : t list
+
+val lanes : t -> int
+(** Number of 64-bit storage lanes a value of this type occupies. *)

@@ -1,0 +1,1 @@
+lib/isa/abi.ml: Arch

@@ -1,0 +1,1 @@
+lib/isa/register.ml: Arch Array Format List Printf

@@ -1,0 +1,1 @@
+lib/isa/register.mli: Arch Format

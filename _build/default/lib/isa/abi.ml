@@ -1,0 +1,44 @@
+type return_address_location = In_link_register | On_stack
+
+type t = {
+  arch : Arch.t;
+  stack_alignment : int;
+  slot_size : int;
+  red_zone : int;
+  return_address : return_address_location;
+  max_register_args : int;
+  frame_record_size : int;
+}
+
+let of_arch arch =
+  match arch with
+  | Arch.Arm64 ->
+    {
+      arch;
+      stack_alignment = 16;
+      slot_size = 8;
+      red_zone = 0;
+      return_address = In_link_register;
+      max_register_args = 8;
+      frame_record_size = 16 (* saved x29 + x30 pair *);
+    }
+  | Arch.X86_64 ->
+    {
+      arch;
+      stack_alignment = 16;
+      slot_size = 8;
+      red_zone = 128;
+      return_address = On_stack;
+      max_register_args = 6;
+      frame_record_size = 16 (* pushed return address + saved rbp *);
+    }
+
+let align_up n a =
+  assert (a > 0);
+  (n + a - 1) / a * a
+
+let frame_size t ~locals_bytes ~callee_saves =
+  let raw =
+    t.frame_record_size + (callee_saves * t.slot_size) + locals_bytes
+  in
+  align_up raw t.stack_alignment

@@ -1,0 +1,33 @@
+(** Application binary interface rules that differ between the two ISAs.
+
+    These rules drive the per-ISA stack frame layout in the compiler backend
+    and must be re-established by the stack-transformation runtime when a
+    thread migrates (Section 5.3 of the paper). *)
+
+type return_address_location =
+  | In_link_register  (** ARM64: the caller's return address lives in x30
+                          until the callee spills it. *)
+  | On_stack  (** x86-64: [call] pushes the return address. *)
+
+type t = {
+  arch : Arch.t;
+  stack_alignment : int;  (** bytes; 16 on both ISAs *)
+  slot_size : int;  (** bytes per stack slot; 8 on both ISAs *)
+  red_zone : int;  (** bytes below SP usable by leaf functions *)
+  return_address : return_address_location;
+  max_register_args : int;
+  frame_record_size : int;
+      (** bytes reserved at the top of every frame for the saved FP +
+          return-address pair. *)
+}
+
+val of_arch : Arch.t -> t
+
+val frame_size : t -> locals_bytes:int -> callee_saves:int -> int
+(** Total frame size in bytes: frame record + callee-save area + locals,
+    rounded up to [stack_alignment]. Frame sizes legitimately differ between
+    ISAs — this is why stacks are *not* kept in a common format and must be
+    transformed at migration (paper Section 4). *)
+
+val align_up : int -> int -> int
+(** [align_up n a] rounds [n] up to a multiple of [a]. *)

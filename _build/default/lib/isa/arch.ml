@@ -1,0 +1,28 @@
+type t = Arm64 | X86_64
+
+let all = [ Arm64; X86_64 ]
+let equal a b = a = b
+let compare = compare
+
+let other = function
+  | Arm64 -> X86_64
+  | X86_64 -> Arm64
+
+let to_string = function
+  | Arm64 -> "arm64"
+  | X86_64 -> "x86_64"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "arm64" | "aarch64" | "arm" -> Some Arm64
+  | "x86_64" | "x86-64" | "amd64" | "x86" -> Some X86_64
+  | _ -> None
+
+let pointer_size = function
+  | Arm64 | X86_64 -> 8
+
+let instruction_encoding = function
+  | Arm64 -> `Fixed 4
+  | X86_64 -> `Variable (1, 15)

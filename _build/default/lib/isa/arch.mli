@@ -1,0 +1,26 @@
+(** Instruction-set architectures supported by the prototype.
+
+    The paper's prototype targets 64-bit ARM (ARMv8, APM X-Gene 1) and
+    x86-64 (Intel Xeon E5-1650 v2). *)
+
+type t = Arm64 | X86_64
+
+val all : t list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val other : t -> t
+(** The opposite ISA of the two-server prototype. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t option
+(** Accepts ["arm64"], ["aarch64"], ["x86_64"], ["x86-64"], ["amd64"]
+    (case-insensitive). *)
+
+val pointer_size : t -> int
+(** Bytes; 8 on both supported ISAs (the prototype is 64-bit only). *)
+
+val instruction_encoding : t -> [ `Fixed of int | `Variable of int * int ]
+(** ARM64 has fixed 4-byte instructions; x86-64 varies from 1 to 15 bytes. *)

@@ -1,0 +1,1 @@
+lib/kernel/container.ml: List Process

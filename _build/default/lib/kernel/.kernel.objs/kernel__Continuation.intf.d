@@ -1,0 +1,1 @@
+lib/kernel/continuation.mli: Isa

@@ -1,0 +1,1 @@
+lib/kernel/fdtable.ml: Array Hashtbl Int64 List Printf Service

@@ -1,0 +1,1 @@
+lib/kernel/fdtable.mli: Message Sim

@@ -1,0 +1,1 @@
+lib/kernel/futex.ml: Hashtbl List Message Queue Sim

@@ -1,0 +1,1 @@
+lib/kernel/futex.mli: Message Sim

@@ -1,0 +1,1 @@
+lib/kernel/loader.ml: Binary Compiler Dsm Ir Isa List Memsys

@@ -1,0 +1,1 @@
+lib/kernel/loader.mli: Compiler Dsm Memsys

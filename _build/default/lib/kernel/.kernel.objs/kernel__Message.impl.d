@@ -1,0 +1,1 @@
+lib/kernel/message.ml: Hashtbl Machine Sim

@@ -1,0 +1,1 @@
+lib/kernel/message.mli: Machine Sim

@@ -1,0 +1,1 @@
+lib/kernel/namespace.ml: Hashtbl List Option Printf String

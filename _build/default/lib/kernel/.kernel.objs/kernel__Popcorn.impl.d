@@ -1,0 +1,1 @@
+lib/kernel/popcorn.ml: Array Compiler Container Continuation Dsm Float Isa List Loader Machine Message Printf Process Runtime Sim Vdso

@@ -1,0 +1,1 @@
+lib/kernel/popcorn.mli: Compiler Container Dsm Isa Machine Message Process Sim Vdso

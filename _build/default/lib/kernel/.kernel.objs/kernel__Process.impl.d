@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Compiler Continuation Isa List Memsys

@@ -1,0 +1,1 @@
+lib/kernel/process.mli: Compiler Continuation Isa Memsys

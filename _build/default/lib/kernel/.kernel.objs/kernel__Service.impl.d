@@ -1,0 +1,1 @@
+lib/kernel/service.ml: Array Fun Hashtbl List Machine Message Printf Sim

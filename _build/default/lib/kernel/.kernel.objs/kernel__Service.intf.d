@@ -1,0 +1,1 @@
+lib/kernel/service.mli: Message Sim

@@ -1,0 +1,1 @@
+lib/kernel/syscall.ml: Continuation Fdtable Futex

@@ -1,0 +1,1 @@
+lib/kernel/syscall.mli: Continuation Fdtable Futex Isa Message Sim

@@ -1,0 +1,1 @@
+lib/kernel/vdso.ml: Hashtbl List

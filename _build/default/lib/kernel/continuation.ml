@@ -1,0 +1,42 @@
+type kernel_stack = { arch : Isa.Arch.t; node : int; depth : int }
+
+type t = { mutable materialized : kernel_stack list }
+
+let create () = { materialized = [] }
+
+let find t node = List.find_opt (fun k -> k.node = node) t.materialized
+
+let replace t node k =
+  t.materialized <- k :: List.filter (fun s -> s.node <> node) t.materialized
+
+let enter_kernel t ~node ~arch =
+  let k =
+    match find t node with
+    | None -> { arch; node; depth = 1 }
+    | Some k -> { k with depth = k.depth + 1 }
+  in
+  replace t node k
+
+let exit_kernel t ~node =
+  match find t node with
+  | None | Some { depth = 0; _ } ->
+    invalid_arg "Continuation.exit_kernel: not in kernel space"
+  | Some k -> replace t node { k with depth = k.depth - 1 }
+
+let in_kernel t ~node =
+  match find t node with
+  | None -> false
+  | Some k -> k.depth > 0
+
+let can_migrate t = List.for_all (fun k -> k.depth = 0) t.materialized
+
+let migrate t ~to_node ~to_arch =
+  if not (can_migrate t) then
+    Error "thread is executing a kernel service; migration deferred"
+  else begin
+    let fresh = { arch = to_arch; node = to_node; depth = 0 } in
+    replace t to_node fresh;
+    Ok fresh
+  end
+
+let stacks t = t.materialized

@@ -1,0 +1,37 @@
+(** Heterogeneous continuations (paper Section 5.1).
+
+    Each application thread has one user stack (shared, transformed at
+    migration) but a *per-ISA kernel stack*. A thread executing a kernel
+    service cannot migrate mid-service — service atomicity would be lost —
+    so migration happens only with an empty kernel stack, and the thread
+    re-enters the destination kernel through a fresh continuation. The
+    kernel-side register mapping hands PC/SP/FP to the user-space
+    transformation runtime. *)
+
+type kernel_stack = { arch : Isa.Arch.t; node : int; depth : int }
+
+type t
+
+val create : unit -> t
+
+val enter_kernel : t -> node:int -> arch:Isa.Arch.t -> unit
+(** Thread enters kernel space (syscall); pushes onto the per-node kernel
+    stack. *)
+
+val exit_kernel : t -> node:int -> unit
+(** Raises [Invalid_argument] if the thread is not in kernel space on this
+    node. *)
+
+val in_kernel : t -> node:int -> bool
+
+val can_migrate : t -> bool
+(** True only with all kernel stacks empty: migration is forbidden during
+    a kernel service. *)
+
+val migrate : t -> to_node:int -> to_arch:Isa.Arch.t -> (kernel_stack, string) result
+(** Discard nothing (kernel stacks are per-ISA and empty); materialize the
+    fresh continuation on the destination. Errors if the thread is inside
+    a kernel service. *)
+
+val stacks : t -> kernel_stack list
+(** Kernel stacks that have been materialized, most recent first. *)

@@ -1,0 +1,46 @@
+type waiter = { node : int; tid : int; on_wake : unit -> unit }
+
+type t = {
+  engine : Sim.Engine.t;
+  bus : Message.t;
+  queues : (int, waiter Queue.t) Hashtbl.t;
+}
+
+let create engine bus = { engine; bus; queues = Hashtbl.create 16 }
+
+let queue_for t addr =
+  match Hashtbl.find_opt t.queues addr with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.queues addr q;
+    q
+
+let wait t ~addr ~node ~tid ~on_wake =
+  Queue.push { node; tid; on_wake } (queue_for t addr)
+
+let wake t ~addr ~node ~count =
+  let q = queue_for t addr in
+  let woken = ref 0 in
+  while !woken < count && not (Queue.is_empty q) do
+    let w = Queue.pop q in
+    incr woken;
+    if w.node = node then
+      (* Same kernel: wake at the next scheduling opportunity. *)
+      Sim.Engine.schedule_in t.engine ~after:0.0 w.on_wake
+    else
+      (* Remote waiter: the wake travels as a message. *)
+      Message.send t.bus Message.Service_update ~bytes:32 ~on_delivery:w.on_wake
+  done;
+  !woken
+
+let waiters t ~addr =
+  match Hashtbl.find_opt t.queues addr with
+  | None -> []
+  | Some q -> Queue.fold (fun acc w -> (w.node, w.tid) :: acc) [] q |> List.rev
+
+let is_waiting t ~tid =
+  Hashtbl.fold
+    (fun _ q acc ->
+      acc || Queue.fold (fun a w -> a || w.tid = tid) false q)
+    t.queues false

@@ -1,0 +1,29 @@
+(** Cross-kernel futexes.
+
+    Threads of one application can block on the same futex word from
+    different kernels — the word lives in DSM-kept memory, but the *wait
+    queue* is kernel state that Popcorn distributes. Waits park the
+    calling thread's continuation; wakes signal waiters in FIFO order,
+    paying a message latency when waiter and waker sit on different
+    kernels. A thread blocked in futex_wait is inside a kernel service
+    and therefore cannot migrate (service atomicity, paper Section 5.1) —
+    the wait queue entry pins it until woken. *)
+
+type t
+
+val create : Sim.Engine.t -> Message.t -> t
+
+val wait :
+  t -> addr:int -> node:int -> tid:int -> on_wake:(unit -> unit) -> unit
+(** Park [tid] (running on [node]) on the futex at [addr]; [on_wake]
+    fires when a wake reaches it (after cross-kernel latency if the waker
+    is remote). *)
+
+val wake : t -> addr:int -> node:int -> count:int -> int
+(** Wake up to [count] waiters in FIFO order; returns how many were
+    woken. *)
+
+val waiters : t -> addr:int -> (int * int) list
+(** (node, tid) of threads currently parked, FIFO order. *)
+
+val is_waiting : t -> tid:int -> bool

@@ -1,0 +1,27 @@
+(** Heterogeneous binary loader (paper Section 5.1).
+
+    Loads a multi-ISA binary into a fresh address space: per-ISA [.text]
+    images are aliased at the same virtual range (registered with hDSM as
+    aliased pages that never migrate), data sections are mapped normally
+    and owned by the spawning kernel, and the stack plus a heap of the
+    requested size are mapped anonymously. Returns the address space and
+    the data pages the DSM must track. *)
+
+type image = {
+  aspace : Memsys.Address_space.t;
+  data_pages : int list;  (** DSM-tracked pages: data/bss/heap/stack *)
+  text_pages : int list;  (** aliased, never transferred *)
+  entry : int;
+}
+
+val load :
+  Compiler.Toolchain.t -> dsm:Dsm.Hdsm.t -> node:int -> heap_bytes:int -> image
+
+val load_raw :
+  dsm:Dsm.Hdsm.t ->
+  node:int ->
+  name:string ->
+  footprint_bytes:int ->
+  image
+(** Loader for coarse-grained jobs that are not backed by a compiled IR
+    program: a single anonymous data region of the given footprint. *)

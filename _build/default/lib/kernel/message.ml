@@ -1,0 +1,33 @@
+type kind = Thread_migration | Page_request | Page_reply | Service_update
+
+let kind_to_string = function
+  | Thread_migration -> "thread_migration"
+  | Page_request -> "page_request"
+  | Page_reply -> "page_reply"
+  | Service_update -> "service_update"
+
+type t = {
+  engine : Sim.Engine.t;
+  interconnect : Machine.Interconnect.t;
+  counts : (kind, int) Hashtbl.t;
+  mutable bytes : int;
+  mutable messages : int;
+}
+
+let create engine interconnect =
+  { engine; interconnect; counts = Hashtbl.create 8; bytes = 0; messages = 0 }
+
+let send t kind ~bytes ~on_delivery =
+  if bytes < 0 then invalid_arg "Message.send: negative size";
+  let n = match Hashtbl.find_opt t.counts kind with None -> 0 | Some n -> n in
+  Hashtbl.replace t.counts kind (n + 1);
+  t.bytes <- t.bytes + bytes;
+  t.messages <- t.messages + 1;
+  let latency = Machine.Interconnect.transfer_time t.interconnect ~bytes in
+  Sim.Engine.schedule_in t.engine ~after:latency on_delivery
+
+let sent t kind =
+  match Hashtbl.find_opt t.counts kind with None -> 0 | Some n -> n
+
+let total_bytes t = t.bytes
+let total_messages t = t.messages

@@ -1,0 +1,27 @@
+(** Inter-kernel messaging layer.
+
+    Kernels in the replicated-kernel OS share no data structures; every
+    interaction crosses the interconnect as a message (paper Section 5.1).
+    The bus delivers a callback after the modeled transfer latency and
+    keeps traffic statistics. *)
+
+type kind =
+  | Thread_migration  (** register state + transformation handoff *)
+  | Page_request
+  | Page_reply
+  | Service_update  (** replicated-service state consistency traffic *)
+
+val kind_to_string : kind -> string
+
+type t
+
+val create : Sim.Engine.t -> Machine.Interconnect.t -> t
+
+val send : t -> kind -> bytes:int -> on_delivery:(unit -> unit) -> unit
+(** Schedule [on_delivery] after the one-way transfer time for [bytes]. *)
+
+val sent : t -> kind -> int
+(** Messages sent of a kind. *)
+
+val total_bytes : t -> int
+val total_messages : t -> int

@@ -1,0 +1,313 @@
+type node = {
+  id : int;
+  machine : Machine.Server.t;
+  mutable busy : int;
+  mutable powered : bool;
+  mutable energy_j : float;
+  mutable last_power_update : float;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  bus : Message.t;
+  dsm : Dsm.Hdsm.t;
+  nodes : node array;
+  trace : Sim.Trace.t;
+  vdso : Vdso.t;  (** the shared scheduler/application flag page *)
+  mutable containers : Container.t list;
+  mutable next_pid : int;
+  mutable next_cid : int;
+  mutable exit_hooks : (Process.t -> unit) list;
+}
+
+let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
+    ~machines () =
+  let nodes =
+    Array.of_list
+      (List.mapi
+         (fun id machine ->
+           { id; machine; busy = 0; powered = true; energy_j = 0.0;
+             last_power_update = 0.0 })
+         machines)
+  in
+  {
+    engine;
+    bus = Message.create engine interconnect;
+    dsm = Dsm.Hdsm.create ~nodes:(Array.length nodes) ~interconnect ();
+    nodes;
+    trace = Sim.Trace.create ();
+    vdso = Vdso.create ();
+    containers = [];
+    next_pid = 1;
+    next_cid = 1;
+    exit_hooks = [];
+  }
+
+let node_of_arch t arch =
+  match
+    Array.to_list t.nodes
+    |> List.find_opt (fun n -> n.machine.Machine.Server.arch = arch)
+  with
+  | Some n -> n
+  | None -> raise Not_found
+
+let utilization t id =
+  let n = t.nodes.(id) in
+  if not n.powered then 0.0
+  else
+    Float.min 1.0
+      (float_of_int n.busy /. float_of_int n.machine.Machine.Server.cores)
+
+let node_power t id =
+  let n = t.nodes.(id) in
+  if not n.powered then n.machine.Machine.Server.power.Machine.Power.sleep_w
+  else
+    Machine.Power.system_power n.machine.Machine.Server.power
+      ~utilization:(utilization t id)
+
+(* Power only changes when busy/powered changes, so integrating energy at
+   those transitions is exact. *)
+let settle_energy t id =
+  let n = t.nodes.(id) in
+  let now = Sim.Engine.now t.engine in
+  n.energy_j <- n.energy_j +. ((now -. n.last_power_update) *. node_power t id);
+  n.last_power_update <- now
+
+let adjust_busy t id delta =
+  settle_energy t id;
+  let n = t.nodes.(id) in
+  n.busy <- n.busy + delta;
+  assert (n.busy >= 0)
+
+let energy t id =
+  settle_energy t id;
+  t.nodes.(id).energy_j
+
+let new_container t ~name =
+  let c = Container.create ~cid:t.next_cid ~name in
+  t.next_cid <- t.next_cid + 1;
+  t.containers <- c :: t.containers;
+  c
+
+(* Median stack-transformation latency of a binary, measured through the
+   real runtime across every reachable migration point. Memoized per
+   binary (physical equality). *)
+let latency_cache : (Compiler.Toolchain.t * (Isa.Arch.t * float) list) list ref =
+  ref []
+
+let measured_transform_latency tc =
+  match List.find_opt (fun (key, _) -> key == tc) !latency_cache with
+  | Some (_, per_arch) -> fun arch -> List.assoc arch per_arch
+  | None ->
+    let sites = Runtime.Interp.reachable_mig_sites tc in
+    let per_arch =
+      List.map
+        (fun arch ->
+          let costs =
+            List.filter_map
+              (fun (fname, mig_id) ->
+                match Runtime.Interp.state_at tc arch ~fname ~mig_id with
+                | None -> None
+                | Some st -> begin
+                  match Runtime.Transform.transform tc st with
+                  | Ok (_, cost) -> Some cost.Runtime.Transform.latency_s
+                  | Error _ -> None
+                end)
+              sites
+          in
+          let latency =
+            match costs with
+            | [] -> 200e-6
+            | _ -> (Sim.Stats.summarize costs).Sim.Stats.median
+          in
+          (arch, latency))
+        Isa.Arch.all
+    in
+    latency_cache := (tc, per_arch) :: !latency_cache;
+    fun arch -> List.assoc arch per_arch
+
+let spawn t ~container ~node ~name ?binary ?transform_latency ~footprint_bytes
+    ~thread_phases () =
+  let image =
+    match binary with
+    | Some tc -> Loader.load tc ~dsm:t.dsm ~node ~heap_bytes:footprint_bytes
+    | None -> Loader.load_raw ~dsm:t.dsm ~node ~name ~footprint_bytes
+  in
+  let transform_latency =
+    match (transform_latency, binary) with
+    | Some f, _ -> f
+    | None, Some tc -> measured_transform_latency tc
+    | None, None -> fun _ -> 250e-6
+  in
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  let threads =
+    List.mapi
+      (fun i phases -> Process.make_thread ~tid:(100 * pid + i) ~node ~phases)
+      thread_phases
+  in
+  let proc =
+    Process.make ~pid ~name ~home:node ?binary ~aspace:image.Loader.aspace
+      ~data_pages:image.Loader.data_pages ~threads ~transform_latency ()
+  in
+  Container.add_process container proc;
+  proc
+
+let on_process_exit t hook = t.exit_hooks <- hook :: t.exit_hooks
+
+let arch_of t id = t.nodes.(id).machine.Machine.Server.arch
+
+(* Drain a process's residual pages to its new home in chunks, keeping one
+   DSM worker busy at both ends — the multithreaded hDSM traffic visible
+   as the power/load spike of Figure 11. *)
+let drain_residual t proc ~to_node =
+  let from_node = proc.Process.home in
+  if from_node = to_node then ()
+  else begin
+    proc.Process.home <- to_node;
+    let chunk = 256 in
+    let pages = Array.of_list proc.Process.data_pages in
+    adjust_busy t from_node 1;
+    adjust_busy t to_node 1;
+    let rec drain_from i =
+      if i >= Array.length pages then begin
+        adjust_busy t from_node (-1);
+        adjust_busy t to_node (-1)
+      end
+      else begin
+        let stop = min (Array.length pages) (i + chunk) in
+        let batch = Array.to_list (Array.sub pages i (stop - i)) in
+        let latency = Dsm.Hdsm.drain_pages t.dsm ~pages:batch ~to_:to_node in
+        Sim.Engine.schedule_in t.engine ~after:(Float.max latency 1e-9)
+          (fun () -> drain_from stop)
+      end
+    in
+    drain_from 0
+  end
+
+(* Each phase boundary is a migration point: the thread polls the vDSO
+   flag page (the "function call and a memory read" of Section 5.2.1) and
+   migrates if the scheduler asked for it. *)
+let rec step t proc (th : Process.thread) =
+  match Vdso.poll t.vdso ~tid:th.Process.tid with
+  | Some dest
+    when dest <> th.Process.node
+         && Continuation.can_migrate th.Process.continuation ->
+    begin_migration t proc th dest
+  | Some _ | None -> begin
+    match th.Process.remaining with
+    | [] -> finish_thread t proc th
+    | phase :: rest -> run_phase t proc th phase rest
+  end
+
+and run_phase t proc th phase rest =
+  let node_id = th.Process.node in
+  let node = t.nodes.(node_id) in
+  th.Process.status <- Process.Running;
+  adjust_busy t node_id 1;
+  let cores = node.machine.Machine.Server.cores in
+  let contention =
+    Float.max 1.0 (float_of_int node.busy /. float_of_int cores)
+  in
+  let compute =
+    Isa.Cost_model.seconds_for node.machine.Machine.Server.cost
+      phase.Process.category ~instructions:phase.Process.instructions
+  in
+  let dsm_latency =
+    List.fold_left
+      (fun acc page ->
+        acc
+        +. Dsm.Hdsm.access t.dsm ~node:th.Process.node ~page
+             ~write:phase.Process.writes)
+      0.0 phase.Process.pages
+  in
+  let duration = (compute *. contention) +. dsm_latency in
+  Sim.Engine.schedule_in t.engine ~after:duration (fun () ->
+      adjust_busy t node_id (-1);
+      th.Process.remaining <- rest;
+      step t proc th)
+
+and begin_migration t proc th dest =
+  th.Process.status <- Process.Migrating;
+  let src_id = th.Process.node in
+  (* The transformation runs on the source CPU. *)
+  adjust_busy t src_id 1;
+  let latency = proc.Process.transform_latency (arch_of t th.Process.node) in
+  Sim.Engine.schedule_in t.engine ~after:latency (fun () ->
+      adjust_busy t src_id (-1);
+      match
+        Continuation.migrate th.Process.continuation ~to_node:dest
+          ~to_arch:(arch_of t dest)
+      with
+      | Error _ ->
+        (* In a kernel service after all: retry at the next boundary. *)
+        step t proc th
+      | Ok _ ->
+        (* Register state + pinned pages ride one message. *)
+        Message.send t.bus Message.Thread_migration ~bytes:4096
+          ~on_delivery:(fun () ->
+            th.Process.node <- dest;
+            th.Process.migrate_to <- None;
+            Vdso.clear t.vdso ~tid:th.Process.tid;
+            th.Process.migrations <- th.Process.migrations + 1;
+            th.Process.status <- Process.Ready;
+            maybe_drain t proc;
+            step t proc th))
+
+and maybe_drain t proc =
+  (* Once every live thread has left the home kernel for a single other
+     node, move the residual dependencies there. *)
+  let live =
+    List.filter
+      (fun (th : Process.thread) -> th.Process.status <> Process.Done)
+      proc.Process.threads
+  in
+  match live with
+  | [] -> ()
+  | th :: rest ->
+    let node = th.Process.node in
+    if
+      node <> proc.Process.home
+      && List.for_all (fun (x : Process.thread) -> x.Process.node = node) rest
+    then drain_residual t proc ~to_node:node
+
+and finish_thread t proc th =
+  th.Process.status <- Process.Done;
+  if not (Process.alive proc) then begin
+    proc.Process.finished_at <- Some (Sim.Engine.now t.engine);
+    List.iter (fun hook -> hook proc) t.exit_hooks
+  end
+
+let start t proc =
+  List.iter
+    (fun (th : Process.thread) ->
+      Sim.Engine.schedule_in t.engine ~after:0.0 (fun () -> step t proc th))
+    proc.Process.threads
+
+let migrate t proc ~to_node =
+  if to_node < 0 || to_node >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Popcorn.migrate: unknown node %d" to_node);
+  (* Set the vDSO flag for every live thread; [migrate_to] mirrors the
+     request so observers (the datacenter scheduler's load accounting)
+     can see where a thread is headed. *)
+  Process.request_migration proc ~to_node;
+  List.iter
+    (fun (th : Process.thread) ->
+      if th.Process.status <> Process.Done then
+        Vdso.request t.vdso ~tid:th.Process.tid ~dest:to_node)
+    proc.Process.threads
+
+let attach_sensors t ~hz ~until =
+  Array.iter
+    (fun n ->
+      let name = Printf.sprintf "node%d" n.id in
+      Machine.Power.Sensor.attach t.engine t.trace
+        n.machine.Machine.Server.power ~name ~hz ~until ~utilization:(fun () ->
+          utilization t n.id))
+    t.nodes
+
+let set_powered t id powered =
+  settle_energy t id;
+  t.nodes.(id).powered <- powered
+
+let total_busy t = Array.fold_left (fun acc n -> acc + n.busy) 0 t.nodes

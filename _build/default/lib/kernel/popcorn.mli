@@ -1,0 +1,93 @@
+(** The replicated-kernel OS ensemble.
+
+    One kernel instance per server, each natively compiled for its ISA;
+    kernels share no state and cooperate through messages (paper Section
+    5.1). This module hosts the distributed services — thread migration,
+    hDSM, the heterogeneous loader — and executes processes over the
+    discrete-event engine: threads run phase-by-phase, page accesses go
+    through the DSM, and pending migration requests are honoured at phase
+    boundaries (migration points). *)
+
+type node = {
+  id : int;
+  machine : Machine.Server.t;
+  mutable busy : int;  (** threads currently executing a phase *)
+  mutable powered : bool;  (** false = low-power state *)
+  mutable energy_j : float;  (** integrated system energy *)
+  mutable last_power_update : float;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  bus : Message.t;
+  dsm : Dsm.Hdsm.t;
+  nodes : node array;
+  trace : Sim.Trace.t;
+  vdso : Vdso.t;  (** the shared scheduler/application flag page *)
+  mutable containers : Container.t list;
+  mutable next_pid : int;
+  mutable next_cid : int;
+  mutable exit_hooks : (Process.t -> unit) list;
+}
+
+val create :
+  Sim.Engine.t ->
+  ?interconnect:Machine.Interconnect.t ->
+  machines:Machine.Server.t list ->
+  unit ->
+  t
+(** Boot one kernel per machine (default interconnect: Dolphin PXH810). *)
+
+val node_of_arch : t -> Isa.Arch.t -> node
+(** First node of the given ISA. Raises [Not_found]. *)
+
+val utilization : t -> int -> float
+(** busy threads / cores, clamped to [\[0,1\]]; 0 when powered off. *)
+
+val node_power : t -> int -> float
+(** Instantaneous system power draw in watts (sleep power when off). *)
+
+val energy : t -> int -> float
+(** Joules consumed by the node from time 0 until now. Exact: power
+    changes only at busy/power transitions, where it is integrated. *)
+
+val new_container : t -> name:string -> Container.t
+
+val spawn :
+  t ->
+  container:Container.t ->
+  node:int ->
+  name:string ->
+  ?binary:Compiler.Toolchain.t ->
+  ?transform_latency:(Isa.Arch.t -> float) ->
+  footprint_bytes:int ->
+  thread_phases:Process.phase list list ->
+  unit ->
+  Process.t
+(** Load the image on the node (heterogeneous loader), create one thread
+    per phase list, register pages with the DSM. If [binary] is given its
+    median stack-transformation cost per source ISA is measured through
+    the real transformation runtime unless [transform_latency] overrides
+    it. The process does not run until {!start}. *)
+
+val start : t -> Process.t -> unit
+(** Begin executing all threads of the process at the current simulated
+    time. *)
+
+val migrate : t -> Process.t -> to_node:int -> unit
+(** Raises [Invalid_argument] for an unknown node.
+    Set the migration flag (vDSO page): each thread migrates at its next
+    phase boundary — stack transformation on the source, a thread-
+    migration message, resumption on the destination; pages then follow
+    on demand. When the last thread leaves the home kernel, residual
+    pages are drained and the home moves. *)
+
+val on_process_exit : t -> (Process.t -> unit) -> unit
+
+val attach_sensors : t -> hz:float -> until:float -> unit
+(** Record per-node power/load series into [trace] (series names
+    ["node<i>.cpu_w"] etc.), as the paper's 100 Hz DAQ does. *)
+
+val set_powered : t -> int -> bool -> unit
+
+val total_busy : t -> int

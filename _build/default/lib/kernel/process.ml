@@ -1,0 +1,62 @@
+type phase = {
+  instructions : float;
+  category : Isa.Cost_model.category;
+  pages : int list;
+  writes : bool;
+}
+
+type status = Ready | Running | Migrating | Done
+
+type thread = {
+  tid : int;
+  mutable node : int;
+  mutable status : status;
+  mutable remaining : phase list;
+  mutable migrate_to : int option;
+  continuation : Continuation.t;
+  mutable migrations : int;
+}
+
+type t = {
+  pid : int;
+  name : string;
+  mutable home : int;
+  binary : Compiler.Toolchain.t option;
+  aspace : Memsys.Address_space.t;
+  data_pages : int list;
+  threads : thread list;
+  transform_latency : Isa.Arch.t -> float;
+  mutable finished_at : float option;
+}
+
+let make_thread ~tid ~node ~phases =
+  {
+    tid;
+    node;
+    status = Ready;
+    remaining = phases;
+    migrate_to = None;
+    continuation = Continuation.create ();
+    migrations = 0;
+  }
+
+let make ~pid ~name ~home ?binary ~aspace ~data_pages ~threads
+    ~transform_latency () =
+  { pid; name; home; binary; aspace; data_pages; threads; transform_latency;
+    finished_at = None }
+
+let alive t = List.exists (fun th -> th.status <> Done) t.threads
+
+let total_instructions t =
+  List.fold_left
+    (fun acc th ->
+      acc
+      + int_of_float
+          (List.fold_left (fun a p -> a +. p.instructions) 0.0 th.remaining))
+    0 t.threads
+  |> float_of_int
+
+let request_migration t ~to_node =
+  List.iter
+    (fun th -> if th.status <> Done then th.migrate_to <- Some to_node)
+    t.threads

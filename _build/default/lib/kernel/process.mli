@@ -1,0 +1,62 @@
+(** Processes and threads as the kernel sees them.
+
+    A thread's user-space computation is a sequence of *phases* — stretches
+    of work between migration points. The instrumented binaries place
+    migration points at most one scheduling quantum apart, so phase
+    boundaries are exactly the places where a pending migration request
+    takes effect. Each phase carries the pages it touches, which drives
+    the hDSM on-demand page migration. *)
+
+type phase = {
+  instructions : float;
+  category : Isa.Cost_model.category;
+  pages : int list;  (** data pages accessed during the phase *)
+  writes : bool;  (** whether the accesses include stores *)
+}
+
+type status = Ready | Running | Migrating | Done
+
+type thread = {
+  tid : int;
+  mutable node : int;
+  mutable status : status;
+  mutable remaining : phase list;
+  mutable migrate_to : int option;
+      (** pending scheduler request, honoured at the next phase boundary *)
+  continuation : Continuation.t;
+  mutable migrations : int;
+}
+
+type t = {
+  pid : int;
+  name : string;
+  mutable home : int;  (** kernel holding residual dependencies *)
+  binary : Compiler.Toolchain.t option;
+  aspace : Memsys.Address_space.t;
+  data_pages : int list;
+  threads : thread list;
+  transform_latency : Isa.Arch.t -> float;
+      (** stack-transformation cost when leaving a machine of that ISA *)
+  mutable finished_at : float option;
+}
+
+val make_thread : tid:int -> node:int -> phases:phase list -> thread
+
+val make :
+  pid:int ->
+  name:string ->
+  home:int ->
+  ?binary:Compiler.Toolchain.t ->
+  aspace:Memsys.Address_space.t ->
+  data_pages:int list ->
+  threads:thread list ->
+  transform_latency:(Isa.Arch.t -> float) ->
+  unit ->
+  t
+
+val alive : t -> bool
+val total_instructions : t -> float
+(** Remaining work across all threads. *)
+
+val request_migration : t -> to_node:int -> unit
+(** Flag every thread of the process (the shared vDSO page write). *)

@@ -1,0 +1,112 @@
+type consistency = Strong | Eventual
+
+(* One replica: per-process slices plus the kernel-wide slice. *)
+type replica = {
+  per_process : (int * string, int64) Hashtbl.t;
+  global : (string, int64) Hashtbl.t;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  bus : Message.t;
+  svc_name : string;
+  consistency : consistency;
+  replicas : replica array;
+  mutable updates : int;
+}
+
+let create engine bus ~name ~nodes ~consistency =
+  if nodes <= 0 then invalid_arg "Service.create: no nodes";
+  {
+    engine;
+    bus;
+    svc_name = name;
+    consistency;
+    replicas =
+      Array.init nodes (fun _ ->
+          { per_process = Hashtbl.create 64; global = Hashtbl.create 16 });
+    updates = 0;
+  }
+
+let name t = t.svc_name
+let consistency t = t.consistency
+
+let update_bytes = 64 (* one service-update message payload *)
+
+(* Apply an update everywhere. Strong consistency costs the caller one
+   round of messages; eventual consistency returns immediately and lets
+   the replicas converge when the messages are delivered. *)
+let broadcast t ~from apply =
+  apply t.replicas.(from);
+  let others =
+    List.filter (fun n -> n <> from)
+      (List.init (Array.length t.replicas) Fun.id)
+  in
+  match t.consistency with
+  | Strong ->
+    List.iter
+      (fun n ->
+        t.updates <- t.updates + 1;
+        apply t.replicas.(n))
+      others;
+    (* One request/ack round to the farthest replica. *)
+    if others = [] then 0.0
+    else
+      2.0
+      *. Machine.Interconnect.transfer_time Machine.Interconnect.dolphin_pxh810
+           ~bytes:update_bytes
+  | Eventual ->
+    List.iter
+      (fun n ->
+        t.updates <- t.updates + 1;
+        Message.send t.bus Message.Service_update ~bytes:update_bytes
+          ~on_delivery:(fun () -> apply t.replicas.(n)))
+      others;
+    0.0
+
+let check_node t node =
+  if node < 0 || node >= Array.length t.replicas then
+    invalid_arg (Printf.sprintf "Service %s: unknown node %d" t.svc_name node)
+
+let set t ~node ~pid ~key value =
+  check_node t node;
+  broadcast t ~from:node (fun r ->
+      Hashtbl.replace r.per_process (pid, key) value)
+
+let get t ~node ~pid ~key =
+  check_node t node;
+  Hashtbl.find_opt t.replicas.(node).per_process (pid, key)
+
+let set_global t ~node ~key value =
+  check_node t node;
+  broadcast t ~from:node (fun r -> Hashtbl.replace r.global key value)
+
+let get_global t ~node ~key =
+  check_node t node;
+  Hashtbl.find_opt t.replicas.(node).global key
+
+let consistent t ~pid =
+  let slice r =
+    Hashtbl.fold
+      (fun (p, key) v acc -> if p = pid then (key, v) :: acc else acc)
+      r.per_process []
+    |> List.sort compare
+  in
+  match Array.to_list t.replicas with
+  | [] -> true
+  | first :: rest ->
+    let reference = slice first in
+    List.for_all (fun r -> slice r = reference) rest
+
+let drop_process t ~pid =
+  Array.iter
+    (fun r ->
+      let keys =
+        Hashtbl.fold
+          (fun (p, key) _ acc -> if p = pid then (p, key) :: acc else acc)
+          r.per_process []
+      in
+      List.iter (Hashtbl.remove r.per_process) keys)
+    t.replicas
+
+let updates_sent t = t.updates

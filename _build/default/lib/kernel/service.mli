@@ -1,0 +1,52 @@
+(** Replicated operating-system services.
+
+    The paper's Section 3 decomposes kernel state by service:
+    O_x = <K_x, W_x, P^K_0,x ... P^K_k,x> — a kernel-wide part, a
+    hardware part, and one slice per process using the service. In the
+    replicated-kernel OS every kernel holds a replica; "every time the
+    state of a service is updated on one kernel, it must be updated on
+    all other kernels (different services require different consistency
+    levels)" (Section 4). The per-process slice is exactly what the
+    identity mapping p_AB carries across a migration: it is kept in an
+    ISA-independent format, so no transformation happens — only
+    replication.
+
+    State here is a per-process key/value slice (P^K_j,x) plus a
+    kernel-wide slice (K_x) under the same consistency regime. *)
+
+type consistency =
+  | Strong  (** updates reach every replica before the call returns *)
+  | Eventual  (** updates apply locally and propagate via messages *)
+
+type t
+
+val create :
+  Sim.Engine.t -> Message.t -> name:string -> nodes:int ->
+  consistency:consistency -> t
+
+val name : t -> string
+val consistency : t -> consistency
+
+val set : t -> node:int -> pid:int -> key:string -> int64 -> float
+(** Update the per-process slice from one kernel; returns the latency the
+    caller observed (0 for an [Eventual] local write, one round of
+    messages for [Strong]). *)
+
+val get : t -> node:int -> pid:int -> key:string -> int64 option
+(** Read the slice as this kernel currently sees it. *)
+
+val set_global : t -> node:int -> key:string -> int64 -> float
+(** Update the kernel-wide slice K_x. *)
+
+val get_global : t -> node:int -> key:string -> int64 option
+
+val consistent : t -> pid:int -> bool
+(** Do all replicas agree on the process's slice right now? [Strong]
+    services are always consistent between calls; [Eventual] ones only
+    after their update messages have been delivered. *)
+
+val drop_process : t -> pid:int -> unit
+(** Forget a finished process's slice on every replica. *)
+
+val updates_sent : t -> int
+(** Replication messages this service has put on the interconnect. *)

@@ -1,0 +1,48 @@
+type call =
+  | Open of string
+  | Close of int
+  | Seek of int * int
+  | Dup of int
+  | Futex_wake of int * int
+
+type result_ = Fd of int | Unit | Woken of int
+
+type t = { fdt : Fdtable.t; futex : Futex.t }
+
+let create engine bus ~nodes =
+  { fdt = Fdtable.create engine bus ~nodes; futex = Futex.create engine bus }
+
+let dispatch t ~node ~arch ~pid ~continuation call =
+  Continuation.enter_kernel continuation ~node ~arch;
+  let outcome =
+    match call with
+    | Open path ->
+      let fd, latency = Fdtable.openfile t.fdt ~node ~pid ~path ~flags:0 in
+      Ok (Fd fd, latency)
+    | Close fd -> begin
+      match Fdtable.close t.fdt ~node ~pid fd with
+      | Ok latency -> Ok (Unit, latency)
+      | Error e -> Error e
+    end
+    | Seek (fd, offset) -> begin
+      match Fdtable.seek t.fdt ~node ~pid fd ~offset with
+      | Ok latency -> Ok (Unit, latency)
+      | Error e -> Error e
+    end
+    | Dup fd -> begin
+      match Fdtable.dup t.fdt ~node ~pid fd with
+      | Ok (nfd, latency) -> Ok (Fd nfd, latency)
+      | Error e -> Error e
+    end
+    | Futex_wake (addr, count) ->
+      let woken = Futex.wake t.futex ~addr ~node ~count in
+      Ok (Woken woken, 0.0)
+  in
+  Continuation.exit_kernel continuation ~node;
+  outcome
+
+let futex_wait t ~node ~arch ~tid ~continuation ~addr ~on_wake =
+  Continuation.enter_kernel continuation ~node ~arch;
+  Futex.wait t.futex ~addr ~node ~tid ~on_wake:(fun () ->
+      Continuation.exit_kernel continuation ~node;
+      on_wake ())

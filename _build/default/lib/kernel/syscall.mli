@@ -1,0 +1,54 @@
+(** The syscall boundary.
+
+    "Applications interact with the operating system via a narrow
+    interface: the syscall" (paper Section 4) — and a thread inside a
+    kernel service cannot migrate until the service completes (service
+    atomicity, Section 5.1). This module is that boundary: every call
+    enters the per-ISA kernel continuation, runs the distributed service,
+    and exits; the continuation blocks migration for the duration.
+
+    [Futex_wait] is the interesting case: the thread parks *inside* the
+    kernel, so a migration request issued while it sleeps is deferred
+    until after the wake-up exits the service. *)
+
+type call =
+  | Open of string  (** path *)
+  | Close of int
+  | Seek of int * int  (** fd, offset *)
+  | Dup of int
+  | Futex_wake of int * int  (** address, count *)
+
+type result_ = Fd of int | Unit | Woken of int
+
+type t = {
+  fdt : Fdtable.t;
+  futex : Futex.t;
+}
+
+val create : Sim.Engine.t -> Message.t -> nodes:int -> t
+
+val dispatch :
+  t ->
+  node:int ->
+  arch:Isa.Arch.t ->
+  pid:int ->
+  continuation:Continuation.t ->
+  call ->
+  (result_ * float, string) result
+(** Execute a non-blocking call: enter the kernel, run the service,
+    exit. Returns the result and the service latency. The continuation
+    is balanced on both success and error. *)
+
+val futex_wait :
+  t ->
+  node:int ->
+  arch:Isa.Arch.t ->
+  tid:int ->
+  continuation:Continuation.t ->
+  addr:int ->
+  on_wake:(unit -> unit) ->
+  unit
+(** Blocking call: enters the kernel and parks the thread; the
+    continuation stays in kernel space (migration blocked) until the
+    wake-up delivers, at which point the service exits and [on_wake]
+    runs. *)

@@ -1,0 +1,1 @@
+lib/machine/power.ml: Float Sim

@@ -1,0 +1,1 @@
+lib/machine/server.ml: Format Isa Power

@@ -1,0 +1,1 @@
+lib/machine/server.mli: Format Isa Power

@@ -1,0 +1,21 @@
+(** Inter-server interconnect model.
+
+    The prototype's two motherboards are connected by a Dolphin ICS PXH810
+    PCIe non-transparent bridge (up to 64 Gb/s), the fastest interconnect
+    available when the paper's experiment was designed. *)
+
+type t = {
+  name : string;
+  latency_s : float;  (** one-way message latency for a small message *)
+  bandwidth_bps : float;  (** payload bandwidth, bits per second *)
+}
+
+val dolphin_pxh810 : t
+val ethernet_10g : t
+(** A slower alternative used by ablation benches. *)
+
+val transfer_time : t -> bytes:int -> float
+(** One-way time to move [bytes]: latency + serialization. *)
+
+val page_transfer_time : t -> page_bytes:int -> float
+(** Time for one DSM page move including the request/response round trip. *)

@@ -1,0 +1,5 @@
+let finfet_arm_scale = 0.1
+
+(* McPAT models the processor, so only CPU power scales; the platform
+   (board, DRAM, NIC) and the low-power state are unchanged. *)
+let project_finfet (m : Power.model) = Power.scale m finfet_arm_scale

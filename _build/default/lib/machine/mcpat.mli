@@ -1,0 +1,15 @@
+(** McPAT-style power projection.
+
+    The APM X-Gene 1 is a first-generation development board with
+    sub-optimal power consumption. Following the paper (Section 7, "Job
+    Arrivals and Scheduling"), we use a McPAT-based projection that a future
+    FinFET ARM processor consumes 1/10th of the measured power at the same
+    clock frequency. The projection is applied to the ARM machine in the
+    Figure 12 and Figure 13 experiments. *)
+
+val finfet_arm_scale : float
+(** 0.1 — the paper's projected power ratio for FinFET ARM parts. *)
+
+val project_finfet : Power.model -> Power.model
+(** Scale CPU power by [finfet_arm_scale]. Platform and sleep power are
+    unchanged: McPAT models the processor, not the board. *)

@@ -1,0 +1,31 @@
+(** Server machine models.
+
+    The prototype hardware (paper Section 6):
+    - x86: Intel Xeon E5-1650 v2, 6 cores at 3.5 GHz (hyper-threading
+      disabled), 12 MB LLC, 16 GB RAM;
+    - ARM: Applied Micro X-Gene 1 (APM883208), 8 cores at 2.4 GHz, 8 MB
+      cache, 32 GB RAM. *)
+
+type t = {
+  name : string;
+  arch : Isa.Arch.t;
+  cores : int;
+  cost : Isa.Cost_model.t;
+  power : Power.model;
+  ram_bytes : int;
+  l1i_bytes : int;  (** per-core L1 instruction cache *)
+  l1d_bytes : int;  (** per-core L1 data cache *)
+}
+
+val xeon_e5_1650_v2 : t
+val xgene1 : t
+
+val of_arch : Isa.Arch.t -> t
+(** The prototype machine of that ISA. *)
+
+val with_power : t -> Power.model -> t
+
+val peak_mips : t -> Isa.Cost_model.category -> float
+(** All-cores aggregate MIPS for a workload category. *)
+
+val pp : Format.formatter -> t -> unit

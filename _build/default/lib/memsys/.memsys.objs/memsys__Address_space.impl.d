@@ -1,0 +1,1 @@
+lib/memsys/address_space.ml: Format Isa List Page Printf

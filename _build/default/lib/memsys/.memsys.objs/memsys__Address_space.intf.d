@@ -1,0 +1,1 @@
+lib/memsys/address_space.mli: Format Isa

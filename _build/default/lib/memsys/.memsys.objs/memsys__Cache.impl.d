@@ -1,0 +1,1 @@
+lib/memsys/cache.ml: Float Int64 List

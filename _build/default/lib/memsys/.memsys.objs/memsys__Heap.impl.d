@@ -1,0 +1,1 @@
+lib/memsys/heap.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/memsys/symbol.mli: Format

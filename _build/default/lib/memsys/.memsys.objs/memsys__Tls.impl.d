@@ -1,0 +1,1 @@
+lib/memsys/tls.ml: Isa List Symbol

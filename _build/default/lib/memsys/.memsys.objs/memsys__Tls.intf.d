@@ -1,0 +1,1 @@
+lib/memsys/tls.mli: Isa Symbol

@@ -1,0 +1,67 @@
+type protection = Read | Read_write | Read_exec
+
+type backing =
+  | Anonymous
+  | File of string
+  | Per_isa of (Isa.Arch.t * string) list
+
+type vma = {
+  start : int;
+  len : int;
+  prot : protection;
+  tag : string;
+  backing : backing;
+}
+
+type t = { mutable vmas : vma list (* sorted by start *) }
+
+let create () = { vmas = [] }
+
+let overlaps a b =
+  a.start < b.start + b.len && b.start < a.start + a.len
+
+let map t vma =
+  if vma.len <= 0 then invalid_arg "Address_space.map: non-positive length";
+  if vma.start < 0 then invalid_arg "Address_space.map: negative start";
+  if List.exists (overlaps vma) t.vmas then
+    invalid_arg
+      (Printf.sprintf "Address_space.map: %s overlaps an existing VMA"
+         vma.tag);
+  t.vmas <- List.sort (fun a b -> compare a.start b.start) (vma :: t.vmas)
+
+let unmap t ~start =
+  let found = List.exists (fun v -> v.start = start) t.vmas in
+  if not found then raise Not_found;
+  t.vmas <- List.filter (fun v -> v.start <> start) t.vmas
+
+let find t addr =
+  List.find_opt (fun v -> addr >= v.start && addr < v.start + v.len) t.vmas
+
+let vmas t = t.vmas
+
+let active_text_image t arch =
+  let is_text v = match v.backing with Per_isa _ -> true | _ -> false in
+  match List.find_opt is_text t.vmas with
+  | None -> None
+  | Some v -> begin
+    match v.backing with
+    | Per_isa images -> List.assoc_opt arch images
+    | Anonymous | File _ -> None
+  end
+
+let total_mapped t = List.fold_left (fun acc v -> acc + v.len) 0 t.vmas
+
+let pages t =
+  List.concat_map (fun v -> Page.span ~addr:v.start ~len:v.len) t.vmas
+
+let prot_to_string = function
+  | Read -> "r--"
+  | Read_write -> "rw-"
+  | Read_exec -> "r-x"
+
+let pp ppf t =
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "%#x-%#x %s %s@." v.start (v.start + v.len)
+        (prot_to_string v.prot) v.tag)
+    t.vmas

@@ -1,0 +1,51 @@
+(** A process's virtual address space.
+
+    The address space is a set of non-overlapping virtual memory areas
+    (VMAs). For multi-ISA processes the [.text] VMA is *aliased*: it has one
+    backing per ISA mapped at the same virtual range, and the loader
+    switches the active backing on migration (paper Section 5.1,
+    "Heterogeneous binary loader"). *)
+
+type protection = Read | Read_write | Read_exec
+
+type backing =
+  | Anonymous  (** heap, stack, bss *)
+  | File of string  (** data/rodata backed by the binary image *)
+  | Per_isa of (Isa.Arch.t * string) list
+      (** aliased text: one image per ISA at the same virtual range *)
+
+type vma = {
+  start : int;
+  len : int;
+  prot : protection;
+  tag : string;  (** human-readable region name, e.g. ".text", "[stack]" *)
+  backing : backing;
+}
+
+type t
+
+val create : unit -> t
+
+val map : t -> vma -> unit
+(** Raises [Invalid_argument] if the range overlaps an existing VMA or has
+    non-positive length. *)
+
+val unmap : t -> start:int -> unit
+(** Remove the VMA starting exactly at [start]. Raises [Not_found]. *)
+
+val find : t -> int -> vma option
+(** VMA containing the address, if any. *)
+
+val vmas : t -> vma list
+(** All VMAs sorted by start address. *)
+
+val active_text_image : t -> Isa.Arch.t -> string option
+(** For an aliased text VMA: the image name the given ISA executes. *)
+
+val total_mapped : t -> int
+(** Sum of VMA lengths in bytes. *)
+
+val pages : t -> int list
+(** All mapped page numbers, ascending. *)
+
+val pp : Format.formatter -> t -> unit

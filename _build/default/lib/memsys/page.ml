@@ -1,0 +1,13 @@
+let size = 4096
+let number addr = addr / size
+let base addr = addr / size * size
+let offset addr = addr mod size
+let round_up addr = (addr + size - 1) / size * size
+let count ~bytes = (bytes + size - 1) / size
+
+let span ~addr ~len =
+  if len <= 0 then []
+  else begin
+    let first = number addr and last = number (addr + len - 1) in
+    List.init (last - first + 1) (fun i -> first + i)
+  end

@@ -1,0 +1,25 @@
+(** Page constants and address helpers. Addresses are byte offsets in a
+    64-bit virtual address space, represented as [int] (OCaml ints are 63
+    bits, ample for user-space addresses). *)
+
+val size : int
+(** 4096 bytes on both ISAs. *)
+
+val number : int -> int
+(** Page number containing an address. *)
+
+val base : int -> int
+(** Base address of the page containing an address. *)
+
+val offset : int -> int
+(** Offset within the page. *)
+
+val round_up : int -> int
+(** Round an address/length up to a page boundary. *)
+
+val count : bytes:int -> int
+(** Number of pages needed to hold [bytes]. *)
+
+val span : addr:int -> len:int -> int list
+(** Page numbers touched by the byte range [\[addr, addr+len)]. Empty when
+    [len <= 0]. *)

@@ -1,0 +1,34 @@
+(** Thread-local storage layout.
+
+    Natively, ARM64 uses TLS "variant 1" (offsets grow *upwards* from the
+    thread pointer, after a 16-byte TCB) while x86-64 uses "variant 2"
+    (offsets grow *downwards*, negative relative to the thread pointer).
+    The same [__thread] variable therefore lands at different offsets on
+    each ISA, breaking the common-address-space requirement.
+
+    The paper modifies musl-libc and the gold linker so that *all* binaries
+    use the x86-64 TLS symbol mapping (Section 5.2.2, "Thread-Local
+    Storage"). [Common_x86] implements that scheme. *)
+
+type scheme =
+  | Native of Isa.Arch.t
+  | Common_x86  (** the multi-ISA toolchain's unified layout *)
+
+type slot = { symbol : string; offset : int; size : int }
+
+type layout = {
+  scheme : scheme;
+  slots : slot list;
+  block_size : int;  (** total TLS block size in bytes *)
+}
+
+val layout : scheme -> Symbol.t list -> layout
+(** Assign an offset (relative to the thread pointer) to every [Tdata] /
+    [Tbss] symbol, honouring each symbol's alignment. Non-TLS symbols are
+    ignored. *)
+
+val offset_of : layout -> string -> int option
+
+val compatible : layout -> layout -> bool
+(** Two layouts are compatible when every symbol has the same offset in
+    both — the condition L_i^A = L_i^B of the paper's Section 4. *)

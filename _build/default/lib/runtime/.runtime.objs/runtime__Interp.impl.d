@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Char Compiler Hashtbl Int64 Ir Isa List Memsys Printf Ra_encoding Regfile Stack_mem String Thread_state

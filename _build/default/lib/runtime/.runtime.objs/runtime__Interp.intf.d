@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Compiler Isa Thread_state

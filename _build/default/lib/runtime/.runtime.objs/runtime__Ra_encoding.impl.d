@@ -1,0 +1,1 @@
+lib/runtime/ra_encoding.ml: Char Compiler Ir Isa List Printf String

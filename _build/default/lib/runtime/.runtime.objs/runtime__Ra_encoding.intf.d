@@ -1,0 +1,1 @@
+lib/runtime/ra_encoding.mli: Compiler Isa

@@ -1,0 +1,1 @@
+lib/runtime/regfile.ml: Array Hashtbl Int64 Isa List Printf

@@ -1,0 +1,1 @@
+lib/runtime/regfile.mli: Isa

@@ -1,0 +1,1 @@
+lib/runtime/stack_mem.mli:

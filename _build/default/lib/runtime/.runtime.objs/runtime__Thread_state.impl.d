@@ -1,0 +1,1 @@
+lib/runtime/thread_state.ml: Compiler Format Ir Isa List Regfile Stack_mem

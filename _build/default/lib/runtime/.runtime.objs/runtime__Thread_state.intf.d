@@ -1,0 +1,1 @@
+lib/runtime/thread_state.mli: Compiler Format Isa Regfile Stack_mem

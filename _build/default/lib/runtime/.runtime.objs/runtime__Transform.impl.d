@@ -1,0 +1,1 @@
+lib/runtime/transform.ml: Array Compiler Hashtbl Int64 Interp Ir Isa List Printf Ra_encoding Regfile Stack_mem Thread_state

@@ -1,0 +1,1 @@
+lib/runtime/transform.mli: Compiler Thread_state

@@ -1,0 +1,258 @@
+exception Stop
+
+(* Deterministic lane values for a local: both ISAs materialize identical
+   values, which is what makes cross-ISA state comparison meaningful.
+   Values are arrays of 64-bit lanes: 1 for scalars, 2 for V128. *)
+let scalar_lane fname vname lane =
+  let s = Printf.sprintf "%s.%s/%d" fname vname lane in
+  let h = ref 0x12345L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
+
+let materialize_lanes fname vname (ty : Ir.Ty.t) =
+  let raw i = scalar_lane fname vname i in
+  match ty with
+  | Ir.Ty.I8 -> [| Int64.logand (raw 0) 0xFFL |]
+  | Ir.Ty.I16 -> [| Int64.logand (raw 0) 0xFFFFL |]
+  | Ir.Ty.I32 | Ir.Ty.F32 -> [| Int64.logand (raw 0) 0xFFFFFFFFL |]
+  | Ir.Ty.I64 | Ir.Ty.F64 | Ir.Ty.Ptr -> [| raw 0 |]
+  | Ir.Ty.V128 -> [| raw 0; raw 1 |]
+
+let set_key st fname key =
+  match st.Thread_state.frames with
+  | f :: rest when f.Thread_state.fname = fname ->
+    st.Thread_state.frames <- { f with key } :: rest
+  | _ -> failwith "Interp: frame mismatch"
+
+(* Multi-lane slot access: lane [i] lives at [base + 8i]. *)
+let read_slot_lanes stack ~fp ~off ~lanes =
+  Array.init lanes (fun i -> Stack_mem.read stack (fp - off + (8 * i)))
+
+let write_slot_lanes stack ~fp ~off value =
+  Array.iteri (fun i v -> Stack_mem.write stack (fp - off + (8 * i)) v) value
+
+let reg_lanes (r : Isa.Register.t) = if Isa.Register.is_vector r then 2 else 1
+
+(* The process heap: part of P, identity-mapped across ISAs. Both ISAs
+   replay the same deterministic allocation sequence, so every heap
+   pointer has the same value on either side of a migration. *)
+let heap_base = 0x10_0000_0000
+let heap_bytes = 4 * 1024 * 1024
+
+type ctx = {
+  tc : Compiler.Toolchain.t;
+  per : Compiler.Toolchain.per_isa;
+  st : Thread_state.t;
+  base_of : string -> int;
+  heap : Memsys.Heap.t;
+  stop_at : (string * int) option;  (* function, mig point id *)
+  mutable checks : int;
+}
+
+let rec exec_func ctx fname ~args ~ra ~caller_sp =
+  let arch = ctx.st.Thread_state.arch in
+  let func = Ir.Prog.find_func ctx.tc.Compiler.Toolchain.prog fname in
+  let frame_info = Compiler.Toolchain.frame_of ctx.per fname in
+  let uw = Compiler.Toolchain.unwind_of ctx.per fname in
+  let stack = ctx.st.Thread_state.stack in
+  let regs = ctx.st.Thread_state.regs in
+  let types = Hashtbl.create 16 in
+  List.iter
+    (fun (v : Ir.Prog.var) -> Hashtbl.replace types v.Ir.Prog.vname v.Ir.Prog.ty)
+    (Ir.Prog.locals func);
+  let ty_of name =
+    match Hashtbl.find_opt types name with Some ty -> ty | None -> Ir.Ty.I64
+  in
+  (* Frame record: [fp] = saved caller FP, [fp+8] = return address. *)
+  let fp = caller_sp - 16 in
+  let sp = fp + 16 - frame_info.Compiler.Backend.frame_bytes in
+  Stack_mem.write stack fp (Int64.of_int (Regfile.get_fp regs));
+  Stack_mem.write stack (fp + 8) (Int64.of_int ra);
+  (* Prologue: spill the callee-saved registers this function will use
+     (GPRs one word, vector registers two). *)
+  List.iter
+    (fun (r, off) ->
+      write_slot_lanes stack ~fp ~off (Regfile.get_lanes regs r (reg_lanes r)))
+    uw.Compiler.Unwind.saved_registers;
+  Regfile.set_fp regs fp;
+  Regfile.set_sp regs sp;
+  ctx.st.Thread_state.frames <-
+    { Thread_state.fname; key = (Ir.Liveness.At_call, -1); fp; sp }
+    :: ctx.st.Thread_state.frames;
+  let write_local name (v : int64 array) =
+    match Compiler.Backend.location_of frame_info name with
+    | Compiler.Backend.In_register r -> Regfile.set_lanes regs r v
+    | Compiler.Backend.In_slot off -> write_slot_lanes stack ~fp ~off v
+  in
+  let read_local name =
+    let lanes = Ir.Ty.lanes (ty_of name) in
+    match Compiler.Backend.location_of frame_info name with
+    | Compiler.Backend.In_register r -> Regfile.get_lanes regs r lanes
+    | Compiler.Backend.In_slot off -> read_slot_lanes stack ~fp ~off ~lanes
+  in
+  let local_addr name =
+    match Compiler.Backend.location_of frame_info name with
+    | Compiler.Backend.In_slot off -> fp - off
+    | Compiler.Backend.In_register _ ->
+      failwith
+        (Printf.sprintf "Interp: address taken of register local %s.%s" fname
+           name)
+  in
+  (* Parameter passing: arguments arrive in argument registers, the
+     prologue moves them to their homes. *)
+  List.iter2
+    (fun (p : Ir.Prog.var) v -> write_local p.Ir.Prog.vname v)
+    func.Ir.Prog.params args;
+  let materialize (v : Ir.Prog.var) =
+    match v.Ir.Prog.init with
+    | Ir.Prog.Scalar -> materialize_lanes fname v.vname v.ty
+    | Ir.Prog.Ptr_to_local target -> [| Int64.of_int (local_addr target) |]
+    | Ir.Prog.Ptr_to_global g -> [| Int64.of_int (ctx.base_of g) |]
+    | Ir.Prog.Ptr_to_heap bytes -> begin
+      match Memsys.Heap.malloc ctx.heap bytes with
+      | Some addr -> [| Int64.of_int addr |]
+      | None -> failwith (Printf.sprintf "Interp: heap exhausted in %s" fname)
+    end
+  in
+  let rec exec_stmts body = List.iter exec_stmt body
+  and exec_stmt = function
+    | Ir.Prog.Work _ -> ()
+    | Ir.Prog.Def v -> write_local v.Ir.Prog.vname (materialize v)
+    | Ir.Prog.Use x -> ignore (read_local x)
+    | Ir.Prog.Mig_point id ->
+      ctx.checks <- ctx.checks + 1;
+      set_key ctx.st fname (Ir.Liveness.At_mig_point, id);
+      begin
+        match ctx.stop_at with
+        | Some (f, i) when f = fname && i = id -> raise Stop
+        | Some _ | None -> ()
+      end
+    | Ir.Prog.Call c ->
+      set_key ctx.st fname (Ir.Liveness.At_call, c.site_id);
+      let args = List.map read_local c.args in
+      let ra =
+        Ra_encoding.encode arch ~base_of:ctx.base_of ~fname
+          ~key:(Ir.Liveness.At_call, c.site_id)
+      in
+      exec_func ctx c.callee ~args ~ra ~caller_sp:sp;
+      (* Back in this frame: re-establish our SP/FP. *)
+      Regfile.set_fp regs fp;
+      Regfile.set_sp regs sp
+    | Ir.Prog.Loop l -> exec_stmts l.Ir.Prog.body
+  in
+  exec_stmts func.Ir.Prog.body;
+  (* Epilogue: restore callee-saved registers, pop the frame. *)
+  List.iter
+    (fun (r, off) ->
+      Regfile.set_lanes regs r
+        (read_slot_lanes stack ~fp ~off ~lanes:(reg_lanes r)))
+    uw.Compiler.Unwind.saved_registers;
+  begin
+    match ctx.st.Thread_state.frames with
+    | _ :: rest -> ctx.st.Thread_state.frames <- rest
+    | [] -> failwith "Interp: pop of empty frame list"
+  end;
+  Regfile.set_fp regs (Int64.to_int (Stack_mem.read stack fp))
+
+let make_ctx tc arch ~stop_at =
+  let per = Compiler.Toolchain.for_arch tc arch in
+  let st = Thread_state.create arch in
+  { tc; per; st;
+    base_of = (fun name -> Compiler.Toolchain.symbol_address tc name);
+    heap = Memsys.Heap.create ~base:heap_base ~bytes:heap_bytes;
+    stop_at; checks = 0 }
+
+let start ctx =
+  let entry = ctx.tc.Compiler.Toolchain.prog.Ir.Prog.entry in
+  let top = Stack_mem.hi ctx.st.Thread_state.active in
+  Regfile.set_fp ctx.st.Thread_state.regs 0;
+  exec_func ctx entry ~args:[] ~ra:0 ~caller_sp:top
+
+let state_at tc arch ~fname ~mig_id =
+  let ctx = make_ctx tc arch ~stop_at:(Some (fname, mig_id)) in
+  match start ctx with
+  | () -> None
+  | exception Stop ->
+    (* Freeze the PC at the migration point. *)
+    let inner = Thread_state.innermost ctx.st in
+    Regfile.set_pc ctx.st.Thread_state.regs
+      (Int64.of_int
+         (Ra_encoding.encode arch ~base_of:ctx.base_of
+            ~fname:inner.Thread_state.fname ~key:inner.Thread_state.key));
+    Some ctx.st
+
+let run_to_completion tc arch =
+  let ctx = make_ctx tc arch ~stop_at:None in
+  start ctx;
+  assert (ctx.st.Thread_state.frames = []);
+  ctx.checks
+
+let reachable_mig_sites tc =
+  let prog = tc.Compiler.Toolchain.prog in
+  let graph = Ir.Callgraph.build prog in
+  let reachable = Ir.Callgraph.reachable graph prog.Ir.Prog.entry in
+  List.concat_map
+    (fun fname ->
+      List.map
+        (fun id -> (fname, id))
+        (Ir.Prog.mig_points (Ir.Prog.find_func prog fname)))
+    reachable
+
+let live_values tc st (frame : Thread_state.frame) =
+  let per = Compiler.Toolchain.for_arch tc st.Thread_state.arch in
+  let entry =
+    match
+      Compiler.Stackmap.find per.Compiler.Toolchain.stackmaps
+        ~fname:frame.Thread_state.fname ~key:frame.Thread_state.key
+    with
+    | Some e -> e
+    | None ->
+      failwith
+        (Printf.sprintf "Interp.live_values: no stackmap for %s"
+           frame.Thread_state.fname)
+  in
+  (* Frames strictly inner to [frame], ordered from frame's direct callee
+     towards the innermost. *)
+  let inner_frames =
+    let rec before acc = function
+      | [] -> failwith "Interp.live_values: frame not on stack"
+      | f :: rest ->
+        if f == frame || f = frame then List.rev acc else before (f :: acc) rest
+    in
+    List.rev (before [] st.Thread_state.frames)
+  in
+  let resolve_register r ~lanes =
+    let saved_in f =
+      let uw = Compiler.Toolchain.unwind_of per f.Thread_state.fname in
+      match Compiler.Unwind.saved_offset uw r with
+      | Some off ->
+        Some
+          (read_slot_lanes st.Thread_state.stack ~fp:f.Thread_state.fp ~off
+             ~lanes)
+      | None -> None
+    in
+    let rec search = function
+      | [] -> Regfile.get_lanes st.Thread_state.regs r lanes
+      | f :: rest -> begin
+        match saved_in f with
+        | Some v -> v
+        | None -> search rest
+      end
+    in
+    search inner_frames
+  in
+  List.map
+    (fun (name, (tl : Compiler.Stackmap.ty_loc)) ->
+      let lanes = Ir.Ty.lanes tl.Compiler.Stackmap.ty in
+      let v =
+        match tl.Compiler.Stackmap.loc with
+        | Compiler.Backend.In_slot off ->
+          read_slot_lanes st.Thread_state.stack ~fp:frame.Thread_state.fp ~off
+            ~lanes
+        | Compiler.Backend.In_register r -> resolve_register r ~lanes
+      in
+      (name, v))
+    entry.Compiler.Stackmap.live

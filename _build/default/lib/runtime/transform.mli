@@ -1,0 +1,43 @@
+(** Stack transformation between ISA-specific ABIs (paper Section 5.3).
+
+    At a migration point the runtime rewrites the thread's user stack
+    frame-by-frame from the source ISA's layout to the destination ISA's
+    layout, into the other half of the stack region:
+
+    - live values are located through the source stackmap (stack slots
+      read directly; register-allocated values recovered from the
+      callee-saved save area of the first inner frame that spilled the
+      register, or from the live register file);
+    - values are placed according to the destination stackmap, following
+      the destination ABI's register-save procedure for callee-saved
+      registers;
+    - return addresses are re-encoded for the destination ISA through the
+      cross-ISA site mapping;
+    - pointers into the source stack are fixed up to point at the
+      corresponding destination slot; pointers to globals/heap are copied
+      verbatim (the common address-space layout keeps them valid);
+    - finally the register state r_AB(R) is established: PC, SP and FP
+      refer to the destination frame chain. *)
+
+type cost = {
+  frames : int;
+  values_copied : int;
+  pointers_fixed : int;
+  latency_s : float;  (** simulated latency on the source machine *)
+}
+
+val transform :
+  Compiler.Toolchain.t -> Thread_state.t -> (Thread_state.t * cost, string) result
+(** Transform a suspended thread state to the other ISA of the binary.
+    The innermost frame must be suspended at a migration point; outer
+    frames at call sites. Errors (rather than raises) on metadata
+    inconsistencies — e.g. a live stack pointer with no destination slot. *)
+
+val verify :
+  Compiler.Toolchain.t -> Thread_state.t -> Thread_state.t -> (unit, string) result
+(** Check semantic equivalence of source and destination states: same
+    frame chain (functions + suspension sites) and identical live values
+    frame-by-frame, with stack pointers compared structurally (pointing at
+    the matching slot) rather than bitwise. *)
+
+val latency_us : cost -> float

@@ -1,0 +1,1 @@
+lib/sched/arrival.ml: Array Job List Sim Workload

@@ -1,0 +1,1 @@
+lib/sched/arrival.mli: Job Workload

@@ -1,0 +1,1 @@
+lib/sched/job.ml: Format Workload

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Array Float Format Fun Job Kernel List Machine Policy Printf Queue Sim String Workload

@@ -1,0 +1,41 @@
+let job_pool =
+  let open Workload.Spec in
+  [
+    (CG, A); (CG, B); (IS, A); (IS, B); (IS, C); (FT, A); (EP, A); (EP, B);
+    (MG, A); (MG, B); (BT, A); (SP, A); (Bzip2smp, A); (Bzip2smp, B);
+    (Verus, A); (Verus, B); (Verus, C);
+  ]
+
+let thread_counts = [| 1; 2; 4 |]
+
+let draw_job rng jid arrival =
+  let bench, cls = Sim.Prng.choice rng (Array.of_list job_pool) in
+  let threads = Sim.Prng.choice rng thread_counts in
+  Job.make ~jid ~spec:(Workload.Spec.spec bench cls) ~threads ~arrival
+
+let sustained ~seed ~jobs =
+  let rng = Sim.Prng.create seed in
+  List.init jobs (fun jid -> draw_job rng jid 0.0)
+
+let periodic ~seed ~waves ~max_per_wave =
+  let rng = Sim.Prng.create seed in
+  (* Sets differ widely in how full their waves are — from near-idle
+     bursts to machine-filling ones — which is what spreads the per-set
+     energy savings of Figure 13. *)
+  let density =
+    let u = Sim.Prng.float_in rng 0.0 1.0 in
+    0.1 +. (0.9 *. u *. sqrt u)
+  in
+  let rec build wave time jid acc =
+    if wave >= waves then List.rev acc
+    else begin
+      let target =
+        max 1 (int_of_float (density *. float_of_int max_per_wave))
+      in
+      let count = max 1 (min max_per_wave (Sim.Prng.int_in rng (target - 1) (target + 1))) in
+      let batch = List.init count (fun i -> draw_job rng (jid + i) time) in
+      let gap = Sim.Prng.float_in rng 60.0 240.0 in
+      build (wave + 1) (time +. gap) (jid + count) (List.rev_append batch acc)
+    end
+  in
+  build 0 0.0 0 []

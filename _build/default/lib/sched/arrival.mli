@@ -1,0 +1,19 @@
+(** Workload-set generators (paper Section 7, "Job Arrivals and
+    Scheduling").
+
+    Job mixes are drawn uniformly from the benchmark pool (NPB classes
+    A/B/C plus bzip2smp and Verus) with 1-4 threads, matching the paper's
+    uniform-distribution sets. *)
+
+val job_pool : (Workload.Spec.bench * Workload.Spec.cls) list
+(** The benchmarks jobs are drawn from. *)
+
+val sustained : seed:int -> jobs:int -> Job.t list
+(** A sustained workload: [jobs] jobs all available from t=0; the
+    scheduler admits a new one as soon as one finishes (the paper's 10
+    sets of 40 jobs). *)
+
+val periodic :
+  seed:int -> waves:int -> max_per_wave:int -> Job.t list
+(** Periodic arrivals: waves of up to [max_per_wave] jobs spaced uniformly
+    60-240 s apart (the paper's 10 sets of 5 waves of <= 14 jobs). *)

@@ -1,0 +1,36 @@
+type t =
+  | Static_x86_pair
+  | Static_het_balanced
+  | Static_het_unbalanced
+  | Dynamic_balanced
+  | Dynamic_unbalanced
+
+let all =
+  [ Static_x86_pair; Static_het_balanced; Static_het_unbalanced;
+    Dynamic_balanced; Dynamic_unbalanced ]
+
+let name = function
+  | Static_x86_pair -> "static-x86x2"
+  | Static_het_balanced -> "static-het-balanced"
+  | Static_het_unbalanced -> "static-het-unbalanced"
+  | Dynamic_balanced -> "dynamic-balanced"
+  | Dynamic_unbalanced -> "dynamic-unbalanced"
+
+let is_dynamic = function
+  | Dynamic_balanced | Dynamic_unbalanced -> true
+  | Static_x86_pair | Static_het_balanced | Static_het_unbalanced -> false
+
+let projected_xgene =
+  Machine.Server.with_power Machine.Server.xgene1
+    (Machine.Mcpat.project_finfet Machine.Server.xgene1.Machine.Server.power)
+
+let machines = function
+  | Static_x86_pair ->
+    [ Machine.Server.xeon_e5_1650_v2; Machine.Server.xeon_e5_1650_v2 ]
+  | Static_het_balanced | Static_het_unbalanced | Dynamic_balanced
+  | Dynamic_unbalanced ->
+    [ Machine.Server.xeon_e5_1650_v2; projected_xgene ]
+
+let share = function
+  | Static_x86_pair | Static_het_balanced | Dynamic_balanced -> [| 0.5; 0.5 |]
+  | Static_het_unbalanced | Dynamic_unbalanced -> [| 0.75; 0.25 |]

@@ -1,0 +1,29 @@
+(** Scheduling policies (paper Section 6, "Job Scheduling").
+
+    Static policies assign a job to a machine at admission and can never
+    move it; dynamic policies additionally migrate running jobs between
+    the ARM and x86 machines through the heterogeneous-ISA migration
+    mechanism. Balanced policies equalize thread counts across machines;
+    unbalanced policies deliberately keep more threads on the x86 (the
+    insight from DeVuyst et al. that unbalanced schedules can save
+    energy). *)
+
+type t =
+  | Static_x86_pair  (** two identical x86 servers, balanced, no migration *)
+  | Static_het_balanced  (** x86 + ARM, balanced, no migration *)
+  | Static_het_unbalanced  (** x86 + ARM, x86-heavy, no migration *)
+  | Dynamic_balanced  (** x86 + ARM, balanced via migration *)
+  | Dynamic_unbalanced  (** x86 + ARM, x86-heavy via migration *)
+
+val all : t list
+val name : t -> string
+val is_dynamic : t -> bool
+
+val machines : t -> Machine.Server.t list
+(** The two servers the policy schedules onto. Heterogeneous policies use
+    the Xeon plus the X-Gene with the McPAT FinFET power projection
+    applied (as the paper does for the scheduling study). *)
+
+val share : t -> float array
+(** Target share of running threads per machine, summing to 1. The
+    unbalanced policies put 3/4 of the threads on the x86. *)

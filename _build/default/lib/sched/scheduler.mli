@@ -1,0 +1,37 @@
+(** The datacenter scheduler: admission, placement, rebalancing.
+
+    Runs a job set under a policy on a two-server Popcorn ensemble and
+    reports the metrics of Figures 12-13: per-machine energy, makespan,
+    and energy-delay product. Idle machines enter the low-power state
+    (consolidation); dynamic policies periodically compare loads against
+    the policy's target share and migrate jobs to correct deviations. *)
+
+type result = {
+  policy : Policy.t;
+  makespan : float;  (** seconds until the last job completes *)
+  energy : float array;  (** joules per machine *)
+  total_energy : float;
+  edp : float;  (** total energy x makespan, J*s *)
+  migrations : int;  (** thread migrations performed *)
+  completed : int;  (** jobs finished (always = #jobs on success) *)
+}
+
+type admission = Fcfs | Sjf
+(** Queue ordering at admission: first-come-first-served (the paper's
+    setup) or shortest-job-first (part of the policy space the paper
+    leaves as future work). *)
+
+val run :
+  ?quantum_instructions:float ->
+  ?rebalance_period:float ->
+  ?admission:admission ->
+  Policy.t ->
+  Job.t list ->
+  result
+(** Simulate to completion. [quantum_instructions] is the phase length
+    (default 1e8); [rebalance_period] the dynamic policies' load-check
+    interval (default 2 s); [admission] the queue order (default
+    [Fcfs]). Jobs wider than every machine are rejected at submission
+    (reflected by [completed] falling short of the job count). *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,95 @@
+(* A binary min-heap keyed on (time, sequence number): the sequence number
+   breaks ties so that simultaneous events fire in insertion order. *)
+
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.0; seq = 0; action = (fun () -> ()) }
+let create () = { heap = Array.make 64 dummy; size = 0; clock = 0.0; next_seq = 0 }
+let now t = t.clock
+let pending t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let push t ev =
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  assert (t.size > 0);
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  (* Sift down. *)
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+  done;
+  top
+
+let schedule t ~at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%g is before now=%g" at t.clock);
+  let ev = { time = at; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let schedule_in t ~after action = schedule t ~at:(t.clock +. after) action
+
+let run t =
+  while t.size > 0 do
+    let ev = pop t in
+    t.clock <- ev.time;
+    ev.action ()
+  done
+
+let run_until t limit =
+  let continue = ref true in
+  while !continue do
+    if t.size = 0 || t.heap.(0).time > limit then continue := false
+    else begin
+      let ev = pop t in
+      t.clock <- ev.time;
+      ev.action ()
+    end
+  done;
+  if t.clock < limit then t.clock <- limit

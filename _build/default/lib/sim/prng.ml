@@ -1,0 +1,66 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = next_int64 t }
+let copy t = { state = t.state }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the result is a non-negative OCaml int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+(* 53-bit mantissa from the top bits, uniform in [0, 1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = unit_float t *. bound
+let float_in t lo hi = lo +. (unit_float t *. (hi -. lo))
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let gaussian t ~mean ~stddev =
+  let rec draw () =
+    let u = unit_float t in
+    if u <= 1e-300 then draw () else u
+  in
+  let u1 = draw () and u2 = unit_float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let exponential t ~mean =
+  let rec draw () =
+    let u = unit_float t in
+    if u <= 1e-300 then draw () else u
+  in
+  -.mean *. log (draw ())
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mean:mu ~stddev:sigma)
+
+let choice t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,104 @@
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  median : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (List.length xs - 1))
+
+let sorted_array xs =
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  arr
+
+let quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.quantile: empty";
+  if q <= 0.0 then sorted.(0)
+  else if q >= 1.0 then sorted.(n - 1)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let frac = pos -. float_of_int lo in
+    if lo + 1 >= n then sorted.(n - 1)
+    else sorted.(lo) +. (frac *. (sorted.(lo + 1) -. sorted.(lo)))
+  end
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+    let arr = sorted_array xs in
+    {
+      n = Array.length arr;
+      min = arr.(0);
+      max = arr.(Array.length arr - 1);
+      mean = mean xs;
+      stddev = stddev xs;
+      median = quantile arr 0.5;
+    }
+
+type boxplot = {
+  bmin : float;
+  q1 : float;
+  bmedian : float;
+  q3 : float;
+  bmax : float;
+}
+
+let boxplot xs =
+  match xs with
+  | [] -> invalid_arg "Stats.boxplot: empty"
+  | _ ->
+    let arr = sorted_array xs in
+    {
+      bmin = arr.(0);
+      q1 = quantile arr 0.25;
+      bmedian = quantile arr 0.5;
+      q3 = quantile arr 0.75;
+      bmax = arr.(Array.length arr - 1);
+    }
+
+let pp_boxplot ppf b =
+  Format.fprintf ppf "min=%.1f q1=%.1f med=%.1f q3=%.1f max=%.1f" b.bmin b.q1
+    b.bmedian b.q3 b.bmax
+
+type histogram = {
+  bucket_lo : float array;
+  counts : int array;
+}
+
+let log_histogram ~base ~buckets xs =
+  assert (base > 1.0 && buckets > 0);
+  let counts = Array.make buckets 0 in
+  let bucket_of x =
+    if x < 1.0 then 0
+    else begin
+      let b = int_of_float (Float.floor (log x /. log base)) in
+      if b >= buckets then buckets - 1 else b
+    end
+  in
+  List.iter (fun x -> counts.(bucket_of x) <- counts.(bucket_of x) + 1) xs;
+  let bucket_lo = Array.init buckets (fun i -> base ** float_of_int i) in
+  { bucket_lo; counts }
+
+let geometric_mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geometric_mean: empty"
+  | _ ->
+    let s = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (s /. float_of_int (List.length xs))

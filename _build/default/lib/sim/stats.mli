@@ -1,0 +1,47 @@
+(** Descriptive statistics used throughout the evaluation harness. *)
+
+type summary = {
+  n : int;
+  min : float;
+  max : float;
+  mean : float;
+  stddev : float;
+  median : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+
+val quantile : float array -> float -> float
+(** [quantile sorted q] with [q] in [\[0,1\]]; linear interpolation between
+    order statistics. The array must be sorted ascending. *)
+
+type boxplot = {
+  bmin : float;
+  q1 : float;
+  bmedian : float;
+  q3 : float;
+  bmax : float;
+}
+
+val boxplot : float list -> boxplot
+(** Five-number summary (min, Q1, median, Q3, max), as in the paper's
+    Figure 10. Raises [Invalid_argument] on the empty list. *)
+
+val pp_boxplot : Format.formatter -> boxplot -> unit
+
+type histogram = {
+  bucket_lo : float array;  (** inclusive lower edge of each bucket *)
+  counts : int array;
+}
+
+val log_histogram : base:float -> buckets:int -> float list -> histogram
+(** Logarithmic histogram: bucket [i] covers [\[base^i, base^(i+1))];
+    values below 1.0 land in bucket 0, values beyond the last bucket in the
+    last. Used for the migration-point interval distributions (Figs. 3-5). *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values. *)

@@ -1,0 +1,48 @@
+type t = { mutable tbl : (string * (float * float) list ref) list }
+
+let create () = { tbl = [] }
+
+let find_or_add t name =
+  match List.assoc_opt name t.tbl with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    t.tbl <- (name, r) :: t.tbl;
+    r
+
+let record t ~series ~time v =
+  let r = find_or_add t series in
+  r := (time, v) :: !r
+
+let series t name =
+  match List.assoc_opt name t.tbl with
+  | None -> []
+  | Some r -> List.rev !r
+
+let series_names t = List.sort compare (List.map fst t.tbl)
+
+let resample samples ~dt ~t_end =
+  let n = int_of_float (Float.ceil (t_end /. dt)) in
+  let out = Array.make (max n 0) 0.0 in
+  let rec fill samples current i =
+    if i >= Array.length out then ()
+    else begin
+      let time = float_of_int i *. dt in
+      match samples with
+      | (st, sv) :: rest when st <= time -> fill rest sv i
+      | _ ->
+        out.(i) <- current;
+        fill samples current (i + 1)
+    end
+  in
+  fill samples 0.0 0;
+  out
+
+let integrate samples ~t_end =
+  let rec go acc prev_t prev_v = function
+    | [] -> acc +. ((t_end -. prev_t) *. prev_v)
+    | (st, sv) :: rest ->
+      if st >= t_end then acc +. ((t_end -. prev_t) *. prev_v)
+      else go (acc +. ((st -. prev_t) *. prev_v)) st sv rest
+  in
+  go 0.0 0.0 0.0 samples

@@ -1,0 +1,23 @@
+(** Time-series recording, used for the power/load traces of Figure 11. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> series:string -> time:float -> float -> unit
+(** Append a [(time, value)] sample to the named series. *)
+
+val series : t -> string -> (float * float) list
+(** Samples of a series in chronological order (empty if unknown). *)
+
+val series_names : t -> string list
+(** All series names, sorted. *)
+
+val resample : (float * float) list -> dt:float -> t_end:float -> float array
+(** [resample samples ~dt ~t_end] converts a step signal (value holds until
+    the next sample) into a dense array with period [dt] covering
+    [\[0, t_end)]. Before the first sample the value is 0. *)
+
+val integrate : (float * float) list -> t_end:float -> float
+(** Integral of the step signal over [\[0, t_end\]] — e.g. energy in joules
+    from a power series in watts. *)

@@ -1,0 +1,1 @@
+lib/workload/programs.ml: Hashtbl Ir Isa List Memsys Printf Spec

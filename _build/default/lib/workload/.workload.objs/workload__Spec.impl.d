@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Array Float Fun Isa Kernel List Memsys Printf

@@ -1,0 +1,24 @@
+(** IR models of the benchmark applications.
+
+    Each builder reproduces the benchmark's call structure (the functions
+    the paper names, e.g. NPB FT's [fftz2] or IS's [full_verify]), its
+    instruction mix, and a class-scaled dynamic instruction total matching
+    {!Spec.spec}. The programs carry locals — including address-taken
+    buffers and pointers — so compiling and migrating them exercises every
+    part of the toolchain and the stack-transformation runtime. *)
+
+val program : Spec.bench -> Spec.cls -> Ir.Prog.t
+(** The un-instrumented program (no migration points yet). *)
+
+val total_dynamic : Ir.Prog.t -> float
+(** Whole-program dynamic instruction count for one run: per-function
+    dynamic work weighted by interprocedural call multiplicity. Raises
+    [Invalid_argument] for recursive programs. *)
+
+val total_checks : Ir.Prog.t -> float
+(** Whole-program count of migration-point checks executed during one run
+    (same interprocedural weighting as {!total_dynamic}). *)
+
+val deepest_chain : Ir.Prog.t -> int
+(** Longest call chain from the entry — the maximum stack depth the
+    transformation runtime will see. *)

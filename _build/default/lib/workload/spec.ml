@@ -1,0 +1,109 @@
+type bench = CG | IS | FT | EP | BT | SP | MG | LU | Bzip2smp | Verus | Redis
+type cls = A | B | C
+
+type t = {
+  bench : bench;
+  cls : cls;
+  name : string;
+  total_instructions : float;
+  category : Isa.Cost_model.category;
+  footprint_bytes : int;
+}
+
+let bench_to_string = function
+  | CG -> "cg"
+  | IS -> "is"
+  | FT -> "ft"
+  | EP -> "ep"
+  | BT -> "bt"
+  | SP -> "sp"
+  | MG -> "mg"
+  | LU -> "lu"
+  | Bzip2smp -> "bzip2smp"
+  | Verus -> "verus"
+  | Redis -> "redis"
+
+let cls_to_string = function A -> "A" | B -> "B" | C -> "C"
+
+let all_benches = [ CG; IS; FT; EP; BT; SP; MG; LU; Bzip2smp; Verus; Redis ]
+let npb = [ CG; IS; FT; EP; BT; SP; MG; LU ]
+let classes = [ A; B; C ]
+
+let mib n = n * 1024 * 1024
+
+(* (instructions A, B, C), category, (footprint A, B, C). *)
+let table = function
+  | CG ->
+    ((2.0e9, 5.0e10, 1.3e11), Isa.Cost_model.Memory, (mib 56, mib 120, mib 900))
+  | IS ->
+    ((2.5e9, 3.0e10, 1.2e11), Isa.Cost_model.Memory, (mib 33, mib 134, mib 540))
+  | FT ->
+    ((5.0e9, 6.0e10, 2.4e11), Isa.Cost_model.Mixed, (mib 340, mib 1300, mib 2600))
+  | EP ->
+    ((1.5e9, 6.0e9, 2.4e10), Isa.Cost_model.Compute, (mib 1, mib 1, mib 1))
+  | BT ->
+    ((5.0e10, 2.0e11, 8.0e11), Isa.Cost_model.Mixed, (mib 50, mib 300, mib 1200))
+  | SP ->
+    ((3.0e10, 1.2e11, 5.0e11), Isa.Cost_model.Mixed, (mib 40, mib 250, mib 1000))
+  | MG ->
+    ((4.0e9, 1.8e10, 7.0e10), Isa.Cost_model.Memory, (mib 56, mib 450, mib 3400))
+  | LU ->
+    ((4.0e10, 1.6e11, 6.5e11), Isa.Cost_model.Mixed, (mib 40, mib 160, mib 600))
+  | Bzip2smp ->
+    ((5.0e9, 1.2e10, 3.0e10), Isa.Cost_model.Branch, (mib 8, mib 16, mib 32))
+  | Verus ->
+    ((6.0e8, 2.0e9, 6.0e9), Isa.Cost_model.Branch, (mib 12, mib 24, mib 48))
+  | Redis ->
+    ((3.0e9, 9.0e9, 2.7e10), Isa.Cost_model.Memory, (mib 64, mib 256, mib 1024))
+
+let pick cls (a, b, c) =
+  match cls with A -> a | B -> b | C -> c
+
+let spec bench cls =
+  let instrs, category, footprints = table bench in
+  {
+    bench;
+    cls;
+    name = Printf.sprintf "%s.%s" (bench_to_string bench) (cls_to_string cls);
+    total_instructions = pick cls instrs;
+    category;
+    footprint_bytes = pick cls footprints;
+  }
+
+let sample_pages ~pages ~phase_index ~per_phase =
+  match pages with
+  | [||] -> []
+  | _ ->
+    let n = Array.length pages in
+    let start = phase_index * per_phase mod n in
+    List.init (min per_phase n) (fun i -> pages.((start + i) mod n))
+
+let phases_from_pages t ~threads ~quantum_instructions ~pages =
+  if threads <= 0 then invalid_arg "Spec.phases: threads <= 0";
+  if quantum_instructions <= 0.0 then
+    invalid_arg "Spec.phases: non-positive quantum";
+  let per_thread = t.total_instructions /. float_of_int threads in
+  let n_phases =
+    max 1 (int_of_float (Float.ceil (per_thread /. quantum_instructions)))
+  in
+  let phase_instr = per_thread /. float_of_int n_phases in
+  let writes = t.category <> Isa.Cost_model.Compute in
+  List.init threads (fun tid ->
+      List.init n_phases (fun i ->
+          {
+            Kernel.Process.instructions = phase_instr;
+            category = t.category;
+            pages =
+              sample_pages ~pages ~phase_index:((tid * n_phases) + i)
+                ~per_phase:16;
+            writes;
+          }))
+
+let phases t ~threads ~quantum_instructions =
+  let n_pages = Memsys.Page.count ~bytes:t.footprint_bytes in
+  let pages = Array.init (min n_pages 65536) Fun.id in
+  phases_from_pages t ~threads ~quantum_instructions ~pages
+
+let phases_for_process t ~threads ~quantum_instructions ~data_pages =
+  phases_from_pages t ~threads ~quantum_instructions
+    ~pages:(Array.of_list data_pages)

@@ -1,0 +1,50 @@
+(** Workload specifications.
+
+    The paper evaluates the NAS Parallel Benchmarks (short- and
+    long-running via classes A/B/C), the Verus model checker and bzip2smp
+    (branch-intensive, variable input), and uses Redis in the emulation
+    study — a mix of memory-, compute-, and branch-intensive jobs with
+    execution times from milliseconds to hundreds of seconds (Section 6).
+
+    Instruction totals and memory footprints below are calibrated to
+    published NPB measurements at the granularity the experiments need:
+    only relative magnitudes across benchmarks/classes matter. *)
+
+type bench = CG | IS | FT | EP | BT | SP | MG | LU | Bzip2smp | Verus | Redis
+type cls = A | B | C
+
+type t = {
+  bench : bench;
+  cls : cls;
+  name : string;  (** e.g. "cg.B" *)
+  total_instructions : float;  (** dynamic instructions, single-threaded *)
+  category : Isa.Cost_model.category;
+  footprint_bytes : int;  (** resident data working set *)
+}
+
+val bench_to_string : bench -> string
+val cls_to_string : cls -> string
+val all_benches : bench list
+val npb : bench list
+(** The NPB subset: CG, IS, FT, EP, BT, SP, MG, LU. *)
+
+val classes : cls list
+
+val spec : bench -> cls -> t
+
+val phases :
+  t -> threads:int -> quantum_instructions:float -> Kernel.Process.phase list list
+(** Split the workload into per-thread phase lists: each phase is one
+    inter-migration-point stretch (~[quantum_instructions]) and touches a
+    rotating sample of the footprint's pages. The page numbers are
+    process-relative (0-based); {!Kernel.Popcorn.spawn} remaps nothing —
+    callers must offset them by the process's first data page. *)
+
+val phases_for_process :
+  t ->
+  threads:int ->
+  quantum_instructions:float ->
+  data_pages:int list ->
+  Kernel.Process.phase list list
+(** Like {!phases}, with page samples drawn from the process's actual DSM
+    pages. *)

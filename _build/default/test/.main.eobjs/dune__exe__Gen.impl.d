@@ -1,0 +1,1 @@
+test/gen.ml: Array Ir Isa List Memsys Printf Sim

@@ -1,0 +1,1 @@
+test/test_binary.ml: Alcotest Binary Bytes Char Isa List Memsys Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Binary Compiler Float Gen Hetmig Ir Isa List Memsys Printf QCheck QCheck_alcotest String Workload

@@ -1,0 +1,1 @@
+test/test_determinism.ml: Alcotest Array Baseline Binary Compiler Hetmig Isa List Runtime Sched Workload

@@ -1,0 +1,1 @@
+test/test_dsm.ml: Alcotest Dsm List Machine Memsys QCheck QCheck_alcotest Sim

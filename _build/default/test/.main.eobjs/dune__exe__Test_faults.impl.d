@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Compiler Hetmig Isa Kernel Lazy List Machine Runtime Sched Sim Workload

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Compiler Fun Ir Isa List Memsys Option QCheck QCheck_alcotest Runtime Sim

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Gen Ir Isa List QCheck QCheck_alcotest

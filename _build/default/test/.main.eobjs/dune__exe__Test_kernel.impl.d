@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Compiler Dsm Float Isa Kernel List Machine Memsys Sim Workload

@@ -1,0 +1,1 @@
+test/test_memsys.ml: Alcotest Isa List Memsys Printf

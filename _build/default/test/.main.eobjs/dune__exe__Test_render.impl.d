@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Binary Buffer Compiler Format Hetmig Ir Isa Kernel Lazy List Machine Memsys Runtime Sched Sim String Workload

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Compiler Gen Int64 Interp Ir Isa List Memsys Printf QCheck QCheck_alcotest Ra_encoding Regfile Runtime Sim Stack_mem Thread_state Transform

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Float Isa List Machine QCheck QCheck_alcotest Sched Workload

@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Isa Kernel List Machine Sim

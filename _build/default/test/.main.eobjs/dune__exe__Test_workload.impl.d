@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Compiler Float Ir Isa Kernel List Memsys Printf Runtime Workload

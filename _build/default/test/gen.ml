@@ -1,0 +1,116 @@
+(* Deterministic random-program generator for property tests.
+
+   Programs are well-formed by construction: the call graph is a DAG
+   (function i only calls functions with larger indices), every use is
+   dominated by a parameter or an earlier definition, pointer locals target
+   previously defined locals of the same frame, and call-site ids are
+   unique per function. *)
+
+let types = [| Ir.Ty.I32; Ir.Ty.I64; Ir.Ty.F64; Ir.Ty.I16; Ir.Ty.V128 |]
+
+let random_func rng ~index ~nfuncs ~param_counts =
+  let name = if index = 0 then "main" else Printf.sprintf "f%d" index in
+  let n_params = param_counts.(index) in
+  let params =
+    List.init n_params (fun i ->
+        { Ir.Prog.vname = Printf.sprintf "%s_p%d" name i;
+          ty = Sim.Prng.choice rng types;
+          init = Ir.Prog.Scalar })
+  in
+  let defined = ref (List.map (fun v -> v.Ir.Prog.vname) params) in
+  let next_local = ref 0 and next_site = ref 0 in
+  let fresh_def () =
+    let vname = Printf.sprintf "%s_v%d" name !next_local in
+    incr next_local;
+    let init =
+      match (Sim.Prng.int rng 6, !defined) with
+      | 0, target :: _ -> Ir.Prog.Ptr_to_local target
+      | 1, _ -> Ir.Prog.Ptr_to_global "gdata"
+      | 2, _ -> Ir.Prog.Ptr_to_heap (8 * (1 + Sim.Prng.int rng 64))
+      | _, _ -> Ir.Prog.Scalar
+    in
+    let ty =
+      match init with
+      | Ir.Prog.Ptr_to_local _ | Ir.Prog.Ptr_to_global _ | Ir.Prog.Ptr_to_heap _ ->
+        Ir.Ty.Ptr
+      | Ir.Prog.Scalar -> Sim.Prng.choice rng types
+    in
+    defined := vname :: !defined;
+    Ir.Prog.Def { vname; ty; init }
+  in
+  let random_call () =
+    if index >= nfuncs - 1 then None
+    else begin
+      let callee = Sim.Prng.int_in rng (index + 1) (nfuncs - 1) in
+      let arity = param_counts.(callee) in
+      (* Arguments must match the callee's arity; reuse defined locals,
+         repeating if necessary. *)
+      match !defined with
+      | [] when arity > 0 -> None
+      | vars ->
+        let pool = Array.of_list vars in
+        let args =
+          List.init arity (fun _ ->
+              if Array.length pool = 0 then assert false
+              else Sim.Prng.choice rng pool)
+        in
+        let site_id = !next_site in
+        incr next_site;
+        Some
+          (Ir.Prog.Call { site_id; callee = Printf.sprintf "f%d" callee; args })
+    end
+  in
+  let work () =
+    Ir.Prog.Work
+      {
+        instructions = 1 + Sim.Prng.int rng 100_000;
+        category =
+          Sim.Prng.choice rng
+            [| Isa.Cost_model.Compute; Isa.Cost_model.Memory;
+               Isa.Cost_model.Branch; Isa.Cost_model.Mixed |];
+        memory_touched = Sim.Prng.int rng 8192;
+      }
+  in
+  let rec random_stmt depth =
+    match Sim.Prng.int rng 6 with
+    | 0 -> work ()
+    | 1 -> fresh_def ()
+    | 2 -> begin
+      match !defined with
+      | [] -> work ()
+      | vars -> Ir.Prog.Use (Sim.Prng.choice rng (Array.of_list vars))
+    end
+    | 3 | 4 -> begin
+      match random_call () with
+      | Some call -> call
+      | None -> work ()
+    end
+    | _ ->
+      if depth >= 2 then work ()
+      else begin
+        let trips = 1 + Sim.Prng.int rng 4 in
+        let body =
+          List.init (1 + Sim.Prng.int rng 3) (fun _ -> random_stmt (depth + 1))
+        in
+        Ir.Prog.Loop { trips; body }
+      end
+  in
+  let body = List.init (3 + Sim.Prng.int rng 6) (fun _ -> random_stmt 0) in
+  Ir.Prog.make_func ~name ~params ~body
+
+let random_program seed =
+  let rng = Sim.Prng.create seed in
+  let nfuncs = 2 + Sim.Prng.int rng 4 in
+  let param_counts =
+    Array.init nfuncs (fun i -> if i = 0 then 0 else Sim.Prng.int rng 3)
+  in
+  let funcs =
+    List.init nfuncs (fun index -> random_func rng ~index ~nfuncs ~param_counts)
+  in
+  Ir.Prog.make
+    ~name:(Printf.sprintf "rand%d" seed)
+    ~funcs
+    ~globals:
+      [ Memsys.Symbol.make ~name:"gdata" ~section:Memsys.Symbol.Data ~size:4096
+          ~alignment:8 ]
+    ~entry:"main"

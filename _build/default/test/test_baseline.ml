@@ -1,0 +1,124 @@
+let checkb msg = Alcotest.check Alcotest.bool msg
+
+let emulation_direction_asymmetry () =
+  (* Figure 1: x86-on-ARM is one to two orders of magnitude worse than
+     ARM-on-x86. *)
+  List.iter
+    (fun bench ->
+      let spec = Workload.Spec.spec bench Workload.Spec.A in
+      let a = Baseline.Emulation.slowdown Baseline.Emulation.Arm_on_x86 spec ~threads:1 in
+      let x = Baseline.Emulation.slowdown Baseline.Emulation.X86_on_arm spec ~threads:1 in
+      checkb "x86-on-arm much worse" true (x > 5.0 *. a))
+    Workload.Spec.npb
+
+let emulation_magnitudes () =
+  (* Figure 1 axes: ARM-on-x86 in 1..100, x86-on-ARM in 10..10000. *)
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun cls ->
+          List.iter
+            (fun threads ->
+              let spec = Workload.Spec.spec bench cls in
+              let a =
+                Baseline.Emulation.slowdown Baseline.Emulation.Arm_on_x86 spec
+                  ~threads
+              in
+              let x =
+                Baseline.Emulation.slowdown Baseline.Emulation.X86_on_arm spec
+                  ~threads
+              in
+              checkb "top graph within axis" true (a >= 1.0 && a <= 100.0);
+              checkb "bottom graph within axis" true (x >= 10.0 && x <= 10000.0))
+            [ 1; 2; 4; 8 ])
+        Workload.Spec.classes)
+    Workload.Spec.npb
+
+let emulation_grows_with_threads () =
+  (* TCG serializes the guest: more native threads = bigger slowdown. *)
+  let spec = Workload.Spec.spec Workload.Spec.CG Workload.Spec.B in
+  List.iter
+    (fun dir ->
+      let s1 = Baseline.Emulation.slowdown dir spec ~threads:1 in
+      let s8 = Baseline.Emulation.slowdown dir spec ~threads:8 in
+      checkb "8 threads worse than 1" true (s8 > s1))
+    [ Baseline.Emulation.Arm_on_x86; Baseline.Emulation.X86_on_arm ]
+
+let emulation_redis_anchors () =
+  (* The paper reports Redis at 2.6x (ARM-on-x86) and 34x (x86-on-ARM). *)
+  let spec = Workload.Spec.spec Workload.Spec.Redis Workload.Spec.A in
+  let a = Baseline.Emulation.slowdown Baseline.Emulation.Arm_on_x86 spec ~threads:1 in
+  let x = Baseline.Emulation.slowdown Baseline.Emulation.X86_on_arm spec ~threads:1 in
+  checkb "redis arm-on-x86 ~2.6x" true (a > 1.5 && a < 4.5);
+  checkb "redis x86-on-arm ~34x" true (x > 20.0 && x < 55.0)
+
+let emulation_deterministic () =
+  let spec = Workload.Spec.spec Workload.Spec.FT Workload.Spec.C in
+  Alcotest.check (Alcotest.float 0.0) "stable"
+    (Baseline.Emulation.slowdown Baseline.Emulation.X86_on_arm spec ~threads:4)
+    (Baseline.Emulation.slowdown Baseline.Emulation.X86_on_arm spec ~threads:4)
+
+let parallel_efficiency_bounds () =
+  let e1 = Baseline.Emulation.parallel_efficiency ~threads:1 ~cores:8 in
+  let e8 = Baseline.Emulation.parallel_efficiency ~threads:8 ~cores:8 in
+  checkb "one thread = 1" true (Float.abs (e1 -. 1.0) < 1e-9);
+  checkb "sublinear" true (e8 > 4.0 && e8 < 8.0);
+  (* Capped at core count. *)
+  let e16 = Baseline.Emulation.parallel_efficiency ~threads:16 ~cores:8 in
+  checkb "capped" true (Float.abs (e16 -. e8) < 1e-9)
+
+let padmig_is_b_profile () =
+  (* Figure 11: serializing IS B takes several seconds; ser+deser ~8 s. *)
+  let spec = Workload.Spec.spec Workload.Spec.IS Workload.Spec.B in
+  let p =
+    Baseline.Padmig.migration_profile spec ~from_:Isa.Arch.X86_64
+      ~to_:Isa.Arch.Arm64
+  in
+  checkb "serialize seconds" true
+    (p.Baseline.Padmig.serialize_s > 1.0 && p.Baseline.Padmig.serialize_s < 4.0);
+  checkb "deserialize longer on ARM" true
+    (p.Baseline.Padmig.deserialize_s > p.Baseline.Padmig.serialize_s);
+  let total = Baseline.Padmig.total_migration_s p in
+  checkb "total 5-12 s" true (total > 5.0 && total < 12.0);
+  checkb "transfer negligible on PCIe" true
+    (p.Baseline.Padmig.transfer_s < 0.2)
+
+let padmig_vs_native_gap () =
+  (* The multi-ISA binary migrates in sub-millisecond stack-transformation
+     time; PadMig needs seconds — four orders of magnitude. *)
+  let spec = Workload.Spec.spec Workload.Spec.IS Workload.Spec.B in
+  let p =
+    Baseline.Padmig.migration_profile spec ~from_:Isa.Arch.X86_64
+      ~to_:Isa.Arch.Arm64
+  in
+  let tc =
+    Compiler.Toolchain.compile (Workload.Programs.program Workload.Spec.IS Workload.Spec.B)
+  in
+  let fname, mig_id = List.hd (Runtime.Interp.reachable_mig_sites tc) in
+  match Runtime.Interp.state_at tc Isa.Arch.X86_64 ~fname ~mig_id with
+  | None -> Alcotest.fail "unreached"
+  | Some st -> begin
+    match Runtime.Transform.transform tc st with
+    | Error e -> Alcotest.fail e
+    | Ok (_, cost) ->
+      checkb "native 1000x faster" true
+        (Baseline.Padmig.total_migration_s p
+        > 1000.0 *. cost.Runtime.Transform.latency_s)
+  end
+
+let padmig_java_slowdown () =
+  checkb "java ~1.5-2.5x slower" true
+    (Baseline.Padmig.java_slowdown > 1.4 && Baseline.Padmig.java_slowdown < 2.5)
+
+let suite =
+  [
+    ("emulation direction asymmetry", `Quick, emulation_direction_asymmetry);
+    ("emulation magnitudes match Figure 1 axes", `Quick, emulation_magnitudes);
+    ("emulation slowdown grows with threads", `Quick, emulation_grows_with_threads);
+    ("emulation Redis anchors", `Quick, emulation_redis_anchors);
+    ("emulation deterministic", `Quick, emulation_deterministic);
+    ("parallel efficiency bounds", `Quick, parallel_efficiency_bounds);
+    ("padmig IS B profile", `Quick, padmig_is_b_profile);
+    ("padmig vs native gap", `Quick, padmig_vs_native_gap);
+    ("padmig java slowdown", `Quick, padmig_java_slowdown);
+  ]

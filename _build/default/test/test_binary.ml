@@ -1,0 +1,342 @@
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+
+let sym name section size alignment =
+  Memsys.Symbol.make ~name ~section ~size ~alignment
+
+let obj_for arch ~text_sizes =
+  Binary.Obj.make ~arch ~name:"app"
+    ~symbols:
+      (List.map
+         (fun (name, size) -> sym name Memsys.Symbol.Text size 16)
+         text_sizes
+      @ [
+          sym "gdata" Memsys.Symbol.Data 256 8;
+          sym "gtable" Memsys.Symbol.Rodata 4096 64;
+          sym "gbss" Memsys.Symbol.Bss 128 8;
+        ])
+
+let arm_obj = obj_for Isa.Arch.Arm64 ~text_sizes:[ ("main", 320); ("f", 1000) ]
+let x86_obj = obj_for Isa.Arch.X86_64 ~text_sizes:[ ("main", 280); ("f", 1200) ]
+
+(* --- Obj ---------------------------------------------------------------- *)
+
+let obj_accessors () =
+  checki "functions" 2 (List.length (Binary.Obj.functions arm_obj));
+  checki "data" 3 (List.length (Binary.Obj.data_symbols arm_obj));
+  checki "text bytes" 1320 (Binary.Obj.text_bytes arm_obj);
+  checkb "same sets" true (Binary.Obj.same_symbol_sets arm_obj x86_obj)
+
+let obj_rejects_duplicates () =
+  checkb "dup rejected" true
+    (try
+       ignore
+         (Binary.Obj.make ~arch:Isa.Arch.Arm64 ~name:"bad"
+            ~symbols:
+              [ sym "x" Memsys.Symbol.Data 8 8; sym "x" Memsys.Symbol.Data 8 8 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let obj_detects_different_sets () =
+  let other =
+    Binary.Obj.make ~arch:Isa.Arch.X86_64 ~name:"app"
+      ~symbols:[ sym "main" Memsys.Symbol.Text 100 16 ]
+  in
+  checkb "different sets" false (Binary.Obj.same_symbol_sets arm_obj other)
+
+(* --- natural layout ------------------------------------------------------ *)
+
+let natural_layout_valid () =
+  let l = Binary.Layout.natural ~base:Binary.Layout.text_base arm_obj in
+  checkb "no overlap" true (Binary.Layout.check_no_overlap l = Ok ());
+  checkb "finds main" true (Binary.Layout.address_of l "main" <> None);
+  checkb "sections page aligned" true
+    (List.for_all
+       (fun (_, (s, _)) -> s mod Memsys.Page.size = 0)
+       l.Binary.Layout.section_bounds)
+
+let natural_layouts_disagree_across_isas () =
+  (* Different function sizes shift downstream symbols: the stock-linker
+     layouts are NOT cross-ISA compatible — the problem the alignment tool
+     solves. *)
+  let la = Binary.Layout.natural ~base:Binary.Layout.text_base arm_obj in
+  let lx = Binary.Layout.natural ~base:Binary.Layout.text_base x86_obj in
+  checkb "f placed differently" true
+    (Binary.Layout.address_of la "f" <> Binary.Layout.address_of lx "f")
+
+let natural_find_at () =
+  let l = Binary.Layout.natural ~base:Binary.Layout.text_base arm_obj in
+  let addr =
+    match Binary.Layout.address_of l "f" with Some a -> a | None -> 0
+  in
+  checkb "find_at hits f" true
+    (match Binary.Layout.find_at l (addr + 4) with
+    | Some p -> p.Binary.Layout.symbol.Memsys.Symbol.name = "f"
+    | None -> false)
+
+(* --- alignment tool ------------------------------------------------------ *)
+
+let aligned = Binary.Align.align [ arm_obj; x86_obj ]
+
+let align_produces_identical_addresses () =
+  checkb "check_aligned" true (Binary.Align.check_aligned aligned = Ok ());
+  let la = Binary.Align.layout_for aligned Isa.Arch.Arm64 in
+  let lx = Binary.Align.layout_for aligned Isa.Arch.X86_64 in
+  List.iter
+    (fun (p : Binary.Layout.placed) ->
+      Alcotest.check
+        Alcotest.(option int)
+        (p.Binary.Layout.symbol.Memsys.Symbol.name ^ " same address")
+        (Some p.Binary.Layout.addr)
+        (Binary.Layout.address_of lx p.Binary.Layout.symbol.Memsys.Symbol.name))
+    la.Binary.Layout.placed
+
+let align_pads_functions () =
+  (* f is 1000 bytes on ARM and 1200 on x86: the ARM image must carry at
+     least 200 bytes of padding for f. *)
+  let pad_arm = List.assoc Isa.Arch.Arm64 aligned.Binary.Align.padding in
+  let pad_x86 = List.assoc Isa.Arch.X86_64 aligned.Binary.Align.padding in
+  checkb "arm padded for f" true (pad_arm >= 200);
+  (* main is 320 on ARM vs 280 on x86: x86 padded for main. *)
+  checkb "x86 padded for main" true (pad_x86 >= 40)
+
+let align_no_overlap_each_isa () =
+  List.iter
+    (fun (_, l) ->
+      checkb "no overlap" true (Binary.Layout.check_no_overlap l = Ok ()))
+    aligned.Binary.Align.layouts
+
+let align_rejects_mismatched_objects () =
+  let other =
+    Binary.Obj.make ~arch:Isa.Arch.X86_64 ~name:"app"
+      ~symbols:[ sym "main" Memsys.Symbol.Text 100 16 ]
+  in
+  checkb "mismatch rejected" true
+    (try
+       ignore (Binary.Align.align [ arm_obj; other ]);
+       false
+     with Invalid_argument _ -> true)
+
+let align_rejects_duplicate_isa () =
+  checkb "duplicate ISA rejected" true
+    (try
+       ignore (Binary.Align.align [ arm_obj; arm_obj ]);
+       false
+     with Invalid_argument _ -> true)
+
+let align_respects_max_alignment () =
+  let l = Binary.Align.layout_for aligned Isa.Arch.Arm64 in
+  List.iter
+    (fun (p : Binary.Layout.placed) ->
+      checki
+        (p.Binary.Layout.symbol.Memsys.Symbol.name ^ " aligned")
+        0
+        (p.Binary.Layout.addr mod p.Binary.Layout.symbol.Memsys.Symbol.alignment))
+    l.Binary.Layout.placed
+
+(* Property: random symbol sets align correctly. *)
+let align_random_props =
+  QCheck.Test.make ~name:"alignment tool: random symbol sets" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Sim.Prng.create seed in
+      let n = 1 + Sim.Prng.int rng 20 in
+      let mk arch =
+        Binary.Obj.make ~arch ~name:"r"
+          ~symbols:
+            (List.init n (fun i ->
+                 let is_func = i mod 2 = 0 in
+                 let size =
+                   if is_func then 16 + Sim.Prng.int rng 4096
+                   else 8 * (1 + Sim.Prng.int rng 64)
+                 in
+                 sym
+                   (Printf.sprintf "s%d" i)
+                   (if is_func then Memsys.Symbol.Text
+                    else
+                      Sim.Prng.choice rng
+                        [| Memsys.Symbol.Data; Memsys.Symbol.Rodata;
+                           Memsys.Symbol.Bss |])
+                   size
+                   (1 lsl Sim.Prng.int rng 7)))
+      in
+      (* Same section choices require the same rng stream: rebuild from a
+         copy for the second ISA, then override function sizes. *)
+      let rng2 = Sim.Prng.create seed in
+      let _ = rng2 in
+      let a = mk Isa.Arch.Arm64 in
+      let b =
+        Binary.Obj.make ~arch:Isa.Arch.X86_64 ~name:"r"
+          ~symbols:
+            (List.map
+               (fun s ->
+                 if Memsys.Symbol.is_function s then
+                   { s with Memsys.Symbol.size = s.Memsys.Symbol.size + 64 }
+                 else s)
+               a.Binary.Obj.symbols)
+      in
+      let aligned = Binary.Align.align [ a; b ] in
+      Binary.Align.check_aligned aligned = Ok ())
+
+(* --- linker script -------------------------------------------------------- *)
+
+let linker_script_renders () =
+  let l = Binary.Align.layout_for aligned Isa.Arch.Arm64 in
+  let script = Binary.Linker_script.render l in
+  checkb "has SECTIONS" true
+    (String.length script > 0
+    && Binary.Linker_script.symbol_count script
+       = List.length l.Binary.Layout.placed)
+
+let linker_script_deterministic () =
+  let l = Binary.Align.layout_for aligned Isa.Arch.X86_64 in
+  Alcotest.check Alcotest.string "stable output"
+    (Binary.Linker_script.render l)
+    (Binary.Linker_script.render l)
+
+(* --- ELF ------------------------------------------------------------------ *)
+
+let elf_of_layout () =
+  let l = Binary.Align.layout_for aligned Isa.Arch.Arm64 in
+  let e = Binary.Elf.of_layout l ~entry_symbol:"main" in
+  checkb "machine" true (e.Binary.Elf.machine = Binary.Elf.EM_AARCH64);
+  Alcotest.check
+    Alcotest.(option int)
+    "entry = main" (Binary.Layout.address_of l "main") (Some e.Binary.Elf.entry);
+  checkb "text segment r-x" true
+    (match Binary.Elf.segment_at e e.Binary.Elf.entry with
+    | Some s -> s.Binary.Elf.flags = "r-x"
+    | None -> false)
+
+let elf_rejects_missing_entry () =
+  let l = Binary.Align.layout_for aligned Isa.Arch.Arm64 in
+  checkb "missing entry" true
+    (try
+       ignore (Binary.Elf.of_layout l ~entry_symbol:"nope");
+       false
+     with Invalid_argument _ -> true)
+
+let elf_machine_roundtrip () =
+  List.iter
+    (fun a ->
+      checkb "roundtrip" true
+        (Binary.Elf.arch_of_machine (Binary.Elf.machine_of_arch a) = a))
+    Isa.Arch.all
+
+(* --- ELF byte encoding ------------------------------------------------ *)
+
+let elf_of arch =
+  let l = Binary.Align.layout_for aligned arch in
+  Binary.Elf.of_layout l ~entry_symbol:"main"
+
+let elf_bytes_roundtrip () =
+  List.iter
+    (fun arch ->
+      let e = elf_of arch in
+      let bytes = Binary.Elf_bytes.encode e in
+      checkb "starts with ELF magic" true
+        (String.length bytes > 4 && String.sub bytes 0 4 = "\x7fELF");
+      match Binary.Elf_bytes.decode bytes with
+      | Ok e' -> checkb "decode inverts encode" true (e = e')
+      | Error msg -> Alcotest.fail msg)
+    Isa.Arch.all
+
+let elf_bytes_machine_codes () =
+  checki "aarch64 code" 0xB7 (Binary.Elf_bytes.machine_code Binary.Elf.EM_AARCH64);
+  checki "x86-64 code" 0x3E (Binary.Elf_bytes.machine_code Binary.Elf.EM_X86_64);
+  checki "r-x bits" 5 (Binary.Elf_bytes.flags_bits "r-x");
+  checki "rw- bits" 6 (Binary.Elf_bytes.flags_bits "rw-")
+
+let elf_bytes_rejects_garbage () =
+  checkb "empty" true
+    (match Binary.Elf_bytes.decode "" with Error _ -> true | Ok _ -> false);
+  checkb "bad magic" true
+    (match Binary.Elf_bytes.decode "NOPE++++++++++++" with
+    | Error _ -> true
+    | Ok _ -> false);
+  let good = Binary.Elf_bytes.encode (elf_of Isa.Arch.X86_64) in
+  let truncated = String.sub good 0 (String.length good / 2) in
+  checkb "truncated" true
+    (match Binary.Elf_bytes.decode truncated with
+    | Error _ -> true
+    | Ok _ -> false);
+  (* Corrupt the machine field (offset 18). *)
+  let corrupt = Bytes.of_string good in
+  Bytes.set corrupt 18 '\xFF';
+  checkb "unknown machine" true
+    (match Binary.Elf_bytes.decode (Bytes.to_string corrupt) with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let elf_bytes_deterministic () =
+  let e = elf_of Isa.Arch.Arm64 in
+  Alcotest.check Alcotest.string "stable encoding"
+    (Binary.Elf_bytes.encode e) (Binary.Elf_bytes.encode e)
+
+let elf_bytes_random_props =
+  QCheck.Test.make ~name:"ELF byte round-trip over random layouts" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Sim.Prng.create seed in
+      let n = 1 + Sim.Prng.int rng 12 in
+      let symbols =
+        List.init n (fun i ->
+            sym
+              (Printf.sprintf "rs%d" i)
+              (if i = 0 then Memsys.Symbol.Text
+               else
+                 Sim.Prng.choice rng
+                   [| Memsys.Symbol.Text; Memsys.Symbol.Data;
+                      Memsys.Symbol.Rodata; Memsys.Symbol.Bss |])
+              (8 * (1 + Sim.Prng.int rng 512))
+              8)
+      in
+      let obj = Binary.Obj.make ~arch:Isa.Arch.X86_64 ~name:"re" ~symbols in
+      let layout = Binary.Layout.natural ~base:Binary.Layout.text_base obj in
+      let e = Binary.Elf.of_layout layout ~entry_symbol:"rs0" in
+      Binary.Elf_bytes.decode (Binary.Elf_bytes.encode e) = Ok e)
+
+let elf_bytes_fuzz =
+  QCheck.Test.make ~name:"ELF decode never raises on corrupted bytes" ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sim.Prng.create seed in
+      let good = Binary.Elf_bytes.encode (elf_of Isa.Arch.Arm64) in
+      let b = Bytes.of_string good in
+      (* Flip 1-8 random bytes. *)
+      for _ = 0 to Sim.Prng.int rng 8 do
+        let i = Sim.Prng.int rng (Bytes.length b) in
+        Bytes.set b i (Char.chr (Sim.Prng.int rng 256))
+      done;
+      match Binary.Elf_bytes.decode (Bytes.to_string b) with
+      | Ok _ | Error _ -> true)
+
+let suite =
+  [
+    ("obj accessors", `Quick, obj_accessors);
+    ("obj rejects duplicates", `Quick, obj_rejects_duplicates);
+    ("obj symbol-set comparison", `Quick, obj_detects_different_sets);
+    ("natural layout valid", `Quick, natural_layout_valid);
+    ("natural layouts disagree across ISAs", `Quick,
+     natural_layouts_disagree_across_isas);
+    ("natural find_at", `Quick, natural_find_at);
+    ("alignment: identical addresses", `Quick, align_produces_identical_addresses);
+    ("alignment: function padding", `Quick, align_pads_functions);
+    ("alignment: no overlap", `Quick, align_no_overlap_each_isa);
+    ("alignment: rejects mismatched objects", `Quick,
+     align_rejects_mismatched_objects);
+    ("alignment: rejects duplicate ISA", `Quick, align_rejects_duplicate_isa);
+    ("alignment: max alignment respected", `Quick, align_respects_max_alignment);
+    QCheck_alcotest.to_alcotest align_random_props;
+    ("linker script symbol count", `Quick, linker_script_renders);
+    ("linker script deterministic", `Quick, linker_script_deterministic);
+    ("elf from layout", `Quick, elf_of_layout);
+    ("elf rejects missing entry", `Quick, elf_rejects_missing_entry);
+    ("elf machine roundtrip", `Quick, elf_machine_roundtrip);
+    ("elf bytes roundtrip", `Quick, elf_bytes_roundtrip);
+    ("elf bytes machine codes", `Quick, elf_bytes_machine_codes);
+    ("elf bytes rejects garbage", `Quick, elf_bytes_rejects_garbage);
+    ("elf bytes deterministic", `Quick, elf_bytes_deterministic);
+    QCheck_alcotest.to_alcotest elf_bytes_random_props;
+    QCheck_alcotest.to_alcotest elf_bytes_fuzz;
+  ]

@@ -1,0 +1,89 @@
+(* Reproducibility: every layer of the system is deterministic, so the
+   experiments in EXPERIMENTS.md reproduce bit-for-bit. *)
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+
+let toolchain_deterministic () =
+  let compile () =
+    Compiler.Toolchain.compile
+      (Workload.Programs.program Workload.Spec.FT Workload.Spec.A)
+  in
+  let a = compile () and b = compile () in
+  (* Same migration-point count, same unified addresses, same frames. *)
+  Alcotest.check Alcotest.int "points"
+    a.Compiler.Toolchain.migration_points b.Compiler.Toolchain.migration_points;
+  List.iter
+    (fun arch ->
+      let la = Binary.Align.layout_for a.Compiler.Toolchain.aligned arch in
+      let lb = Binary.Align.layout_for b.Compiler.Toolchain.aligned arch in
+      List.iter2
+        (fun (pa : Binary.Layout.placed) (pb : Binary.Layout.placed) ->
+          checkb "same placement" true
+            (pa.Binary.Layout.addr = pb.Binary.Layout.addr
+            && pa.Binary.Layout.symbol = pb.Binary.Layout.symbol))
+        la.Binary.Layout.placed lb.Binary.Layout.placed;
+      let ea = Binary.Elf_bytes.encode (Compiler.Toolchain.for_arch a arch).Compiler.Toolchain.elf in
+      let eb = Binary.Elf_bytes.encode (Compiler.Toolchain.for_arch b arch).Compiler.Toolchain.elf in
+      Alcotest.check Alcotest.string "identical ELF bytes" ea eb)
+    Isa.Arch.all
+
+let interp_deterministic () =
+  let tc =
+    Compiler.Toolchain.compile
+      (Workload.Programs.program Workload.Spec.CG Workload.Spec.A)
+  in
+  let fname, mig_id = List.hd (Runtime.Interp.reachable_mig_sites tc) in
+  let snap () =
+    match Runtime.Interp.state_at tc Isa.Arch.X86_64 ~fname ~mig_id with
+    | None -> []
+    | Some st ->
+      List.concat_map
+        (fun fr ->
+          List.map
+            (fun (n, (v : int64 array)) -> (fr.Runtime.Thread_state.fname, n, Array.to_list v))
+            (Runtime.Interp.live_values tc st fr))
+        st.Runtime.Thread_state.frames
+  in
+  checkb "identical suspended states" true (snap () = snap ())
+
+let transform_cost_deterministic () =
+  let tc =
+    Compiler.Toolchain.compile
+      (Workload.Programs.program Workload.Spec.MG Workload.Spec.A)
+  in
+  let latencies () = Hetmig.Het.migration_latencies_us tc Isa.Arch.Arm64 in
+  checkb "identical latency distributions" true (latencies () = latencies ())
+
+let emulation_and_padmig_deterministic () =
+  let spec = Workload.Spec.spec Workload.Spec.BT Workload.Spec.C in
+  checkb "emulation" true
+    (Baseline.Emulation.slowdown Baseline.Emulation.X86_on_arm spec ~threads:8
+    = Baseline.Emulation.slowdown Baseline.Emulation.X86_on_arm spec ~threads:8);
+  let p () =
+    Baseline.Padmig.migration_profile spec ~from_:Isa.Arch.X86_64
+      ~to_:Isa.Arch.Arm64
+  in
+  checkb "padmig" true (p () = p ())
+
+let full_experiment_run_deterministic () =
+  (* The heaviest path: a dynamic scheduling run end-to-end, twice. *)
+  let run () =
+    Sched.Scheduler.run Sched.Policy.Dynamic_balanced
+      (Sched.Arrival.periodic ~seed:777 ~waves:2 ~max_per_wave:6)
+  in
+  let a = run () and b = run () in
+  checkb "identical makespan" true
+    (a.Sched.Scheduler.makespan = b.Sched.Scheduler.makespan);
+  checkb "identical energy vector" true
+    (a.Sched.Scheduler.energy = b.Sched.Scheduler.energy);
+  checkb "identical migrations" true
+    (a.Sched.Scheduler.migrations = b.Sched.Scheduler.migrations)
+
+let suite =
+  [
+    ("toolchain output bit-identical", `Quick, toolchain_deterministic);
+    ("interpreter states bit-identical", `Quick, interp_deterministic);
+    ("transformation costs bit-identical", `Quick, transform_cost_deterministic);
+    ("baselines deterministic", `Quick, emulation_and_padmig_deterministic);
+    ("full scheduling run deterministic", `Slow, full_experiment_run_deterministic);
+  ]

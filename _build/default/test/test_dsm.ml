@@ -1,0 +1,174 @@
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+let checkf msg = Alcotest.check (Alcotest.float 1e-12) msg
+
+let make_dsm () =
+  Dsm.Hdsm.create ~nodes:2 ~interconnect:Machine.Interconnect.dolphin_pxh810 ()
+
+let initial_exclusive () =
+  let d = make_dsm () in
+  Dsm.Hdsm.register_page d ~page:1 ~owner:0;
+  checkb "owner exclusive" true (Dsm.Hdsm.state_of d ~page:1 0 = Dsm.Hdsm.Exclusive);
+  checkb "other invalid" true (Dsm.Hdsm.state_of d ~page:1 1 = Dsm.Hdsm.Invalid);
+  checki "owner" 0 (Dsm.Hdsm.owner d ~page:1)
+
+let local_hits_free () =
+  let d = make_dsm () in
+  Dsm.Hdsm.register_page d ~page:1 ~owner:0;
+  checkf "local read free" 0.0 (Dsm.Hdsm.access d ~node:0 ~page:1 ~write:false);
+  checkf "local write free" 0.0 (Dsm.Hdsm.access d ~node:0 ~page:1 ~write:true);
+  checki "two hits" 2 (Dsm.Hdsm.stats d).Dsm.Hdsm.local_hits
+
+let read_miss_fetches_shared () =
+  let d = make_dsm () in
+  Dsm.Hdsm.register_page d ~page:1 ~owner:0;
+  let lat = Dsm.Hdsm.access d ~node:1 ~page:1 ~write:false in
+  checkb "remote fetch costs" true (lat > 0.0);
+  checkb "now shared at both" true
+    (Dsm.Hdsm.state_of d ~page:1 0 = Dsm.Hdsm.Shared
+    && Dsm.Hdsm.state_of d ~page:1 1 = Dsm.Hdsm.Shared);
+  checkf "second read local" 0.0 (Dsm.Hdsm.access d ~node:1 ~page:1 ~write:false)
+
+let write_invalidates () =
+  let d = make_dsm () in
+  Dsm.Hdsm.register_page d ~page:1 ~owner:0;
+  ignore (Dsm.Hdsm.access d ~node:1 ~page:1 ~write:false);
+  let lat = Dsm.Hdsm.access d ~node:1 ~page:1 ~write:true in
+  checkb "invalidation costs" true (lat > 0.0);
+  checkb "writer exclusive" true
+    (Dsm.Hdsm.state_of d ~page:1 1 = Dsm.Hdsm.Exclusive);
+  checkb "old owner invalidated" true
+    (Dsm.Hdsm.state_of d ~page:1 0 = Dsm.Hdsm.Invalid);
+  checki "ownership moved" 1 (Dsm.Hdsm.owner d ~page:1);
+  checki "one invalidation" 1 (Dsm.Hdsm.stats d).Dsm.Hdsm.invalidations
+
+let write_miss_fetch_and_invalidate () =
+  let d = make_dsm () in
+  Dsm.Hdsm.register_page d ~page:1 ~owner:0;
+  let lat = Dsm.Hdsm.access d ~node:1 ~page:1 ~write:true in
+  (* Fetch + invalidate the old copy. *)
+  checkb "costs both" true (lat > 0.0);
+  checkb "writer exclusive" true
+    (Dsm.Hdsm.state_of d ~page:1 1 = Dsm.Hdsm.Exclusive)
+
+let aliased_pages_never_move () =
+  let d = make_dsm () in
+  Dsm.Hdsm.register_alias d ~page:9;
+  checkf "free everywhere read" 0.0 (Dsm.Hdsm.access d ~node:1 ~page:9 ~write:false);
+  checkf "free everywhere exec" 0.0 (Dsm.Hdsm.access d ~node:0 ~page:9 ~write:false);
+  checkb "always shared" true (Dsm.Hdsm.state_of d ~page:9 0 = Dsm.Hdsm.Shared);
+  checkb "not counted as owned" true (Dsm.Hdsm.pages_owned_by d 0 = [])
+
+let unknown_page_rejected () =
+  let d = make_dsm () in
+  checkb "raises" true
+    (try
+       ignore (Dsm.Hdsm.access d ~node:0 ~page:404 ~write:false);
+       false
+     with Invalid_argument _ -> true)
+
+let unknown_node_rejected () =
+  let d = make_dsm () in
+  Dsm.Hdsm.register_page d ~page:1 ~owner:0;
+  checkb "raises" true
+    (try
+       ignore (Dsm.Hdsm.access d ~node:7 ~page:1 ~write:false);
+       false
+     with Invalid_argument _ -> true)
+
+let residual_and_drain () =
+  let d = make_dsm () in
+  for p = 0 to 9 do
+    Dsm.Hdsm.register_page d ~page:p ~owner:0
+  done;
+  checki "10 residual" 10 (Dsm.Hdsm.residual_pages d ~home:0);
+  let lat = Dsm.Hdsm.drain d ~from_:0 ~to_:1 in
+  checkb "drain costs" true (lat > 0.0);
+  checki "none left" 0 (Dsm.Hdsm.residual_pages d ~home:0);
+  checki "all at new home" 10 (Dsm.Hdsm.residual_pages d ~home:1)
+
+let drain_pages_partial () =
+  let d = make_dsm () in
+  for p = 0 to 9 do
+    Dsm.Hdsm.register_page d ~page:p ~owner:0
+  done;
+  let lat = Dsm.Hdsm.drain_pages d ~pages:[ 0; 1; 2 ] ~to_:1 in
+  checkb "costs" true (lat > 0.0);
+  checki "7 residual" 7 (Dsm.Hdsm.residual_pages d ~home:0);
+  (* Draining pages already at the destination is free. *)
+  checkf "idempotent free" 0.0 (Dsm.Hdsm.drain_pages d ~pages:[ 0; 1; 2 ] ~to_:1)
+
+let page_migration_makes_access_local () =
+  (* The hDSM rationale: after migration, accesses are local rather than
+     repeatedly remote. *)
+  let d = make_dsm () in
+  Dsm.Hdsm.register_page d ~page:1 ~owner:0;
+  let first = Dsm.Hdsm.access d ~node:1 ~page:1 ~write:true in
+  let rest =
+    List.init 100 (fun _ -> Dsm.Hdsm.access d ~node:1 ~page:1 ~write:true)
+  in
+  checkb "first access pays" true (first > 0.0);
+  checkb "rest free" true (List.for_all (fun l -> l = 0.0) rest)
+
+let stats_bytes_accounted () =
+  let d = make_dsm () in
+  Dsm.Hdsm.register_page d ~page:1 ~owner:0;
+  ignore (Dsm.Hdsm.access d ~node:1 ~page:1 ~write:false);
+  checki "one page of traffic" Memsys.Page.size
+    (Dsm.Hdsm.stats d).Dsm.Hdsm.bytes_transferred;
+  Dsm.Hdsm.reset_stats d;
+  checki "reset" 0 (Dsm.Hdsm.stats d).Dsm.Hdsm.bytes_transferred
+
+(* Invariant: single writer / multiple readers, owner always has a copy. *)
+let coherence_random_props =
+  QCheck.Test.make ~name:"hDSM invariants under random access interleavings"
+    ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sim.Prng.create seed in
+      let nodes = 2 + Sim.Prng.int rng 3 in
+      let d =
+        Dsm.Hdsm.create ~nodes ~interconnect:Machine.Interconnect.dolphin_pxh810
+          ()
+      in
+      let pages = 1 + Sim.Prng.int rng 8 in
+      for p = 0 to pages - 1 do
+        Dsm.Hdsm.register_page d ~page:p ~owner:(Sim.Prng.int rng nodes)
+      done;
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let node = Sim.Prng.int rng nodes in
+        let page = Sim.Prng.int rng pages in
+        let write = Sim.Prng.bool rng in
+        let (_ : float) = Dsm.Hdsm.access d ~node ~page ~write in
+        (* After any access: the accessing node holds a valid copy; if it
+           wrote, it is the exclusive owner and everyone else is invalid. *)
+        let st = Dsm.Hdsm.state_of d ~page node in
+        if st = Dsm.Hdsm.Invalid then ok := false;
+        if write then begin
+          if st <> Dsm.Hdsm.Exclusive then ok := false;
+          if Dsm.Hdsm.owner d ~page <> node then ok := false;
+          for other = 0 to nodes - 1 do
+            if other <> node && Dsm.Hdsm.state_of d ~page other <> Dsm.Hdsm.Invalid
+            then ok := false
+          done
+        end
+      done;
+      !ok)
+
+let suite =
+  [
+    ("fresh page exclusive at owner", `Quick, initial_exclusive);
+    ("local hits are free", `Quick, local_hits_free);
+    ("read miss fetches shared copy", `Quick, read_miss_fetches_shared);
+    ("write invalidates other copies", `Quick, write_invalidates);
+    ("write miss fetches and invalidates", `Quick, write_miss_fetch_and_invalidate);
+    ("aliased text pages never move", `Quick, aliased_pages_never_move);
+    ("unknown page rejected", `Quick, unknown_page_rejected);
+    ("unknown node rejected", `Quick, unknown_node_rejected);
+    ("residual tracking and drain", `Quick, residual_and_drain);
+    ("partial drain", `Quick, drain_pages_partial);
+    ("page migration localizes access", `Quick, page_migration_makes_access_local);
+    ("traffic statistics", `Quick, stats_bytes_accounted);
+    QCheck_alcotest.to_alcotest coherence_random_props;
+  ]

@@ -1,0 +1,162 @@
+(* Failure injection: corrupted metadata, invalid requests, and
+   unschedulable work must fail loudly and gracefully — never silently
+   migrate wrong state. *)
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+
+let binary = lazy (Hetmig.Het.compile_benchmark Workload.Spec.EP Workload.Spec.A)
+
+(* Rebuild a toolchain output with tampered destination stackmaps. *)
+let tamper_stackmaps (tc : Compiler.Toolchain.t) ~victim_arch ~drop_var =
+  let isas =
+    List.map
+      (fun (per : Compiler.Toolchain.per_isa) ->
+        if per.Compiler.Toolchain.arch <> victim_arch then per
+        else
+          {
+            per with
+            Compiler.Toolchain.stackmaps =
+              List.map
+                (fun (e : Compiler.Stackmap.entry) ->
+                  {
+                    e with
+                    Compiler.Stackmap.live =
+                      List.filter
+                        (fun (name, _) -> name <> drop_var)
+                        e.Compiler.Stackmap.live;
+                  })
+                per.Compiler.Toolchain.stackmaps;
+          })
+      tc.Compiler.Toolchain.isas
+  in
+  { tc with Compiler.Toolchain.isas }
+
+let pick_live_var tc =
+  (* Any variable live at some reachable migration point. *)
+  let sites = Runtime.Interp.reachable_mig_sites tc in
+  List.find_map
+    (fun (fname, mig_id) ->
+      match Runtime.Interp.state_at tc Isa.Arch.X86_64 ~fname ~mig_id with
+      | None -> None
+      | Some st ->
+        let inner = Runtime.Thread_state.innermost st in
+        (match Runtime.Interp.live_values tc st inner with
+        | (name, _) :: _ -> Some (name, fname, mig_id)
+        | [] -> None))
+    sites
+
+let corrupted_dest_stackmap_rejected () =
+  let tc = Lazy.force binary in
+  match pick_live_var tc with
+  | None -> Alcotest.fail "no live variable found"
+  | Some (var, fname, mig_id) ->
+    let bad = tamper_stackmaps tc ~victim_arch:Isa.Arch.Arm64 ~drop_var:var in
+    (match Runtime.Interp.state_at bad Isa.Arch.X86_64 ~fname ~mig_id with
+    | None -> Alcotest.fail "unreached"
+    | Some st -> begin
+      (* Transformation consults the (corrupted) ARM metadata as the
+         destination: it must refuse, not silently drop the value. *)
+      match Runtime.Transform.transform bad st with
+      | Error _ -> ()
+      | Ok (dst, _) ->
+        (* If it succeeded despite the tampering, verification must catch
+           the lost value. *)
+        checkb "verification catches the corruption" true
+          (Runtime.Transform.verify bad st dst <> Ok ())
+    end)
+
+let corrupted_source_stackmap_rejected () =
+  let tc = Lazy.force binary in
+  match pick_live_var tc with
+  | None -> Alcotest.fail "no live variable found"
+  | Some (var, fname, mig_id) ->
+    let bad = tamper_stackmaps tc ~victim_arch:Isa.Arch.X86_64 ~drop_var:var in
+    (match Runtime.Interp.state_at bad Isa.Arch.X86_64 ~fname ~mig_id with
+    | None -> Alcotest.fail "unreached"
+    | Some st -> begin
+      match Runtime.Transform.transform bad st with
+      | Error _ -> ()
+      | Ok (dst, _) ->
+        checkb "verification catches the corruption" true
+          (Runtime.Transform.verify bad st dst <> Ok ())
+    end)
+
+let migrate_to_unknown_node_rejected () =
+  let cluster = Hetmig.Het.make_cluster () in
+  let spec = Workload.Spec.spec Workload.Spec.EP Workload.Spec.A in
+  let proc =
+    Hetmig.Het.deploy cluster (Lazy.force binary) ~spec ~threads:1 ~node:0 ()
+  in
+  checkb "unknown node raises" true
+    (try
+       Hetmig.Het.migrate cluster proc ~to_node:7;
+       false
+     with Invalid_argument _ -> true)
+
+let oversized_job_never_admitted () =
+  (* A job wider than any machine cannot be placed; the scheduler must
+     terminate and report the shortfall rather than hang or lie. *)
+  let fat =
+    Sched.Job.make ~jid:0
+      ~spec:(Workload.Spec.spec Workload.Spec.EP Workload.Spec.A)
+      ~threads:64 ~arrival:0.0
+  in
+  let ok =
+    Sched.Job.make ~jid:1
+      ~spec:(Workload.Spec.spec Workload.Spec.EP Workload.Spec.A)
+      ~threads:1 ~arrival:0.0
+  in
+  let r = Sched.Scheduler.run Sched.Policy.Static_x86_pair [ fat; ok ] in
+  checki "only the feasible job completes" 1 r.Sched.Scheduler.completed
+
+let invalid_job_parameters_rejected () =
+  checkb "zero threads" true
+    (try
+       ignore
+         (Sched.Job.make ~jid:0
+            ~spec:(Workload.Spec.spec Workload.Spec.EP Workload.Spec.A)
+            ~threads:0 ~arrival:0.0);
+       false
+     with Invalid_argument _ -> true);
+  checkb "negative arrival" true
+    (try
+       ignore
+         (Sched.Job.make ~jid:0
+            ~spec:(Workload.Spec.spec Workload.Spec.EP Workload.Spec.A)
+            ~threads:1 ~arrival:(-1.0));
+       false
+     with Invalid_argument _ -> true)
+
+let negative_message_rejected () =
+  let engine = Sim.Engine.create () in
+  let bus = Kernel.Message.create engine Machine.Interconnect.dolphin_pxh810 in
+  checkb "negative size rejected" true
+    (try
+       Kernel.Message.send bus Kernel.Message.Page_request ~bytes:(-1)
+         ~on_delivery:(fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let zero_budget_rejected () =
+  checkb "instrument with budget 0" true
+    (try
+       ignore
+         (Compiler.Migration_points.instrument ~budget:0
+            (Workload.Programs.program Workload.Spec.EP Workload.Spec.A));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ("corrupted destination stackmap rejected", `Quick,
+     corrupted_dest_stackmap_rejected);
+    ("corrupted source stackmap rejected", `Quick,
+     corrupted_source_stackmap_rejected);
+    ("migration to unknown node rejected", `Quick,
+     migrate_to_unknown_node_rejected);
+    ("oversized job never admitted", `Quick, oversized_job_never_admitted);
+    ("invalid job parameters rejected", `Quick, invalid_job_parameters_rejected);
+    ("negative message size rejected", `Quick, negative_message_rejected);
+    ("zero instrumentation budget rejected", `Quick, zero_budget_rejected);
+  ]

@@ -1,0 +1,161 @@
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+
+let make () = Memsys.Heap.create ~base:0x1000 ~bytes:4096
+
+let malloc_basic () =
+  let h = make () in
+  match Memsys.Heap.malloc h 100 with
+  | None -> Alcotest.fail "allocation failed"
+  | Some p ->
+    checkb "inside the region" true (p >= 0x1000 && p < 0x1000 + 4096);
+    checki "16-aligned" 0 (p mod 16);
+    checkb "payload accounted" true (Memsys.Heap.allocated_bytes h >= 100);
+    checkb "invariants" true (Memsys.Heap.check_invariants h = Ok ())
+
+let allocations_disjoint () =
+  let h = make () in
+  let ptrs =
+    List.filter_map (fun _ -> Memsys.Heap.malloc h 64) (List.init 20 Fun.id)
+  in
+  checki "20 allocations" 20 (List.length ptrs);
+  let ranges = List.map (fun p -> (p, p + 64)) ptrs |> List.sort compare in
+  let rec disjoint = function
+    | (_, e) :: ((s, _) :: _ as rest) ->
+      checkb "disjoint" true (e <= s);
+      disjoint rest
+    | _ -> ()
+  in
+  disjoint ranges
+
+let free_and_reuse () =
+  let h = make () in
+  let p1 = Option.get (Memsys.Heap.malloc h 64) in
+  let _p2 = Option.get (Memsys.Heap.malloc h 64) in
+  checkb "free ok" true (Memsys.Heap.free h p1 = Ok ());
+  (* First-fit reuses the hole. *)
+  let p3 = Option.get (Memsys.Heap.malloc h 64) in
+  checki "hole reused" p1 p3
+
+let double_free_rejected () =
+  let h = make () in
+  let p = Option.get (Memsys.Heap.malloc h 8) in
+  checkb "first free ok" true (Memsys.Heap.free h p = Ok ());
+  checkb "double free rejected" true
+    (match Memsys.Heap.free h p with Error _ -> true | Ok () -> false);
+  checkb "wild pointer rejected" true
+    (match Memsys.Heap.free h 0x1008 with Error _ -> true | Ok () -> false)
+
+let exhaustion_returns_none () =
+  let h = make () in
+  checkb "oversized returns None" true (Memsys.Heap.malloc h 8192 = None);
+  (* Fill it up. *)
+  let rec fill acc =
+    match Memsys.Heap.malloc h 240 with
+    | Some p -> fill (p :: acc)
+    | None -> acc
+  in
+  let ptrs = fill [] in
+  checkb "filled" true (List.length ptrs = 16);
+  checkb "then exhausted" true (Memsys.Heap.malloc h 240 = None)
+
+let coalescing_defragments () =
+  let h = make () in
+  let ptrs =
+    List.filter_map (fun _ -> Memsys.Heap.malloc h 240) (List.init 16 Fun.id)
+  in
+  (* Free alternating blocks: fragmentation appears... *)
+  List.iteri
+    (fun i p -> if i mod 2 = 0 then ignore (Memsys.Heap.free h p))
+    ptrs;
+  checkb "fragmented" true (Memsys.Heap.fragmentation h > 0.0);
+  (* ...then free the rest: everything coalesces into one block. *)
+  List.iteri
+    (fun i p -> if i mod 2 = 1 then ignore (Memsys.Heap.free h p))
+    ptrs;
+  Alcotest.check (Alcotest.float 1e-9) "fully coalesced" 0.0
+    (Memsys.Heap.fragmentation h);
+  checki "nothing live" 0 (Memsys.Heap.allocated_bytes h);
+  checkb "invariants" true (Memsys.Heap.check_invariants h = Ok ())
+
+let heap_random_props =
+  QCheck.Test.make ~name:"heap invariants under random malloc/free" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sim.Prng.create seed in
+      let h = Memsys.Heap.create ~base:0x4000 ~bytes:65536 in
+      let live = ref [] in
+      let ok = ref true in
+      for _ = 1 to 300 do
+        if Sim.Prng.bool rng || !live = [] then begin
+          match Memsys.Heap.malloc h (Sim.Prng.int rng 512) with
+          | Some p -> live := p :: !live
+          | None -> ()
+        end
+        else begin
+          let idx = Sim.Prng.int rng (List.length !live) in
+          let p = List.nth !live idx in
+          live := List.filteri (fun i _ -> i <> idx) !live;
+          if Memsys.Heap.free h p <> Ok () then ok := false
+        end;
+        if Memsys.Heap.check_invariants h <> Ok () then ok := false
+      done;
+      !ok
+      && List.length (Memsys.Heap.allocations h) = List.length !live)
+
+(* The paper's claim: heap pointers are identical across ISAs and survive
+   migration without fixups. *)
+let heap_pointer_prog =
+  let open Ir.Prog in
+  let f =
+    make_func ~name:"main" ~params:[]
+      ~body:
+        [
+          Def { vname = "node"; ty = Ir.Ty.Ptr; init = Ptr_to_heap 256 };
+          Def { vname = "blob"; ty = Ir.Ty.Ptr; init = Ptr_to_heap 4096 };
+          Mig_point 0;
+          Use "node"; Use "blob";
+        ]
+  in
+  make ~name:"heapdemo" ~funcs:[ f ] ~globals:[] ~entry:"main"
+
+let heap_pointers_identity_mapped () =
+  let tc = Compiler.Toolchain.compile heap_pointer_prog in
+  let values arch =
+    match Runtime.Interp.state_at tc arch ~fname:"main" ~mig_id:0 with
+    | None -> Alcotest.fail "unreached"
+    | Some st ->
+      let fr = Runtime.Thread_state.innermost st in
+      List.map
+        (fun (n, (v : int64 array)) -> (n, v.(0)))
+        (Runtime.Interp.live_values tc st fr)
+  in
+  Alcotest.check
+    Alcotest.(list (pair string int64))
+    "same heap addresses on both ISAs"
+    (values Isa.Arch.Arm64) (values Isa.Arch.X86_64);
+  (* And they cross a migration bit-for-bit (no fixup). *)
+  match Runtime.Interp.state_at tc Isa.Arch.X86_64 ~fname:"main" ~mig_id:0 with
+  | None -> Alcotest.fail "unreached"
+  | Some st -> begin
+    match Runtime.Transform.transform tc st with
+    | Error e -> Alcotest.fail e
+    | Ok (dst, cost) ->
+      checki "no pointer fixups needed" 0 cost.Runtime.Transform.pointers_fixed;
+      let before = Runtime.Interp.live_values tc st (Runtime.Thread_state.innermost st) in
+      let after = Runtime.Interp.live_values tc dst (Runtime.Thread_state.innermost dst) in
+      checkb "verbatim pointer copy" true (before = after)
+  end
+
+let suite =
+  [
+    ("malloc basics", `Quick, malloc_basic);
+    ("allocations disjoint", `Quick, allocations_disjoint);
+    ("free and first-fit reuse", `Quick, free_and_reuse);
+    ("double free rejected", `Quick, double_free_rejected);
+    ("exhaustion returns None", `Quick, exhaustion_returns_none);
+    ("coalescing defragments", `Quick, coalescing_defragments);
+    QCheck_alcotest.to_alcotest heap_random_props;
+    ("heap pointers identity-mapped across ISAs", `Quick,
+     heap_pointers_identity_mapped);
+  ]

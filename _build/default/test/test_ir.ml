@@ -1,0 +1,245 @@
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+let checksl msg = Alcotest.check Alcotest.(list string) msg
+
+open Ir.Prog
+
+let v ?(init = Scalar) vname ty = { vname; ty; init }
+
+let w n =
+  Work { instructions = n; category = Isa.Cost_model.Mixed; memory_touched = 0 }
+
+let leaf =
+  make_func ~name:"leaf" ~params:[ v "x" Ir.Ty.I64 ]
+    ~body:[ w 10; Use "x" ]
+
+let caller =
+  make_func ~name:"caller" ~params:[]
+    ~body:
+      [
+        Def (v "a" Ir.Ty.I64);
+        Def (v "b" Ir.Ty.F64);
+        Call { site_id = 0; callee = "leaf"; args = [ "a" ] };
+        Use "b";
+        Loop
+          {
+            trips = 3;
+            body = [ w 5; Call { site_id = 1; callee = "leaf"; args = [ "b" ] } ];
+          };
+        Use "a";
+      ]
+
+let prog = make ~name:"t" ~funcs:[ caller; leaf ] ~globals:[] ~entry:"caller"
+
+(* --- types ------------------------------------------------------------- *)
+
+let ty_sizes () =
+  checki "i8" 1 (Ir.Ty.size Ir.Ty.I8);
+  checki "i64" 8 (Ir.Ty.size Ir.Ty.I64);
+  checki "ptr" 8 (Ir.Ty.size Ir.Ty.Ptr);
+  checkb "ptr is pointer" true (Ir.Ty.is_pointer Ir.Ty.Ptr);
+  checkb "f64 not pointer" false (Ir.Ty.is_pointer Ir.Ty.F64);
+  List.iter
+    (fun t -> checki "align = size" (Ir.Ty.size t) (Ir.Ty.alignment t))
+    Ir.Ty.all
+
+(* --- program structure -------------------------------------------------- *)
+
+let func_is_leaf () =
+  checkb "leaf" true leaf.is_leaf;
+  checkb "caller not leaf" false caller.is_leaf
+
+let func_rejects_duplicate_sites () =
+  checkb "duplicate sites rejected" true
+    (try
+       ignore
+         (make_func ~name:"bad" ~params:[]
+            ~body:
+              [
+                Call { site_id = 0; callee = "leaf"; args = [] };
+                Call { site_id = 0; callee = "leaf"; args = [] };
+              ]);
+       false
+     with Invalid_argument _ -> true)
+
+let prog_rejects_unknown_callee () =
+  checkb "unknown callee rejected" true
+    (try
+       let f =
+         make_func ~name:"f" ~params:[]
+           ~body:[ Call { site_id = 0; callee = "ghost"; args = [] } ]
+       in
+       ignore (make ~name:"p" ~funcs:[ f ] ~globals:[] ~entry:"f");
+       false
+     with Invalid_argument _ -> true)
+
+let prog_rejects_missing_entry () =
+  checkb "missing entry rejected" true
+    (try
+       ignore (make ~name:"p" ~funcs:[ leaf ] ~globals:[] ~entry:"nope");
+       false
+     with Invalid_argument _ -> true)
+
+let locals_dedup_order () =
+  checksl "params first, then defs" [ "a"; "b" ]
+    (List.map (fun x -> x.vname) (locals caller));
+  checksl "param of leaf" [ "x" ] (List.map (fun x -> x.vname) (locals leaf))
+
+let call_sites_found () =
+  checki "two sites incl. loop" 2 (List.length (call_sites caller));
+  checki "none in leaf" 0 (List.length (call_sites leaf))
+
+let dynamic_vs_static () =
+  (* caller: 5 instr in a 3-trip loop -> 15 dynamic, 5 static. *)
+  checki "dynamic multiplies loops" 15 (dynamic_instructions caller);
+  checki "static ignores trips" 5 (static_instructions caller)
+
+(* --- liveness ----------------------------------------------------------- *)
+
+let liveness_at_sites () =
+  let sites = Ir.Liveness.analyze caller in
+  checki "two records" 2 (List.length sites);
+  (* After site 0, both b (used later) and a (used after the loop) are
+     live. *)
+  checksl "live after site 0" [ "a"; "b" ]
+    (Ir.Liveness.live_at caller Ir.Liveness.At_call 0);
+  (* Inside the loop, b is an argument (live before), a is live after the
+     loop. b is also live across iterations (wrap-around). *)
+  checksl "live after site 1" [ "a"; "b" ]
+    (Ir.Liveness.live_at caller Ir.Liveness.At_call 1)
+
+let liveness_dead_after_last_use () =
+  let f =
+    make_func ~name:"f" ~params:[]
+      ~body:
+        [
+          Def (v "t" Ir.Ty.I64);
+          Call { site_id = 0; callee = "leaf"; args = [ "t" ] };
+          w 5;
+        ]
+  in
+  checksl "t dead after its last use" []
+    (Ir.Liveness.live_at f Ir.Liveness.At_call 0)
+
+let liveness_pointer_keeps_target_alive () =
+  let f =
+    make_func ~name:"f" ~params:[]
+      ~body:
+        [
+          Def (v "buf" Ir.Ty.I64);
+          Call { site_id = 0; callee = "leaf"; args = [] };
+          Def (v ~init:(Ptr_to_local "buf") "p" Ir.Ty.Ptr);
+          Use "p";
+        ]
+  in
+  (* buf must stay live at the call because its address is taken later. *)
+  checksl "target alive" [ "buf" ]
+    (Ir.Liveness.live_at f Ir.Liveness.At_call 0)
+
+let liveness_mig_points () =
+  let f =
+    make_func ~name:"f" ~params:[]
+      ~body:[ Def (v "x" Ir.Ty.I64); Mig_point 0; Use "x"; Mig_point 1 ]
+  in
+  checksl "x live at mig 0" [ "x" ]
+    (Ir.Liveness.live_at f Ir.Liveness.At_mig_point 0);
+  checksl "x dead at mig 1" []
+    (Ir.Liveness.live_at f Ir.Liveness.At_mig_point 1)
+
+let liveness_loop_fixpoint () =
+  (* A variable used at the loop top is live at a call at the loop bottom
+     (next iteration reads it). *)
+  let f =
+    make_func ~name:"f" ~params:[]
+      ~body:
+        [
+          Def (v "acc" Ir.Ty.I64);
+          Loop
+            {
+              trips = 10;
+              body =
+                [ Use "acc"; Call { site_id = 0; callee = "leaf"; args = [] } ];
+            };
+        ]
+  in
+  checksl "acc live across back edge" [ "acc" ]
+    (Ir.Liveness.live_at f Ir.Liveness.At_call 0)
+
+let wellformed_checks () =
+  checkb "good function" true (Ir.Liveness.check_uses_defined caller = Ok "caller");
+  let bad =
+    make_func ~name:"bad" ~params:[] ~body:[ Use "ghost" ]
+  in
+  checkb "undefined use detected" true
+    (Ir.Liveness.check_uses_defined bad = Error "ghost")
+
+(* --- callgraph ---------------------------------------------------------- *)
+
+let callgraph_edges () =
+  let g = Ir.Callgraph.build prog in
+  checksl "caller calls leaf" [ "leaf" ] (Ir.Callgraph.callees g "caller");
+  checksl "leaf called by caller" [ "caller" ] (Ir.Callgraph.callers g "leaf");
+  checksl "reachable" [ "caller"; "leaf" ] (Ir.Callgraph.reachable g "caller")
+
+let callgraph_depth () =
+  let g = Ir.Callgraph.build prog in
+  Alcotest.check
+    Alcotest.(option int)
+    "depth 2" (Some 2)
+    (Ir.Callgraph.max_depth g "caller")
+
+let callgraph_recursion_detected () =
+  let f =
+    make_func ~name:"f" ~params:[]
+      ~body:[ Call { site_id = 0; callee = "g"; args = [] } ]
+  in
+  let g_ =
+    make_func ~name:"g" ~params:[]
+      ~body:[ Call { site_id = 0; callee = "f"; args = [] } ]
+  in
+  let p = make ~name:"rec" ~funcs:[ f; g_ ] ~globals:[] ~entry:"f" in
+  let g = Ir.Callgraph.build p in
+  checkb "cycle found" true (Ir.Callgraph.is_recursive g);
+  checkb "no depth for recursive" true (Ir.Callgraph.max_depth g "f" = None)
+
+(* --- property: liveness sound on random programs ------------------------ *)
+
+let liveness_props =
+  QCheck.Test.make ~name:"random programs are well-formed with sound liveness"
+    ~count:150 QCheck.(int_bound 10_000)
+    (fun seed ->
+      let prog = Gen.random_program seed in
+      List.for_all
+        (fun (_, func) ->
+          (match Ir.Liveness.check_uses_defined func with
+          | Ok _ -> true
+          | Error _ -> false)
+          &&
+          let names = List.map (fun x -> x.vname) (locals func) in
+          List.for_all
+            (fun (s : Ir.Liveness.site) ->
+              List.for_all (fun n -> List.mem n names) s.Ir.Liveness.live)
+            (Ir.Liveness.analyze func))
+        prog.funcs)
+
+let suite =
+  [
+    ("type sizes", `Quick, ty_sizes);
+    ("leaf detection", `Quick, func_is_leaf);
+    ("duplicate call sites rejected", `Quick, func_rejects_duplicate_sites);
+    ("unknown callee rejected", `Quick, prog_rejects_unknown_callee);
+    ("missing entry rejected", `Quick, prog_rejects_missing_entry);
+    ("locals order and dedup", `Quick, locals_dedup_order);
+    ("call site discovery", `Quick, call_sites_found);
+    ("dynamic vs static instruction counts", `Quick, dynamic_vs_static);
+    ("liveness at call sites", `Quick, liveness_at_sites);
+    ("liveness kills after last use", `Quick, liveness_dead_after_last_use);
+    ("liveness keeps pointer targets", `Quick, liveness_pointer_keeps_target_alive);
+    ("liveness at migration points", `Quick, liveness_mig_points);
+    ("liveness loop fixpoint", `Quick, liveness_loop_fixpoint);
+    ("use-before-def detection", `Quick, wellformed_checks);
+    ("callgraph edges", `Quick, callgraph_edges);
+    ("callgraph depth", `Quick, callgraph_depth);
+    ("callgraph recursion detection", `Quick, callgraph_recursion_detected);
+    QCheck_alcotest.to_alcotest liveness_props;
+  ]

@@ -1,0 +1,402 @@
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+
+let machines = [ Machine.Server.xeon_e5_1650_v2; Machine.Server.xgene1 ]
+
+let make_pop () =
+  let engine = Sim.Engine.create () in
+  (engine, Kernel.Popcorn.create engine ~machines ())
+
+let phase ?(pages = []) ?(writes = false) instructions =
+  {
+    Kernel.Process.instructions;
+    category = Isa.Cost_model.Compute;
+    pages;
+    writes;
+  }
+
+(* --- message bus --------------------------------------------------------- *)
+
+let message_delivery_latency () =
+  let engine = Sim.Engine.create () in
+  let bus = Kernel.Message.create engine Machine.Interconnect.dolphin_pxh810 in
+  let delivered = ref (-1.0) in
+  Kernel.Message.send bus Kernel.Message.Thread_migration ~bytes:4096
+    ~on_delivery:(fun () -> delivered := Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  checkb "delivered after latency" true (!delivered > 0.0);
+  checkb "fast interconnect" true (!delivered < 1e-4);
+  checki "counted" 1 (Kernel.Message.sent bus Kernel.Message.Thread_migration);
+  checki "bytes" 4096 (Kernel.Message.total_bytes bus)
+
+let message_kinds_separate () =
+  let engine = Sim.Engine.create () in
+  let bus = Kernel.Message.create engine Machine.Interconnect.dolphin_pxh810 in
+  Kernel.Message.send bus Kernel.Message.Page_request ~bytes:64
+    ~on_delivery:(fun () -> ());
+  checki "page_request" 1 (Kernel.Message.sent bus Kernel.Message.Page_request);
+  checki "other kind zero" 0 (Kernel.Message.sent bus Kernel.Message.Page_reply)
+
+(* --- continuations -------------------------------------------------------- *)
+
+let continuation_blocks_in_kernel_migration () =
+  let c = Kernel.Continuation.create () in
+  Kernel.Continuation.enter_kernel c ~node:0 ~arch:Isa.Arch.X86_64;
+  checkb "in kernel" true (Kernel.Continuation.in_kernel c ~node:0);
+  checkb "cannot migrate mid-service" false (Kernel.Continuation.can_migrate c);
+  checkb "migrate refused" true
+    (match Kernel.Continuation.migrate c ~to_node:1 ~to_arch:Isa.Arch.Arm64 with
+    | Error _ -> true
+    | Ok _ -> false);
+  Kernel.Continuation.exit_kernel c ~node:0;
+  checkb "can migrate after service" true (Kernel.Continuation.can_migrate c);
+  checkb "migrate ok" true
+    (match Kernel.Continuation.migrate c ~to_node:1 ~to_arch:Isa.Arch.Arm64 with
+    | Ok k -> k.Kernel.Continuation.arch = Isa.Arch.Arm64
+    | Error _ -> false)
+
+let continuation_nested_services () =
+  let c = Kernel.Continuation.create () in
+  Kernel.Continuation.enter_kernel c ~node:0 ~arch:Isa.Arch.X86_64;
+  Kernel.Continuation.enter_kernel c ~node:0 ~arch:Isa.Arch.X86_64;
+  Kernel.Continuation.exit_kernel c ~node:0;
+  checkb "still in kernel" true (Kernel.Continuation.in_kernel c ~node:0);
+  Kernel.Continuation.exit_kernel c ~node:0;
+  checkb "out" false (Kernel.Continuation.in_kernel c ~node:0);
+  checkb "unbalanced exit raises" true
+    (try
+       Kernel.Continuation.exit_kernel c ~node:0;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- loader ----------------------------------------------------------------- *)
+
+let loader_maps_binary () =
+  let engine = Sim.Engine.create () in
+  let pop = Kernel.Popcorn.create engine ~machines () in
+  ignore engine;
+  let tc =
+    Compiler.Toolchain.compile
+      (Workload.Programs.program Workload.Spec.IS Workload.Spec.A)
+  in
+  let image =
+    Kernel.Loader.load tc ~dsm:pop.Kernel.Popcorn.dsm ~node:0
+      ~heap_bytes:(1 lsl 20)
+  in
+  checkb "text aliased" true
+    (Memsys.Address_space.active_text_image image.Kernel.Loader.aspace
+       Isa.Arch.Arm64
+    <> Memsys.Address_space.active_text_image image.Kernel.Loader.aspace
+         Isa.Arch.X86_64);
+  checkb "entry points at main" true
+    (image.Kernel.Loader.entry = Compiler.Toolchain.symbol_address tc "main");
+  checkb "text pages exist" true (image.Kernel.Loader.text_pages <> []);
+  checkb "data pages exist" true (image.Kernel.Loader.data_pages <> []);
+  (* Text pages are aliased in the DSM (never transferred). *)
+  List.iter
+    (fun page ->
+      Alcotest.check (Alcotest.float 0.0) "text access free" 0.0
+        (Dsm.Hdsm.access pop.Kernel.Popcorn.dsm ~node:1 ~page ~write:false))
+    image.Kernel.Loader.text_pages;
+  (* Data pages are owned by the spawning node. *)
+  List.iter
+    (fun page ->
+      checki "owned by node 0" 0 (Dsm.Hdsm.owner pop.Kernel.Popcorn.dsm ~page))
+    image.Kernel.Loader.data_pages
+
+let loader_disjoint_processes () =
+  let engine = Sim.Engine.create () in
+  let pop = Kernel.Popcorn.create engine ~machines () in
+  let a =
+    Kernel.Loader.load_raw ~dsm:pop.Kernel.Popcorn.dsm ~node:0 ~name:"a"
+      ~footprint_bytes:(1 lsl 16)
+  in
+  let b =
+    Kernel.Loader.load_raw ~dsm:pop.Kernel.Popcorn.dsm ~node:1 ~name:"b"
+      ~footprint_bytes:(1 lsl 16)
+  in
+  let inter =
+    List.filter (fun p -> List.mem p b.Kernel.Loader.data_pages)
+      a.Kernel.Loader.data_pages
+  in
+  checkb "page sets disjoint" true (inter = [])
+
+(* --- process execution -------------------------------------------------------- *)
+
+let run_simple_process () =
+  let engine, pop = make_pop () in
+  let c = Kernel.Popcorn.new_container pop ~name:"c" in
+  let proc =
+    Kernel.Popcorn.spawn pop ~container:c ~node:0 ~name:"job"
+      ~footprint_bytes:(1 lsl 16)
+      ~thread_phases:[ [ phase 1e9; phase 1e9 ] ]
+      ()
+  in
+  Kernel.Popcorn.start pop proc;
+  Sim.Engine.run engine;
+  checkb "finished" false (Kernel.Process.alive proc);
+  checkb "finish time recorded" true (proc.Kernel.Process.finished_at <> None);
+  (* 2e9 compute instructions at 7000 MIPS ~ 0.29 s. *)
+  let t = Sim.Engine.now engine in
+  checkb "plausible duration" true (t > 0.2 && t < 0.4)
+
+let multithreaded_parallel_speedup () =
+  let run threads =
+    let engine, pop = make_pop () in
+    let c = Kernel.Popcorn.new_container pop ~name:"c" in
+    let per_thread = 4e9 /. float_of_int threads in
+    let proc =
+      Kernel.Popcorn.spawn pop ~container:c ~node:0 ~name:"job"
+        ~footprint_bytes:(1 lsl 16)
+        ~thread_phases:(List.init threads (fun _ -> [ phase per_thread ]))
+        ()
+    in
+    Kernel.Popcorn.start pop proc;
+    Sim.Engine.run engine;
+    Sim.Engine.now engine
+  in
+  let t1 = run 1 and t4 = run 4 in
+  checkb "4 threads faster" true (t4 < t1 /. 2.0)
+
+let arm_slower_than_x86 () =
+  let run node =
+    let engine, pop = make_pop () in
+    let c = Kernel.Popcorn.new_container pop ~name:"c" in
+    let proc =
+      Kernel.Popcorn.spawn pop ~container:c ~node ~name:"job"
+        ~footprint_bytes:(1 lsl 16)
+        ~thread_phases:[ [ phase 5e9 ] ]
+        ()
+    in
+    Kernel.Popcorn.start pop proc;
+    Sim.Engine.run engine;
+    Sim.Engine.now engine
+  in
+  checkb "x-gene slower" true (run 1 > 2.0 *. run 0)
+
+let migration_moves_thread_and_pages () =
+  let engine, pop = make_pop () in
+  let c = Kernel.Popcorn.new_container pop ~name:"c" in
+  let proc =
+    Kernel.Popcorn.spawn pop ~container:c ~node:0 ~name:"job"
+      ~footprint_bytes:(1 lsl 16) ~thread_phases:[ [] ] ()
+  in
+  (* Phases touching this process's own pages. *)
+  let pages = proc.Kernel.Process.data_pages in
+  let th = List.hd proc.Kernel.Process.threads in
+  th.Kernel.Process.remaining <-
+    List.init 10 (fun _ -> phase ~pages:(List.filteri (fun i _ -> i < 4) pages) 1e9);
+  Kernel.Popcorn.start pop proc;
+  (* Request migration shortly after start. *)
+  Sim.Engine.schedule engine ~at:0.05 (fun () ->
+      Kernel.Popcorn.migrate pop proc ~to_node:1);
+  Sim.Engine.run engine;
+  checkb "done" false (Kernel.Process.alive proc);
+  checki "thread migrated once" 1 th.Kernel.Process.migrations;
+  checki "thread on node 1" 1 th.Kernel.Process.node;
+  (* Residual dependencies drained: home moved to node 1. *)
+  checki "home moved" 1 proc.Kernel.Process.home;
+  List.iter
+    (fun page ->
+      checki "page drained" 1 (Dsm.Hdsm.owner pop.Kernel.Popcorn.dsm ~page))
+    pages
+
+let migration_honoured_at_phase_boundary () =
+  let engine, pop = make_pop () in
+  let c = Kernel.Popcorn.new_container pop ~name:"c" in
+  let proc =
+    Kernel.Popcorn.spawn pop ~container:c ~node:0 ~name:"job"
+      ~footprint_bytes:(1 lsl 16)
+      ~thread_phases:[ List.init 20 (fun _ -> phase 5e8) ]
+      ()
+  in
+  Kernel.Popcorn.start pop proc;
+  let th = List.hd proc.Kernel.Process.threads in
+  let migrated_at = ref 0.0 in
+  Sim.Engine.schedule engine ~at:0.1 (fun () ->
+      Kernel.Popcorn.migrate pop proc ~to_node:1;
+      (* Poll until the thread lands. *)
+      let rec poll () =
+        if th.Kernel.Process.node = 1 then migrated_at := Sim.Engine.now engine
+        else Sim.Engine.schedule_in engine ~after:0.001 poll
+      in
+      poll ());
+  Sim.Engine.run engine;
+  (* One phase is 5e8 instr ~ 71 ms on the Xeon: the migration must land
+     within roughly one phase of the request (the migration response
+     time), not instantly and not at program end. *)
+  checkb "bounded response time" true
+    (!migrated_at > 0.1 && !migrated_at < 0.1 +. 0.2)
+
+let energy_accounting_sane () =
+  let engine, pop = make_pop () in
+  let c = Kernel.Popcorn.new_container pop ~name:"c" in
+  let proc =
+    Kernel.Popcorn.spawn pop ~container:c ~node:0 ~name:"job"
+      ~footprint_bytes:(1 lsl 16)
+      ~thread_phases:[ [ phase 7e9 ] ]
+      ()
+  in
+  Kernel.Popcorn.start pop proc;
+  Sim.Engine.run engine;
+  let t = Sim.Engine.now engine in
+  let e0 = Kernel.Popcorn.energy pop 0 in
+  let idle_floor =
+    (Machine.Server.xeon_e5_1650_v2.Machine.Server.power.Machine.Power.cpu_idle_w
+    +. Machine.Server.xeon_e5_1650_v2.Machine.Server.power.Machine.Power
+       .platform_w)
+    *. t
+  in
+  checkb "energy above idle floor" true (e0 >= idle_floor *. 0.999);
+  let max_power =
+    Machine.Power.system_power
+      Machine.Server.xeon_e5_1650_v2.Machine.Server.power ~utilization:1.0
+  in
+  checkb "energy below max envelope" true (e0 <= max_power *. t *. 1.001)
+
+let powered_off_burns_sleep_power () =
+  let engine, pop = make_pop () in
+  Kernel.Popcorn.set_powered pop 1 false;
+  Sim.Engine.schedule engine ~at:100.0 (fun () -> ());
+  Sim.Engine.run engine;
+  let e1 = Kernel.Popcorn.energy pop 1 in
+  let sleep = Machine.Server.xgene1.Machine.Server.power.Machine.Power.sleep_w in
+  checkb "sleep energy" true (Float.abs (e1 -. (sleep *. 100.0)) < 1.0)
+
+let container_spans_during_migration () =
+  let engine, pop = make_pop () in
+  let c = Kernel.Popcorn.new_container pop ~name:"c" in
+  let proc =
+    Kernel.Popcorn.spawn pop ~container:c ~node:0 ~name:"job"
+      ~footprint_bytes:(1 lsl 16)
+      ~thread_phases:[ List.init 40 (fun _ -> phase 5e8) ]
+      ()
+  in
+  Kernel.Popcorn.start pop proc;
+  let residual p =
+    Dsm.Hdsm.residual_pages pop.Kernel.Popcorn.dsm ~home:p.Kernel.Process.home
+    > 0
+  in
+  let spanned = ref [] in
+  Sim.Engine.schedule engine ~at:0.2 (fun () ->
+      Kernel.Popcorn.migrate pop proc ~to_node:1);
+  Sim.Engine.schedule engine ~at:0.4 (fun () ->
+      spanned := Kernel.Container.span c ~residual);
+  Sim.Engine.run engine;
+  checkb "container spanned both kernels mid-migration" true
+    (List.length !spanned >= 1)
+
+let multiple_containers_isolated () =
+  (* Two containers (multi-process): disjoint DSM pages, independent
+     namespace views, independent migration. *)
+  let engine, pop = make_pop () in
+  let c1 = Kernel.Popcorn.new_container pop ~name:"web" in
+  let c2 = Kernel.Popcorn.new_container pop ~name:"batch" in
+  let p1 =
+    Kernel.Popcorn.spawn pop ~container:c1 ~node:0 ~name:"web-1"
+      ~footprint_bytes:(1 lsl 16)
+      ~thread_phases:[ List.init 10 (fun _ -> phase 5e8) ]
+      ()
+  in
+  let p2 =
+    Kernel.Popcorn.spawn pop ~container:c2 ~node:0 ~name:"batch-1"
+      ~footprint_bytes:(1 lsl 16)
+      ~thread_phases:[ List.init 10 (fun _ -> phase 5e8) ]
+      ()
+  in
+  let inter =
+    List.filter
+      (fun p -> List.mem p p2.Kernel.Process.data_pages)
+      p1.Kernel.Process.data_pages
+  in
+  checkb "containers' pages disjoint" true (inter = []);
+  Kernel.Popcorn.start pop p1;
+  Kernel.Popcorn.start pop p2;
+  (* Migrate only the batch container. *)
+  Sim.Engine.schedule engine ~at:0.1 (fun () ->
+      Kernel.Popcorn.migrate pop p2 ~to_node:1);
+  Sim.Engine.run engine;
+  let th1 = List.hd p1.Kernel.Process.threads in
+  let th2 = List.hd p2.Kernel.Process.threads in
+  checki "web stayed on x86" 0 th1.Kernel.Process.node;
+  checki "batch moved to ARM" 1 th2.Kernel.Process.node;
+  checki "web never migrated" 0 th1.Kernel.Process.migrations;
+  (* Namespace views of identically-built containers agree; they differ
+     from each other only by content, not by kernel. *)
+  let ns1 = Kernel.Namespace.create_set ~name:"web" in
+  let ns1' = Kernel.Namespace.create_set ~name:"web" in
+  checki "same container view on any kernel"
+    (Kernel.Namespace.view_fingerprint ns1)
+    (Kernel.Namespace.view_fingerprint ns1')
+
+let message_traffic_accounted_during_migration () =
+  let engine, pop = make_pop () in
+  let c = Kernel.Popcorn.new_container pop ~name:"c" in
+  let proc =
+    Kernel.Popcorn.spawn pop ~container:c ~node:0 ~name:"job"
+      ~footprint_bytes:(1 lsl 16)
+      ~thread_phases:[ List.init 6 (fun _ -> phase 5e8) ]
+      ()
+  in
+  Kernel.Popcorn.start pop proc;
+  Sim.Engine.schedule engine ~at:0.05 (fun () ->
+      Kernel.Popcorn.migrate pop proc ~to_node:1);
+  Sim.Engine.run engine;
+  checki "exactly one thread-migration message" 1
+    (Kernel.Message.sent pop.Kernel.Popcorn.bus Kernel.Message.Thread_migration);
+  checkb "bytes accounted" true
+    (Kernel.Message.total_bytes pop.Kernel.Popcorn.bus >= 4096)
+
+let split_threads_pingpong_dsm () =
+  (* Two threads of one process on different kernels writing the same
+     pages: the hDSM write-invalidate protocol must ping-pong ownership
+     (no stop-the-world, but real coherence traffic). *)
+  let engine, pop = make_pop () in
+  let c = Kernel.Popcorn.new_container pop ~name:"c" in
+  let proc =
+    Kernel.Popcorn.spawn pop ~container:c ~node:0 ~name:"job"
+      ~footprint_bytes:(1 lsl 16)
+      ~thread_phases:[ []; [] ] ()
+  in
+  let shared = List.filteri (fun i _ -> i < 2) proc.Kernel.Process.data_pages in
+  List.iter
+    (fun (th : Kernel.Process.thread) ->
+      th.Kernel.Process.remaining <-
+        List.init 20 (fun _ -> phase ~pages:shared ~writes:true 2e8))
+    proc.Kernel.Process.threads;
+  Kernel.Popcorn.start pop proc;
+  (* Migrate only the second thread by raising its flag directly. *)
+  let th2 = List.nth proc.Kernel.Process.threads 1 in
+  Sim.Engine.schedule engine ~at:0.05 (fun () ->
+      Kernel.Vdso.request pop.Kernel.Popcorn.vdso ~tid:th2.Kernel.Process.tid
+        ~dest:1);
+  Sim.Engine.run engine;
+  checki "thread 2 migrated" 1 th2.Kernel.Process.node;
+  let st = Dsm.Hdsm.stats pop.Kernel.Popcorn.dsm in
+  checkb "coherence ping-pong observed" true
+    (st.Dsm.Hdsm.invalidations > 5 && st.Dsm.Hdsm.remote_fetches > 5)
+
+let suite =
+  [
+    ("message delivery and accounting", `Quick, message_delivery_latency);
+    ("message kinds counted separately", `Quick, message_kinds_separate);
+    ("continuation blocks in-kernel migration", `Quick,
+     continuation_blocks_in_kernel_migration);
+    ("continuation nested services", `Quick, continuation_nested_services);
+    ("loader maps multi-ISA binary", `Quick, loader_maps_binary);
+    ("loader keeps processes disjoint", `Quick, loader_disjoint_processes);
+    ("process runs to completion", `Quick, run_simple_process);
+    ("multithreading speeds up", `Quick, multithreaded_parallel_speedup);
+    ("x-gene slower than xeon", `Quick, arm_slower_than_x86);
+    ("migration moves thread, pages, home", `Quick,
+     migration_moves_thread_and_pages);
+    ("migration response time bounded", `Quick,
+     migration_honoured_at_phase_boundary);
+    ("energy accounting within envelope", `Quick, energy_accounting_sane);
+    ("sleep power accounting", `Quick, powered_off_burns_sleep_power);
+    ("container spans kernels", `Quick, container_spans_during_migration);
+    ("multiple containers isolated", `Quick, multiple_containers_isolated);
+    ("migration message traffic accounted", `Quick,
+     message_traffic_accounted_during_migration);
+    ("split threads ping-pong the DSM", `Quick, split_threads_pingpong_dsm);
+  ]

@@ -1,0 +1,96 @@
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let power_affine () =
+  let m = Machine.Server.xeon_e5_1650_v2.Machine.Server.power in
+  checkf "idle at 0" m.Machine.Power.cpu_idle_w
+    (Machine.Power.cpu_power m ~utilization:0.0);
+  checkf "max at 1" m.Machine.Power.cpu_max_w
+    (Machine.Power.cpu_power m ~utilization:1.0);
+  let mid = Machine.Power.cpu_power m ~utilization:0.5 in
+  checkf "midpoint" ((m.Machine.Power.cpu_idle_w +. m.Machine.Power.cpu_max_w) /. 2.0) mid
+
+let power_clamped () =
+  let m = Machine.Server.xgene1.Machine.Server.power in
+  checkf "clamp low" (Machine.Power.cpu_power m ~utilization:0.0)
+    (Machine.Power.cpu_power m ~utilization:(-1.0));
+  checkf "clamp high" (Machine.Power.cpu_power m ~utilization:1.0)
+    (Machine.Power.cpu_power m ~utilization:2.0)
+
+let power_system_includes_platform () =
+  let m = Machine.Server.xeon_e5_1650_v2.Machine.Server.power in
+  checkf "platform adder" m.Machine.Power.platform_w
+    (Machine.Power.system_power m ~utilization:0.3
+    -. Machine.Power.cpu_power m ~utilization:0.3)
+
+let power_figure11_envelope () =
+  (* Figure 11's axes: x86 system power peaks above 100 W, ARM near 80 W. *)
+  let x = Machine.Server.xeon_e5_1650_v2.Machine.Server.power in
+  let a = Machine.Server.xgene1.Machine.Server.power in
+  checkb "x86 peak 100-130 W" true
+    (let p = Machine.Power.system_power x ~utilization:1.0 in
+     p > 100.0 && p < 130.0);
+  checkb "arm peak 60-90 W" true
+    (let p = Machine.Power.system_power a ~utilization:1.0 in
+     p > 60.0 && p < 90.0)
+
+let sensor_samples_at_rate () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create () in
+  let m = Machine.Server.xeon_e5_1650_v2.Machine.Server.power in
+  Machine.Power.Sensor.attach engine trace m ~name:"n" ~hz:100.0 ~until:0.5
+    ~utilization:(fun () -> 0.5);
+  Sim.Engine.run engine;
+  let samples = Sim.Trace.series trace "n.cpu_w" in
+  checkb "~50 samples at 100 Hz over 0.5 s" true
+    (List.length samples >= 50 && List.length samples <= 52);
+  checkb "load series too" true (Sim.Trace.series trace "n.load" <> [])
+
+let mcpat_projection () =
+  let m = Machine.Server.xgene1.Machine.Server.power in
+  let p = Machine.Mcpat.project_finfet m in
+  checkf "cpu scaled by 1/10" (m.Machine.Power.cpu_max_w /. 10.0)
+    p.Machine.Power.cpu_max_w;
+  (* McPAT models the processor: board power is untouched. *)
+  checkf "platform unchanged" m.Machine.Power.platform_w
+    p.Machine.Power.platform_w
+
+let interconnect_transfer_times () =
+  let d = Machine.Interconnect.dolphin_pxh810 in
+  let small = Machine.Interconnect.transfer_time d ~bytes:64 in
+  let page = Machine.Interconnect.transfer_time d ~bytes:4096 in
+  checkb "latency floor" true (small >= d.Machine.Interconnect.latency_s);
+  checkb "bigger takes longer" true (page > small);
+  (* 64 Gb/s: a 4 KiB page's serialization is ~0.5 us. *)
+  checkb "page under 3us" true (page < 3e-6)
+
+let interconnect_ethernet_slower () =
+  let d = Machine.Interconnect.dolphin_pxh810 in
+  let e = Machine.Interconnect.ethernet_10g in
+  checkb "pcie faster" true
+    (Machine.Interconnect.transfer_time d ~bytes:4096
+    < Machine.Interconnect.transfer_time e ~bytes:4096)
+
+let machine_specs_match_paper () =
+  let x = Machine.Server.xeon_e5_1650_v2 in
+  let a = Machine.Server.xgene1 in
+  Alcotest.check Alcotest.int "xeon 6 cores" 6 x.Machine.Server.cores;
+  Alcotest.check Alcotest.int "x-gene 8 cores" 8 a.Machine.Server.cores;
+  checkf "xeon 3.5 GHz" 3.5e9 x.Machine.Server.cost.Isa.Cost_model.frequency_hz;
+  checkf "x-gene 2.4 GHz" 2.4e9 a.Machine.Server.cost.Isa.Cost_model.frequency_hz;
+  checkb "xeon more peak mips" true
+    (Machine.Server.peak_mips x Isa.Cost_model.Compute
+    > Machine.Server.peak_mips a Isa.Cost_model.Compute)
+
+let suite =
+  [
+    ("power affine in utilization", `Quick, power_affine);
+    ("power clamps utilization", `Quick, power_clamped);
+    ("system power includes platform", `Quick, power_system_includes_platform);
+    ("power envelopes match Figure 11", `Quick, power_figure11_envelope);
+    ("sensor samples at 100 Hz", `Quick, sensor_samples_at_rate);
+    ("mcpat finfet projection", `Quick, mcpat_projection);
+    ("interconnect transfer times", `Quick, interconnect_transfer_times);
+    ("pcie beats ethernet", `Quick, interconnect_ethernet_slower);
+    ("machine specs match the paper", `Quick, machine_specs_match_paper);
+  ]

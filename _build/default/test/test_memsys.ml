@@ -1,0 +1,257 @@
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+
+(* --- Page -------------------------------------------------------------- *)
+
+let page_helpers () =
+  checki "size" 4096 Memsys.Page.size;
+  checki "number" 2 (Memsys.Page.number 8192);
+  checki "base" 8192 (Memsys.Page.base 9000);
+  checki "offset" 808 (Memsys.Page.offset 9000);
+  checki "round_up exact" 4096 (Memsys.Page.round_up 4096);
+  checki "round_up" 8192 (Memsys.Page.round_up 4097);
+  checki "count" 2 (Memsys.Page.count ~bytes:4097)
+
+let page_span () =
+  Alcotest.check
+    Alcotest.(list int)
+    "span crossing boundary" [ 0; 1 ]
+    (Memsys.Page.span ~addr:4000 ~len:200);
+  Alcotest.check Alcotest.(list int) "empty" [] (Memsys.Page.span ~addr:0 ~len:0)
+
+(* --- Symbol ------------------------------------------------------------ *)
+
+let symbol_make_validates () =
+  checkb "bad alignment rejected" true
+    (try
+       ignore
+         (Memsys.Symbol.make ~name:"x" ~section:Memsys.Symbol.Data ~size:8
+            ~alignment:3);
+       false
+     with Invalid_argument _ -> true);
+  checkb "negative size rejected" true
+    (try
+       ignore
+         (Memsys.Symbol.make ~name:"x" ~section:Memsys.Symbol.Data ~size:(-1)
+            ~alignment:8);
+       false
+     with Invalid_argument _ -> true)
+
+let symbol_is_function () =
+  let f =
+    Memsys.Symbol.make ~name:"f" ~section:Memsys.Symbol.Text ~size:64
+      ~alignment:16
+  in
+  let d =
+    Memsys.Symbol.make ~name:"d" ~section:Memsys.Symbol.Data ~size:8
+      ~alignment:8
+  in
+  checkb "text is function" true (Memsys.Symbol.is_function f);
+  checkb "data is not" false (Memsys.Symbol.is_function d)
+
+let symbol_layout_order () =
+  checkb "text first" true
+    (List.hd Memsys.Symbol.sections_in_layout_order = Memsys.Symbol.Text);
+  checki "all six sections" 6 (List.length Memsys.Symbol.sections_in_layout_order)
+
+(* --- Address space ----------------------------------------------------- *)
+
+let vma tag start len =
+  {
+    Memsys.Address_space.start;
+    len;
+    prot = Memsys.Address_space.Read_write;
+    tag;
+    backing = Memsys.Address_space.Anonymous;
+  }
+
+let aspace_map_find () =
+  let a = Memsys.Address_space.create () in
+  Memsys.Address_space.map a (vma "one" 0x1000 0x1000);
+  Memsys.Address_space.map a (vma "two" 0x4000 0x2000);
+  checkb "finds containing vma" true
+    (match Memsys.Address_space.find a 0x4800 with
+    | Some v -> v.Memsys.Address_space.tag = "two"
+    | None -> false);
+  checkb "miss" true (Memsys.Address_space.find a 0x3000 = None);
+  checki "total" 0x3000 (Memsys.Address_space.total_mapped a)
+
+let aspace_rejects_overlap () =
+  let a = Memsys.Address_space.create () in
+  Memsys.Address_space.map a (vma "one" 0x1000 0x1000);
+  checkb "overlap rejected" true
+    (try
+       Memsys.Address_space.map a (vma "bad" 0x1800 0x1000);
+       false
+     with Invalid_argument _ -> true)
+
+let aspace_unmap () =
+  let a = Memsys.Address_space.create () in
+  Memsys.Address_space.map a (vma "one" 0x1000 0x1000);
+  Memsys.Address_space.unmap a ~start:0x1000;
+  checkb "gone" true (Memsys.Address_space.find a 0x1000 = None);
+  Alcotest.check_raises "unknown start" Not_found (fun () ->
+      Memsys.Address_space.unmap a ~start:0x9999)
+
+let aspace_text_aliasing () =
+  let a = Memsys.Address_space.create () in
+  Memsys.Address_space.map a
+    {
+      Memsys.Address_space.start = 0x400000;
+      len = 0x2000;
+      prot = Memsys.Address_space.Read_exec;
+      tag = ".text";
+      backing =
+        Memsys.Address_space.Per_isa
+          [ (Isa.Arch.Arm64, "a.out_arm64"); (Isa.Arch.X86_64, "a.out_x86_64") ];
+    };
+  Alcotest.check
+    Alcotest.(option string)
+    "arm image" (Some "a.out_arm64")
+    (Memsys.Address_space.active_text_image a Isa.Arch.Arm64);
+  Alcotest.check
+    Alcotest.(option string)
+    "x86 image" (Some "a.out_x86_64")
+    (Memsys.Address_space.active_text_image a Isa.Arch.X86_64)
+
+let aspace_pages_sorted () =
+  let a = Memsys.Address_space.create () in
+  Memsys.Address_space.map a (vma "hi" 0x8000 0x1000);
+  Memsys.Address_space.map a (vma "lo" 0x1000 0x1000);
+  Alcotest.check Alcotest.(list int) "page list" [ 1; 8 ]
+    (Memsys.Address_space.pages a)
+
+(* --- Cache ------------------------------------------------------------- *)
+
+let cache_resident_low_miss () =
+  let mr =
+    Memsys.Cache.miss_rate Memsys.Cache.l1i ~footprint_bytes:16_384 ~reuse:0.99
+  in
+  checkb "resident: tiny miss rate" true (mr < 0.01)
+
+let cache_thrashing_high_miss () =
+  let small =
+    Memsys.Cache.miss_rate Memsys.Cache.l1d ~footprint_bytes:16_384 ~reuse:0.5
+  in
+  let big =
+    Memsys.Cache.miss_rate Memsys.Cache.l1d ~footprint_bytes:(1 lsl 22)
+      ~reuse:0.5
+  in
+  checkb "bigger footprint misses more" true (big > small);
+  checkb "bounded" true (big <= 1.0)
+
+let cache_conflict_perturbation_bounds () =
+  for seed = 0 to 500 do
+    let h = Memsys.Cache.layout_hash ~addresses:[ seed * 64; seed * 128 ] in
+    let f = Memsys.Cache.conflict_perturbation Memsys.Cache.l1i ~layout_hash:h in
+    checkb "in [0.8, 2.9]" true (f >= 0.8 && f <= 2.9)
+  done
+
+let cache_layout_hash_stable () =
+  let h1 = Memsys.Cache.layout_hash ~addresses:[ 1; 2; 3 ] in
+  let h2 = Memsys.Cache.layout_hash ~addresses:[ 1; 2; 3 ] in
+  let h3 = Memsys.Cache.layout_hash ~addresses:[ 1; 2; 4 ] in
+  checki "stable" h1 h2;
+  checkb "sensitive" true (h1 <> h3)
+
+(* --- TLS --------------------------------------------------------------- *)
+
+let tls_syms =
+  [
+    Memsys.Symbol.make ~name:"errno_tls" ~section:Memsys.Symbol.Tdata ~size:4
+      ~alignment:4;
+    Memsys.Symbol.make ~name:"rng_state" ~section:Memsys.Symbol.Tdata ~size:16
+      ~alignment:8;
+    Memsys.Symbol.make ~name:"scratch" ~section:Memsys.Symbol.Tbss ~size:64
+      ~alignment:16;
+    Memsys.Symbol.make ~name:"not_tls" ~section:Memsys.Symbol.Data ~size:8
+      ~alignment:8;
+  ]
+
+let tls_native_layouts_differ () =
+  let arm = Memsys.Tls.layout (Memsys.Tls.Native Isa.Arch.Arm64) tls_syms in
+  let x86 = Memsys.Tls.layout (Memsys.Tls.Native Isa.Arch.X86_64) tls_syms in
+  checkb "variant 1 vs variant 2 disagree" false (Memsys.Tls.compatible arm x86);
+  (* ARM64 variant 1: positive offsets after the 16-byte TCB. *)
+  List.iter
+    (fun s -> checkb "arm offsets positive" true (s.Memsys.Tls.offset >= 16))
+    arm.Memsys.Tls.slots;
+  (* x86-64 variant 2: negative offsets below the thread pointer. *)
+  List.iter
+    (fun s -> checkb "x86 offsets negative" true (s.Memsys.Tls.offset < 0))
+    x86.Memsys.Tls.slots
+
+let tls_common_matches_x86 () =
+  let common = Memsys.Tls.layout Memsys.Tls.Common_x86 tls_syms in
+  let x86 = Memsys.Tls.layout (Memsys.Tls.Native Isa.Arch.X86_64) tls_syms in
+  checkb "common layout = x86 mapping" true (Memsys.Tls.compatible common x86)
+
+let tls_ignores_non_tls () =
+  let l = Memsys.Tls.layout Memsys.Tls.Common_x86 tls_syms in
+  checki "three TLS symbols" 3 (List.length l.Memsys.Tls.slots);
+  checkb "non-TLS symbol absent" true (Memsys.Tls.offset_of l "not_tls" = None)
+
+let tls_respects_alignment () =
+  List.iter
+    (fun scheme ->
+      let l = Memsys.Tls.layout scheme tls_syms in
+      List.iter2
+        (fun (slot : Memsys.Tls.slot) sym ->
+          checki
+            (Printf.sprintf "%s aligned" slot.Memsys.Tls.symbol)
+            0
+            (((slot.Memsys.Tls.offset mod sym.Memsys.Symbol.alignment)
+             + sym.Memsys.Symbol.alignment)
+            mod sym.Memsys.Symbol.alignment))
+        l.Memsys.Tls.slots
+        (List.filter
+           (fun s ->
+             s.Memsys.Symbol.section = Memsys.Symbol.Tdata
+             || s.Memsys.Symbol.section = Memsys.Symbol.Tbss)
+           tls_syms))
+    [ Memsys.Tls.Native Isa.Arch.Arm64; Memsys.Tls.Native Isa.Arch.X86_64;
+      Memsys.Tls.Common_x86 ]
+
+let tls_no_overlap () =
+  List.iter
+    (fun scheme ->
+      let l = Memsys.Tls.layout scheme tls_syms in
+      let ranges =
+        List.map
+          (fun (s : Memsys.Tls.slot) ->
+            (s.Memsys.Tls.offset, s.Memsys.Tls.offset + s.Memsys.Tls.size))
+          l.Memsys.Tls.slots
+        |> List.sort compare
+      in
+      let rec disjoint = function
+        | (_, e) :: ((s, _) :: _ as rest) ->
+          checkb "slots disjoint" true (e <= s);
+          disjoint rest
+        | _ -> ()
+      in
+      disjoint ranges)
+    [ Memsys.Tls.Native Isa.Arch.Arm64; Memsys.Tls.Native Isa.Arch.X86_64;
+      Memsys.Tls.Common_x86 ]
+
+let suite =
+  [
+    ("page helpers", `Quick, page_helpers);
+    ("page span", `Quick, page_span);
+    ("symbol validation", `Quick, symbol_make_validates);
+    ("symbol is_function", `Quick, symbol_is_function);
+    ("section layout order", `Quick, symbol_layout_order);
+    ("address space map/find", `Quick, aspace_map_find);
+    ("address space rejects overlap", `Quick, aspace_rejects_overlap);
+    ("address space unmap", `Quick, aspace_unmap);
+    ("address space text aliasing", `Quick, aspace_text_aliasing);
+    ("address space page list", `Quick, aspace_pages_sorted);
+    ("cache: resident loop barely misses", `Quick, cache_resident_low_miss);
+    ("cache: thrashing misses more", `Quick, cache_thrashing_high_miss);
+    ("cache: conflict factor bounded", `Quick, cache_conflict_perturbation_bounds);
+    ("cache: layout hash stable", `Quick, cache_layout_hash_stable);
+    ("tls: native layouts differ", `Quick, tls_native_layouts_differ);
+    ("tls: common layout = x86 mapping", `Quick, tls_common_matches_x86);
+    ("tls: ignores non-TLS symbols", `Quick, tls_ignores_non_tls);
+    ("tls: respects alignment", `Quick, tls_respects_alignment);
+    ("tls: no slot overlap", `Quick, tls_no_overlap);
+  ]

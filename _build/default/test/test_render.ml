@@ -1,0 +1,117 @@
+(* Rendering / pretty-printing coverage: deterministic, well-formed
+   artifacts (ELF dumps, program printing, scheduler results). *)
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i =
+    if i + m > n then false
+    else if String.sub haystack i m = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let render f =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let binary = lazy (Hetmig.Het.compile_benchmark Workload.Spec.EP Workload.Spec.A)
+
+let elf_headers_dump () =
+  let tc = Lazy.force binary in
+  List.iter
+    (fun arch ->
+      let per = Compiler.Toolchain.for_arch tc arch in
+      let text = render (fun ppf -> Binary.Elf.pp_headers ppf per.Compiler.Toolchain.elf) in
+      checkb "mentions ELF64" true (contains text "ELF64");
+      checkb "has a LOAD segment" true (contains text "LOAD");
+      checkb "names .text" true (contains text ".text"))
+    Isa.Arch.all
+
+let elf_machine_names_differ () =
+  let tc = Lazy.force binary in
+  let dump arch =
+    render (fun ppf ->
+        Binary.Elf.pp_headers ppf
+          (Compiler.Toolchain.for_arch tc arch).Compiler.Toolchain.elf)
+  in
+  checkb "AArch64 labelled" true (contains (dump Isa.Arch.Arm64) "AArch64");
+  checkb "X86-64 labelled" true (contains (dump Isa.Arch.X86_64) "X86-64")
+
+let prog_pp_roundtrippable () =
+  let prog = Workload.Programs.program Workload.Spec.CG Workload.Spec.A in
+  let f = Ir.Prog.find_func prog "conj_grad" in
+  let text = render (fun ppf -> Ir.Prog.pp_func ppf f) in
+  checkb "names the function" true (contains text "func conj_grad");
+  checkb "shows calls with site ids" true (contains text "call#0 cg_dot");
+  checkb "shows loops" true (contains text "loop 25");
+  (* Deterministic. *)
+  Alcotest.check Alcotest.string "stable" text
+    (render (fun ppf -> Ir.Prog.pp_func ppf f))
+
+let thread_state_pp () =
+  let tc = Lazy.force binary in
+  let fname, mig_id = List.hd (Runtime.Interp.reachable_mig_sites tc) in
+  match Runtime.Interp.state_at tc Isa.Arch.X86_64 ~fname ~mig_id with
+  | None -> Alcotest.fail "unreached"
+  | Some st ->
+    let text = render (fun ppf -> Runtime.Thread_state.pp ppf st) in
+    checkb "dumps frames" true (contains text "frames:");
+    checkb "shows the suspension site" true (contains text "mig#")
+
+let scheduler_result_pp () =
+  let r =
+    Sched.Scheduler.run Sched.Policy.Static_x86_pair
+      (Sched.Arrival.sustained ~seed:31 ~jobs:3)
+  in
+  let text = render (fun ppf -> Sched.Scheduler.pp_result ppf r) in
+  checkb "names the policy" true (contains text "static-x86x2");
+  checkb "reports makespan" true (contains text "makespan");
+  checkb "reports jobs" true (contains text "jobs=3")
+
+let boxplot_pp () =
+  let b = Sim.Stats.boxplot [ 1.0; 2.0; 3.0 ] in
+  let text = render (fun ppf -> Sim.Stats.pp_boxplot ppf b) in
+  checkb "five-number summary" true
+    (contains text "min=" && contains text "q1=" && contains text "med="
+    && contains text "q3=" && contains text "max=")
+
+let address_space_pp () =
+  let tc = Lazy.force binary in
+  let engine = Sim.Engine.create () in
+  let pop =
+    Kernel.Popcorn.create engine
+      ~machines:[ Machine.Server.xeon_e5_1650_v2; Machine.Server.xgene1 ] ()
+  in
+  let image =
+    Kernel.Loader.load tc ~dsm:pop.Kernel.Popcorn.dsm ~node:0
+      ~heap_bytes:(1 lsl 16)
+  in
+  let text =
+    render (fun ppf -> Memsys.Address_space.pp ppf image.Kernel.Loader.aspace)
+  in
+  checkb "lists text mapping" true (contains text ".text");
+  checkb "lists stack" true (contains text "[stack]");
+  checkb "lists heap" true (contains text "[heap]");
+  checkb "executable protection shown" true (contains text "r-x")
+
+let machine_pp () =
+  let text = render (fun ppf -> Machine.Server.pp ppf Machine.Server.xgene1) in
+  checkb "names the part" true (contains text "X-Gene");
+  checkb "core count" true (contains text "8 cores")
+
+let suite =
+  [
+    ("elf header dumps", `Quick, elf_headers_dump);
+    ("elf machine names per ISA", `Quick, elf_machine_names_differ);
+    ("program pretty-printing", `Quick, prog_pp_roundtrippable);
+    ("thread state dump", `Quick, thread_state_pp);
+    ("scheduler result rendering", `Quick, scheduler_result_pp);
+    ("boxplot rendering", `Quick, boxplot_pp);
+    ("address space dump", `Quick, address_space_pp);
+    ("machine description", `Quick, machine_pp);
+  ]

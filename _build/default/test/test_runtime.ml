@@ -1,0 +1,531 @@
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+
+open Ir.Prog
+open Runtime
+
+let v ?(init = Scalar) vname ty = { vname; ty; init }
+
+let w n =
+  Work { instructions = n; category = Isa.Cost_model.Mixed; memory_touched = 0 }
+
+(* A three-deep program exercising pointers, register and slot locals. *)
+let demo_prog =
+  let leaf =
+    make_func ~name:"leaf" ~params:[ v "p" Ir.Ty.I64 ]
+      ~body:[ Def (v "acc" Ir.Ty.I64); w 100; Use "p"; Use "acc" ]
+  in
+  let mid =
+    make_func ~name:"mid" ~params:[ v "n" Ir.Ty.I64 ]
+      ~body:
+        [
+          Def (v "x" Ir.Ty.I64);
+          Def (v "buf" Ir.Ty.I64);
+          Def (v ~init:(Ptr_to_local "buf") "bp" Ir.Ty.Ptr);
+          Def (v ~init:(Ptr_to_global "table") "gp" Ir.Ty.Ptr);
+          Loop
+            {
+              trips = 3;
+              body =
+                [
+                  w 1000;
+                  Call { site_id = 0; callee = "leaf"; args = [ "x" ] };
+                  Use "bp"; Use "buf"; Use "gp"; Use "n";
+                ];
+            };
+          Use "x";
+        ]
+  in
+  let main =
+    make_func ~name:"main" ~params:[]
+      ~body:
+        [
+          Def (v "m" Ir.Ty.I64);
+          Call { site_id = 0; callee = "mid"; args = [ "m" ] };
+          Use "m";
+        ]
+  in
+  make ~name:"demo" ~funcs:[ main; mid; leaf ]
+    ~globals:
+      [ Memsys.Symbol.make ~name:"table" ~section:Memsys.Symbol.Data ~size:4096
+          ~alignment:8 ]
+    ~entry:"main"
+
+let demo = Compiler.Toolchain.compile demo_prog
+
+(* --- Stack_mem ---------------------------------------------------------- *)
+
+let stack_mem_rw () =
+  let m = Stack_mem.create ~lo:0 ~hi:4096 in
+  Stack_mem.write m 8 42L;
+  Alcotest.check Alcotest.int64 "read back" 42L (Stack_mem.read m 8);
+  Alcotest.check Alcotest.int64 "unwritten zero" 0L (Stack_mem.read m 16)
+
+let stack_mem_bounds () =
+  let m = Stack_mem.create ~lo:0 ~hi:64 in
+  checkb "oob rejected" true
+    (try
+       Stack_mem.write m 64 1L;
+       false
+     with Invalid_argument _ -> true);
+  checkb "misaligned rejected" true
+    (try
+       ignore (Stack_mem.read m 4);
+       false
+     with Invalid_argument _ -> true)
+
+let stack_mem_halves () =
+  let m = Stack_mem.create ~lo:0 ~hi:4096 in
+  let upper, lower = Stack_mem.halves m in
+  checki "upper top" 4096 (Stack_mem.hi upper);
+  checki "split point" 2048 (Stack_mem.lo upper);
+  checki "lower top" 2048 (Stack_mem.hi lower);
+  Stack_mem.write upper 2048 7L;
+  Alcotest.check Alcotest.int64 "shared storage" 7L (Stack_mem.read m 2048)
+
+(* --- Regfile ------------------------------------------------------------- *)
+
+let regfile_rw () =
+  let r = Regfile.create Isa.Arch.Arm64 in
+  let x19 = Isa.Register.by_name Isa.Arch.Arm64 "x19" in
+  Regfile.set r x19 99L;
+  Alcotest.check Alcotest.int64 "read back" 99L (Regfile.get r x19);
+  Regfile.set_sp r 0x1000;
+  checki "sp helper" 0x1000 (Regfile.get_sp r)
+
+let regfile_wrong_isa () =
+  let r = Regfile.create Isa.Arch.Arm64 in
+  let rax = Isa.Register.by_name Isa.Arch.X86_64 "rax" in
+  checkb "cross-ISA rejected" true
+    (try
+       Regfile.set r rax 1L;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- RA encoding ---------------------------------------------------------- *)
+
+let ra_roundtrip () =
+  let base_of name = Compiler.Toolchain.symbol_address demo name in
+  let per = Compiler.Toolchain.for_arch demo Isa.Arch.X86_64 in
+  List.iter
+    (fun (e : Compiler.Stackmap.entry) ->
+      let key = (e.Compiler.Stackmap.kind, e.site_id) in
+      let addr =
+        Ra_encoding.encode Isa.Arch.X86_64 ~base_of ~fname:e.fname ~key
+      in
+      match
+        Ra_encoding.decode Isa.Arch.X86_64 ~base_of
+          ~stackmaps:per.Compiler.Toolchain.stackmaps addr
+      with
+      | Some (fname, key') ->
+        checkb "roundtrip" true (fname = e.fname && key' = key)
+      | None -> Alcotest.fail "decode failed")
+    (Compiler.Toolchain.for_arch demo Isa.Arch.X86_64).Compiler.Toolchain
+      .stackmaps
+
+let ra_offsets_differ_across_isas () =
+  let key = (Ir.Liveness.At_call, 0) in
+  let a = Ra_encoding.site_offset Isa.Arch.Arm64 ~fname:"mid" ~key in
+  let x = Ra_encoding.site_offset Isa.Arch.X86_64 ~fname:"mid" ~key in
+  checkb "offsets differ" true (a <> x);
+  checki "arm 4-aligned" 0 (a mod 4)
+
+(* --- Interp ----------------------------------------------------------------- *)
+
+let interp_completes_balanced () =
+  List.iter
+    (fun arch ->
+      let checks = Interp.run_to_completion demo arch in
+      checkb "executed checks" true (checks > 0))
+    Isa.Arch.all
+
+let interp_reaches_all_sites () =
+  let sites = Interp.reachable_mig_sites demo in
+  checkb "sites exist" true (List.length sites > 0);
+  List.iter
+    (fun (fname, mig_id) ->
+      List.iter
+        (fun arch ->
+          match Interp.state_at demo arch ~fname ~mig_id with
+          | Some st ->
+            let inner = Thread_state.innermost st in
+            checkb "stopped at requested point" true
+              (inner.Thread_state.fname = fname
+              && inner.Thread_state.key = (Ir.Liveness.At_mig_point, mig_id))
+          | None -> Alcotest.fail (Printf.sprintf "unreached %s#%d" fname mig_id))
+        Isa.Arch.all)
+    sites
+
+let interp_same_live_values_on_both_isas () =
+  (* The same program must materialize identical live values regardless of
+     ISA — the precondition for migration being semantics-preserving. *)
+  List.iter
+    (fun (fname, mig_id) ->
+      let value_map arch =
+        match Interp.state_at demo arch ~fname ~mig_id with
+        | None -> []
+        | Some st ->
+          List.concat_map
+            (fun fr ->
+              List.filter_map
+                (fun (name, value) ->
+                  (* Pointers are address-space specific; compare scalars. *)
+                  let per = Compiler.Toolchain.for_arch demo arch in
+                  match
+                    Compiler.Stackmap.find per.Compiler.Toolchain.stackmaps
+                      ~fname:fr.Thread_state.fname ~key:fr.Thread_state.key
+                  with
+                  | Some entry -> begin
+                    match List.assoc_opt name entry.Compiler.Stackmap.live with
+                    | Some tl when not (Ir.Ty.is_pointer tl.Compiler.Stackmap.ty)
+                      ->
+                      Some (fr.Thread_state.fname ^ "." ^ name, value)
+                    | Some _ | None -> None
+                  end
+                  | None -> None)
+                (Interp.live_values demo st fr))
+            st.Thread_state.frames
+      in
+      Alcotest.check
+        Alcotest.(list (pair string (array int64)))
+        "scalar live values identical"
+        (value_map Isa.Arch.Arm64) (value_map Isa.Arch.X86_64))
+    (Interp.reachable_mig_sites demo)
+
+let interp_frame_chain_shape () =
+  (* Stopping inside leaf gives main -> mid -> leaf. *)
+  let leaf_site =
+    List.find
+      (fun (fname, _) -> fname = "leaf")
+      (Interp.reachable_mig_sites demo)
+  in
+  let fname, mig_id = leaf_site in
+  match Interp.state_at demo Isa.Arch.X86_64 ~fname ~mig_id with
+  | None -> Alcotest.fail "leaf site unreached"
+  | Some st ->
+    Alcotest.check
+      Alcotest.(list string)
+      "call chain" [ "leaf"; "mid"; "main" ]
+      (List.map (fun f -> f.Thread_state.fname) st.Thread_state.frames);
+    (* Frames are laid out downward. *)
+    let fps = List.map (fun f -> f.Thread_state.fp) st.Thread_state.frames in
+    let rec decreasing = function
+      | a :: (b :: _ as rest) -> a < b && decreasing rest
+      | _ -> true
+    in
+    checkb "stack grows down" true (decreasing fps)
+
+let interp_pointer_locals_point_into_stack () =
+  let fname, mig_id =
+    List.find (fun (f, _) -> f = "leaf") (Interp.reachable_mig_sites demo)
+  in
+  match Interp.state_at demo Isa.Arch.Arm64 ~fname ~mig_id with
+  | None -> Alcotest.fail "unreached"
+  | Some st ->
+    let mid_frame = Thread_state.frame_of_name st "mid" in
+    let live = Interp.live_values demo st mid_frame in
+    let bp = (List.assoc "bp" live).(0) in
+    checkb "bp targets the stack" true
+      (Stack_mem.contains st.Thread_state.stack (Int64.to_int bp));
+    let gp = (List.assoc "gp" live).(0) in
+    checki "gp targets the global" (Compiler.Toolchain.symbol_address demo "table")
+      (Int64.to_int gp)
+
+(* --- Transform ----------------------------------------------------------------- *)
+
+let transform_all_sites_verify () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun (fname, mig_id) ->
+          match Interp.state_at demo arch ~fname ~mig_id with
+          | None -> ()
+          | Some st -> begin
+            match Transform.transform demo st with
+            | Error e -> Alcotest.fail e
+            | Ok (dst, cost) ->
+              checkb "arch flipped" true
+                (dst.Thread_state.arch = Isa.Arch.other arch);
+              checkb "positive latency" true (cost.Transform.latency_s > 0.0);
+              checki "frame count preserved" (Thread_state.depth st)
+                (Thread_state.depth dst);
+              (match Transform.verify demo st dst with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail ("verify: " ^ e))
+          end)
+        (Interp.reachable_mig_sites demo))
+    Isa.Arch.all
+
+let transform_round_trip () =
+  (* A -> B -> A must reproduce the original live state. *)
+  List.iter
+    (fun (fname, mig_id) ->
+      match Interp.state_at demo Isa.Arch.X86_64 ~fname ~mig_id with
+      | None -> ()
+      | Some src -> begin
+        match Transform.transform demo src with
+        | Error e -> Alcotest.fail e
+        | Ok (mid_state, _) -> begin
+          match Transform.transform demo mid_state with
+          | Error e -> Alcotest.fail ("second hop: " ^ e)
+          | Ok (back, _) -> begin
+            match Transform.verify demo src back with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail ("roundtrip: " ^ e)
+          end
+        end
+      end)
+    (Interp.reachable_mig_sites demo)
+
+let transform_uses_other_stack_half () =
+  let fname, mig_id = List.hd (Interp.reachable_mig_sites demo) in
+  match Interp.state_at demo Isa.Arch.X86_64 ~fname ~mig_id with
+  | None -> Alcotest.fail "unreached"
+  | Some src -> begin
+    match Transform.transform demo src with
+    | Error e -> Alcotest.fail e
+    | Ok (dst, _) ->
+      checkb "different halves" true
+        (Stack_mem.lo src.Thread_state.active <> Stack_mem.lo dst.Thread_state.active);
+      List.iter
+        (fun fr ->
+          checkb "dest frames in dest half" true
+            (Stack_mem.contains dst.Thread_state.active fr.Thread_state.fp))
+        dst.Thread_state.frames
+  end
+
+let transform_rejects_non_mig_point () =
+  let st = Thread_state.create Isa.Arch.X86_64 in
+  st.Thread_state.frames <-
+    [ { Thread_state.fname = "main"; key = (Ir.Liveness.At_call, 0);
+        fp = Thread_state.stack_base + 1024; sp = Thread_state.stack_base + 512 } ];
+  checkb "rejected" true
+    (match Transform.transform demo st with Error _ -> true | Ok _ -> false)
+
+let transform_registers_updated () =
+  let fname, mig_id =
+    List.find (fun (f, _) -> f = "leaf") (Interp.reachable_mig_sites demo)
+  in
+  match Interp.state_at demo Isa.Arch.Arm64 ~fname ~mig_id with
+  | None -> Alcotest.fail "unreached"
+  | Some src -> begin
+    match Transform.transform demo src with
+    | Error e -> Alcotest.fail e
+    | Ok (dst, _) ->
+      let inner = Thread_state.innermost dst in
+      checki "FP points at innermost dest frame" inner.Thread_state.fp
+        (Regfile.get_fp dst.Thread_state.regs);
+      checki "SP below FP" inner.Thread_state.sp
+        (Regfile.get_sp dst.Thread_state.regs);
+      let base_of n = Compiler.Toolchain.symbol_address demo n in
+      checki "PC re-encoded for destination ISA"
+        (Ra_encoding.encode Isa.Arch.X86_64 ~base_of ~fname:"leaf"
+           ~key:(Ir.Liveness.At_mig_point, mig_id))
+        (Int64.to_int (Regfile.pc dst.Thread_state.regs))
+  end
+
+let transform_latency_scales_with_frames () =
+  (* Deeper stacks cost more. *)
+  let lat_of fname =
+    let _, mig_id =
+      List.find (fun (f, _) -> f = fname) (Interp.reachable_mig_sites demo)
+    in
+    match Interp.state_at demo Isa.Arch.X86_64 ~fname ~mig_id with
+    | None -> 0.0
+    | Some st -> begin
+      match Transform.transform demo st with
+      | Ok (_, c) -> c.Transform.latency_s
+      | Error _ -> 0.0
+    end
+  in
+  checkb "leaf (3 frames) > main (1 frame)" true (lat_of "leaf" > lat_of "main")
+
+let transform_arm_slower_than_x86 () =
+  let med arch =
+    let xs =
+      List.filter_map
+        (fun (fname, mig_id) ->
+          match Interp.state_at demo arch ~fname ~mig_id with
+          | None -> None
+          | Some st -> begin
+            match Transform.transform demo st with
+            | Ok (_, c) -> Some c.Transform.latency_s
+            | Error _ -> None
+          end)
+        (Interp.reachable_mig_sites demo)
+    in
+    (Sim.Stats.summarize xs).Sim.Stats.median
+  in
+  let a = med Isa.Arch.Arm64 and x = med Isa.Arch.X86_64 in
+  checkb "ARM ~2x slower (paper Fig. 10)" true (a > 1.5 *. x && a < 3.0 *. x)
+
+(* --- SIMD (paper Section 5.4 future work) -------------------------------- *)
+
+(* A program whose hot function keeps a V128 accumulator live across
+   calls: on ARM64 it wins a callee-saved NEON register (v8), on x86-64
+   the SysV ABI has no callee-saved vector registers so it must live in a
+   16-byte stack slot. *)
+let simd_prog =
+  let leaf =
+    make_func ~name:"sleaf" ~params:[]
+      ~body:[ Def (v "t" Ir.Ty.I64); w 10; Use "t" ]
+  in
+  let kernel =
+    make_func ~name:"skernel" ~params:[]
+      ~body:
+        [
+          Def (v "acc" Ir.Ty.V128);
+          Loop
+            {
+              trips = 4;
+              body =
+                [ w 50; Call { site_id = 0; callee = "sleaf"; args = [] };
+                  Use "acc" ];
+            };
+          Use "acc";
+        ]
+  in
+  let main =
+    make_func ~name:"main" ~params:[]
+      ~body:[ Call { site_id = 0; callee = "skernel"; args = [] } ]
+  in
+  make ~name:"simd" ~funcs:[ main; kernel; leaf ] ~globals:[] ~entry:"main"
+
+let simd = Compiler.Toolchain.compile simd_prog
+
+let simd_register_asymmetry () =
+  let loc arch =
+    Compiler.Backend.location_of
+      (Compiler.Toolchain.frame_of (Compiler.Toolchain.for_arch simd arch)
+         "skernel")
+      "acc"
+  in
+  (match loc Isa.Arch.Arm64 with
+  | Compiler.Backend.In_register r ->
+    checkb "NEON callee-saved register" true (Isa.Register.is_vector r)
+  | Compiler.Backend.In_slot _ ->
+    Alcotest.fail "expected acc in a NEON register on ARM64");
+  match loc Isa.Arch.X86_64 with
+  | Compiler.Backend.In_slot off ->
+    checki "16-aligned vector slot" 0 (off mod 16)
+  | Compiler.Backend.In_register _ ->
+    Alcotest.fail "x86-64 SysV has no callee-saved vector registers"
+
+let simd_value_migrates_intact () =
+  (* The V128 accumulator survives migration in both directions: out of a
+     NEON register into an x86 stack slot, and back. *)
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun (fname, mig_id) ->
+          match Interp.state_at simd arch ~fname ~mig_id with
+          | None -> ()
+          | Some st -> begin
+            match Transform.transform simd st with
+            | Error e -> Alcotest.fail e
+            | Ok (dst, _) -> begin
+              match Transform.verify simd st dst with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail ("simd verify: " ^ e)
+            end
+          end)
+        (Interp.reachable_mig_sites simd))
+    Isa.Arch.all
+
+(* The accumulator is live at the loop-interior migration points, not at
+   skernel's entry/exit checks: scan for a site where it is. *)
+let acc_live_site arch =
+  List.find_map
+    (fun (fname, mig_id) ->
+      if fname <> "skernel" then None
+      else
+        match Interp.state_at simd arch ~fname ~mig_id with
+        | None -> None
+        | Some st ->
+          let frame = Thread_state.frame_of_name st "skernel" in
+          (match List.assoc_opt "acc" (Interp.live_values simd st frame) with
+          | Some acc -> Some (st, acc)
+          | None -> None))
+    (Interp.reachable_mig_sites simd)
+
+let simd_lanes_distinct () =
+  match acc_live_site Isa.Arch.Arm64 with
+  | None -> Alcotest.fail "no site with acc live"
+  | Some (_, acc) ->
+    checki "two lanes" 2 (Array.length acc);
+    checkb "lanes differ (real 128-bit payload)" true (acc.(0) <> acc.(1))
+
+let simd_costs_more_lanes () =
+  (* The cost model charges per 64-bit lane copied. *)
+  match acc_live_site Isa.Arch.X86_64 with
+  | None -> Alcotest.fail "no site with acc live"
+  | Some (st, _) -> begin
+    match Transform.transform simd st with
+    | Error e -> Alcotest.fail e
+    | Ok (_, cost) ->
+      checkb "counts both lanes" true (cost.Transform.values_copied >= 2)
+  end
+
+(* --- property: random programs migrate at every site, both ways, and
+   round-trip ------------------------------------------------------------- *)
+
+let transform_random_props =
+  QCheck.Test.make
+    ~name:"random programs: transform verifies at every site on both ISAs"
+    ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let prog = Gen.random_program seed in
+      let tc = Compiler.Toolchain.compile ~budget:1_000_000 prog in
+      let sites = Interp.reachable_mig_sites tc in
+      List.for_all
+        (fun arch ->
+          List.for_all
+            (fun (fname, mig_id) ->
+              match Interp.state_at tc arch ~fname ~mig_id with
+              | None -> true
+              | Some st -> begin
+                match Transform.transform tc st with
+                | Error _ -> false
+                | Ok (dst, _) -> begin
+                  match Transform.verify tc st dst with
+                  | Ok () -> begin
+                    match Transform.transform tc dst with
+                    | Error _ -> false
+                    | Ok (back, _) -> Transform.verify tc st back = Ok ()
+                  end
+                  | Error _ -> false
+                end
+              end)
+            sites)
+        Isa.Arch.all)
+
+let suite =
+  [
+    ("stack memory read/write", `Quick, stack_mem_rw);
+    ("stack memory bounds", `Quick, stack_mem_bounds);
+    ("stack memory halves", `Quick, stack_mem_halves);
+    ("register file read/write", `Quick, regfile_rw);
+    ("register file ISA check", `Quick, regfile_wrong_isa);
+    ("return-address encode/decode roundtrip", `Quick, ra_roundtrip);
+    ("return-address offsets differ per ISA", `Quick, ra_offsets_differ_across_isas);
+    ("interp completes with balanced frames", `Quick, interp_completes_balanced);
+    ("interp reaches every migration point", `Quick, interp_reaches_all_sites);
+    ("interp cross-ISA value determinism", `Quick,
+     interp_same_live_values_on_both_isas);
+    ("interp frame chain shape", `Quick, interp_frame_chain_shape);
+    ("interp pointer locals resolved", `Quick, interp_pointer_locals_point_into_stack);
+    ("transform verifies at every site", `Quick, transform_all_sites_verify);
+    ("transform round trip A->B->A", `Quick, transform_round_trip);
+    ("transform writes the other stack half", `Quick, transform_uses_other_stack_half);
+    ("transform rejects non-migration-point", `Quick, transform_rejects_non_mig_point);
+    ("transform r_AB register mapping", `Quick, transform_registers_updated);
+    ("transform latency scales with depth", `Quick,
+     transform_latency_scales_with_frames);
+    ("transform ARM ~2x slower than x86", `Quick, transform_arm_slower_than_x86);
+    ("SIMD: NEON register vs x86 slot asymmetry", `Quick, simd_register_asymmetry);
+    ("SIMD: V128 values migrate intact", `Quick, simd_value_migrates_intact);
+    ("SIMD: lanes carry distinct payloads", `Quick, simd_lanes_distinct);
+    ("SIMD: cost counts lanes", `Quick, simd_costs_more_lanes);
+    QCheck_alcotest.to_alcotest transform_random_props;
+  ]

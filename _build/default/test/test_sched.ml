@@ -1,0 +1,207 @@
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+
+let arrival_sustained_shape () =
+  let jobs = Sched.Arrival.sustained ~seed:3 ~jobs:40 in
+  checki "40 jobs" 40 (List.length jobs);
+  List.iter
+    (fun (j : Sched.Job.t) ->
+      checkb "arrive at t=0" true (j.Sched.Job.arrival = 0.0);
+      checkb "1-4 threads" true (j.Sched.Job.threads >= 1 && j.Sched.Job.threads <= 4))
+    jobs
+
+let arrival_periodic_shape () =
+  let jobs = Sched.Arrival.periodic ~seed:4 ~waves:5 ~max_per_wave:14 in
+  checkb "jobs exist" true (List.length jobs > 0);
+  checkb "at most 70" true (List.length jobs <= 70);
+  let times = List.sort_uniq compare (List.map (fun j -> j.Sched.Job.arrival) jobs) in
+  checki "five distinct wave times" 5 (List.length times);
+  (* Wave spacing within 60..240 s. *)
+  let rec gaps = function
+    | a :: (b :: _ as rest) ->
+      checkb "spacing in range" true (b -. a >= 60.0 && b -. a <= 240.0);
+      gaps rest
+    | _ -> ()
+  in
+  gaps times
+
+let arrival_deterministic () =
+  let a = Sched.Arrival.sustained ~seed:5 ~jobs:10 in
+  let b = Sched.Arrival.sustained ~seed:5 ~jobs:10 in
+  checkb "same sets" true
+    (List.for_all2
+       (fun (x : Sched.Job.t) (y : Sched.Job.t) ->
+         x.Sched.Job.spec.Workload.Spec.name = y.Sched.Job.spec.Workload.Spec.name
+         && x.Sched.Job.threads = y.Sched.Job.threads)
+       a b)
+
+let policy_machines () =
+  List.iter
+    (fun p ->
+      let ms = Sched.Policy.machines p in
+      checki "two machines" 2 (List.length ms))
+    Sched.Policy.all;
+  let het = Sched.Policy.machines Sched.Policy.Dynamic_balanced in
+  checkb "heterogeneous pair" true
+    (List.exists (fun m -> m.Machine.Server.arch = Isa.Arch.Arm64) het);
+  let pair = Sched.Policy.machines Sched.Policy.Static_x86_pair in
+  checkb "homogeneous pair" true
+    (List.for_all (fun m -> m.Machine.Server.arch = Isa.Arch.X86_64) pair)
+
+let policy_finfet_projection_applied () =
+  let het = Sched.Policy.machines Sched.Policy.Dynamic_balanced in
+  let arm = List.find (fun m -> m.Machine.Server.arch = Isa.Arch.Arm64) het in
+  checkb "projected power" true
+    (arm.Machine.Server.power.Machine.Power.cpu_max_w
+    < Machine.Server.xgene1.Machine.Server.power.Machine.Power.cpu_max_w /. 5.0)
+
+let small_jobs seed n = Sched.Arrival.sustained ~seed ~jobs:n
+
+let scheduler_completes_all_jobs () =
+  List.iter
+    (fun policy ->
+      let r = Sched.Scheduler.run policy (small_jobs 11 8) in
+      checki (Sched.Policy.name r.Sched.Scheduler.policy ^ " completes") 8
+        r.Sched.Scheduler.completed;
+      checkb "positive makespan" true (r.Sched.Scheduler.makespan > 0.0);
+      checkb "positive energy" true (r.Sched.Scheduler.total_energy > 0.0))
+    Sched.Policy.all
+
+let static_policies_never_migrate () =
+  List.iter
+    (fun policy ->
+      let r = Sched.Scheduler.run policy (small_jobs 12 8) in
+      checki "no migrations" 0 r.Sched.Scheduler.migrations)
+    [ Sched.Policy.Static_x86_pair; Sched.Policy.Static_het_balanced;
+      Sched.Policy.Static_het_unbalanced ]
+
+let dynamic_policies_migrate () =
+  (* Whether a particular set triggers a rebalance depends on the draw;
+     across a few seeds at least one must migrate. *)
+  let total =
+    List.fold_left
+      (fun acc seed ->
+        let r =
+          Sched.Scheduler.run Sched.Policy.Dynamic_balanced (small_jobs seed 16)
+        in
+        acc + r.Sched.Scheduler.migrations)
+      0 [ 13; 14; 15 ]
+  in
+  checkb "some migrations happen" true (total > 0)
+
+let unbalanced_keeps_x86_busier () =
+  let r =
+    Sched.Scheduler.run Sched.Policy.Static_het_unbalanced (small_jobs 14 16)
+  in
+  (* The x86 (node 0) must do most of the energy-visible work. *)
+  checkb "x86 consumed more" true
+    (r.Sched.Scheduler.energy.(0) > r.Sched.Scheduler.energy.(1))
+
+let energy_within_physical_envelope () =
+  List.iter
+    (fun policy ->
+      let r = Sched.Scheduler.run policy (small_jobs 15 8) in
+      let machines = Sched.Policy.machines policy in
+      let max_w =
+        List.fold_left
+          (fun acc m ->
+            acc +. Machine.Power.system_power m.Machine.Server.power ~utilization:1.0)
+          0.0 machines
+      in
+      checkb "below max power x time" true
+        (r.Sched.Scheduler.total_energy <= max_w *. r.Sched.Scheduler.makespan *. 1.001);
+      checkb "above zero" true (r.Sched.Scheduler.total_energy > 0.0))
+    Sched.Policy.all
+
+let edp_consistent () =
+  let r = Sched.Scheduler.run Sched.Policy.Static_x86_pair (small_jobs 16 6) in
+  checkb "edp = energy x makespan" true
+    (Float.abs
+       (r.Sched.Scheduler.edp
+       -. (r.Sched.Scheduler.total_energy *. r.Sched.Scheduler.makespan))
+    < 1e-6)
+
+let deterministic_runs () =
+  let a = Sched.Scheduler.run Sched.Policy.Dynamic_unbalanced (small_jobs 17 10) in
+  let b = Sched.Scheduler.run Sched.Policy.Dynamic_unbalanced (small_jobs 17 10) in
+  checkb "same makespan" true (a.Sched.Scheduler.makespan = b.Sched.Scheduler.makespan);
+  checkb "same energy" true
+    (a.Sched.Scheduler.total_energy = b.Sched.Scheduler.total_energy)
+
+let periodic_dynamic_saves_energy () =
+  (* The headline claim of Figure 13, on a reduced set for test speed. *)
+  let jobs = Sched.Arrival.periodic ~seed:18 ~waves:3 ~max_per_wave:8 in
+  let st = Sched.Scheduler.run Sched.Policy.Static_x86_pair jobs in
+  let dy = Sched.Scheduler.run Sched.Policy.Dynamic_balanced jobs in
+  checki "all complete (static)" (List.length jobs) st.Sched.Scheduler.completed;
+  checki "all complete (dynamic)" (List.length jobs) dy.Sched.Scheduler.completed;
+  checkb "dynamic uses less energy" true
+    (dy.Sched.Scheduler.total_energy < st.Sched.Scheduler.total_energy)
+
+let sjf_admission_reorders () =
+  let jobs = Sched.Arrival.sustained ~seed:21 ~jobs:20 in
+  let fcfs =
+    Sched.Scheduler.run ~admission:Sched.Scheduler.Fcfs
+      Sched.Policy.Static_x86_pair jobs
+  in
+  let sjf =
+    Sched.Scheduler.run ~admission:Sched.Scheduler.Sjf
+      Sched.Policy.Static_x86_pair jobs
+  in
+  checki "fcfs completes" 20 fcfs.Sched.Scheduler.completed;
+  checki "sjf completes" 20 sjf.Sched.Scheduler.completed;
+  checkb "orderings differ observably" true
+    (fcfs.Sched.Scheduler.makespan <> sjf.Sched.Scheduler.makespan
+    || fcfs.Sched.Scheduler.total_energy <> sjf.Sched.Scheduler.total_energy)
+
+(* Properties over random workloads: conservation + physical bounds. *)
+let scheduler_random_props =
+  QCheck.Test.make ~name:"scheduler invariants over random workloads" ~count:12
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let jobs = Sched.Arrival.sustained ~seed ~jobs:6 in
+      List.for_all
+        (fun policy ->
+          let r = Sched.Scheduler.run policy jobs in
+          let machines = Sched.Policy.machines policy in
+          let max_w =
+            List.fold_left
+              (fun acc m ->
+                acc
+                +. Machine.Power.system_power m.Machine.Server.power
+                     ~utilization:1.0)
+              0.0 machines
+          in
+          (* every job completes exactly once *)
+          r.Sched.Scheduler.completed = List.length jobs
+          (* energy within the physical envelope *)
+          && r.Sched.Scheduler.total_energy > 0.0
+          && r.Sched.Scheduler.total_energy
+             <= (max_w *. r.Sched.Scheduler.makespan *. 1.001)
+          (* EDP consistency *)
+          && Float.abs
+               (r.Sched.Scheduler.edp
+               -. (r.Sched.Scheduler.total_energy *. r.Sched.Scheduler.makespan))
+             < 1.0
+          (* static policies never migrate *)
+          && (Sched.Policy.is_dynamic policy || r.Sched.Scheduler.migrations = 0))
+        Sched.Policy.all)
+
+let suite =
+  [
+    ("sustained arrivals shape", `Quick, arrival_sustained_shape);
+    ("periodic arrivals shape", `Quick, arrival_periodic_shape);
+    ("arrivals deterministic", `Quick, arrival_deterministic);
+    ("policy machine pairs", `Quick, policy_machines);
+    ("policy applies FinFET projection", `Quick, policy_finfet_projection_applied);
+    ("scheduler completes all jobs", `Slow, scheduler_completes_all_jobs);
+    ("static policies never migrate", `Slow, static_policies_never_migrate);
+    ("dynamic policies migrate", `Slow, dynamic_policies_migrate);
+    ("unbalanced keeps x86 busier", `Slow, unbalanced_keeps_x86_busier);
+    ("energy within physical envelope", `Slow, energy_within_physical_envelope);
+    ("EDP consistent", `Quick, edp_consistent);
+    ("scheduler deterministic", `Slow, deterministic_runs);
+    ("periodic: dynamic saves energy", `Slow, periodic_dynamic_saves_energy);
+    ("SJF admission reorders the queue", `Slow, sjf_admission_reorders);
+    QCheck_alcotest.to_alcotest scheduler_random_props;
+  ]

@@ -1,0 +1,289 @@
+(* Distributed OS services: replication, fd tables, futexes, namespaces. *)
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+let checks msg = Alcotest.check Alcotest.string msg
+
+let make_env () =
+  let engine = Sim.Engine.create () in
+  let bus = Kernel.Message.create engine Machine.Interconnect.dolphin_pxh810 in
+  (engine, bus)
+
+(* --- Service ------------------------------------------------------------ *)
+
+let strong_replicates_synchronously () =
+  let engine, bus = make_env () in
+  let svc =
+    Kernel.Service.create engine bus ~name:"s" ~nodes:3
+      ~consistency:Kernel.Service.Strong
+  in
+  let latency = Kernel.Service.set svc ~node:0 ~pid:1 ~key:"k" 42L in
+  checkb "strong update pays latency" true (latency > 0.0);
+  (* Visible everywhere immediately, no engine run needed. *)
+  for node = 0 to 2 do
+    checkb "replica sees it" true
+      (Kernel.Service.get svc ~node ~pid:1 ~key:"k" = Some 42L)
+  done;
+  checkb "consistent" true (Kernel.Service.consistent svc ~pid:1)
+
+let eventual_converges_after_delivery () =
+  let engine, bus = make_env () in
+  let svc =
+    Kernel.Service.create engine bus ~name:"s" ~nodes:2
+      ~consistency:Kernel.Service.Eventual
+  in
+  let latency = Kernel.Service.set svc ~node:0 ~pid:1 ~key:"k" 7L in
+  checkb "local write free" true (latency = 0.0);
+  checkb "remote not yet updated" true
+    (Kernel.Service.get svc ~node:1 ~pid:1 ~key:"k" = None);
+  checkb "inconsistent before delivery" false
+    (Kernel.Service.consistent svc ~pid:1);
+  Sim.Engine.run engine;
+  checkb "converged" true
+    (Kernel.Service.get svc ~node:1 ~pid:1 ~key:"k" = Some 7L);
+  checkb "consistent after delivery" true (Kernel.Service.consistent svc ~pid:1)
+
+let service_global_slice () =
+  let engine, bus = make_env () in
+  let svc =
+    Kernel.Service.create engine bus ~name:"s" ~nodes:2
+      ~consistency:Kernel.Service.Strong
+  in
+  ignore (Kernel.Service.set_global svc ~node:1 ~key:"epoch" 3L);
+  checkb "kernel-wide state replicated" true
+    (Kernel.Service.get_global svc ~node:0 ~key:"epoch" = Some 3L)
+
+let service_drop_process () =
+  let engine, bus = make_env () in
+  let svc =
+    Kernel.Service.create engine bus ~name:"s" ~nodes:2
+      ~consistency:Kernel.Service.Strong
+  in
+  ignore (Kernel.Service.set svc ~node:0 ~pid:9 ~key:"k" 1L);
+  Kernel.Service.drop_process svc ~pid:9;
+  checkb "gone everywhere" true
+    (Kernel.Service.get svc ~node:0 ~pid:9 ~key:"k" = None
+    && Kernel.Service.get svc ~node:1 ~pid:9 ~key:"k" = None)
+
+let service_counts_updates () =
+  let engine, bus = make_env () in
+  let svc =
+    Kernel.Service.create engine bus ~name:"s" ~nodes:3
+      ~consistency:Kernel.Service.Strong
+  in
+  ignore (Kernel.Service.set svc ~node:0 ~pid:1 ~key:"a" 1L);
+  ignore (Kernel.Service.set svc ~node:0 ~pid:1 ~key:"b" 2L);
+  checki "two updates x two remote replicas" 4 (Kernel.Service.updates_sent svc)
+
+(* --- Fdtable ------------------------------------------------------------- *)
+
+let fd_survives_migration () =
+  let engine, bus = make_env () in
+  let fdt = Kernel.Fdtable.create engine bus ~nodes:2 in
+  let fd, _ = Kernel.Fdtable.openfile fdt ~node:0 ~pid:1 ~path:"/data/input" ~flags:0 in
+  checki "first fd is 3" 3 fd;
+  ignore (Kernel.Fdtable.seek fdt ~node:0 ~pid:1 fd ~offset:8192);
+  (* The thread migrates to kernel 1: same descriptor, same offset. *)
+  (match Kernel.Fdtable.lookup fdt ~node:1 ~pid:1 fd with
+  | Some e ->
+    checks "path" "/data/input" e.Kernel.Fdtable.path;
+    checki "offset followed" 8192 e.Kernel.Fdtable.offset
+  | None -> Alcotest.fail "fd not visible on destination kernel");
+  checkb "table consistent" true (Kernel.Fdtable.consistent fdt ~pid:1)
+
+let fd_alloc_lowest_free () =
+  let engine, bus = make_env () in
+  let fdt = Kernel.Fdtable.create engine bus ~nodes:2 in
+  let a, _ = Kernel.Fdtable.openfile fdt ~node:0 ~pid:1 ~path:"/a" ~flags:0 in
+  let b, _ = Kernel.Fdtable.openfile fdt ~node:0 ~pid:1 ~path:"/b" ~flags:0 in
+  checki "sequential" (a + 1) b;
+  (match Kernel.Fdtable.close fdt ~node:0 ~pid:1 a with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let c, _ = Kernel.Fdtable.openfile fdt ~node:1 ~pid:1 ~path:"/c" ~flags:0 in
+  checki "hole reused (from the other kernel!)" a c
+
+let fd_dup_and_errors () =
+  let engine, bus = make_env () in
+  let fdt = Kernel.Fdtable.create engine bus ~nodes:2 in
+  let fd, _ = Kernel.Fdtable.openfile fdt ~node:0 ~pid:1 ~path:"/x" ~flags:1 in
+  (match Kernel.Fdtable.dup fdt ~node:0 ~pid:1 fd with
+  | Ok (nfd, _) ->
+    checkb "dup shares path" true
+      (match Kernel.Fdtable.lookup fdt ~node:1 ~pid:1 nfd with
+      | Some e -> e.Kernel.Fdtable.path = "/x"
+      | None -> false)
+  | Error e -> Alcotest.fail e);
+  checkb "close of closed fd fails" true
+    (match Kernel.Fdtable.close fdt ~node:0 ~pid:1 99 with
+    | Error _ -> true
+    | Ok _ -> false);
+  checki "three open fds" 2
+    (List.length (Kernel.Fdtable.fds fdt ~node:0 ~pid:1))
+
+let fd_tables_per_process () =
+  let engine, bus = make_env () in
+  let fdt = Kernel.Fdtable.create engine bus ~nodes:2 in
+  let a, _ = Kernel.Fdtable.openfile fdt ~node:0 ~pid:1 ~path:"/p1" ~flags:0 in
+  let b, _ = Kernel.Fdtable.openfile fdt ~node:0 ~pid:2 ~path:"/p2" ~flags:0 in
+  checki "separate numbering" a b;
+  checkb "no cross-process leak" true
+    (match Kernel.Fdtable.lookup fdt ~node:0 ~pid:2 b with
+    | Some e -> e.Kernel.Fdtable.path = "/p2"
+    | None -> false)
+
+(* --- Futex ---------------------------------------------------------------- *)
+
+let futex_local_wake () =
+  let engine, bus = make_env () in
+  let fx = Kernel.Futex.create engine bus in
+  let woken = ref [] in
+  Kernel.Futex.wait fx ~addr:0x1000 ~node:0 ~tid:1 ~on_wake:(fun () ->
+      woken := 1 :: !woken);
+  Kernel.Futex.wait fx ~addr:0x1000 ~node:0 ~tid:2 ~on_wake:(fun () ->
+      woken := 2 :: !woken);
+  checki "both parked" 2 (List.length (Kernel.Futex.waiters fx ~addr:0x1000));
+  checki "wake 1" 1 (Kernel.Futex.wake fx ~addr:0x1000 ~node:0 ~count:1);
+  Sim.Engine.run engine;
+  Alcotest.check Alcotest.(list int) "FIFO order" [ 1 ] (List.rev !woken);
+  checkb "tid 2 still parked" true (Kernel.Futex.is_waiting fx ~tid:2)
+
+let futex_cross_kernel_wake_pays_latency () =
+  let engine, bus = make_env () in
+  let fx = Kernel.Futex.create engine bus in
+  let woke_at = ref (-1.0) in
+  Kernel.Futex.wait fx ~addr:0x2000 ~node:1 ~tid:7 ~on_wake:(fun () ->
+      woke_at := Sim.Engine.now engine);
+  checki "woken" 1 (Kernel.Futex.wake fx ~addr:0x2000 ~node:0 ~count:8);
+  Sim.Engine.run engine;
+  checkb "remote wake has latency" true (!woke_at > 0.0);
+  checki "message crossed the interconnect" 1
+    (Kernel.Message.sent bus Kernel.Message.Service_update)
+
+let futex_wake_empty () =
+  let engine, bus = make_env () in
+  let fx = Kernel.Futex.create engine bus in
+  checki "nothing to wake" 0 (Kernel.Futex.wake fx ~addr:0x3000 ~node:0 ~count:1)
+
+(* --- Namespace ------------------------------------------------------------ *)
+
+let namespace_hostname_and_mounts () =
+  let ns = Kernel.Namespace.create_set ~name:"web-1" in
+  Kernel.Namespace.set_hostname ns "web-1.internal";
+  Kernel.Namespace.add_mount ns ~source:"/var/ctr/web-1/root" ~target:"/";
+  Kernel.Namespace.add_mount ns ~source:"/ssd/cache" ~target:"/cache";
+  checks "hostname" "web-1.internal" (Kernel.Namespace.hostname ns);
+  checks "longest prefix wins" "/ssd/cache/objs"
+    (Kernel.Namespace.resolve ns "/cache/objs");
+  checks "root mount" "/var/ctr/web-1/root/etc/hosts"
+    (Kernel.Namespace.resolve ns "/etc/hosts");
+  checkb "duplicate mount rejected" true
+    (try
+       Kernel.Namespace.add_mount ns ~source:"/x" ~target:"/cache";
+       false
+     with Invalid_argument _ -> true)
+
+let namespace_pid_mapping () =
+  let ns = Kernel.Namespace.create_set ~name:"c" in
+  let l1 = Kernel.Namespace.register_pid ns ~global_pid:4242 in
+  let l2 = Kernel.Namespace.register_pid ns ~global_pid:4243 in
+  checki "init is 1" 1 l1;
+  checki "second is 2" 2 l2;
+  checki "idempotent" 1 (Kernel.Namespace.register_pid ns ~global_pid:4242);
+  Alcotest.check Alcotest.(option int) "reverse map" (Some 4243)
+    (Kernel.Namespace.global_pid ns ~local_pid:2);
+  Alcotest.check Alcotest.(option int) "missing" None
+    (Kernel.Namespace.local_pid ns ~global_pid:9)
+
+let namespace_fingerprint_invariant () =
+  (* The container view must be reproducible on another kernel: building
+     the same namespace set yields the same fingerprint; any divergence
+     changes it. *)
+  let build () =
+    let ns = Kernel.Namespace.create_set ~name:"c" in
+    Kernel.Namespace.set_hostname ns "app";
+    Kernel.Namespace.add_mount ns ~source:"/real" ~target:"/";
+    ignore (Kernel.Namespace.register_pid ns ~global_pid:100);
+    ns
+  in
+  let a = build () and b = build () in
+  checki "same view, same fingerprint"
+    (Kernel.Namespace.view_fingerprint a)
+    (Kernel.Namespace.view_fingerprint b);
+  Kernel.Namespace.set_hostname b "other";
+  checkb "divergence detected" true
+    (Kernel.Namespace.view_fingerprint a <> Kernel.Namespace.view_fingerprint b)
+
+(* --- Syscall boundary ------------------------------------------------------ *)
+
+let syscall_balanced_continuation () =
+  let engine, bus = make_env () in
+  let sys = Kernel.Syscall.create engine bus ~nodes:2 in
+  let cont = Kernel.Continuation.create () in
+  (match
+     Kernel.Syscall.dispatch sys ~node:0 ~arch:Isa.Arch.X86_64 ~pid:1
+       ~continuation:cont (Kernel.Syscall.Open "/etc/conf")
+   with
+  | Ok (Kernel.Syscall.Fd fd, latency) ->
+    checki "fd 3" 3 fd;
+    checkb "strong fd table costs messages" true (latency > 0.0)
+  | Ok _ -> Alcotest.fail "expected a descriptor"
+  | Error e -> Alcotest.fail e);
+  checkb "continuation balanced after the call" true
+    (Kernel.Continuation.can_migrate cont);
+  (* Error paths balance it too. *)
+  (match
+     Kernel.Syscall.dispatch sys ~node:0 ~arch:Isa.Arch.X86_64 ~pid:1
+       ~continuation:cont (Kernel.Syscall.Close 99)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "close of bad fd should fail");
+  checkb "balanced after an error" true (Kernel.Continuation.can_migrate cont)
+
+let futex_wait_blocks_migration_end_to_end () =
+  let engine, bus = make_env () in
+  let sys = Kernel.Syscall.create engine bus ~nodes:2 in
+  let cont = Kernel.Continuation.create () in
+  let woke = ref false in
+  Kernel.Syscall.futex_wait sys ~node:0 ~arch:Isa.Arch.X86_64 ~tid:5
+    ~continuation:cont ~addr:0xBEEF ~on_wake:(fun () -> woke := true);
+  (* While parked, the thread is inside a kernel service: migration must
+     be refused (the paper's service atomicity). *)
+  checkb "migration blocked while parked" false
+    (Kernel.Continuation.can_migrate cont);
+  (* Wake from the other kernel. *)
+  (match
+     Kernel.Syscall.dispatch sys ~node:1 ~arch:Isa.Arch.Arm64 ~pid:2
+       ~continuation:(Kernel.Continuation.create ())
+       (Kernel.Syscall.Futex_wake (0xBEEF, 1))
+   with
+  | Ok (Kernel.Syscall.Woken n, _) -> checki "one woken" 1 n
+  | Ok _ | Error _ -> Alcotest.fail "wake failed");
+  Sim.Engine.run engine;
+  checkb "woken" true !woke;
+  checkb "migration allowed after the service exits" true
+    (Kernel.Continuation.can_migrate cont)
+
+let suite =
+  [
+    ("strong service replicates synchronously", `Quick,
+     strong_replicates_synchronously);
+    ("eventual service converges", `Quick, eventual_converges_after_delivery);
+    ("service global slice", `Quick, service_global_slice);
+    ("service drops finished processes", `Quick, service_drop_process);
+    ("service counts replication traffic", `Quick, service_counts_updates);
+    ("fd table survives migration", `Quick, fd_survives_migration);
+    ("fd allocation: lowest free, cross-kernel", `Quick, fd_alloc_lowest_free);
+    ("fd dup and error paths", `Quick, fd_dup_and_errors);
+    ("fd tables are per-process", `Quick, fd_tables_per_process);
+    ("futex local FIFO wake", `Quick, futex_local_wake);
+    ("futex cross-kernel wake pays latency", `Quick,
+     futex_cross_kernel_wake_pays_latency);
+    ("futex wake on empty queue", `Quick, futex_wake_empty);
+    ("namespace hostname and mounts", `Quick, namespace_hostname_and_mounts);
+    ("namespace pid mapping", `Quick, namespace_pid_mapping);
+    ("namespace view fingerprint", `Quick, namespace_fingerprint_invariant);
+    ("syscalls balance the continuation", `Quick, syscall_balanced_continuation);
+    ("futex_wait blocks migration end-to-end", `Quick,
+     futex_wait_blocks_migration_end_to_end);
+  ]

@@ -1,0 +1,247 @@
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+let checkb msg = Alcotest.check Alcotest.bool msg
+
+(* --- Prng -------------------------------------------------------------- *)
+
+let prng_deterministic () =
+  let a = Sim.Prng.create 42 and b = Sim.Prng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Sim.Prng.next_int64 a)
+      (Sim.Prng.next_int64 b)
+  done
+
+let prng_different_seeds () =
+  let a = Sim.Prng.create 1 and b = Sim.Prng.create 2 in
+  checkb "different streams" false
+    (Sim.Prng.next_int64 a = Sim.Prng.next_int64 b)
+
+let prng_int_range () =
+  let rng = Sim.Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Prng.int rng 17 in
+    checkb "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let prng_int_in_range () =
+  let rng = Sim.Prng.create 8 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Prng.int_in rng (-5) 5 in
+    checkb "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let prng_float_range () =
+  let rng = Sim.Prng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Prng.float rng 3.5 in
+    checkb "in [0,3.5)" true (v >= 0.0 && v < 3.5)
+  done
+
+let prng_gaussian_moments () =
+  let rng = Sim.Prng.create 10 in
+  let n = 20_000 in
+  let xs = List.init n (fun _ -> Sim.Prng.gaussian rng ~mean:5.0 ~stddev:2.0) in
+  let s = Sim.Stats.summarize xs in
+  checkb "mean close" true (Float.abs (s.Sim.Stats.mean -. 5.0) < 0.1);
+  checkb "stddev close" true (Float.abs (s.Sim.Stats.stddev -. 2.0) < 0.1)
+
+let prng_exponential_mean () =
+  let rng = Sim.Prng.create 11 in
+  let xs = List.init 20_000 (fun _ -> Sim.Prng.exponential rng ~mean:3.0) in
+  checkb "mean close" true (Float.abs (Sim.Stats.mean xs -. 3.0) < 0.15);
+  List.iter (fun x -> checkb "positive" true (x >= 0.0)) xs
+
+let prng_split_independent () =
+  let a = Sim.Prng.create 12 in
+  let b = Sim.Prng.split a in
+  checkb "split differs from parent" false
+    (Sim.Prng.next_int64 a = Sim.Prng.next_int64 b)
+
+let prng_copy_preserves () =
+  let a = Sim.Prng.create 13 in
+  let _ = Sim.Prng.next_int64 a in
+  let b = Sim.Prng.copy a in
+  check Alcotest.int64 "copies agree" (Sim.Prng.next_int64 a)
+    (Sim.Prng.next_int64 b)
+
+let prng_shuffle_permutation () =
+  let rng = Sim.Prng.create 14 in
+  let arr = Array.init 50 Fun.id in
+  Sim.Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "still a permutation" (Array.init 50 Fun.id) sorted
+
+(* --- Stats ------------------------------------------------------------- *)
+
+let stats_summary_basic () =
+  let s = Sim.Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  checkf "mean" 3.0 s.Sim.Stats.mean;
+  checkf "median" 3.0 s.Sim.Stats.median;
+  checkf "min" 1.0 s.Sim.Stats.min;
+  checkf "max" 5.0 s.Sim.Stats.max;
+  check Alcotest.int "n" 5 s.Sim.Stats.n
+
+let stats_stddev () =
+  checkf "stddev of constant" 0.0 (Sim.Stats.stddev [ 2.0; 2.0; 2.0 ]);
+  let sd = Sim.Stats.stddev [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  checkb "sample stddev" true (Float.abs (sd -. sqrt 2.5) < 1e-9)
+
+let stats_empty_raises () =
+  Alcotest.check_raises "empty summarize"
+    (Invalid_argument "Stats.summarize: empty") (fun () ->
+      ignore (Sim.Stats.summarize []))
+
+let stats_quantile_interpolation () =
+  let sorted = [| 0.0; 10.0 |] in
+  checkf "q0" 0.0 (Sim.Stats.quantile sorted 0.0);
+  checkf "q0.5" 5.0 (Sim.Stats.quantile sorted 0.5);
+  checkf "q1" 10.0 (Sim.Stats.quantile sorted 1.0)
+
+let stats_boxplot_order () =
+  let b = Sim.Stats.boxplot [ 9.0; 1.0; 5.0; 3.0; 7.0 ] in
+  checkb "ordered" true
+    (b.Sim.Stats.bmin <= b.q1 && b.q1 <= b.bmedian && b.bmedian <= b.q3
+   && b.q3 <= b.bmax);
+  checkf "min" 1.0 b.Sim.Stats.bmin;
+  checkf "max" 9.0 b.Sim.Stats.bmax
+
+let stats_log_histogram () =
+  let h =
+    Sim.Stats.log_histogram ~base:10.0 ~buckets:5 [ 0.5; 5.0; 50.0; 5e9 ]
+  in
+  check Alcotest.int "bucket0 gets sub-1 and 5" 2 h.Sim.Stats.counts.(0);
+  check Alcotest.int "bucket1 gets 50" 1 h.Sim.Stats.counts.(1);
+  check Alcotest.int "overflow clamps to last" 1 h.Sim.Stats.counts.(4)
+
+let stats_geometric_mean () =
+  checkf "gm of 1,100" 10.0 (Sim.Stats.geometric_mean [ 1.0; 100.0 ])
+
+(* --- Engine ------------------------------------------------------------ *)
+
+let engine_runs_in_time_order () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  Sim.Engine.schedule e ~at:3.0 (fun () -> order := 3 :: !order);
+  Sim.Engine.schedule e ~at:1.0 (fun () -> order := 1 :: !order);
+  Sim.Engine.schedule e ~at:2.0 (fun () -> order := 2 :: !order);
+  Sim.Engine.run e;
+  check Alcotest.(list int) "time order" [ 1; 2; 3 ] (List.rev !order);
+  checkf "clock at last event" 3.0 (Sim.Engine.now e)
+
+let engine_fifo_at_equal_times () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  for i = 1 to 10 do
+    Sim.Engine.schedule e ~at:1.0 (fun () -> order := i :: !order)
+  done;
+  Sim.Engine.run e;
+  check Alcotest.(list int) "insertion order"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    (List.rev !order)
+
+let engine_schedule_during_run () =
+  let e = Sim.Engine.create () in
+  let hits = ref [] in
+  Sim.Engine.schedule e ~at:1.0 (fun () ->
+      hits := "a" :: !hits;
+      Sim.Engine.schedule_in e ~after:0.5 (fun () -> hits := "b" :: !hits));
+  Sim.Engine.run e;
+  check Alcotest.(list string) "chained" [ "a"; "b" ] (List.rev !hits);
+  checkf "clock" 1.5 (Sim.Engine.now e)
+
+let engine_rejects_past () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule e ~at:2.0 (fun () -> ());
+  Sim.Engine.run e;
+  checkb "raises on past" true
+    (try
+       Sim.Engine.schedule e ~at:1.0 (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+let engine_run_until () =
+  let e = Sim.Engine.create () in
+  let hits = ref 0 in
+  Sim.Engine.schedule e ~at:1.0 (fun () -> incr hits);
+  Sim.Engine.schedule e ~at:5.0 (fun () -> incr hits);
+  Sim.Engine.run_until e 2.0;
+  check Alcotest.int "only first fired" 1 !hits;
+  checkf "clock advanced to limit" 2.0 (Sim.Engine.now e);
+  check Alcotest.int "one pending" 1 (Sim.Engine.pending e)
+
+let engine_many_events_stress () =
+  let e = Sim.Engine.create () in
+  let rng = Sim.Prng.create 99 in
+  let count = ref 0 in
+  let last = ref (-1.0) in
+  for _ = 1 to 5000 do
+    let at = Sim.Prng.float rng 100.0 in
+    Sim.Engine.schedule e ~at (fun () ->
+        checkb "monotone clock" true (Sim.Engine.now e >= !last);
+        last := Sim.Engine.now e;
+        incr count)
+  done;
+  Sim.Engine.run e;
+  check Alcotest.int "all fired" 5000 !count
+
+(* --- Trace ------------------------------------------------------------- *)
+
+let trace_roundtrip () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t ~series:"p" ~time:0.0 1.0;
+  Sim.Trace.record t ~series:"p" ~time:1.0 2.0;
+  Sim.Trace.record t ~series:"q" ~time:0.5 9.0;
+  check
+    Alcotest.(list (pair (float 1e-9) (float 1e-9)))
+    "series p"
+    [ (0.0, 1.0); (1.0, 2.0) ]
+    (Sim.Trace.series t "p");
+  check Alcotest.(list string) "names" [ "p"; "q" ] (Sim.Trace.series_names t)
+
+let trace_integrate_step () =
+  (* 1 W for 1 s then 3 W for 1 s = 4 J. *)
+  let samples = [ (0.0, 1.0); (1.0, 3.0) ] in
+  checkf "energy" 4.0 (Sim.Trace.integrate samples ~t_end:2.0)
+
+let trace_integrate_before_first_sample () =
+  let samples = [ (1.0, 2.0) ] in
+  checkf "zero before first" 2.0 (Sim.Trace.integrate samples ~t_end:2.0)
+
+let trace_resample () =
+  let samples = [ (0.0, 1.0); (1.0, 5.0) ] in
+  let arr = Sim.Trace.resample samples ~dt:0.5 ~t_end:2.0 in
+  check
+    Alcotest.(array (float 1e-9))
+    "step signal" [| 1.0; 1.0; 5.0; 5.0 |] arr
+
+let suite =
+  [
+    ("prng deterministic", `Quick, prng_deterministic);
+    ("prng different seeds", `Quick, prng_different_seeds);
+    ("prng int range", `Quick, prng_int_range);
+    ("prng int_in range", `Quick, prng_int_in_range);
+    ("prng float range", `Quick, prng_float_range);
+    ("prng gaussian moments", `Quick, prng_gaussian_moments);
+    ("prng exponential mean", `Quick, prng_exponential_mean);
+    ("prng split independent", `Quick, prng_split_independent);
+    ("prng copy preserves", `Quick, prng_copy_preserves);
+    ("prng shuffle is a permutation", `Quick, prng_shuffle_permutation);
+    ("stats summary basics", `Quick, stats_summary_basic);
+    ("stats stddev", `Quick, stats_stddev);
+    ("stats empty raises", `Quick, stats_empty_raises);
+    ("stats quantile interpolation", `Quick, stats_quantile_interpolation);
+    ("stats boxplot ordering", `Quick, stats_boxplot_order);
+    ("stats log histogram", `Quick, stats_log_histogram);
+    ("stats geometric mean", `Quick, stats_geometric_mean);
+    ("engine time order", `Quick, engine_runs_in_time_order);
+    ("engine FIFO ties", `Quick, engine_fifo_at_equal_times);
+    ("engine schedule during run", `Quick, engine_schedule_during_run);
+    ("engine rejects past", `Quick, engine_rejects_past);
+    ("engine run_until", `Quick, engine_run_until);
+    ("engine 5000-event stress", `Quick, engine_many_events_stress);
+    ("trace roundtrip", `Quick, trace_roundtrip);
+    ("trace integrate", `Quick, trace_integrate_step);
+    ("trace integrate before first", `Quick, trace_integrate_before_first_sample);
+    ("trace resample", `Quick, trace_resample);
+  ]
