@@ -202,10 +202,20 @@ let admission_ablation ppf =
     "@.F. Admission ordering: FCFS (the paper) vs shortest-job-first@.";
   let seeds = [ 300; 301; 302; 303 ] in
   let avg f = Sim.Stats.mean (List.map f seeds) in
-  let result admission seed =
-    Sched.Scheduler.run ~admission Sched.Policy.Dynamic_unbalanced
-      (Sched.Arrival.sustained ~seed ~jobs:20)
+  (* Each (admission, seed) run is computed exactly once, fanned out
+     over the domain pool (the checks below consult every cell several
+     times). *)
+  let cells =
+    Parallel.Pool.map_list ?jobs:!Config.jobs
+      (fun (admission, seed) ->
+        ( (admission, seed),
+          Sched.Scheduler.run ~admission Sched.Policy.Dynamic_unbalanced
+            (Sched.Arrival.sustained ~seed ~jobs:20) ))
+      (List.concat_map
+         (fun admission -> List.map (fun s -> (admission, s)) seeds)
+         [ Sched.Scheduler.Fcfs; Sched.Scheduler.Sjf ])
   in
+  let result admission seed = List.assoc (admission, seed) cells in
   let fcfs_ms = avg (fun s -> (result Sched.Scheduler.Fcfs s).Sched.Scheduler.makespan) in
   let sjf_ms = avg (fun s -> (result Sched.Scheduler.Sjf s).Sched.Scheduler.makespan) in
   let fcfs_e =

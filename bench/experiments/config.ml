@@ -1,0 +1,5 @@
+(* Harness-wide knobs, set by bench/main.ml before experiments run. *)
+
+let jobs : int option ref = ref None
+(* Domain-pool size for experiment grids: [None] = Parallel.Pool's
+   default, [Some 1] = fully sequential (the --seq flag). *)

@@ -20,16 +20,37 @@ type set_result = {
   unbalanced : Sched.Scheduler.result;
 }
 
-let run_set seed =
-  let jobs = Sched.Arrival.sustained ~seed ~jobs:jobs_per_set in
-  {
-    seed;
-    static = Sched.Scheduler.run Sched.Policy.Static_x86_pair jobs;
-    balanced = Sched.Scheduler.run Sched.Policy.Dynamic_balanced jobs;
-    unbalanced = Sched.Scheduler.run Sched.Policy.Dynamic_unbalanced jobs;
-  }
+(* Every (seed, policy) cell of the grid is an independent, deterministic
+   scheduler run, so the grid fans out over the domain pool; results are
+   identical to running each set sequentially. *)
+let policies =
+  [ Sched.Policy.Static_x86_pair; Sched.Policy.Dynamic_balanced;
+    Sched.Policy.Dynamic_unbalanced ]
 
-let results = lazy (List.init sets (fun i -> run_set (1000 + i)))
+let results =
+  lazy
+    (let grid =
+       List.concat_map
+         (fun i -> List.map (fun p -> (1000 + i, p)) policies)
+         (List.init sets Fun.id)
+     in
+     let cells =
+       Parallel.Pool.map_list ?jobs:!Config.jobs
+         (fun (seed, policy) ->
+           ( (seed, policy),
+             Sched.Scheduler.run policy
+               (Sched.Arrival.sustained ~seed ~jobs:jobs_per_set) ))
+         grid
+     in
+     let cell seed policy = List.assoc (seed, policy) cells in
+     List.init sets (fun i ->
+         let seed = 1000 + i in
+         {
+           seed;
+           static = cell seed Sched.Policy.Static_x86_pair;
+           balanced = cell seed Sched.Policy.Dynamic_balanced;
+           unbalanced = cell seed Sched.Policy.Dynamic_unbalanced;
+         }))
 
 let savings baseline other =
   (baseline.Sched.Scheduler.total_energy -. other.Sched.Scheduler.total_energy)

@@ -4,9 +4,12 @@
    computational kernel.
 
    Usage:
-     dune exec bench/main.exe              -- everything
-     dune exec bench/main.exe -- fig12     -- one experiment
-     dune exec bench/main.exe -- --no-micro  -- skip the Bechamel pass *)
+     dune exec bench/main.exe                -- everything
+     dune exec bench/main.exe -- fig12       -- one experiment
+     dune exec bench/main.exe -- --no-micro  -- skip the Bechamel pass
+     dune exec bench/main.exe -- --jobs 4    -- domain-pool size for grids
+     dune exec bench/main.exe -- --seq       -- fully sequential (= --jobs 1)
+     dune exec bench/main.exe -- --json P    -- write machine-readable results *)
 
 let experiments =
   [
@@ -20,6 +23,11 @@ let experiments =
     ("fig13", "Figure 13 (periodic workload)", Experiments.Fig13.run);
     ("ablations", "Ablation studies (non-paper)", Experiments.Ablation.run);
   ]
+
+(* Wall-clock seconds on the monotonic clock: experiment grids now run on
+   multiple domains, where CPU time ([Sys.time]) overstates elapsed time
+   by roughly the pool width. *)
+let wall_now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 (* --- Bechamel micro-benchmarks: one per table/figure, measuring the
    operation that experiment exercises. ---------------------------------- *)
@@ -94,6 +102,7 @@ let micro_tests () =
                 (Sched.Arrival.periodic ~seed:7 ~waves:2 ~max_per_wave:4))));
   ]
 
+(* Returns (name, ns/run, r^2) per micro-benchmark for the JSON report. *)
 let run_micro ppf =
   let open Bechamel in
   Format.fprintf ppf "@.%s@.= Bechamel micro-benchmarks (per-experiment kernels) =@.%s@."
@@ -103,7 +112,7 @@ let run_micro ppf =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let results =
         List.map
@@ -112,7 +121,7 @@ let run_micro ppf =
             (Test.Elt.name elt, Analyze.one ols Toolkit.Instance.monotonic_clock m))
           (Test.elements test)
       in
-      List.iter
+      List.map
         (fun (name, ols_result) ->
           let time_ns =
             match Analyze.OLS.estimates ols_result with
@@ -125,16 +134,109 @@ let run_micro ppf =
             | None -> nan
           in
           Format.fprintf ppf "  %-28s %12.1f ns/run   (r^2 %.3f)@." name
-            time_ns r2)
+            time_ns r2;
+          (name, time_ns, r2))
         results)
-    (micro_tests ());
-  Format.fprintf ppf "@."
+    (micro_tests ())
+
+(* --- machine-readable results (the benchmark-regression baseline) ------ *)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then None else Some line
+  with _ -> None
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else Printf.sprintf "%.6g" f
+
+let write_json path ~jobs ~experiment_times ~micro =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  (match git_rev () with
+  | Some rev -> out "  \"git_rev\": \"%s\",\n" (json_escape rev)
+  | None -> out "  \"git_rev\": null,\n");
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, wall_s) ->
+      out "    {\"name\": \"%s\", \"wall_s\": %s}%s\n" (json_escape name)
+        (json_float wall_s)
+        (if i = List.length experiment_times - 1 then "" else ","))
+    experiment_times;
+  out "  ],\n";
+  out "  \"micro\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        (json_escape name) (json_float ns) (json_float r2)
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  out "  ]\n}\n";
+  close_out oc
+
+let usage ppf =
+  Format.fprintf ppf
+    "usage: main.exe [--no-micro] [--seq] [--jobs N] [--json PATH] [experiment ...]@.";
+  Format.fprintf ppf "available experiments:@.";
+  List.iter
+    (fun (n, d, _) -> Format.fprintf ppf "  %-8s %s@." n d)
+    experiments
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let no_micro = List.mem "--no-micro" args in
-  let wanted = List.filter (fun a -> a <> "--no-micro") args in
+  let no_micro = ref false in
+  let seq = ref false in
+  let jobs_flag = ref None in
+  let json_path = ref None in
+  let wanted = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--no-micro" :: rest -> no_micro := true; parse rest
+    | "--seq" :: rest -> seq := true; parse rest
+    | "--jobs" :: n :: rest -> begin
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs_flag := Some j; parse rest
+      | Some _ | None ->
+        Format.eprintf "--jobs expects a positive integer, got %s@." n;
+        exit 2
+    end
+    | [ "--jobs" ] ->
+      Format.eprintf "--jobs expects an argument@.";
+      exit 2
+    | "--json" :: path :: rest -> json_path := Some path; parse rest
+    | [ "--json" ] ->
+      Format.eprintf "--json expects a path@.";
+      exit 2
+    | arg :: rest -> wanted := arg :: !wanted; parse rest
+  in
+  parse args;
+  let wanted = List.rev !wanted in
   let ppf = Format.std_formatter in
+  Experiments.Config.jobs := (if !seq then Some 1 else !jobs_flag);
+  let jobs_used =
+    match !Experiments.Config.jobs with
+    | Some n -> n
+    | None -> Parallel.Pool.default_jobs ()
+  in
   let selected =
     match wanted with
     | [] -> experiments
@@ -143,17 +245,28 @@ let () =
   in
   if selected = [] then begin
     Format.fprintf ppf "unknown experiment; available:@.";
-    List.iter (fun (n, d, _) -> Format.fprintf ppf "  %-8s %s@." n d) experiments;
+    usage ppf;
     exit 2
   end;
-  List.iter
-    (fun (_, _, run) ->
-      let t0 = Sys.time () in
-      run ppf;
-      Format.fprintf ppf "  (experiment computed in %.1fs of host time)@."
-        (Sys.time () -. t0))
-    selected;
-  if (not no_micro) && wanted = [] then run_micro ppf;
+  let experiment_times =
+    List.map
+      (fun (name, _, run) ->
+        let t0 = wall_now () in
+        run ppf;
+        let wall_s = wall_now () -. t0 in
+        Format.fprintf ppf "  (experiment computed in %.1fs of host time)@."
+          wall_s;
+        (name, wall_s))
+      selected
+  in
+  let micro =
+    if (not !no_micro) && wanted = [] then run_micro ppf else []
+  in
+  (match !json_path with
+  | Some path ->
+    write_json path ~jobs:jobs_used ~experiment_times ~micro;
+    Format.fprintf ppf "(results written to %s)@." path
+  | None -> ());
   let failures = Experiments.Shape.failures () in
   Format.fprintf ppf "@.%s@." (String.make 54 '-');
   if failures = 0 then

@@ -203,7 +203,15 @@ let frame_layout arch (func : Ir.Prog.func) =
     locals_bytes;
   }
 
-let location_of frame name = List.assoc name frame.locations
+let location_indexes : ((string * location) list, string, location) Index.t =
+  Index.create ()
+
+let location_of frame name =
+  let tbl =
+    Index.find location_indexes frame.locations ~build:(fun tbl locations ->
+        List.iter (fun (n, loc) -> Index.add_first tbl n loc) locations)
+  in
+  Hashtbl.find tbl name
 
 let migration_point_cost = function
   | Isa.Arch.Arm64 -> 6

@@ -1,0 +1,22 @@
+type ('l, 'k, 'v) t = {
+  lock : Mutex.t;
+  mutable entries : ('l * ('k, 'v) Hashtbl.t) list;
+}
+
+let create () = { lock = Mutex.create (); entries = [] }
+
+let find t source ~build =
+  Mutex.lock t.lock;
+  let tbl =
+    match List.find_opt (fun (s, _) -> s == source) t.entries with
+    | Some (_, tbl) -> tbl
+    | None ->
+      let tbl = Hashtbl.create 64 in
+      build tbl source;
+      t.entries <- (source, tbl) :: t.entries;
+      tbl
+  in
+  Mutex.unlock t.lock;
+  tbl
+
+let add_first tbl key value = if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key value

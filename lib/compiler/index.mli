@@ -1,0 +1,24 @@
+(** Memoized hashtable indexes over immutable metadata lists.
+
+    Compiler metadata (frame layouts, stackmaps, unwind rules) is built
+    once per binary and then searched linearly on every runtime lookup —
+    which dominates when the stack transformer visits every migration
+    site of a binary. An index memoizes one hashtable per source list,
+    keyed by the list's {e physical} identity, so a rebuilt (e.g.
+    deliberately tampered) list gets a fresh index while untouched lists
+    share theirs. The memo is mutex-guarded: lookups may come from
+    concurrent scheduler runs on different domains. *)
+
+type ('l, 'k, 'v) t
+
+val create : unit -> ('l, 'k, 'v) t
+
+val find : ('l, 'k, 'v) t -> 'l -> build:(('k, 'v) Hashtbl.t -> 'l -> unit) -> ('k, 'v) Hashtbl.t
+(** [find t source ~build] returns the index for [source], calling
+    [build tbl source] to populate a fresh table the first time this
+    exact list is seen. *)
+
+val add_first : ('k, 'v) Hashtbl.t -> 'k -> 'v -> unit
+(** Insert unless the key is already bound — preserving the
+    first-binding-wins semantics of [List.assoc] on association lists
+    with duplicate keys. *)

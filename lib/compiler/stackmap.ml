@@ -29,10 +29,18 @@ let generate (func : Ir.Prog.func) (frame : Backend.frame) =
       { fname = func.fname; kind = s.kind; site_id = s.id; live })
     sites
 
+let site_indexes :
+    (entry list, string * Ir.Liveness.site_kind * int, entry) Index.t =
+  Index.create ()
+
 let find entries ~fname ~key:(kind, site_id) =
-  List.find_opt
-    (fun e -> e.fname = fname && e.kind = kind && e.site_id = site_id)
-    entries
+  let tbl =
+    Index.find site_indexes entries ~build:(fun tbl entries ->
+        List.iter
+          (fun e -> Index.add_first tbl (e.fname, e.kind, e.site_id) e)
+          entries)
+  in
+  Hashtbl.find_opt tbl (fname, kind, site_id)
 
 let common_sites a b =
   let key e = (e.fname, e.kind, e.site_id) in

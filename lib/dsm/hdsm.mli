@@ -39,6 +39,15 @@ val register_page : t -> page:int -> owner:node -> unit
 (** Introduce a data page, initially [Exclusive] at its owner. Idempotent
     for an already-known page. *)
 
+val register_range : t -> range:Memsys.Page.range -> owner:node -> unit
+(** Introduce a contiguous run of data pages, each initially [Exclusive]
+    at its owner. O(1) in the run length: per-page coherence entries are
+    materialized lazily on first touch, so registering a multi-hundred-MiB
+    working set costs nothing until pages are actually accessed. Pages
+    already covered by an earlier range keep their first registration
+    (adjacent sections may share a boundary page); only the uncovered
+    remainder is recorded. *)
+
 val register_alias : t -> page:int -> unit
 (** Mark a page as per-ISA aliased (text / vDSO): every node always has a
     local copy; the page never moves. *)
@@ -50,6 +59,12 @@ val access : t -> node:node -> page:int -> write:bool -> float
     hits). Read misses fetch a shared copy from the current owner; writes
     invalidate all other copies and take exclusive ownership. Raises
     [Invalid_argument] for unknown pages. *)
+
+val access_many : t -> node:node -> pages:int list -> write:bool -> float
+(** One DSM call covering a whole phase's page list; returns the summed
+    latency, exactly as folding {!access} over [pages] would. The batch
+    resolves each page once inside the service instead of paying one
+    protocol entry per page. *)
 
 val owner : t -> page:int -> node
 
@@ -69,6 +84,11 @@ val drain_pages : t -> pages:int list -> to_:node -> float
 (** Bulk-transfer the given pages (wherever they are owned) to [to_];
     pages already owned by [to_] and aliased pages cost nothing. Used to
     clear one process's residual dependencies from its home kernel. *)
+
+val drain_seq : t -> segments:(int * int) list -> to_:node -> float
+(** [drain_seq t ~segments ~to_] drains the contiguous page segments
+    [(first, count)] like {!drain_pages} over the flattened page list,
+    without the caller materializing it. *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -1,6 +1,6 @@
 type image = {
   aspace : Memsys.Address_space.t;
-  data_pages : int list;
+  data_pages : Memsys.Page.range list;
   text_pages : int list;
   entry : int;
 }
@@ -10,27 +10,21 @@ let stack_bytes = 1024 * 1024
 let heap_base = 0x10_0000_0000
 let vdso_base = 0x7FFF_F000_0000
 
-(* Serial ids so concurrently loaded processes get disjoint heap/stack
-   pages in the shared DSM page namespace. *)
-let next_slot = ref 0
-
-let fresh_slot () =
-  let s = !next_slot in
-  incr next_slot;
-  s
-
 let map_region aspace ~start ~len ~prot ~tag ~backing =
   Memsys.Address_space.map aspace
     { Memsys.Address_space.start; len; prot; tag; backing }
 
-let register_data dsm node pages =
-  List.iter (fun page -> Dsm.Hdsm.register_page dsm ~page ~owner:node) pages
+let register_data dsm node ranges =
+  List.iter (fun range -> Dsm.Hdsm.register_range dsm ~range ~owner:node) ranges
 
 let register_text dsm pages =
   List.iter (fun page -> Dsm.Hdsm.register_alias dsm ~page) pages
 
-let load tc ~dsm ~node ~heap_bytes =
-  let slot = fresh_slot () in
+(* [slot] gives concurrently loaded processes disjoint heap/stack pages in
+   the kernel ensemble's shared DSM page namespace; the caller (the
+   ensemble) allocates slots serially per instance, so independent
+   simulations never share loader state. *)
+let load tc ~dsm ~node ~slot ~heap_bytes =
   let aspace = Memsys.Address_space.create () in
   let layouts =
     List.map
@@ -66,7 +60,7 @@ let load tc ~dsm ~node ~heap_bytes =
     [ Memsys.Symbol.Rodata; Memsys.Symbol.Data; Memsys.Symbol.Bss;
       Memsys.Symbol.Tdata; Memsys.Symbol.Tbss ]
   in
-  let section_pages =
+  let section_ranges =
     List.concat_map
       (fun sec ->
         match bounds sec with
@@ -80,25 +74,25 @@ let load tc ~dsm ~node ~heap_bytes =
           map_region aspace ~start ~len ~prot
             ~tag:(Memsys.Symbol.section_to_string sec)
             ~backing:(Memsys.Address_space.File first_layout.Binary.Layout.image);
-          Memsys.Page.span ~addr:start ~len
+          [ Memsys.Page.range_of_span ~addr:start ~len ]
         | Some _ -> [])
       data_sections
   in
-  let heap_pages =
+  let heap_range =
     let start = heap_base + (slot * 0x1_0000_0000) in
     let len = max Memsys.Page.size (Memsys.Page.round_up heap_bytes) in
     map_region aspace ~start ~len ~prot:Memsys.Address_space.Read_write
       ~tag:"[heap]" ~backing:Memsys.Address_space.Anonymous;
-    Memsys.Page.span ~addr:start ~len
+    Memsys.Page.range_of_span ~addr:start ~len
   in
-  let stack_pages =
+  let stack_range =
     let start = stack_base + (slot * 0x100_0000) in
     map_region aspace ~start ~len:stack_bytes
       ~prot:Memsys.Address_space.Read_write ~tag:"[stack]"
       ~backing:Memsys.Address_space.Anonymous;
-    Memsys.Page.span ~addr:start ~len:stack_bytes
+    Memsys.Page.range_of_span ~addr:start ~len:stack_bytes
   in
-  let data_pages = section_pages @ heap_pages @ stack_pages in
+  let data_pages = section_ranges @ [ heap_range; stack_range ] in
   register_text dsm (text_pages @ vdso_pages);
   register_data dsm node data_pages;
   let entry =
@@ -106,13 +100,12 @@ let load tc ~dsm ~node ~heap_bytes =
   in
   { aspace; data_pages; text_pages; entry }
 
-let load_raw ~dsm ~node ~name:_ ~footprint_bytes =
-  let slot = fresh_slot () in
+let load_raw ~dsm ~node ~slot ~name:_ ~footprint_bytes =
   let aspace = Memsys.Address_space.create () in
   let start = heap_base + (slot * 0x1_0000_0000) in
   let len = max Memsys.Page.size (Memsys.Page.round_up footprint_bytes) in
   map_region aspace ~start ~len ~prot:Memsys.Address_space.Read_write
     ~tag:"[data]" ~backing:Memsys.Address_space.Anonymous;
-  let data_pages = Memsys.Page.span ~addr:start ~len in
+  let data_pages = [ Memsys.Page.range_of_span ~addr:start ~len ] in
   register_data dsm node data_pages;
   { aspace; data_pages; text_pages = []; entry = 0 }

@@ -9,17 +9,28 @@
 
 type image = {
   aspace : Memsys.Address_space.t;
-  data_pages : int list;  (** DSM-tracked pages: data/bss/heap/stack *)
+  data_pages : Memsys.Page.range list;
+      (** DSM-tracked pages: data/bss/heap/stack, as contiguous runs *)
   text_pages : int list;  (** aliased, never transferred *)
   entry : int;
 }
 
 val load :
-  Compiler.Toolchain.t -> dsm:Dsm.Hdsm.t -> node:int -> heap_bytes:int -> image
+  Compiler.Toolchain.t ->
+  dsm:Dsm.Hdsm.t ->
+  node:int ->
+  slot:int ->
+  heap_bytes:int ->
+  image
+(** [slot] must be unique per live process within one DSM page namespace:
+    it places the heap and stack at disjoint addresses. The kernel
+    ensemble allocates slots serially per instance — there is no global
+    loader state, so independent simulations can load concurrently. *)
 
 val load_raw :
   dsm:Dsm.Hdsm.t ->
   node:int ->
+  slot:int ->
   name:string ->
   footprint_bytes:int ->
   image

@@ -17,7 +17,9 @@ type t = {
   mutable containers : Container.t list;
   mutable next_pid : int;
   mutable next_cid : int;
+  mutable next_slot : int;  (** loader slot allocator, per ensemble *)
   mutable exit_hooks : (Process.t -> unit) list;
+  mutable thread_hooks : (Process.t -> Process.thread -> unit) list;
 }
 
 let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
@@ -40,7 +42,9 @@ let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
     containers = [];
     next_pid = 1;
     next_cid = 1;
+    next_slot = 0;
     exit_hooks = [];
+    thread_hooks = [];
   }
 
 let node_of_arch t arch =
@@ -91,12 +95,29 @@ let new_container t ~name =
 
 (* Median stack-transformation latency of a binary, measured through the
    real runtime across every reachable migration point. Memoized per
-   binary (physical equality). *)
+   binary (physical equality). The memo table is module-global — shared by
+   every ensemble in the process — so it is mutex-guarded: scheduler runs
+   execute on multiple domains and may spawn from the same binary
+   concurrently. Concurrent misses at worst duplicate the measurement
+   (it is deterministic), never corrupt the table. *)
 let latency_cache : (Compiler.Toolchain.t * (Isa.Arch.t * float) list) list ref =
   ref []
 
+let latency_cache_lock = Mutex.create ()
+
+let latency_cache_find tc =
+  Mutex.lock latency_cache_lock;
+  let found = List.find_opt (fun (key, _) -> key == tc) !latency_cache in
+  Mutex.unlock latency_cache_lock;
+  found
+
+let latency_cache_add tc per_arch =
+  Mutex.lock latency_cache_lock;
+  latency_cache := (tc, per_arch) :: !latency_cache;
+  Mutex.unlock latency_cache_lock
+
 let measured_transform_latency tc =
-  match List.find_opt (fun (key, _) -> key == tc) !latency_cache with
+  match latency_cache_find tc with
   | Some (_, per_arch) -> fun arch -> List.assoc arch per_arch
   | None ->
     let sites = Runtime.Interp.reachable_mig_sites tc in
@@ -123,15 +144,17 @@ let measured_transform_latency tc =
           (arch, latency))
         Isa.Arch.all
     in
-    latency_cache := (tc, per_arch) :: !latency_cache;
+    latency_cache_add tc per_arch;
     fun arch -> List.assoc arch per_arch
 
 let spawn t ~container ~node ~name ?binary ?transform_latency ~footprint_bytes
     ~thread_phases () =
+  let slot = t.next_slot in
+  t.next_slot <- t.next_slot + 1;
   let image =
     match binary with
-    | Some tc -> Loader.load tc ~dsm:t.dsm ~node ~heap_bytes:footprint_bytes
-    | None -> Loader.load_raw ~dsm:t.dsm ~node ~name ~footprint_bytes
+    | Some tc -> Loader.load tc ~dsm:t.dsm ~node ~slot ~heap_bytes:footprint_bytes
+    | None -> Loader.load_raw ~dsm:t.dsm ~node ~slot ~name ~footprint_bytes
   in
   let transform_latency =
     match (transform_latency, binary) with
@@ -154,8 +177,30 @@ let spawn t ~container ~node ~name ?binary ?transform_latency ~footprint_bytes
   proc
 
 let on_process_exit t hook = t.exit_hooks <- hook :: t.exit_hooks
+let on_thread_finish t hook = t.thread_hooks <- hook :: t.thread_hooks
 
 let arch_of t id = t.nodes.(id).machine.Machine.Server.arch
+
+(* Contiguous segments covering flat indices [i, stop) of the process's
+   page ranges, without materializing the page list. *)
+let segments_of_ranges ranges ~i ~stop =
+  let rec go skipped wanted acc = function
+    | [] -> List.rev acc
+    | (r : Memsys.Page.range) :: rest ->
+      if wanted <= 0 then List.rev acc
+      else if skipped + r.Memsys.Page.count <= i then
+        go (skipped + r.Memsys.Page.count) wanted acc rest
+      else begin
+        let offset = max 0 (i - skipped) in
+        let take = min wanted (r.Memsys.Page.count - offset) in
+        go
+          (skipped + r.Memsys.Page.count)
+          (wanted - take)
+          ((r.Memsys.Page.first + offset, take) :: acc)
+          rest
+      end
+  in
+  go 0 (stop - i) [] ranges
 
 (* Drain a process's residual pages to its new home in chunks, keeping one
    DSM worker busy at both ends — the multithreaded hDSM traffic visible
@@ -166,18 +211,20 @@ let drain_residual t proc ~to_node =
   else begin
     proc.Process.home <- to_node;
     let chunk = 256 in
-    let pages = Array.of_list proc.Process.data_pages in
+    let total = Memsys.Page.ranges_count proc.Process.data_pages in
     adjust_busy t from_node 1;
     adjust_busy t to_node 1;
     let rec drain_from i =
-      if i >= Array.length pages then begin
+      if i >= total then begin
         adjust_busy t from_node (-1);
         adjust_busy t to_node (-1)
       end
       else begin
-        let stop = min (Array.length pages) (i + chunk) in
-        let batch = Array.to_list (Array.sub pages i (stop - i)) in
-        let latency = Dsm.Hdsm.drain_pages t.dsm ~pages:batch ~to_:to_node in
+        let stop = min total (i + chunk) in
+        let segments =
+          segments_of_ranges proc.Process.data_pages ~i ~stop
+        in
+        let latency = Dsm.Hdsm.drain_seq t.dsm ~segments ~to_:to_node in
         Sim.Engine.schedule_in t.engine ~after:(Float.max latency 1e-9)
           (fun () -> drain_from stop)
       end
@@ -214,12 +261,8 @@ and run_phase t proc th phase rest =
       phase.Process.category ~instructions:phase.Process.instructions
   in
   let dsm_latency =
-    List.fold_left
-      (fun acc page ->
-        acc
-        +. Dsm.Hdsm.access t.dsm ~node:th.Process.node ~page
-             ~write:phase.Process.writes)
-      0.0 phase.Process.pages
+    Dsm.Hdsm.access_many t.dsm ~node:th.Process.node ~pages:phase.Process.pages
+      ~write:phase.Process.writes
   in
   let duration = (compute *. contention) +. dsm_latency in
   Sim.Engine.schedule_in t.engine ~after:duration (fun () ->
@@ -273,6 +316,7 @@ and maybe_drain t proc =
 
 and finish_thread t proc th =
   th.Process.status <- Process.Done;
+  List.iter (fun hook -> hook proc th) t.thread_hooks;
   if not (Process.alive proc) then begin
     proc.Process.finished_at <- Some (Sim.Engine.now t.engine);
     List.iter (fun hook -> hook proc) t.exit_hooks

@@ -27,7 +27,9 @@ type t = {
   mutable containers : Container.t list;
   mutable next_pid : int;
   mutable next_cid : int;
+  mutable next_slot : int;  (** loader slot allocator, per ensemble *)
   mutable exit_hooks : (Process.t -> unit) list;
+  mutable thread_hooks : (Process.t -> Process.thread -> unit) list;
 }
 
 val create :
@@ -83,6 +85,11 @@ val migrate : t -> Process.t -> to_node:int -> unit
     pages are drained and the home moves. *)
 
 val on_process_exit : t -> (Process.t -> unit) -> unit
+
+val on_thread_finish : t -> (Process.t -> Process.thread -> unit) -> unit
+(** Called when a thread runs out of phases, before any process-exit
+    hooks fire. Lets observers (the datacenter scheduler's incremental
+    load accounting) retire the thread from per-node counters. *)
 
 val attach_sensors : t -> hz:float -> until:float -> unit
 (** Record per-node power/load series into [trace] (series names

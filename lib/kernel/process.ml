@@ -23,7 +23,7 @@ type t = {
   mutable home : int;
   binary : Compiler.Toolchain.t option;
   aspace : Memsys.Address_space.t;
-  data_pages : int list;
+  data_pages : Memsys.Page.range list;
   threads : thread list;
   transform_latency : Isa.Arch.t -> float;
   mutable finished_at : float option;

@@ -33,7 +33,7 @@ type t = {
   mutable home : int;  (** kernel holding residual dependencies *)
   binary : Compiler.Toolchain.t option;
   aspace : Memsys.Address_space.t;
-  data_pages : int list;
+  data_pages : Memsys.Page.range list;
   threads : thread list;
   transform_latency : Isa.Arch.t -> float;
       (** stack-transformation cost when leaving a machine of that ISA *)
@@ -48,7 +48,7 @@ val make :
   home:int ->
   ?binary:Compiler.Toolchain.t ->
   aspace:Memsys.Address_space.t ->
-  data_pages:int list ->
+  data_pages:Memsys.Page.range list ->
   threads:thread list ->
   transform_latency:(Isa.Arch.t -> float) ->
   unit ->

@@ -11,3 +11,28 @@ let span ~addr ~len =
     let first = number addr and last = number (addr + len - 1) in
     List.init (last - first + 1) (fun i -> first + i)
   end
+
+(* Contiguous page runs. Large mappings (a 540 MiB working set is 138k
+   pages) are represented as a handful of ranges instead of materialized
+   page lists: construction and DSM registration become O(ranges), and
+   page numbers are recovered arithmetically where needed. *)
+
+type range = { first : int; count : int }
+
+let range_of_span ~addr ~len =
+  if len <= 0 then { first = number addr; count = 0 }
+  else begin
+    let first = number addr and last = number (addr + len - 1) in
+    { first; count = last - first + 1 }
+  end
+
+let range_mem r page = page >= r.first && page < r.first + r.count
+let range_pages r = List.init r.count (fun i -> r.first + i)
+let ranges_count rs = List.fold_left (fun acc r -> acc + r.count) 0 rs
+let ranges_pages rs = List.concat_map range_pages rs
+
+(* Page at flat index [i] of the concatenation of [rs], in order. *)
+let rec ranges_nth rs i =
+  match rs with
+  | [] -> invalid_arg "Page.ranges_nth: index out of bounds"
+  | r :: rest -> if i < r.count then r.first + i else ranges_nth rest (i - r.count)

@@ -23,3 +23,27 @@ val count : bytes:int -> int
 val span : addr:int -> len:int -> int list
 (** Page numbers touched by the byte range [\[addr, addr+len)]. Empty when
     [len <= 0]. *)
+
+type range = { first : int; count : int }
+(** A contiguous run of pages: [\[first, first+count)]. Large mappings are
+    carried as ranges so nothing ever materializes a 100k-element page
+    list on the hot path. *)
+
+val range_of_span : addr:int -> len:int -> range
+(** Range covering the byte range [\[addr, addr+len)] ([count = 0] when
+    [len <= 0]). *)
+
+val range_mem : range -> int -> bool
+val range_pages : range -> int list
+(** Materialize the page numbers (intended for tests/small ranges). *)
+
+val ranges_count : range list -> int
+(** Total pages across the ranges. *)
+
+val ranges_pages : range list -> int list
+(** Materialize all page numbers, in range order. *)
+
+val ranges_nth : range list -> int -> int
+(** Page number at flat index [i] of the concatenated ranges — equal to
+    [List.nth (ranges_pages rs) i] without building the list. Raises
+    [Invalid_argument] when out of bounds. *)

@@ -1,0 +1,59 @@
+let jobs_from_env () =
+  match Sys.getenv_opt "HETMIG_JOBS" with
+  | None -> None
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> Some n
+    | Some _ | None -> None
+  end
+
+let default_jobs () =
+  match jobs_from_env () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+let resolve_jobs = function
+  | Some n when n > 0 -> n
+  | Some n -> invalid_arg (Printf.sprintf "Parallel.Pool: jobs=%d" n)
+  | None -> default_jobs ()
+
+type failure = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
+
+let map ?jobs f input =
+  let n = Array.length input in
+  let jobs = min (resolve_jobs jobs) n in
+  if n = 0 then [||]
+  else if jobs <= 1 then Array.map f input
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let failure_lock = Mutex.create () in
+    let failure = ref None in
+    let record i exn backtrace =
+      Atomic.set failed true;
+      Mutex.lock failure_lock;
+      (match !failure with
+      | Some f when f.index <= i -> ()
+      | Some _ | None -> failure := Some { index = i; exn; backtrace });
+      Mutex.unlock failure_lock
+    in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && not (Atomic.get failed) then begin
+        (match f input.(i) with
+        | v -> results.(i) <- Some v
+        | exception exn -> record i exn (Printexc.get_raw_backtrace ()));
+        worker ()
+      end
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    match !failure with
+    | Some f -> Printexc.raise_with_backtrace f.exn f.backtrace
+    | None ->
+      Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list ?jobs f items =
+  Array.to_list (map ?jobs f (Array.of_list items))

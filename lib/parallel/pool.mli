@@ -1,0 +1,29 @@
+(** A fixed-size domain pool for independent simulation runs.
+
+    Experiments fan a (seed x policy) grid of {!Sched.Scheduler.run}
+    calls over OCaml domains. Each scheduler run builds its own
+    {!Sim.Engine}, PRNG, and Popcorn ensemble and shares no mutable
+    state with its siblings (the module-global caches it touches are
+    mutex-guarded), so parallel execution produces results bit-identical
+    to sequential execution — the pool only changes wall-clock time.
+
+    Work items are claimed from an atomic counter, so domains stay busy
+    regardless of per-item cost; results are delivered in input order. *)
+
+val default_jobs : unit -> int
+(** The [HETMIG_JOBS] environment variable if set to a positive integer,
+    else [Domain.recommended_domain_count () - 1], clamped to at least
+    1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ?jobs f input] applies [f] to every element on a pool of
+    [jobs] domains (default {!default_jobs}) and returns the results in
+    input order. With [jobs = 1] (or a single-element input) [f] runs
+    in the calling domain and no domains are spawned. If any
+    application raises, remaining unclaimed items are skipped and the
+    exception of the lowest-indexed failed item is re-raised in the
+    caller with its original backtrace. Raises [Invalid_argument] if
+    [jobs < 1]. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over a list. *)

@@ -6,6 +6,7 @@ type result = {
   edp : float;
   migrations : int;
   completed : int;
+  rejected : int;
 }
 
 let thread_location (th : Kernel.Process.thread) =
@@ -42,18 +43,14 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
   let completed = ref 0 in
   let makespan = ref 0.0 in
   let remaining_jobs = ref (List.length jobs) in
-  let load node =
-    List.fold_left
-      (fun acc (proc, _) ->
-        acc
-        + List.length
-            (List.filter
-               (fun (th : Kernel.Process.thread) ->
-                 th.Kernel.Process.status <> Kernel.Process.Done
-                 && thread_location th = node)
-               proc.Kernel.Process.threads))
-      0 !running
-  in
+  (* Live threads currently placed at (or headed to) each node. Kept
+     incrementally — bumped at spawn, moved at migration requests,
+     retired as threads finish — instead of rescanning every running
+     process's thread list at each placement decision. *)
+  let node_load = Array.make n_nodes 0 in
+  let load node = node_load.(node) in
+  Kernel.Popcorn.on_thread_finish pop (fun _proc th ->
+      node_load.(thread_location th) <- node_load.(thread_location th) - 1);
   let cores node =
     pop.Kernel.Popcorn.nodes.(node).Kernel.Popcorn.machine.Machine.Server.cores
   in
@@ -130,6 +127,7 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
       (fun (th : Kernel.Process.thread) phases ->
         th.Kernel.Process.remaining <- phases)
       proc.Kernel.Process.threads phase_lists;
+    node_load.(node) <- node_load.(node) + job.Job.threads;
     running := (proc, job) :: !running;
     Kernel.Popcorn.start pop proc
   in
@@ -170,7 +168,7 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
     List.partition (fun (j : Job.t) -> j.Job.threads <= max_cores) jobs
   in
   remaining_jobs := List.length feasible;
-  ignore infeasible;
+  let rejected = List.length infeasible in
   List.iter
     (fun (job : Job.t) ->
       Sim.Engine.schedule engine ~at:job.Job.arrival (fun () ->
@@ -220,7 +218,19 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
             (fun (_, job) -> load under + job.Job.threads <= cores under)
             sorted
         with
-        | Some (proc, _) -> Kernel.Popcorn.migrate pop proc ~to_node:under
+        | Some (proc, _) ->
+          (* [migratable] guarantees no pending requests, so every live
+             thread currently counts at its [node]; re-point it at the
+             destination before the vDSO flags change the locations. *)
+          List.iter
+            (fun (th : Kernel.Process.thread) ->
+              if th.Kernel.Process.status <> Kernel.Process.Done then begin
+                let at = th.Kernel.Process.node in
+                node_load.(at) <- node_load.(at) - 1;
+                node_load.(under) <- node_load.(under) + 1
+              end)
+            proc.Kernel.Process.threads;
+          Kernel.Popcorn.migrate pop proc ~to_node:under
         | None -> ()
       end
     end
@@ -263,14 +273,16 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
     edp = total_energy *. !makespan;
     migrations;
     completed = !completed;
+    rejected;
   }
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "%-22s makespan=%8.1fs energy=[%s] total=%8.1fkJ edp=%.2fMJs migrations=%d jobs=%d"
+    "%-22s makespan=%8.1fs energy=[%s] total=%8.1fkJ edp=%.2fMJs migrations=%d jobs=%d%s"
     (Policy.name r.policy) r.makespan
     (String.concat "; "
        (Array.to_list (Array.map (fun e -> Printf.sprintf "%.1fkJ" (e /. 1e3)) r.energy)))
     (r.total_energy /. 1e3)
     (r.edp /. 1e6)
     r.migrations r.completed
+    (if r.rejected > 0 then Printf.sprintf " rejected=%d" r.rejected else "")

@@ -13,7 +13,9 @@ type result = {
   total_energy : float;
   edp : float;  (** total energy x makespan, J*s *)
   migrations : int;  (** thread migrations performed *)
-  completed : int;  (** jobs finished (always = #jobs on success) *)
+  completed : int;  (** jobs finished *)
+  rejected : int;  (** jobs refused at submission (wider than any machine);
+                       [completed + rejected] = jobs submitted *)
 }
 
 type admission = Fcfs | Sjf
@@ -32,6 +34,13 @@ val run :
     (default 1e8); [rebalance_period] the dynamic policies' load-check
     interval (default 2 s); [admission] the queue order (default
     [Fcfs]). Jobs wider than every machine are rejected at submission
-    (reflected by [completed] falling short of the job count). *)
+    and counted in [rejected].
+
+    Each call is self-contained: it builds its own {!Sim.Engine},
+    Popcorn ensemble, and per-run state, and shares nothing mutable
+    with other calls (the only module-global touched is the mutex-
+    guarded transform-latency memo in {!Kernel.Popcorn}). Concurrent
+    [run]s on separate domains therefore produce results bit-identical
+    to sequential execution. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -70,15 +70,16 @@ let spec bench cls =
     footprint_bytes = pick cls footprints;
   }
 
-let sample_pages ~pages ~phase_index ~per_phase =
-  match pages with
-  | [||] -> []
-  | _ ->
-    let n = Array.length pages in
+(* [nth] indexes a flat page sequence of length [n]; the sampling walk is
+   defined purely over flat indices, so any backing with the same flattened
+   contents yields the same samples. *)
+let sample_pages ~n ~nth ~phase_index ~per_phase =
+  if n = 0 then []
+  else
     let start = phase_index * per_phase mod n in
-    List.init (min per_phase n) (fun i -> pages.((start + i) mod n))
+    List.init (min per_phase n) (fun i -> nth ((start + i) mod n))
 
-let phases_from_pages t ~threads ~quantum_instructions ~pages =
+let phases_from_pages t ~threads ~quantum_instructions ~n ~nth =
   if threads <= 0 then invalid_arg "Spec.phases: threads <= 0";
   if quantum_instructions <= 0.0 then
     invalid_arg "Spec.phases: non-positive quantum";
@@ -94,16 +95,17 @@ let phases_from_pages t ~threads ~quantum_instructions ~pages =
             Kernel.Process.instructions = phase_instr;
             category = t.category;
             pages =
-              sample_pages ~pages ~phase_index:((tid * n_phases) + i)
+              sample_pages ~n ~nth ~phase_index:((tid * n_phases) + i)
                 ~per_phase:16;
             writes;
           }))
 
 let phases t ~threads ~quantum_instructions =
   let n_pages = Memsys.Page.count ~bytes:t.footprint_bytes in
-  let pages = Array.init (min n_pages 65536) Fun.id in
-  phases_from_pages t ~threads ~quantum_instructions ~pages
+  let n = min n_pages 65536 in
+  phases_from_pages t ~threads ~quantum_instructions ~n ~nth:Fun.id
 
 let phases_for_process t ~threads ~quantum_instructions ~data_pages =
   phases_from_pages t ~threads ~quantum_instructions
-    ~pages:(Array.of_list data_pages)
+    ~n:(Memsys.Page.ranges_count data_pages)
+    ~nth:(Memsys.Page.ranges_nth data_pages)

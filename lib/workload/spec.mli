@@ -44,7 +44,7 @@ val phases_for_process :
   t ->
   threads:int ->
   quantum_instructions:float ->
-  data_pages:int list ->
+  data_pages:Memsys.Page.range list ->
   Kernel.Process.phase list list
 (** Like {!phases}, with page samples drawn from the process's actual DSM
-    pages. *)
+    pages (the loader's contiguous runs, indexed as one flat sequence). *)

@@ -19,5 +19,6 @@ let () =
       ("workload", Test_workload.suite);
       ("baseline", Test_baseline.suite);
       ("sched", Test_sched.suite);
+      ("parallel", Test_parallel.suite);
       ("core", Test_core.suite);
     ]

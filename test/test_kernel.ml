@@ -80,7 +80,7 @@ let loader_maps_binary () =
       (Workload.Programs.program Workload.Spec.IS Workload.Spec.A)
   in
   let image =
-    Kernel.Loader.load tc ~dsm:pop.Kernel.Popcorn.dsm ~node:0
+    Kernel.Loader.load tc ~dsm:pop.Kernel.Popcorn.dsm ~node:0 ~slot:0
       ~heap_bytes:(1 lsl 20)
   in
   checkb "text aliased" true
@@ -102,22 +102,24 @@ let loader_maps_binary () =
   List.iter
     (fun page ->
       checki "owned by node 0" 0 (Dsm.Hdsm.owner pop.Kernel.Popcorn.dsm ~page))
-    image.Kernel.Loader.data_pages
+    (Memsys.Page.ranges_pages image.Kernel.Loader.data_pages)
 
 let loader_disjoint_processes () =
   let engine = Sim.Engine.create () in
   let pop = Kernel.Popcorn.create engine ~machines () in
   let a =
-    Kernel.Loader.load_raw ~dsm:pop.Kernel.Popcorn.dsm ~node:0 ~name:"a"
+    Kernel.Loader.load_raw ~dsm:pop.Kernel.Popcorn.dsm ~node:0 ~slot:0 ~name:"a"
       ~footprint_bytes:(1 lsl 16)
   in
   let b =
-    Kernel.Loader.load_raw ~dsm:pop.Kernel.Popcorn.dsm ~node:1 ~name:"b"
+    Kernel.Loader.load_raw ~dsm:pop.Kernel.Popcorn.dsm ~node:1 ~slot:1 ~name:"b"
       ~footprint_bytes:(1 lsl 16)
   in
+  let b_pages = Memsys.Page.ranges_pages b.Kernel.Loader.data_pages in
   let inter =
-    List.filter (fun p -> List.mem p b.Kernel.Loader.data_pages)
-      a.Kernel.Loader.data_pages
+    List.filter
+      (fun p -> List.mem p b_pages)
+      (Memsys.Page.ranges_pages a.Kernel.Loader.data_pages)
   in
   checkb "page sets disjoint" true (inter = [])
 
@@ -182,7 +184,7 @@ let migration_moves_thread_and_pages () =
       ~footprint_bytes:(1 lsl 16) ~thread_phases:[ [] ] ()
   in
   (* Phases touching this process's own pages. *)
-  let pages = proc.Kernel.Process.data_pages in
+  let pages = Memsys.Page.ranges_pages proc.Kernel.Process.data_pages in
   let th = List.hd proc.Kernel.Process.threads in
   th.Kernel.Process.remaining <-
     List.init 10 (fun _ -> phase ~pages:(List.filteri (fun i _ -> i < 4) pages) 1e9);
@@ -304,10 +306,11 @@ let multiple_containers_isolated () =
       ~thread_phases:[ List.init 10 (fun _ -> phase 5e8) ]
       ()
   in
+  let p2_pages = Memsys.Page.ranges_pages p2.Kernel.Process.data_pages in
   let inter =
     List.filter
-      (fun p -> List.mem p p2.Kernel.Process.data_pages)
-      p1.Kernel.Process.data_pages
+      (fun p -> List.mem p p2_pages)
+      (Memsys.Page.ranges_pages p1.Kernel.Process.data_pages)
   in
   checkb "containers' pages disjoint" true (inter = []);
   Kernel.Popcorn.start pop p1;
@@ -358,7 +361,10 @@ let split_threads_pingpong_dsm () =
       ~footprint_bytes:(1 lsl 16)
       ~thread_phases:[ []; [] ] ()
   in
-  let shared = List.filteri (fun i _ -> i < 2) proc.Kernel.Process.data_pages in
+  let shared =
+    List.filteri (fun i _ -> i < 2)
+      (Memsys.Page.ranges_pages proc.Kernel.Process.data_pages)
+  in
   List.iter
     (fun (th : Kernel.Process.thread) ->
       th.Kernel.Process.remaining <-

@@ -1,0 +1,143 @@
+(* The domain pool: ordering, exception barrier, and the guarantee the
+   experiment harness rests on — parallel scheduler runs produce exactly
+   the sequential results. *)
+
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+
+let map_preserves_order () =
+  let input = Array.init 100 Fun.id in
+  let out = Parallel.Pool.map ~jobs:4 (fun i -> i * i) input in
+  Alcotest.check
+    (Alcotest.array Alcotest.int)
+    "squares in input order"
+    (Array.init 100 (fun i -> i * i))
+    out
+
+let map_list_preserves_order () =
+  let out =
+    Parallel.Pool.map_list ~jobs:3 String.uppercase_ascii
+      [ "a"; "b"; "c"; "d"; "e" ]
+  in
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "upper-cased in order"
+    [ "A"; "B"; "C"; "D"; "E" ]
+    out
+
+let jobs_one_runs_in_caller () =
+  (* jobs=1 must not spawn domains: side effects happen in the calling
+     domain, in input order. *)
+  let seen = ref [] in
+  let self = Domain.self () in
+  let out =
+    Parallel.Pool.map ~jobs:1
+      (fun i ->
+        checkb "same domain" true (Domain.self () = self);
+        seen := i :: !seen;
+        i + 1)
+      (Array.init 10 Fun.id)
+  in
+  Alcotest.check
+    (Alcotest.array Alcotest.int)
+    "results" (Array.init 10 (fun i -> i + 1)) out;
+  Alcotest.check
+    (Alcotest.list Alcotest.int)
+    "sequential order" (List.init 10 (fun i -> 9 - i)) !seen
+
+let empty_input () =
+  checki "empty maps to empty" 0
+    (Array.length (Parallel.Pool.map ~jobs:4 Fun.id [||]))
+
+exception Boom of int
+
+let exception_propagates () =
+  checkb "raises" true
+    (try
+       ignore
+         (Parallel.Pool.map ~jobs:4
+            (fun i -> if i = 17 then raise (Boom i) else i)
+            (Array.init 64 Fun.id));
+       false
+     with Boom 17 -> true)
+
+let first_failure_wins () =
+  (* Every item fails; the lowest-indexed failure must be the one
+     reported regardless of which domain hits it first. *)
+  checkb "lowest index reported" true
+    (try
+       ignore
+         (Parallel.Pool.map ~jobs:4
+            (fun i ->
+              (* Let later items fail fast so a racing domain records a
+                 higher index first; the pool must still prefer index 0. *)
+              if i = 0 then Unix.sleepf 0.02;
+              raise (Boom i))
+            (Array.init 16 Fun.id));
+       false
+     with Boom 0 -> true)
+
+let invalid_jobs_rejected () =
+  checkb "jobs=0 rejected" true
+    (try
+       ignore (Parallel.Pool.map ~jobs:0 Fun.id [| 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let parallel_equals_sequential_pure () =
+  let input = Array.init 200 (fun i -> i * 37) in
+  let f x = (x * x) + (x mod 7) in
+  Alcotest.check
+    (Alcotest.array Alcotest.int)
+    "jobs=4 = jobs=1"
+    (Parallel.Pool.map ~jobs:1 f input)
+    (Parallel.Pool.map ~jobs:4 f input)
+
+(* --- determinism: parallel experiment grids = sequential ------------- *)
+
+let scheduler_grid () =
+  (* A miniature fig12/fig13-style (seed x policy) grid. *)
+  List.concat_map
+    (fun seed ->
+      List.map
+        (fun policy -> (seed, policy))
+        [ Sched.Policy.Static_x86_pair; Sched.Policy.Dynamic_balanced;
+          Sched.Policy.Dynamic_unbalanced ])
+    [ 1000; 1001 ]
+
+let run_cell (seed, policy) =
+  let r = Sched.Scheduler.run policy (Sched.Arrival.sustained ~seed ~jobs:6) in
+  ( r.Sched.Scheduler.makespan,
+    Array.to_list r.Sched.Scheduler.energy,
+    r.Sched.Scheduler.migrations,
+    r.Sched.Scheduler.completed )
+
+let parallel_scheduler_runs_deterministic () =
+  let grid = scheduler_grid () in
+  let sequential = Parallel.Pool.map_list ~jobs:1 run_cell grid in
+  let parallel = Parallel.Pool.map_list ~jobs:4 run_cell grid in
+  List.iteri
+    (fun i ((ms_s, e_s, mig_s, done_s), (ms_p, e_p, mig_p, done_p)) ->
+      let name fmt = Printf.sprintf "cell %d %s" i fmt in
+      Alcotest.check (Alcotest.float 0.0) (name "makespan") ms_s ms_p;
+      Alcotest.check
+        (Alcotest.list (Alcotest.float 0.0))
+        (name "energy") e_s e_p;
+      checki (name "migrations") mig_s mig_p;
+      checki (name "completed") done_s done_p)
+    (List.combine sequential parallel)
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick map_preserves_order;
+    Alcotest.test_case "map_list preserves order" `Quick map_list_preserves_order;
+    Alcotest.test_case "jobs=1 runs in the caller" `Quick jobs_one_runs_in_caller;
+    Alcotest.test_case "empty input" `Quick empty_input;
+    Alcotest.test_case "exception propagates to caller" `Quick exception_propagates;
+    Alcotest.test_case "lowest-indexed failure wins" `Quick first_failure_wins;
+    Alcotest.test_case "jobs < 1 rejected" `Quick invalid_jobs_rejected;
+    Alcotest.test_case "jobs=4 equals jobs=1 (pure)" `Quick
+      parallel_equals_sequential_pure;
+    Alcotest.test_case "parallel scheduler grid = sequential" `Slow
+      parallel_scheduler_runs_deterministic;
+  ]

@@ -88,7 +88,7 @@ let address_space_pp () =
       ~machines:[ Machine.Server.xeon_e5_1650_v2; Machine.Server.xgene1 ] ()
   in
   let image =
-    Kernel.Loader.load tc ~dsm:pop.Kernel.Popcorn.dsm ~node:0
+    Kernel.Loader.load tc ~dsm:pop.Kernel.Popcorn.dsm ~node:0 ~slot:0
       ~heap_bytes:(1 lsl 16)
   in
   let text =

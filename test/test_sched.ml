@@ -63,9 +63,27 @@ let scheduler_completes_all_jobs () =
       let r = Sched.Scheduler.run policy (small_jobs 11 8) in
       checki (Sched.Policy.name r.Sched.Scheduler.policy ^ " completes") 8
         r.Sched.Scheduler.completed;
+      checki "nothing rejected" 0 r.Sched.Scheduler.rejected;
       checkb "positive makespan" true (r.Sched.Scheduler.makespan > 0.0);
       checkb "positive energy" true (r.Sched.Scheduler.total_energy > 0.0))
     Sched.Policy.all
+
+let infeasible_jobs_counted_as_rejected () =
+  (* A job wider than every machine can never be placed; it must be
+     rejected at submission and accounted for, never silently dropped. *)
+  let feasible = small_jobs 19 6 in
+  let wide =
+    Sched.Job.make ~jid:999
+      ~spec:(Workload.Spec.spec Workload.Spec.EP Workload.Spec.A)
+      ~threads:1024 ~arrival:0.0
+  in
+  let submitted = wide :: feasible in
+  let r = Sched.Scheduler.run Sched.Policy.Dynamic_balanced submitted in
+  checki "rejected counted" 1 r.Sched.Scheduler.rejected;
+  checki "feasible jobs complete" (List.length feasible)
+    r.Sched.Scheduler.completed;
+  checki "completed + rejected = submitted" (List.length submitted)
+    (r.Sched.Scheduler.completed + r.Sched.Scheduler.rejected)
 
 let static_policies_never_migrate () =
   List.iter
@@ -172,8 +190,10 @@ let scheduler_random_props =
                      ~utilization:1.0)
               0.0 machines
           in
-          (* every job completes exactly once *)
+          (* every job completes exactly once; nothing vanishes *)
           r.Sched.Scheduler.completed = List.length jobs
+          && r.Sched.Scheduler.completed + r.Sched.Scheduler.rejected
+             = List.length jobs
           (* energy within the physical envelope *)
           && r.Sched.Scheduler.total_energy > 0.0
           && r.Sched.Scheduler.total_energy
@@ -195,6 +215,8 @@ let suite =
     ("policy machine pairs", `Quick, policy_machines);
     ("policy applies FinFET projection", `Quick, policy_finfet_projection_applied);
     ("scheduler completes all jobs", `Slow, scheduler_completes_all_jobs);
+    ("infeasible jobs counted as rejected", `Slow,
+     infeasible_jobs_counted_as_rejected);
     ("static policies never migrate", `Slow, static_policies_never_migrate);
     ("dynamic policies migrate", `Slow, dynamic_policies_migrate);
     ("unbalanced keeps x86 busier", `Slow, unbalanced_keeps_x86_busier);

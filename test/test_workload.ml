@@ -62,10 +62,11 @@ let phases_partition_work () =
 
 let phases_touch_pages () =
   let spec = Workload.Spec.spec Workload.Spec.IS Workload.Spec.A in
-  let pages = List.init 100 (fun i -> 1000 + i) in
+  let ranges = [ { Memsys.Page.first = 1000; count = 100 } ] in
+  let pages = Memsys.Page.ranges_pages ranges in
   let per_thread =
     Workload.Spec.phases_for_process spec ~threads:2 ~quantum_instructions:1e8
-      ~data_pages:pages
+      ~data_pages:ranges
   in
   List.iter
     (fun phases ->
