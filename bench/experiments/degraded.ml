@@ -1,0 +1,165 @@
+(* Degraded-mode ablation: the Figure-12 sustained job mix re-run under a
+   deterministic fault plan, sweeping the message drop/delay rate. Every
+   message may be dropped (retried with exponential backoff, up to the
+   plan's budget) or delayed, and page requests time out at half the
+   message rate. A separate scenario crashes the ARM node mid-run and
+   lets the scheduler re-admit the orphaned jobs.
+
+   The zero-rate column runs with no fault plan at all, and a shape check
+   asserts it is exactly equal to an explicit all-zero plan — the
+   byte-identity guarantee that makes the fault layer free when unused. *)
+
+let jobs_per_set = 40
+let rates = [ 0.0; 0.02; 0.05; 0.10 ]
+let seeds = [ 1000; 1001; 1002 ]
+let crash_time = 20.0
+
+let policies =
+  [ Sched.Policy.Dynamic_unbalanced; Sched.Policy.Dynamic_balanced ]
+
+let plan_for ~seed rate =
+  if rate = 0.0 then None
+  else
+    Some
+      (Faults.Plan.make ~seed
+         ~messages:
+           [ { Faults.Plan.kind = "*"; drop = rate; delay = rate;
+               delay_s = 200e-6 } ]
+         ~page_timeout_rate:(rate /. 2.0) ())
+
+let crash_plan ~seed =
+  Faults.Plan.make ~seed
+    ~messages:
+      [ { Faults.Plan.kind = "*"; drop = 0.02; delay = 0.02;
+          delay_s = 200e-6 } ]
+    ~crashes:[ { Faults.Plan.at = crash_time; node = 1 } ]
+    ()
+
+(* Lose most thread-migration handoffs with a budget of 2 attempts: a
+   large fraction of migrations abort and roll back, stressing the
+   recovery path rather than the (rare) organic abort at low rates. *)
+let abort_plan ~seed =
+  Faults.Plan.make ~seed
+    ~messages:
+      [ { Faults.Plan.kind = "thread_migration"; drop = 0.85; delay = 0.0;
+          delay_s = 0.0 } ]
+    ~retry_budget:2 ()
+
+let run_cell (seed, policy, rate) =
+  Sched.Scheduler.run ?faults:(plan_for ~seed rate) policy
+    (Sched.Arrival.sustained ~seed ~jobs:jobs_per_set)
+
+(* Every (seed, policy, rate) cell is an independent, deterministic
+   scheduler run, so the grid fans out over the domain pool; results are
+   identical to running the sweep sequentially. *)
+let results =
+  lazy
+    (let grid =
+       List.concat_map
+         (fun seed ->
+           List.concat_map
+             (fun policy -> List.map (fun r -> (seed, policy, r)) rates)
+             policies)
+         seeds
+     in
+     Parallel.Pool.map_list ?jobs:!Config.jobs
+       (fun cell -> (cell, run_cell cell))
+       grid)
+
+let crash_results =
+  lazy
+    (Parallel.Pool.map_list ?jobs:!Config.jobs
+       (fun policy ->
+         ( policy,
+           Sched.Scheduler.run ~faults:(crash_plan ~seed:1000) policy
+             (Sched.Arrival.sustained ~seed:1000 ~jobs:jobs_per_set) ))
+       policies)
+
+let abort_results =
+  lazy
+    (Parallel.Pool.map_list ?jobs:!Config.jobs
+       (fun policy ->
+         ( policy,
+           Sched.Scheduler.run ~faults:(abort_plan ~seed:1000) policy
+             (Sched.Arrival.sustained ~seed:1000 ~jobs:jobs_per_set) ))
+       policies)
+
+let accounted (r : Sched.Scheduler.result) =
+  r.Sched.Scheduler.completed + r.Sched.Scheduler.rejected
+  + r.Sched.Scheduler.failed
+  = jobs_per_set
+
+let run ppf =
+  Shape.section ppf
+    "Degraded mode: fig-12 job mix under deterministic fault injection";
+  let cells = Lazy.force results in
+  let cell seed policy rate = List.assoc (seed, policy, rate) cells in
+  Format.fprintf ppf "%-22s | %-5s | %8s | %9s | %8s | %s@." "policy" "rate"
+    "makespan" "edp MJs" "aborts" "retried/failed";
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun rate ->
+          let rs = List.map (fun seed -> cell seed policy rate) seeds in
+          let mean f = Sim.Stats.mean (List.map f rs) in
+          let sum f =
+            List.fold_left (fun acc r -> acc + f r) 0 rs
+          in
+          Format.fprintf ppf "%-22s | %5.2f | %7.1fs | %9.2f | %8d | %d/%d@."
+            (Sched.Policy.name policy) rate
+            (mean (fun r -> r.Sched.Scheduler.makespan))
+            (mean (fun r -> r.Sched.Scheduler.edp /. 1e6))
+            (sum (fun r -> r.Sched.Scheduler.migration_aborts))
+            (sum (fun r -> r.Sched.Scheduler.retried))
+            (sum (fun r -> r.Sched.Scheduler.failed)))
+        rates)
+    policies;
+  let crashes = Lazy.force crash_results in
+  Format.fprintf ppf "@.crash scenario: node 1 fails at t=%.0fs@." crash_time;
+  List.iter
+    (fun (_policy, r) ->
+      Format.fprintf ppf "  %a@." Sched.Scheduler.pp_result r)
+    crashes;
+  let aborts = Lazy.force abort_results in
+  Format.fprintf ppf
+    "@.abort scenario: 85%% of migration handoffs lost, 2 attempts@.";
+  List.iter
+    (fun (_policy, r) ->
+      Format.fprintf ppf "  %a@." Sched.Scheduler.pp_result r)
+    aborts;
+  Format.fprintf ppf "@.";
+  Shape.check ppf "zero-rate run equals an explicit all-zero fault plan"
+    (List.for_all
+       (fun policy ->
+         let seed = List.hd seeds in
+         cell seed policy 0.0
+         = Sched.Scheduler.run ~faults:Faults.Plan.zero policy
+             (Sched.Arrival.sustained ~seed ~jobs:jobs_per_set))
+       policies);
+  Shape.check ppf "completed + rejected + failed = submitted, in every cell"
+    (List.for_all (fun (_, r) -> accounted r) cells
+    && List.for_all (fun (_, r) -> accounted r) crashes);
+  Shape.check ppf "faulty runs are deterministic (same plan + seed, same result)"
+    (let probe = (List.hd seeds, List.hd policies, 0.10) in
+     run_cell probe = List.assoc probe cells);
+  let mean_makespan policy rate =
+    Sim.Stats.mean
+      (List.map
+         (fun seed -> (cell seed policy rate).Sched.Scheduler.makespan)
+         seeds)
+  in
+  Shape.check ppf "faults cost time: mean makespan grows with the fault rate"
+    (List.for_all
+       (fun policy -> mean_makespan policy 0.10 > mean_makespan policy 0.0)
+       policies);
+  Shape.check ppf "lost handoffs abort migrations, yet every job completes"
+    (List.for_all
+       (fun (_, r) ->
+         r.Sched.Scheduler.migration_aborts > 0 && accounted r
+         && r.Sched.Scheduler.completed = jobs_per_set)
+       aborts);
+  Shape.check ppf "crash orphans are re-admitted or failed, never lost"
+    (List.for_all
+       (fun (_, r) ->
+         r.Sched.Scheduler.retried > 0 || r.Sched.Scheduler.failed > 0)
+       crashes)

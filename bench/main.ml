@@ -22,6 +22,8 @@ let experiments =
     ("fig12", "Figure 12 (sustained workload)", Experiments.Fig12.run);
     ("fig13", "Figure 13 (periodic workload)", Experiments.Fig13.run);
     ("ablations", "Ablation studies (non-paper)", Experiments.Ablation.run);
+    ("degraded", "Degraded mode (fault injection, non-paper)",
+     Experiments.Degraded.run);
   ]
 
 (* Wall-clock seconds on the monotonic clock: experiment grids now run on

@@ -150,18 +150,48 @@ let emulation_cmd =
 
 (* --- schedule --------------------------------------------------------------- *)
 
+let crash_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ node; time ] -> begin
+      match (int_of_string_opt node, float_of_string_opt time) with
+      | Some node, Some at when node >= 0 && at >= 0.0 ->
+        Ok { Faults.Plan.at; node }
+      | _ -> Error (`Msg (Printf.sprintf "bad crash spec %S (want NODE@TIME)" s))
+    end
+    | _ -> Error (`Msg (Printf.sprintf "bad crash spec %S (want NODE@TIME)" s))
+  in
+  Arg.conv (parse, fun ppf (c : Faults.Plan.crash) ->
+      Format.fprintf ppf "%d@%g" c.Faults.Plan.node c.Faults.Plan.at)
+
 let schedule_cmd =
-  let run seed jobs periodic =
+  let run seed jobs periodic drop fault_seed retry_budget crashes
+      page_timeout_rate =
     let js =
       if periodic then Sched.Arrival.periodic ~seed ~waves:5 ~max_per_wave:14
       else Sched.Arrival.sustained ~seed ~jobs
     in
+    (* No fault flags -> no plan at all: the run is byte-identical to one
+       from a build without fault injection. *)
+    let faults =
+      if drop = 0.0 && crashes = [] && page_timeout_rate = 0.0 then None
+      else
+        Some
+          (Faults.Plan.make ~seed:fault_seed
+             ~messages:
+               [ { Faults.Plan.kind = "*"; drop; delay = drop;
+                   delay_s = 200e-6 } ]
+             ~crashes ~page_timeout_rate ~retry_budget ())
+    in
     Format.printf "%d jobs (%s, seed %d):@." (List.length js)
       (if periodic then "periodic" else "sustained")
       seed;
+    (match faults with
+    | Some plan -> Format.printf "fault plan: %a@." Faults.Plan.pp plan
+    | None -> ());
     List.iter
       (fun p ->
-        let r = Sched.Scheduler.run p js in
+        let r = Sched.Scheduler.run ?faults p js in
         Format.printf "  %a@." Sched.Scheduler.pp_result r)
       Sched.Policy.all
   in
@@ -172,9 +202,35 @@ let schedule_cmd =
   let periodic =
     Arg.(value & flag & info [ "periodic" ] ~doc:"Periodic wave arrivals.")
   in
+  let drop =
+    Arg.(value & opt float 0.0
+         & info [ "drop" ] ~docv:"P"
+             ~doc:"Message drop & delay probability (fault injection).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 42
+         & info [ "fault-seed" ] ~docv:"SEED"
+             ~doc:"Seed of the fault plan's own PRNG stream.")
+  in
+  let retry_budget =
+    Arg.(value & opt int 3
+         & info [ "retry-budget" ] ~docv:"N"
+             ~doc:"Send attempts per message and admissions per crashed job.")
+  in
+  let crashes =
+    Arg.(value & opt_all crash_conv []
+         & info [ "crash" ] ~docv:"NODE@TIME"
+             ~doc:"Crash a node at a simulated time (repeatable).")
+  in
+  let page_timeout_rate =
+    Arg.(value & opt float 0.0
+         & info [ "page-timeout-rate" ] ~docv:"P"
+             ~doc:"Probability a page-request batch times out once.")
+  in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run a workload under all five scheduling policies")
-    Term.(const run $ seed $ jobs $ periodic)
+    Term.(const run $ seed $ jobs $ periodic $ drop $ fault_seed $ retry_budget
+          $ crashes $ page_timeout_rate)
 
 (* --- trace ------------------------------------------------------------------- *)
 
@@ -245,7 +301,8 @@ let experiment_cmd =
       ("fig6-9", Experiments.Fig69.run); ("table1", Experiments.Table1.run);
       ("fig10", Experiments.Fig10.run); ("fig11", Experiments.Fig11.run);
       ("fig12", Experiments.Fig12.run); ("fig13", Experiments.Fig13.run);
-      ("ablations", Experiments.Ablation.run) ]
+      ("ablations", Experiments.Ablation.run);
+      ("degraded", Experiments.Degraded.run) ]
   in
   let run name =
     match List.assoc_opt name experiments with

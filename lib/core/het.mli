@@ -92,9 +92,11 @@ type cluster = {
   container : Kernel.Container.t;
 }
 
-val make_cluster : ?machines:Machine.Server.t list -> unit -> cluster
+val make_cluster :
+  ?machines:Machine.Server.t list -> ?faults:Faults.Plan.t -> unit -> cluster
 (** Default machines: the paper's Xeon E5-1650 v2 + APM X-Gene 1 pair
-    joined by the Dolphin PCIe interconnect. *)
+    joined by the Dolphin PCIe interconnect. [faults] (default: none)
+    injects a deterministic fault plan — see {!Faults.Plan}. *)
 
 val deploy :
   cluster ->

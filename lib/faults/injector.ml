@@ -1,0 +1,81 @@
+type t = {
+  plan : Plan.t;
+  rng : Sim.Prng.t;
+  by_kind : (string, Plan.msg_fault) Hashtbl.t;
+  wildcard : Plan.msg_fault option;
+  mutable drops : int;
+  mutable delays : int;
+  mutable page_timeouts : int;
+}
+
+let create (plan : Plan.t) ~kinds =
+  let by_kind = Hashtbl.create 8 in
+  let wildcard = ref None in
+  List.iter
+    (fun (f : Plan.msg_fault) ->
+      if f.Plan.kind = "*" then wildcard := Some f
+      else if List.mem f.Plan.kind kinds then
+        Hashtbl.replace by_kind f.Plan.kind f
+      else
+        invalid_arg
+          (Printf.sprintf
+             "Faults.Injector: plan references undefined message kind %S \
+              (known: %s)"
+             f.Plan.kind (String.concat ", " kinds)))
+    plan.Plan.messages;
+  {
+    plan;
+    rng = Sim.Prng.create plan.Plan.seed;
+    by_kind;
+    wildcard = !wildcard;
+    drops = 0;
+    delays = 0;
+    page_timeouts = 0;
+  }
+
+let plan t = t.plan
+
+let fault_for t ~kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | Some f -> Some f
+  | None -> t.wildcard
+
+(* Draw from the PRNG only when the probability is positive: the zero
+   plan must not perturb the stream, so that a zero-plan run is
+   bit-identical to a plan-free run. *)
+let bernoulli t p = p > 0.0 && Sim.Prng.float t.rng 1.0 < p
+
+let drop_attempt t ~kind =
+  match fault_for t ~kind with
+  | None -> false
+  | Some f ->
+    let hit = bernoulli t f.Plan.drop in
+    if hit then t.drops <- t.drops + 1;
+    hit
+
+let delivery_delay t ~kind =
+  match fault_for t ~kind with
+  | None -> 0.0
+  | Some f ->
+    if bernoulli t f.Plan.delay then begin
+      t.delays <- t.delays + 1;
+      f.Plan.delay_s
+    end
+    else 0.0
+
+let page_timeout t =
+  let hit = bernoulli t t.plan.Plan.page_timeout_rate in
+  if hit then t.page_timeouts <- t.page_timeouts + 1;
+  hit
+
+let page_timeout_penalty_s t = t.plan.Plan.page_timeout_penalty_s
+let retry_budget t = t.plan.Plan.retry_budget
+
+let backoff t ~attempt =
+  if attempt < 1 then invalid_arg "Faults.Injector.backoff: attempt < 1";
+  t.plan.Plan.backoff_base_s *. Float.of_int (1 lsl (attempt - 1))
+
+let crashes t = t.plan.Plan.crashes
+let drops_injected t = t.drops
+let delays_injected t = t.delays
+let page_timeouts_injected t = t.page_timeouts

@@ -1,0 +1,106 @@
+type msg_fault = {
+  kind : string;
+  drop : float;
+  delay : float;
+  delay_s : float;
+}
+
+type crash = { at : float; node : int }
+
+type t = {
+  seed : int;
+  messages : msg_fault list;
+  crashes : crash list;
+  page_timeout_rate : float;
+  page_timeout_penalty_s : float;
+  retry_budget : int;
+  backoff_base_s : float;
+}
+
+let default_retry_budget = 3
+let default_backoff_base_s = 50e-6
+let default_page_timeout_penalty_s = 1e-3
+
+let zero =
+  {
+    seed = 0;
+    messages = [];
+    crashes = [];
+    page_timeout_rate = 0.0;
+    page_timeout_penalty_s = default_page_timeout_penalty_s;
+    retry_budget = default_retry_budget;
+    backoff_base_s = default_backoff_base_s;
+  }
+
+let check_probability what p =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg (Printf.sprintf "Faults.Plan: %s=%g outside [0,1]" what p)
+
+let check_non_negative what v =
+  if not (v >= 0.0) then
+    invalid_arg (Printf.sprintf "Faults.Plan: negative %s (%g)" what v)
+
+let make ?(seed = 0) ?(messages = []) ?(crashes = [])
+    ?(page_timeout_rate = 0.0)
+    ?(page_timeout_penalty_s = default_page_timeout_penalty_s)
+    ?(retry_budget = default_retry_budget)
+    ?(backoff_base_s = default_backoff_base_s) () =
+  List.iter
+    (fun f ->
+      check_probability (f.kind ^ ".drop") f.drop;
+      check_probability (f.kind ^ ".delay") f.delay;
+      check_non_negative (f.kind ^ ".delay_s") f.delay_s)
+    messages;
+  let rec dup_kind = function
+    | [] -> None
+    | f :: rest ->
+      if List.exists (fun g -> g.kind = f.kind) rest then Some f.kind
+      else dup_kind rest
+  in
+  (match dup_kind messages with
+  | Some k ->
+    invalid_arg
+      (Printf.sprintf "Faults.Plan: duplicate entry for message kind %s" k)
+  | None -> ());
+  List.iter (fun c -> check_non_negative "crash time" c.at) crashes;
+  check_probability "page_timeout_rate" page_timeout_rate;
+  check_non_negative "page_timeout_penalty_s" page_timeout_penalty_s;
+  check_non_negative "backoff_base_s" backoff_base_s;
+  if retry_budget < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Faults.Plan: retry_budget=%d (must allow at least one attempt)"
+         retry_budget);
+  {
+    seed;
+    messages;
+    crashes;
+    page_timeout_rate;
+    page_timeout_penalty_s;
+    retry_budget;
+    backoff_base_s;
+  }
+
+let uniform ?seed ?retry_budget ~drop () =
+  make ?seed ?retry_budget
+    ~messages:[ { kind = "*"; drop; delay = 0.0; delay_s = 0.0 } ]
+    ()
+
+let is_zero t =
+  t.crashes = []
+  && t.page_timeout_rate = 0.0
+  && List.for_all (fun f -> f.drop = 0.0 && f.delay = 0.0) t.messages
+
+let pp ppf t =
+  Format.fprintf ppf "plan{seed=%d; retry=%d; backoff=%gus" t.seed
+    t.retry_budget (t.backoff_base_s *. 1e6);
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "; %s:drop=%g,delay=%g" f.kind f.drop f.delay)
+    t.messages;
+  List.iter
+    (fun c -> Format.fprintf ppf "; crash(node%d@@%gs)" c.node c.at)
+    t.crashes;
+  if t.page_timeout_rate > 0.0 then
+    Format.fprintf ppf "; page_timeout=%g" t.page_timeout_rate;
+  Format.fprintf ppf "}"

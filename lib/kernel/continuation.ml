@@ -40,3 +40,8 @@ let migrate t ~to_node ~to_arch =
   end
 
 let stacks t = t.materialized
+
+type snapshot = kernel_stack list
+
+let snapshot t = t.materialized
+let restore t s = t.materialized <- s

@@ -35,3 +35,13 @@ val migrate : t -> to_node:int -> to_arch:Isa.Arch.t -> (kernel_stack, string) r
 
 val stacks : t -> kernel_stack list
 (** Kernel stacks that have been materialized, most recent first. *)
+
+type snapshot
+(** An immutable capture of the materialized kernel stacks. *)
+
+val snapshot : t -> snapshot
+(** Capture the current state, for rollback of an aborted migration. *)
+
+val restore : t -> snapshot -> unit
+(** Return to a captured state: the thread's continuation is exactly as
+    it was before the failed migration materialized anything. *)

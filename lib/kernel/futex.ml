@@ -31,6 +31,7 @@ let wake t ~addr ~node ~count =
     else
       (* Remote waiter: the wake travels as a message. *)
       Message.send t.bus Message.Service_update ~bytes:32 ~on_delivery:w.on_wake
+        ()
   done;
   !woken
 

@@ -1,30 +1,97 @@
 type kind = Thread_migration | Page_request | Page_reply | Service_update
 
+let all_kinds = [ Thread_migration; Page_request; Page_reply; Service_update ]
+
 let kind_to_string = function
   | Thread_migration -> "thread_migration"
   | Page_request -> "page_request"
   | Page_reply -> "page_reply"
   | Service_update -> "service_update"
 
+type retry_stats = {
+  mutable attempts : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable retried : int;
+  mutable failed : int;
+}
+
 type t = {
   engine : Sim.Engine.t;
   interconnect : Machine.Interconnect.t;
+  faults : Faults.Injector.t option;
   counts : (kind, int) Hashtbl.t;
+  retries : (kind, retry_stats) Hashtbl.t;
   mutable bytes : int;
   mutable messages : int;
 }
 
-let create engine interconnect =
-  { engine; interconnect; counts = Hashtbl.create 8; bytes = 0; messages = 0 }
+let create ?faults engine interconnect =
+  {
+    engine;
+    interconnect;
+    faults;
+    counts = Hashtbl.create 8;
+    retries = Hashtbl.create 8;
+    bytes = 0;
+    messages = 0;
+  }
 
-let send t kind ~bytes ~on_delivery =
-  if bytes < 0 then invalid_arg "Message.send: negative size";
+let retry_stats t kind =
+  match Hashtbl.find_opt t.retries kind with
+  | Some s -> s
+  | None ->
+    let s = { attempts = 0; delivered = 0; dropped = 0; retried = 0; failed = 0 } in
+    Hashtbl.replace t.retries kind s;
+    s
+
+let count_attempt t kind ~bytes =
   let n = match Hashtbl.find_opt t.counts kind with None -> 0 | Some n -> n in
   Hashtbl.replace t.counts kind (n + 1);
   t.bytes <- t.bytes + bytes;
-  t.messages <- t.messages + 1;
+  t.messages <- t.messages + 1
+
+let send t kind ?on_failure ~bytes ~on_delivery () =
+  if bytes < 0 then invalid_arg "Message.send: negative size";
   let latency = Machine.Interconnect.transfer_time t.interconnect ~bytes in
-  Sim.Engine.schedule_in t.engine ~after:latency on_delivery
+  match t.faults with
+  | None ->
+    (* The fault-free fast path: exactly the pre-fault behavior (and
+       event ordering), one attempt, guaranteed delivery. *)
+    count_attempt t kind ~bytes;
+    Sim.Engine.schedule_in t.engine ~after:latency on_delivery
+  | Some inj ->
+    let kind_name = kind_to_string kind in
+    let stats = retry_stats t kind in
+    let budget = Faults.Injector.retry_budget inj in
+    (* Attempt [n] (0-based). A lost attempt is detected by timeout:
+       the sender waits one transfer time plus an exponentially growing
+       backoff before retransmitting. When the budget is exhausted the
+       message is abandoned and [on_failure] fires (loudly: the caller
+       decides how to recover; there is no silent no-op). *)
+    let rec attempt n =
+      count_attempt t kind ~bytes;
+      stats.attempts <- stats.attempts + 1;
+      if Faults.Injector.drop_attempt inj ~kind:kind_name then begin
+        stats.dropped <- stats.dropped + 1;
+        if n + 1 < budget then begin
+          stats.retried <- stats.retried + 1;
+          Sim.Engine.schedule_in t.engine
+            ~after:(latency +. Faults.Injector.backoff inj ~attempt:(n + 1))
+            (fun () -> attempt (n + 1))
+        end
+        else begin
+          stats.failed <- stats.failed + 1;
+          match on_failure with Some f -> f () | None -> ()
+        end
+      end
+      else begin
+        stats.delivered <- stats.delivered + 1;
+        let extra = Faults.Injector.delivery_delay inj ~kind:kind_name in
+        Sim.Engine.schedule_in t.engine ~after:(latency +. extra) on_delivery
+      end
+    in
+    attempt 0
 
 let sent t kind =
   match Hashtbl.find_opt t.counts kind with None -> 0 | Some n -> n

@@ -3,6 +3,7 @@ type node = {
   machine : Machine.Server.t;
   mutable busy : int;
   mutable powered : bool;
+  mutable crashed : bool;
   mutable energy_j : float;
   mutable last_power_update : float;
 }
@@ -11,6 +12,7 @@ type t = {
   engine : Sim.Engine.t;
   bus : Message.t;
   dsm : Dsm.Hdsm.t;
+  faults : Faults.Injector.t option;
   nodes : node array;
   trace : Sim.Trace.t;
   vdso : Vdso.t;  (** the shared scheduler/application flag page *)
@@ -20,32 +22,9 @@ type t = {
   mutable next_slot : int;  (** loader slot allocator, per ensemble *)
   mutable exit_hooks : (Process.t -> unit) list;
   mutable thread_hooks : (Process.t -> Process.thread -> unit) list;
+  mutable abort_hooks : (Process.t -> Process.thread -> dest:int -> unit) list;
+  mutable crash_hooks : (int -> Process.t list -> unit) list;
 }
-
-let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
-    ~machines () =
-  let nodes =
-    Array.of_list
-      (List.mapi
-         (fun id machine ->
-           { id; machine; busy = 0; powered = true; energy_j = 0.0;
-             last_power_update = 0.0 })
-         machines)
-  in
-  {
-    engine;
-    bus = Message.create engine interconnect;
-    dsm = Dsm.Hdsm.create ~nodes:(Array.length nodes) ~interconnect ();
-    nodes;
-    trace = Sim.Trace.create ();
-    vdso = Vdso.create ();
-    containers = [];
-    next_pid = 1;
-    next_cid = 1;
-    next_slot = 0;
-    exit_hooks = [];
-    thread_hooks = [];
-  }
 
 let node_of_arch t arch =
   match
@@ -86,6 +65,114 @@ let adjust_busy t id delta =
 let energy t id =
   settle_energy t id;
   t.nodes.(id).energy_j
+
+(* Kill a process orphaned by a node crash: every live thread is retired
+   in place (thread hooks fire so observers drop it from their load
+   accounting), its generation is bumped so in-flight engine events for
+   it become no-ops, and the process is marked aborted so exit hooks
+   never fire — the datacenter scheduler re-admits or fails the job. *)
+let abort_process t proc =
+  proc.Process.aborted <- true;
+  List.iter
+    (fun (th : Process.thread) ->
+      if th.Process.status <> Process.Done then begin
+        th.Process.gen <- th.Process.gen + 1;
+        th.Process.status <- Process.Done;
+        (* Hooks run while [migrate_to] is still set: observers counted
+           an in-flight thread at its destination. *)
+        List.iter (fun hook -> hook proc th) t.thread_hooks;
+        th.Process.migrate_to <- None;
+        Vdso.clear t.vdso ~tid:th.Process.tid
+      end)
+    proc.Process.threads
+
+(* A process belongs to the crash if any live thread is on the dead node
+   or headed there (an in-flight handoff lands in the rubble). *)
+let orphaned_by proc ~node =
+  List.exists
+    (fun (th : Process.thread) ->
+      th.Process.status <> Process.Done
+      && (th.Process.node = node || th.Process.migrate_to = Some node))
+    proc.Process.threads
+
+let crash t ~node =
+  if node < 0 || node >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Popcorn.crash: unknown node %d" node);
+  let n = t.nodes.(node) in
+  if n.crashed then []
+  else begin
+    settle_energy t node;
+    n.powered <- false;
+    n.crashed <- true;
+    let orphans =
+      List.concat_map
+        (fun (c : Container.t) ->
+          List.filter
+            (fun proc ->
+              (not proc.Process.aborted)
+              && Process.alive proc && orphaned_by proc ~node)
+            c.Container.processes)
+        t.containers
+    in
+    List.iter (abort_process t) orphans;
+    orphans
+  end
+
+let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
+    ?faults ~machines () =
+  let nodes =
+    Array.of_list
+      (List.mapi
+         (fun id machine ->
+           { id; machine; busy = 0; powered = true; crashed = false;
+             energy_j = 0.0; last_power_update = 0.0 })
+         machines)
+  in
+  let injector =
+    match faults with
+    | None -> None
+    | Some plan ->
+      List.iter
+        (fun (c : Faults.Plan.crash) ->
+          if c.Faults.Plan.node < 0 || c.Faults.Plan.node >= Array.length nodes
+          then
+            invalid_arg
+              (Printf.sprintf "Popcorn.create: crash targets unknown node %d"
+                 c.Faults.Plan.node))
+        plan.Faults.Plan.crashes;
+      Some
+        (Faults.Injector.create plan
+           ~kinds:(List.map Message.kind_to_string Message.all_kinds))
+  in
+  let t =
+    {
+      engine;
+      bus = Message.create ?faults:injector engine interconnect;
+      dsm = Dsm.Hdsm.create ~nodes:(Array.length nodes) ~interconnect ();
+      faults = injector;
+      nodes;
+      trace = Sim.Trace.create ();
+      vdso = Vdso.create ();
+      containers = [];
+      next_pid = 1;
+      next_cid = 1;
+      next_slot = 0;
+      exit_hooks = [];
+      thread_hooks = [];
+      abort_hooks = [];
+      crash_hooks = [];
+    }
+  in
+  (match injector with
+  | None -> ()
+  | Some inj ->
+    List.iter
+      (fun (c : Faults.Plan.crash) ->
+        Sim.Engine.schedule engine ~at:c.Faults.Plan.at (fun () ->
+            let orphans = crash t ~node:c.Faults.Plan.node in
+            List.iter (fun h -> h c.Faults.Plan.node orphans) t.crash_hooks))
+      (Faults.Injector.crashes inj));
+  t
 
 let new_container t ~name =
   let c = Container.create ~cid:t.next_cid ~name in
@@ -178,6 +265,8 @@ let spawn t ~container ~node ~name ?binary ?transform_latency ~footprint_bytes
 
 let on_process_exit t hook = t.exit_hooks <- hook :: t.exit_hooks
 let on_thread_finish t hook = t.thread_hooks <- hook :: t.thread_hooks
+let on_migration_abort t hook = t.abort_hooks <- hook :: t.abort_hooks
+let on_node_crash t hook = t.crash_hooks <- hook :: t.crash_hooks
 
 let arch_of t id = t.nodes.(id).machine.Machine.Server.arch
 
@@ -215,7 +304,7 @@ let drain_residual t proc ~to_node =
     adjust_busy t from_node 1;
     adjust_busy t to_node 1;
     let rec drain_from i =
-      if i >= total then begin
+      if i >= total || proc.Process.aborted then begin
         adjust_busy t from_node (-1);
         adjust_busy t to_node (-1)
       end
@@ -236,16 +325,18 @@ let drain_residual t proc ~to_node =
    flag page (the "function call and a memory read" of Section 5.2.1) and
    migrates if the scheduler asked for it. *)
 let rec step t proc (th : Process.thread) =
-  match Vdso.poll t.vdso ~tid:th.Process.tid with
-  | Some dest
-    when dest <> th.Process.node
-         && Continuation.can_migrate th.Process.continuation ->
-    begin_migration t proc th dest
-  | Some _ | None -> begin
-    match th.Process.remaining with
-    | [] -> finish_thread t proc th
-    | phase :: rest -> run_phase t proc th phase rest
-  end
+  if th.Process.status = Process.Done || proc.Process.aborted then ()
+  else
+    match Vdso.poll t.vdso ~tid:th.Process.tid with
+    | Some dest
+      when dest <> th.Process.node
+           && Continuation.can_migrate th.Process.continuation ->
+      begin_migration t proc th dest
+    | Some _ | None -> begin
+      match th.Process.remaining with
+      | [] -> finish_thread t proc th
+      | phase :: rest -> run_phase t proc th phase rest
+    end
 
 and run_phase t proc th phase rest =
   let node_id = th.Process.node in
@@ -264,11 +355,22 @@ and run_phase t proc th phase rest =
     Dsm.Hdsm.access_many t.dsm ~node:th.Process.node ~pages:phase.Process.pages
       ~write:phase.Process.writes
   in
+  (* A page-request timeout stalls the whole batch once: the requester
+     re-sends after the timeout penalty. *)
+  let dsm_latency =
+    match t.faults with
+    | Some inj when Faults.Injector.page_timeout inj ->
+      dsm_latency +. Faults.Injector.page_timeout_penalty_s inj
+    | Some _ | None -> dsm_latency
+  in
   let duration = (compute *. contention) +. dsm_latency in
+  let gen = th.Process.gen in
   Sim.Engine.schedule_in t.engine ~after:duration (fun () ->
       adjust_busy t node_id (-1);
-      th.Process.remaining <- rest;
-      step t proc th)
+      if th.Process.gen = gen then begin
+        th.Process.remaining <- rest;
+        step t proc th
+      end)
 
 and begin_migration t proc th dest =
   th.Process.status <- Process.Migrating;
@@ -276,26 +378,49 @@ and begin_migration t proc th dest =
   (* The transformation runs on the source CPU. *)
   adjust_busy t src_id 1;
   let latency = proc.Process.transform_latency (arch_of t th.Process.node) in
+  let gen = th.Process.gen in
   Sim.Engine.schedule_in t.engine ~after:latency (fun () ->
       adjust_busy t src_id (-1);
-      match
-        Continuation.migrate th.Process.continuation ~to_node:dest
-          ~to_arch:(arch_of t dest)
-      with
-      | Error _ ->
-        (* In a kernel service after all: retry at the next boundary. *)
-        step t proc th
-      | Ok _ ->
-        (* Register state + pinned pages ride one message. *)
-        Message.send t.bus Message.Thread_migration ~bytes:4096
-          ~on_delivery:(fun () ->
-            th.Process.node <- dest;
-            th.Process.migrate_to <- None;
-            Vdso.clear t.vdso ~tid:th.Process.tid;
-            th.Process.migrations <- th.Process.migrations + 1;
-            th.Process.status <- Process.Ready;
-            maybe_drain t proc;
-            step t proc th))
+      if th.Process.gen = gen then begin
+        let snap = Continuation.snapshot th.Process.continuation in
+        match
+          Continuation.migrate th.Process.continuation ~to_node:dest
+            ~to_arch:(arch_of t dest)
+        with
+        | Error _ ->
+          (* In a kernel service after all: retry at the next boundary. *)
+          step t proc th
+        | Ok _ ->
+          (* Register state + pinned pages ride one message. If every
+             attempt is lost, the migration aborts: restore the
+             pre-transform continuation and leave the thread runnable
+             on the source node, exactly as if it had never tried. *)
+          Message.send t.bus Message.Thread_migration ~bytes:4096
+            ~on_delivery:(fun () ->
+              if th.Process.gen = gen then begin
+                th.Process.node <- dest;
+                th.Process.migrate_to <- None;
+                Vdso.clear t.vdso ~tid:th.Process.tid;
+                th.Process.migrations <- th.Process.migrations + 1;
+                th.Process.status <- Process.Ready;
+                maybe_drain t proc;
+                step t proc th
+              end)
+            ~on_failure:(fun () ->
+              if th.Process.gen = gen then begin
+                Continuation.restore th.Process.continuation snap;
+                th.Process.aborted_migrations <-
+                  th.Process.aborted_migrations + 1;
+                th.Process.migrate_to <- None;
+                Vdso.clear t.vdso ~tid:th.Process.tid;
+                th.Process.status <- Process.Ready;
+                List.iter
+                  (fun hook -> hook proc th ~dest)
+                  t.abort_hooks;
+                step t proc th
+              end)
+            ()
+      end)
 
 and maybe_drain t proc =
   (* Once every live thread has left the home kernel for a single other
@@ -325,7 +450,9 @@ and finish_thread t proc th =
 let start t proc =
   List.iter
     (fun (th : Process.thread) ->
-      Sim.Engine.schedule_in t.engine ~after:0.0 (fun () -> step t proc th))
+      let gen = th.Process.gen in
+      Sim.Engine.schedule_in t.engine ~after:0.0 (fun () ->
+          if th.Process.gen = gen then step t proc th))
     proc.Process.threads
 
 let migrate t proc ~to_node =
@@ -351,7 +478,23 @@ let attach_sensors t ~hz ~until =
     t.nodes
 
 let set_powered t id powered =
-  settle_energy t id;
-  t.nodes.(id).powered <- powered
+  if not t.nodes.(id).crashed then begin
+    settle_energy t id;
+    t.nodes.(id).powered <- powered
+  end
 
 let total_busy t = Array.fold_left (fun acc n -> acc + n.busy) 0 t.nodes
+
+let aborted_migrations t =
+  List.fold_left
+    (fun acc (c : Container.t) ->
+      acc
+      + List.fold_left
+          (fun acc (p : Process.t) ->
+            acc
+            + List.fold_left
+                (fun acc (th : Process.thread) ->
+                  acc + th.Process.aborted_migrations)
+                0 p.Process.threads)
+          0 c.Container.processes)
+    0 t.containers

@@ -6,13 +6,21 @@
     hDSM, the heterogeneous loader — and executes processes over the
     discrete-event engine: threads run phase-by-phase, page accesses go
     through the DSM, and pending migration requests are honoured at phase
-    boundaries (migration points). *)
+    boundaries (migration points).
+
+    When built with a fault plan, the ensemble injects deterministic
+    failures: message loss/delay (with retry and exponential backoff in
+    {!Message}), page-request timeouts, and scheduled node crashes. A
+    migration whose handoff message exhausts its retry budget aborts and
+    rolls back — the thread stays runnable on the source node with its
+    pre-transformation continuation intact. *)
 
 type node = {
   id : int;
   machine : Machine.Server.t;
   mutable busy : int;  (** threads currently executing a phase *)
   mutable powered : bool;  (** false = low-power state *)
+  mutable crashed : bool;  (** fail-stop: never powers back on *)
   mutable energy_j : float;  (** integrated system energy *)
   mutable last_power_update : float;
 }
@@ -21,6 +29,7 @@ type t = {
   engine : Sim.Engine.t;
   bus : Message.t;
   dsm : Dsm.Hdsm.t;
+  faults : Faults.Injector.t option;
   nodes : node array;
   trace : Sim.Trace.t;
   vdso : Vdso.t;  (** the shared scheduler/application flag page *)
@@ -30,15 +39,22 @@ type t = {
   mutable next_slot : int;  (** loader slot allocator, per ensemble *)
   mutable exit_hooks : (Process.t -> unit) list;
   mutable thread_hooks : (Process.t -> Process.thread -> unit) list;
+  mutable abort_hooks : (Process.t -> Process.thread -> dest:int -> unit) list;
+  mutable crash_hooks : (int -> Process.t list -> unit) list;
 }
 
 val create :
   Sim.Engine.t ->
   ?interconnect:Machine.Interconnect.t ->
+  ?faults:Faults.Plan.t ->
   machines:Machine.Server.t list ->
   unit ->
   t
-(** Boot one kernel per machine (default interconnect: Dolphin PXH810). *)
+(** Boot one kernel per machine (default interconnect: Dolphin PXH810).
+    Without [faults] the ensemble behaves exactly as before this option
+    existed — no injector is built and no extra PRNG draws happen.
+    Raises [Invalid_argument] if the plan schedules a crash on a node
+    index outside [machines], or references an unknown message kind. *)
 
 val node_of_arch : t -> Isa.Arch.t -> node
 (** First node of the given ISA. Raises [Not_found]. *)
@@ -52,6 +68,15 @@ val node_power : t -> int -> float
 val energy : t -> int -> float
 (** Joules consumed by the node from time 0 until now. Exact: power
     changes only at busy/power transitions, where it is integrated. *)
+
+val crash : t -> node:int -> Process.t list
+(** Fail-stop the node at the current simulated time: power it off
+    permanently and kill every process that has a live thread on it (or
+    in-flight to it). Returns the orphaned processes; their exit hooks
+    never fire — re-admission is the scheduler's job. Idempotent: a
+    second crash of the same node returns []. Raises [Invalid_argument]
+    for an unknown node index. Plan-scheduled crashes call this
+    automatically. *)
 
 val new_container : t -> name:string -> Container.t
 
@@ -87,14 +112,29 @@ val migrate : t -> Process.t -> to_node:int -> unit
 val on_process_exit : t -> (Process.t -> unit) -> unit
 
 val on_thread_finish : t -> (Process.t -> Process.thread -> unit) -> unit
-(** Called when a thread runs out of phases, before any process-exit
-    hooks fire. Lets observers (the datacenter scheduler's incremental
-    load accounting) retire the thread from per-node counters. *)
+(** Called when a thread runs out of phases — and when a crash forcibly
+    retires it — before any process-exit hooks fire. Lets observers (the
+    datacenter scheduler's incremental load accounting) retire the thread
+    from per-node counters. During crash teardown the hook runs while
+    [migrate_to] is still set, so destination-side accounting can be
+    undone. *)
+
+val on_migration_abort : t -> (Process.t -> Process.thread -> dest:int -> unit) -> unit
+(** Called when a thread's migration handoff message exhausted its retry
+    budget and the migration rolled back onto the source node. *)
+
+val on_node_crash : t -> (int -> Process.t list -> unit) -> unit
+(** Called after a plan-scheduled crash, with the node id and the
+    processes it orphaned (their threads already retired). *)
 
 val attach_sensors : t -> hz:float -> until:float -> unit
 (** Record per-node power/load series into [trace] (series names
     ["node<i>.cpu_w"] etc.), as the paper's 100 Hz DAQ does. *)
 
 val set_powered : t -> int -> bool -> unit
+(** No-op on a crashed node. *)
 
 val total_busy : t -> int
+
+val aborted_migrations : t -> int
+(** Total migrations rolled back across all threads of all containers. *)

@@ -15,6 +15,8 @@ type thread = {
   mutable migrate_to : int option;
   continuation : Continuation.t;
   mutable migrations : int;
+  mutable aborted_migrations : int;
+  mutable gen : int;
 }
 
 type t = {
@@ -27,6 +29,7 @@ type t = {
   threads : thread list;
   transform_latency : Isa.Arch.t -> float;
   mutable finished_at : float option;
+  mutable aborted : bool;
 }
 
 let make_thread ~tid ~node ~phases =
@@ -38,12 +41,14 @@ let make_thread ~tid ~node ~phases =
     migrate_to = None;
     continuation = Continuation.create ();
     migrations = 0;
+    aborted_migrations = 0;
+    gen = 0;
   }
 
 let make ~pid ~name ~home ?binary ~aspace ~data_pages ~threads
     ~transform_latency () =
   { pid; name; home; binary; aspace; data_pages; threads; transform_latency;
-    finished_at = None }
+    finished_at = None; aborted = false }
 
 let alive t = List.exists (fun th -> th.status <> Done) t.threads
 

@@ -25,6 +25,11 @@ type thread = {
       (** pending scheduler request, honoured at the next phase boundary *)
   continuation : Continuation.t;
   mutable migrations : int;
+  mutable aborted_migrations : int;
+      (** migrations rolled back because the handoff message was lost *)
+  mutable gen : int;
+      (** bumped when the thread is forcibly killed (node crash): engine
+          events captured under an older generation become no-ops *)
 }
 
 type t = {
@@ -38,6 +43,9 @@ type t = {
   transform_latency : Isa.Arch.t -> float;
       (** stack-transformation cost when leaving a machine of that ISA *)
   mutable finished_at : float option;
+  mutable aborted : bool;
+      (** killed by a node crash; exit hooks never fire for aborted
+          processes — the scheduler re-admits or fails the job instead *)
 }
 
 val make_thread : tid:int -> node:int -> phases:phase list -> thread

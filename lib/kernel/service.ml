@@ -60,7 +60,7 @@ let broadcast t ~from apply =
       (fun n ->
         t.updates <- t.updates + 1;
         Message.send t.bus Message.Service_update ~bytes:update_bytes
-          ~on_delivery:(fun () -> apply t.replicas.(n)))
+          ~on_delivery:(fun () -> apply t.replicas.(n)) ())
       others;
     0.0
 

@@ -7,6 +7,9 @@ type result = {
   migrations : int;
   completed : int;
   rejected : int;
+  failed : int;
+  retried : int;
+  migration_aborts : int;
 }
 
 let thread_location (th : Kernel.Process.thread) =
@@ -17,10 +20,10 @@ let thread_location (th : Kernel.Process.thread) =
 type admission = Fcfs | Sjf
 
 let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
-    ?(admission = Fcfs) policy jobs =
+    ?(admission = Fcfs) ?faults policy jobs =
   let engine = Sim.Engine.create () in
   let machines = Policy.machines policy in
-  let pop = Kernel.Popcorn.create engine ~machines () in
+  let pop = Kernel.Popcorn.create engine ?faults ~machines () in
   let container = Kernel.Popcorn.new_container pop ~name:"datacenter" in
   let share = Policy.share policy in
   let n_nodes = Array.length pop.Kernel.Popcorn.nodes in
@@ -41,8 +44,22 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
   in
   let running : (Kernel.Process.t * Job.t) list ref = ref [] in
   let completed = ref 0 in
+  let failed = ref 0 in
+  let retried = ref 0 in
   let makespan = ref 0.0 in
   let remaining_jobs = ref (List.length jobs) in
+  let crashed node = pop.Kernel.Popcorn.nodes.(node).Kernel.Popcorn.crashed in
+  (* Widest machine still standing; jobs wider than this can never be
+     placed again and must fail rather than block the queue head. *)
+  let alive_max_cores () =
+    let acc = ref 0 in
+    Array.iter
+      (fun (n : Kernel.Popcorn.node) ->
+        if not n.Kernel.Popcorn.crashed then
+          acc := max !acc n.Kernel.Popcorn.machine.Machine.Server.cores)
+      pop.Kernel.Popcorn.nodes;
+    !acc
+  in
   (* Live threads currently placed at (or headed to) each node. Kept
      incrementally — bumped at spawn, moved at migration requests,
      retired as threads finish — instead of rescanning every running
@@ -97,7 +114,8 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
   let choose_node (job : Job.t) =
     let candidates =
       List.filter
-        (fun node -> load node + job.Job.threads <= cores node)
+        (fun node ->
+          (not (crashed node)) && load node + job.Job.threads <= cores node)
         (List.init n_nodes Fun.id)
     in
     let weight node =
@@ -156,6 +174,64 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
       if !remaining_jobs = 0 then
         final_energy :=
           Some (Array.init n_nodes (fun id -> Kernel.Popcorn.energy pop id)));
+  (* A rolled-back migration leaves the thread on its source node; move
+     its load count back from the destination it never reached. *)
+  Kernel.Popcorn.on_migration_abort pop (fun _proc th ~dest ->
+      node_load.(dest) <- node_load.(dest) - 1;
+      node_load.(th.Kernel.Process.node) <-
+        node_load.(th.Kernel.Process.node) + 1);
+  (* Node crash: Popcorn has already retired the orphaned threads (the
+     thread-finish hook fixed [node_load]); here the jobs themselves are
+     re-admitted, up to the plan's retry budget, or failed. Queued jobs
+     that no longer fit on any surviving machine fail too. *)
+  let job_tries : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let fail_job () =
+    incr failed;
+    decr remaining_jobs;
+    if !remaining_jobs = 0 then begin
+      makespan := Float.max !makespan (Sim.Engine.now engine);
+      final_energy :=
+        Some (Array.init n_nodes (fun id -> Kernel.Popcorn.energy pop id))
+    end
+  in
+  let retry_budget =
+    match faults with
+    | None -> 0
+    | Some plan -> plan.Faults.Plan.retry_budget
+  in
+  Kernel.Popcorn.on_node_crash pop (fun _node orphans ->
+      List.iter
+        (fun orphan ->
+          match List.assq_opt orphan !running with
+          | None -> ()
+          | Some job ->
+            running := List.filter (fun (p, _) -> p != orphan) !running;
+            let tries =
+              Option.value ~default:0 (Hashtbl.find_opt job_tries job.Job.jid)
+            in
+            if tries + 1 < retry_budget
+               && job.Job.threads <= alive_max_cores () then begin
+              Hashtbl.replace job_tries job.Job.jid (tries + 1);
+              incr retried;
+              Queue.push job queue;
+              resort_queue ()
+            end
+            else fail_job ())
+        orphans;
+      let survivors =
+        Queue.to_seq queue
+        |> Seq.filter (fun (j : Job.t) ->
+               if j.Job.threads <= alive_max_cores () then true
+               else begin
+                 fail_job ();
+                 false
+               end)
+        |> List.of_seq
+      in
+      Queue.clear queue;
+      List.iter (fun j -> Queue.push j queue) survivors;
+      update_power ();
+      try_admit ());
   (* Arrival events. Jobs wider than every machine can never be placed:
      reject them at submission instead of letting them block the queue
      head forever. *)
@@ -172,10 +248,13 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
   List.iter
     (fun (job : Job.t) ->
       Sim.Engine.schedule engine ~at:job.Job.arrival (fun () ->
-          Queue.push job queue;
-          resort_queue ();
-          update_power ();
-          try_admit ()))
+          if job.Job.threads > alive_max_cores () then fail_job ()
+          else begin
+            Queue.push job queue;
+            resort_queue ();
+            update_power ();
+            try_admit ()
+          end))
     (List.sort (fun a b -> compare a.Job.arrival b.Job.arrival) feasible);
   (* Dynamic rebalancing: compare loads to the target share; migrate one
      job per tick from the most-overloaded node. *)
@@ -203,7 +282,8 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
         if deviation node > deviation !over then over := node
       done;
       let under = if !over = 0 then 1 else 0 in
-      if deviation !over >= 2.0 then begin
+      if deviation !over >= 2.0 && (not (crashed !over)) && not (crashed under)
+      then begin
         let candidates =
           List.filter (fun entry -> migratable entry !over) !running
         in
@@ -274,11 +354,14 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
     migrations;
     completed = !completed;
     rejected;
+    failed = !failed;
+    retried = !retried;
+    migration_aborts = Kernel.Popcorn.aborted_migrations pop;
   }
 
 let pp_result ppf r =
   Format.fprintf ppf
-    "%-22s makespan=%8.1fs energy=[%s] total=%8.1fkJ edp=%.2fMJs migrations=%d jobs=%d%s"
+    "%-22s makespan=%8.1fs energy=[%s] total=%8.1fkJ edp=%.2fMJs migrations=%d jobs=%d%s%s%s%s"
     (Policy.name r.policy) r.makespan
     (String.concat "; "
        (Array.to_list (Array.map (fun e -> Printf.sprintf "%.1fkJ" (e /. 1e3)) r.energy)))
@@ -286,3 +369,8 @@ let pp_result ppf r =
     (r.edp /. 1e6)
     r.migrations r.completed
     (if r.rejected > 0 then Printf.sprintf " rejected=%d" r.rejected else "")
+    (if r.failed > 0 then Printf.sprintf " failed=%d" r.failed else "")
+    (if r.retried > 0 then Printf.sprintf " retried=%d" r.retried else "")
+    (if r.migration_aborts > 0 then
+       Printf.sprintf " aborts=%d" r.migration_aborts
+     else "")

@@ -14,8 +14,14 @@ type result = {
   edp : float;  (** total energy x makespan, J*s *)
   migrations : int;  (** thread migrations performed *)
   completed : int;  (** jobs finished *)
-  rejected : int;  (** jobs refused at submission (wider than any machine);
-                       [completed + rejected] = jobs submitted *)
+  rejected : int;  (** jobs refused at submission (wider than any machine) *)
+  failed : int;
+      (** jobs lost to a node crash after exhausting the retry budget, or
+          left wider than every surviving machine.
+          [completed + rejected + failed] = jobs submitted, always. *)
+  retried : int;  (** crash-orphaned jobs re-admitted to the queue *)
+  migration_aborts : int;
+      (** thread migrations rolled back (handoff message lost) *)
 }
 
 type admission = Fcfs | Sjf
@@ -27,6 +33,7 @@ val run :
   ?quantum_instructions:float ->
   ?rebalance_period:float ->
   ?admission:admission ->
+  ?faults:Faults.Plan.t ->
   Policy.t ->
   Job.t list ->
   result
@@ -35,6 +42,15 @@ val run :
     interval (default 2 s); [admission] the queue order (default
     [Fcfs]). Jobs wider than every machine are rejected at submission
     and counted in [rejected].
+
+    [faults] (default: none — byte-identical to a build without fault
+    injection) threads a deterministic fault plan through the ensemble:
+    messages are dropped/delayed and retried with exponential backoff,
+    page requests time out, and scheduled node crashes kill in-flight
+    jobs. A crash-orphaned job is re-queued up to
+    [plan.retry_budget - 1] times, then counted in [failed]; queued or
+    arriving jobs wider than every surviving machine also fail. The
+    same plan and seed reproduce bit-identical results.
 
     Each call is self-contained: it builds its own {!Sim.Engine},
     Popcorn ensemble, and per-run state, and shares nothing mutable

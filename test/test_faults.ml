@@ -134,7 +134,8 @@ let negative_message_rejected () =
   checkb "negative size rejected" true
     (try
        Kernel.Message.send bus Kernel.Message.Page_request ~bytes:(-1)
-         ~on_delivery:(fun () -> ());
+         ~on_delivery:(fun () -> ())
+         ();
        false
      with Invalid_argument _ -> true)
 
@@ -146,6 +147,252 @@ let zero_budget_rejected () =
             (Workload.Programs.program Workload.Spec.EP Workload.Spec.A));
        false
      with Invalid_argument _ -> true)
+
+(* --- fault plans: invalid plans fail loudly ------------------------------- *)
+
+let raises_invalid f =
+  try
+    f ();
+    false
+  with Invalid_argument _ -> true
+
+let invalid_plan_rejected () =
+  checkb "drop probability above 1" true
+    (raises_invalid (fun () ->
+         ignore (Faults.Plan.uniform ~drop:1.5 ())));
+  checkb "negative delay latency" true
+    (raises_invalid (fun () ->
+         ignore
+           (Faults.Plan.make
+              ~messages:
+                [ { Faults.Plan.kind = "*"; drop = 0.0; delay = 0.1;
+                    delay_s = -1.0 } ]
+              ())));
+  checkb "duplicate message kind" true
+    (raises_invalid (fun () ->
+         let entry =
+           { Faults.Plan.kind = "*"; drop = 0.1; delay = 0.0; delay_s = 0.0 }
+         in
+         ignore (Faults.Plan.make ~messages:[ entry; entry ] ())));
+  checkb "negative crash time" true
+    (raises_invalid (fun () ->
+         ignore
+           (Faults.Plan.make ~crashes:[ { Faults.Plan.at = -5.0; node = 0 } ] ())))
+
+let zero_retry_budget_rejected () =
+  checkb "retry budget 0 raises (would mean never even try)" true
+    (raises_invalid (fun () ->
+         ignore (Faults.Plan.make ~retry_budget:0 ())))
+
+let unknown_message_kind_rejected () =
+  let plan =
+    Faults.Plan.make
+      ~messages:
+        [ { Faults.Plan.kind = "no_such_kind"; drop = 0.5; delay = 0.0;
+            delay_s = 0.0 } ]
+      ()
+  in
+  checkb "booting an ensemble under the plan raises" true
+    (raises_invalid (fun () ->
+         ignore (Hetmig.Het.make_cluster ~faults:plan ())))
+
+let crash_unknown_node_rejected () =
+  let plan =
+    Faults.Plan.make ~crashes:[ { Faults.Plan.at = 1.0; node = 5 } ] ()
+  in
+  checkb "plan crashing node 5 of a 2-node cluster raises" true
+    (raises_invalid (fun () ->
+         ignore (Hetmig.Het.make_cluster ~faults:plan ())));
+  let cluster = Hetmig.Het.make_cluster () in
+  checkb "direct crash of an unknown node raises" true
+    (raises_invalid (fun () ->
+         ignore (Kernel.Popcorn.crash cluster.Hetmig.Het.pop ~node:7)))
+
+(* --- message retry discipline ---------------------------------------------- *)
+
+let thread_migration_kind =
+  Kernel.Message.kind_to_string Kernel.Message.Thread_migration
+
+let message_retry_exhaustion () =
+  (* Drop every attempt: the send burns its whole budget, then fails. *)
+  let plan =
+    Faults.Plan.make ~seed:7
+      ~messages:
+        [ { Faults.Plan.kind = "*"; drop = 1.0; delay = 0.0; delay_s = 0.0 } ]
+      ~retry_budget:3 ()
+  in
+  let engine = Sim.Engine.create () in
+  let inj =
+    Faults.Injector.create plan ~kinds:[ thread_migration_kind ]
+  in
+  let bus =
+    Kernel.Message.create ~faults:inj engine Machine.Interconnect.dolphin_pxh810
+  in
+  let delivered = ref 0 and failed = ref 0 in
+  Kernel.Message.send bus Kernel.Message.Thread_migration ~bytes:4096
+    ~on_failure:(fun () -> incr failed)
+    ~on_delivery:(fun () -> incr delivered)
+    ();
+  Sim.Engine.run engine;
+  checki "on_failure fired once" 1 !failed;
+  checki "never delivered" 0 !delivered;
+  let stats =
+    Kernel.Message.retry_stats bus Kernel.Message.Thread_migration
+  in
+  checki "three physical attempts" 3 stats.Kernel.Message.attempts;
+  checki "all attempts dropped" 3 stats.Kernel.Message.dropped;
+  checki "two retransmissions" 2 stats.Kernel.Message.retried;
+  checki "one message abandoned" 1 stats.Kernel.Message.failed;
+  checki "injector agrees" 3 (Faults.Injector.drops_injected inj)
+
+(* --- migration abort and rollback ------------------------------------------ *)
+
+let migration_abort_rolls_back () =
+  (* Lose every thread-migration handoff: the migration must abort and
+     the thread must finish on its source node with its pre-transform
+     continuation, as if it had never tried. *)
+  let plan =
+    Faults.Plan.make ~seed:11
+      ~messages:
+        [ { Faults.Plan.kind = thread_migration_kind; drop = 1.0;
+            delay = 0.0; delay_s = 0.0 } ]
+      ~retry_budget:2 ()
+  in
+  let cluster = Hetmig.Het.make_cluster ~faults:plan () in
+  let spec = Workload.Spec.spec Workload.Spec.EP Workload.Spec.A in
+  let proc =
+    Hetmig.Het.deploy cluster (Lazy.force binary) ~spec ~threads:1 ~node:0 ()
+  in
+  let aborts = ref 0 in
+  Kernel.Popcorn.on_migration_abort cluster.Hetmig.Het.pop
+    (fun _proc _th ~dest -> if dest = 1 then incr aborts);
+  Hetmig.Het.start cluster proc;
+  Hetmig.Het.migrate cluster proc ~to_node:1;
+  Hetmig.Het.run cluster;
+  let th = List.hd proc.Kernel.Process.threads in
+  checkb "thread completed" true (th.Kernel.Process.status = Kernel.Process.Done);
+  checkb "process exited" true (proc.Kernel.Process.finished_at <> None);
+  checki "still on the source node" 0 th.Kernel.Process.node;
+  checki "no successful migration" 0 th.Kernel.Process.migrations;
+  checkb "at least one rolled-back migration" true
+    (th.Kernel.Process.aborted_migrations >= 1);
+  checki "abort hook saw them all" th.Kernel.Process.aborted_migrations !aborts;
+  checkb "continuation carries no destination stacks" true
+    (List.for_all
+       (fun (k : Kernel.Continuation.kernel_stack) ->
+         k.Kernel.Continuation.node <> 1)
+       (Kernel.Continuation.stacks th.Kernel.Process.continuation))
+
+(* --- scheduler under faults ------------------------------------------------- *)
+
+let sustained_jobs ~seed n = Sched.Arrival.sustained ~seed ~jobs:n
+
+let zero_plan_byte_identical () =
+  (* The zero plan must take the exact fault-free code path: same event
+     stream, same floats, same everything. *)
+  List.iter
+    (fun policy ->
+      let jobs = sustained_jobs ~seed:3 8 in
+      let plain = Sched.Scheduler.run policy jobs in
+      let zeroed = Sched.Scheduler.run ~faults:Faults.Plan.zero policy jobs in
+      checkb
+        (Printf.sprintf "%s: zero plan result identical"
+           (Sched.Policy.name policy))
+        true (plain = zeroed))
+    Sched.Policy.all
+
+let faulty_run_deterministic () =
+  let plan = Faults.Plan.uniform ~seed:5 ~drop:0.2 () in
+  let jobs = sustained_jobs ~seed:4 8 in
+  let a = Sched.Scheduler.run ~faults:plan Sched.Policy.Dynamic_balanced jobs in
+  let b = Sched.Scheduler.run ~faults:plan Sched.Policy.Dynamic_balanced jobs in
+  checkb "same plan + seed, bit-identical results" true (a = b)
+
+let crash_reclaims_orphans () =
+  (* Crash the second node mid-run under every policy: jobs must be
+     re-admitted or failed, never lost, and the books must balance. *)
+  let plan =
+    Faults.Plan.make ~seed:9 ~crashes:[ { Faults.Plan.at = 30.0; node = 1 } ] ()
+  in
+  List.iter
+    (fun policy ->
+      let jobs = sustained_jobs ~seed:6 6 in
+      let r = Sched.Scheduler.run ~faults:plan policy jobs in
+      checki
+        (Printf.sprintf "%s: completed + rejected + failed = submitted"
+           (Sched.Policy.name policy))
+        (List.length jobs)
+        (r.Sched.Scheduler.completed + r.Sched.Scheduler.rejected
+        + r.Sched.Scheduler.failed))
+    Sched.Policy.all
+
+(* --- property: migration retry is semantics-preserving ---------------------- *)
+
+let retry_roundtrip_prop =
+  QCheck.Test.make
+    ~name:
+      "random programs: an aborted-then-retried migration equals a fault-free one"
+    ~count:30
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let prog = Gen.random_program seed in
+      let tc = Compiler.Toolchain.compile ~budget:1_000_000 prog in
+      List.for_all
+        (fun (fname, mig_id) ->
+          match Runtime.Interp.state_at tc Isa.Arch.X86_64 ~fname ~mig_id with
+          | None -> true
+          | Some src -> begin
+            (* First attempt: transformed, then the handoff is lost and
+               the result discarded (rollback leaves [src] untouched). *)
+            match Runtime.Transform.transform tc src with
+            | Error _ -> false
+            | Ok (aborted, _) -> begin
+              (* Retry from the rolled-back state. *)
+              match Runtime.Transform.transform tc src with
+              | Error _ -> false
+              | Ok (retried, _) ->
+                Runtime.Thread_state.depth aborted
+                = Runtime.Thread_state.depth retried
+                && Runtime.Transform.verify tc src retried = Ok ()
+                && (match Runtime.Transform.transform tc retried with
+                   | Error _ -> false
+                   | Ok (back, _) ->
+                     Runtime.Transform.verify tc src back = Ok ())
+            end
+          end)
+        (Runtime.Interp.reachable_mig_sites tc))
+
+(* --- property: job accounting balances under any fault rate ----------------- *)
+
+let accounting_prop =
+  QCheck.Test.make
+    ~name:"job accounting: completed + rejected + failed = submitted"
+    ~count:10
+    QCheck.(pair (int_bound 10_000) (int_bound 2))
+    (fun (seed, severity) ->
+      let rate = [| 0.0; 0.05; 0.2 |].(severity) in
+      let faults =
+        if rate = 0.0 then None
+        else
+          Some
+            (Faults.Plan.make ~seed
+               ~messages:
+                 [ { Faults.Plan.kind = "*"; drop = rate; delay = rate;
+                     delay_s = 100e-6 } ]
+               ~page_timeout_rate:(rate /. 2.0)
+               ~crashes:
+                 (if severity = 2 then [ { Faults.Plan.at = 30.0; node = 1 } ]
+                  else [])
+               ())
+      in
+      let jobs = sustained_jobs ~seed 6 in
+      List.for_all
+        (fun policy ->
+          let r = Sched.Scheduler.run ?faults policy jobs in
+          r.Sched.Scheduler.completed + r.Sched.Scheduler.rejected
+          + r.Sched.Scheduler.failed
+          = List.length jobs)
+        Sched.Policy.all)
 
 let suite =
   [
@@ -159,4 +406,17 @@ let suite =
     ("invalid job parameters rejected", `Quick, invalid_job_parameters_rejected);
     ("negative message size rejected", `Quick, negative_message_rejected);
     ("zero instrumentation budget rejected", `Quick, zero_budget_rejected);
+    ("invalid fault plans rejected", `Quick, invalid_plan_rejected);
+    ("zero retry budget rejected", `Quick, zero_retry_budget_rejected);
+    ("unknown message kind in plan rejected", `Quick,
+     unknown_message_kind_rejected);
+    ("crash targeting unknown node rejected", `Quick,
+     crash_unknown_node_rejected);
+    ("message retry budget exhaustion", `Quick, message_retry_exhaustion);
+    ("migration abort rolls back to source", `Quick, migration_abort_rolls_back);
+    ("zero fault plan is byte-identical", `Quick, zero_plan_byte_identical);
+    ("faulty runs are deterministic", `Quick, faulty_run_deterministic);
+    ("node crash re-admits or fails orphans", `Quick, crash_reclaims_orphans);
+    QCheck_alcotest.to_alcotest retry_roundtrip_prop;
+    QCheck_alcotest.to_alcotest accounting_prop;
   ]

@@ -22,7 +22,8 @@ let message_delivery_latency () =
   let bus = Kernel.Message.create engine Machine.Interconnect.dolphin_pxh810 in
   let delivered = ref (-1.0) in
   Kernel.Message.send bus Kernel.Message.Thread_migration ~bytes:4096
-    ~on_delivery:(fun () -> delivered := Sim.Engine.now engine);
+    ~on_delivery:(fun () -> delivered := Sim.Engine.now engine)
+    ();
   Sim.Engine.run engine;
   checkb "delivered after latency" true (!delivered > 0.0);
   checkb "fast interconnect" true (!delivered < 1e-4);
@@ -33,7 +34,8 @@ let message_kinds_separate () =
   let engine = Sim.Engine.create () in
   let bus = Kernel.Message.create engine Machine.Interconnect.dolphin_pxh810 in
   Kernel.Message.send bus Kernel.Message.Page_request ~bytes:64
-    ~on_delivery:(fun () -> ());
+    ~on_delivery:(fun () -> ())
+    ();
   checki "page_request" 1 (Kernel.Message.sent bus Kernel.Message.Page_request);
   checki "other kind zero" 0 (Kernel.Message.sent bus Kernel.Message.Page_reply)
 

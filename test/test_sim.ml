@@ -215,6 +215,28 @@ let trace_resample () =
     Alcotest.(array (float 1e-9))
     "step signal" [| 1.0; 1.0; 5.0; 5.0 |] arr
 
+let farr = Alcotest.(array (float 1e-9))
+
+let trace_resample_edges () =
+  check farr "empty series is all zeros" [| 0.0; 0.0; 0.0; 0.0 |]
+    (Sim.Trace.resample [] ~dt:0.5 ~t_end:2.0);
+  check farr "zero before a late single sample" [| 0.0; 3.0; 3.0 |]
+    (Sim.Trace.resample [ (0.5, 3.0) ] ~dt:0.5 ~t_end:1.5);
+  check farr "dt larger than the window collapses to one bin" [| 2.0 |]
+    (Sim.Trace.resample [ (0.0, 2.0) ] ~dt:5.0 ~t_end:2.0);
+  check farr "empty window yields an empty array" [||]
+    (Sim.Trace.resample [ (0.0, 2.0) ] ~dt:0.5 ~t_end:0.0)
+
+let trace_integrate_edges () =
+  checkf "empty series integrates to zero" 0.0
+    (Sim.Trace.integrate [] ~t_end:5.0);
+  checkf "sample exactly at t_end contributes nothing" 0.0
+    (Sim.Trace.integrate [ (2.0, 5.0) ] ~t_end:2.0);
+  checkf "step ending exactly at t_end uses the prior value" 2.0
+    (Sim.Trace.integrate [ (0.0, 1.0); (2.0, 9.0) ] ~t_end:2.0);
+  checkf "single mid-window sample holds to t_end" 3.0
+    (Sim.Trace.integrate [ (1.0, 3.0) ] ~t_end:2.0)
+
 let suite =
   [
     ("prng deterministic", `Quick, prng_deterministic);
@@ -244,4 +266,6 @@ let suite =
     ("trace integrate", `Quick, trace_integrate_step);
     ("trace integrate before first", `Quick, trace_integrate_before_first_sample);
     ("trace resample", `Quick, trace_resample);
+    ("trace resample edge cases", `Quick, trace_resample_edges);
+    ("trace integrate edge cases", `Quick, trace_integrate_edges);
   ]
