@@ -24,6 +24,8 @@ let experiments =
     ("ablations", "Ablation studies (non-paper)", Experiments.Ablation.run);
     ("degraded", "Degraded mode (fault injection, non-paper)",
      Experiments.Degraded.run);
+    ("prefetch", "Batched hDSM transfers + prefetch (non-paper)",
+     Experiments.Prefetch.run);
   ]
 
 (* Wall-clock seconds on the monotonic clock: experiment grids now run on
@@ -195,9 +197,58 @@ let write_json path ~jobs ~experiment_times ~micro =
   out "  ]\n}\n";
   close_out oc
 
+(* --- --compare: the benchmark-regression gate --------------------------- *)
+
+(* Minimal reader for the reports this harness writes with --json: pull
+   out the {"name", "wall_s"} experiment entries by line shape. The
+   container has no JSON library and we only ever read our own output. *)
+let read_baseline path =
+  let ic =
+    try open_in path
+    with Sys_error e ->
+      Format.eprintf "--compare: %s@." e;
+      exit 2
+  in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       try
+         Scanf.sscanf line "{\"name\": %S, \"wall_s\": %f" (fun n w ->
+             entries := (n, w) :: !entries)
+       with Scanf.Scan_failure _ | End_of_file | Failure _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+(* An experiment more than 25% slower than its baseline entry (plus a
+   small absolute slack, so sub-second experiments don't flake on host
+   scheduler noise) fails the gate. *)
+let compare_against ppf ~baseline experiment_times =
+  let base = read_baseline baseline in
+  let rel = 1.25 and slack = 0.5 in
+  let regressions = ref 0 in
+  Format.fprintf ppf "@.= wall-time regression gate (vs %s) =@." baseline;
+  List.iter
+    (fun (name, wall_s) ->
+      match List.assoc_opt name base with
+      | None ->
+        Format.fprintf ppf "  %-10s %8.2fs (no baseline entry, skipped)@." name
+          wall_s
+      | Some b ->
+        let limit = (b *. rel) +. slack in
+        let ok = wall_s <= limit in
+        if not ok then incr regressions;
+        Format.fprintf ppf "  %-10s %8.2fs vs baseline %.2fs (limit %.2fs)  %s@."
+          name wall_s b limit
+          (if ok then "ok" else "REGRESSION"))
+    experiment_times;
+  !regressions
+
 let usage ppf =
   Format.fprintf ppf
-    "usage: main.exe [--no-micro] [--seq] [--jobs N] [--json PATH] [experiment ...]@.";
+    "usage: main.exe [--no-micro] [--seq] [--jobs N] [--json PATH] [--compare BASELINE] [experiment ...]@.";
   Format.fprintf ppf "available experiments:@.";
   List.iter
     (fun (n, d, _) -> Format.fprintf ppf "  %-8s %s@." n d)
@@ -209,6 +260,7 @@ let () =
   let seq = ref false in
   let jobs_flag = ref None in
   let json_path = ref None in
+  let compare_path = ref None in
   let wanted = ref [] in
   let rec parse = function
     | [] -> ()
@@ -227,6 +279,10 @@ let () =
     | "--json" :: path :: rest -> json_path := Some path; parse rest
     | [ "--json" ] ->
       Format.eprintf "--json expects a path@.";
+      exit 2
+    | "--compare" :: path :: rest -> compare_path := Some path; parse rest
+    | [ "--compare" ] ->
+      Format.eprintf "--compare expects a baseline JSON path@.";
       exit 2
     | arg :: rest -> wanted := arg :: !wanted; parse rest
   in
@@ -269,11 +325,18 @@ let () =
     write_json path ~jobs:jobs_used ~experiment_times ~micro;
     Format.fprintf ppf "(results written to %s)@." path
   | None -> ());
+  let regressions =
+    match !compare_path with
+    | Some baseline -> compare_against ppf ~baseline experiment_times
+    | None -> 0
+  in
   let failures = Experiments.Shape.failures () in
   Format.fprintf ppf "@.%s@." (String.make 54 '-');
+  if regressions > 0 then
+    Format.fprintf ppf "%d experiment(s) exceeded the wall-time budget.@."
+      regressions;
   if failures = 0 then
     Format.fprintf ppf "All shape checks PASSED.@."
-  else begin
+  else
     Format.fprintf ppf "%d shape check(s) FAILED.@." failures;
-    exit 1
-  end
+  if failures > 0 || regressions > 0 then exit 1

@@ -166,7 +166,7 @@ let crash_conv =
 
 let schedule_cmd =
   let run seed jobs periodic drop fault_seed retry_budget crashes
-      page_timeout_rate =
+      page_timeout_rate dsm_batch prefetch =
     let js =
       if periodic then Sched.Arrival.periodic ~seed ~waves:5 ~max_per_wave:14
       else Sched.Arrival.sustained ~seed ~jobs
@@ -191,7 +191,7 @@ let schedule_cmd =
     | None -> ());
     List.iter
       (fun p ->
-        let r = Sched.Scheduler.run ?faults p js in
+        let r = Sched.Scheduler.run ?faults ~dsm_batch ~prefetch p js in
         Format.printf "  %a@." Sched.Scheduler.pp_result r)
       Sched.Policy.all
   in
@@ -227,10 +227,24 @@ let schedule_cmd =
          & info [ "page-timeout-rate" ] ~docv:"P"
              ~doc:"Probability a page-request batch times out once.")
   in
+  let dsm_batch =
+    Arg.(value & flag
+         & info [ "dsm-batch" ]
+             ~doc:
+               "Coalesce contiguous hDSM page runs into single protocol \
+                operations (off: per-page, the paper's model).")
+  in
+  let prefetch =
+    Arg.(value & flag
+         & info [ "prefetch" ]
+             ~doc:
+               "Push a migrating thread's predicted working set to the \
+                destination during the stack transformation.")
+  in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run a workload under all five scheduling policies")
     Term.(const run $ seed $ jobs $ periodic $ drop $ fault_seed $ retry_budget
-          $ crashes $ page_timeout_rate)
+          $ crashes $ page_timeout_rate $ dsm_batch $ prefetch)
 
 (* --- trace ------------------------------------------------------------------- *)
 
@@ -302,7 +316,8 @@ let experiment_cmd =
       ("fig10", Experiments.Fig10.run); ("fig11", Experiments.Fig11.run);
       ("fig12", Experiments.Fig12.run); ("fig13", Experiments.Fig13.run);
       ("ablations", Experiments.Ablation.run);
-      ("degraded", Experiments.Degraded.run) ]
+      ("degraded", Experiments.Degraded.run);
+      ("prefetch", Experiments.Prefetch.run) ]
   in
   let run name =
     match List.assoc_opt name experiments with

@@ -142,14 +142,16 @@ type cluster = {
   container : Kernel.Container.t;
 }
 
-let make_cluster ?machines ?faults () =
+let make_cluster ?machines ?faults ?dsm_batch ?prefetch () =
   let machines =
     match machines with
     | Some m -> m
     | None -> [ Machine.Server.xeon_e5_1650_v2; Machine.Server.xgene1 ]
   in
   let engine = Sim.Engine.create () in
-  let pop = Kernel.Popcorn.create engine ?faults ~machines () in
+  let pop =
+    Kernel.Popcorn.create engine ?faults ?dsm_batch ?prefetch ~machines ()
+  in
   let container = Kernel.Popcorn.new_container pop ~name:"demo" in
   { engine; pop; container }
 

@@ -93,10 +93,18 @@ type cluster = {
 }
 
 val make_cluster :
-  ?machines:Machine.Server.t list -> ?faults:Faults.Plan.t -> unit -> cluster
+  ?machines:Machine.Server.t list ->
+  ?faults:Faults.Plan.t ->
+  ?dsm_batch:bool ->
+  ?prefetch:bool ->
+  unit ->
+  cluster
 (** Default machines: the paper's Xeon E5-1650 v2 + APM X-Gene 1 pair
     joined by the Dolphin PCIe interconnect. [faults] (default: none)
-    injects a deterministic fault plan — see {!Faults.Plan}. *)
+    injects a deterministic fault plan — see {!Faults.Plan}. [dsm_batch]
+    and [prefetch] (default off — bit-identical behaviour) enable
+    coalesced hDSM page transfers and the migration working-set
+    prefetch; see {!Kernel.Popcorn.create}. *)
 
 val deploy :
   cluster ->

@@ -6,14 +6,24 @@ type stats = {
   mutable remote_fetches : int;
   mutable invalidations : int;
   mutable bytes_transferred : int;
+  mutable protocol_msgs : int;
+  mutable prefetched_pages : int;
 }
 
+(* [copies] is a bitmask of the nodes holding a valid copy (owner
+   included): membership tests and invalidation counting are single
+   integer operations instead of list scans on the per-access hot path. *)
 type entry = {
   mutable owner : node;
-  mutable copies : node list;  (** nodes holding a valid copy, owner included *)
+  mutable copies : int;
   mutable exclusive : bool;
   aliased : bool;
 }
+
+let bit n = 1 lsl n
+let has mask n = mask land bit n <> 0
+
+let rec popcount mask = if mask = 0 then 0 else (mask land 1) + popcount (mask lsr 1)
 
 (* A registered page range. Pages of a range share one default coherence
    state (owned exclusively by the registering node) until first touched;
@@ -32,22 +42,29 @@ type t = {
   nodes : int;
   interconnect : Machine.Interconnect.t;
   handler_latency_s : float;
+  batch : bool;
   pages : (int, entry) Hashtbl.t;
   mutable ranges : range_info array;  (** sorted by [r_first], disjoint *)
   st : stats;
 }
 
-let create ?(handler_latency_s = 50e-6) ~nodes ~interconnect () =
+let create ?(handler_latency_s = 50e-6) ?(batch = false) ~nodes ~interconnect
+    () =
+  if nodes > Sys.int_size - 2 then
+    invalid_arg "Hdsm.create: too many nodes for the copy-set bitmask";
   {
     nodes;
     interconnect;
     handler_latency_s;
+    batch;
     pages = Hashtbl.create 1024;
     ranges = [||];
     st =
       { local_hits = 0; remote_fetches = 0; invalidations = 0;
-        bytes_transferred = 0 };
+        bytes_transferred = 0; protocol_msgs = 0; prefetched_pages = 0 };
   }
+
+let batching t = t.batch
 
 let check_node t node =
   if node < 0 || node >= t.nodes then
@@ -72,7 +89,7 @@ let register_page t ~page ~owner =
   check_node t owner;
   if not (registered t page) then
     Hashtbl.replace t.pages page
-      { owner; copies = [ owner ]; exclusive = true; aliased = false }
+      { owner; copies = bit owner; exclusive = true; aliased = false }
 
 let register_range t ~(range : Memsys.Page.range) ~owner =
   check_node t owner;
@@ -110,9 +127,23 @@ let register_range t ~(range : Memsys.Page.range) ~owner =
   end
 
 let register_alias t ~page =
-  Hashtbl.replace t.pages page
-    { owner = 0; copies = List.init t.nodes Fun.id; exclusive = false;
-      aliased = true }
+  match Hashtbl.find_opt t.pages page with
+  | Some e when e.aliased -> ()  (* same text/vDSO page mapped again *)
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf
+         "Hdsm.register_alias: page %d already registered as a data page"
+         page)
+  | None ->
+    if find_range t page <> None then
+      invalid_arg
+        (Printf.sprintf
+           "Hdsm.register_alias: page %d already covered by a data range"
+           page)
+    else
+      Hashtbl.replace t.pages page
+        { owner = 0; copies = bit t.nodes - 1; exclusive = false;
+          aliased = true }
 
 let entry t page =
   match Hashtbl.find_opt t.pages page with
@@ -121,7 +152,7 @@ let entry t page =
     match find_range t page with
     | Some r ->
       let e =
-        { owner = r.r_owner; copies = [ r.r_owner ]; exclusive = true;
+        { owner = r.r_owner; copies = bit r.r_owner; exclusive = true;
           aliased = false }
       in
       Hashtbl.replace t.pages page e;
@@ -132,7 +163,7 @@ let entry t page =
 
 let state_of t ~page node =
   let e = entry t page in
-  if not (List.mem node e.copies) then Invalid
+  if not (has e.copies node) then Invalid
   else if e.aliased then Shared
   else if e.exclusive then Exclusive
   else Shared
@@ -140,6 +171,11 @@ let state_of t ~page node =
 let page_latency t =
   t.handler_latency_s
   +. Machine.Interconnect.page_transfer_time t.interconnect
+       ~page_bytes:Memsys.Page.size
+
+let batch_latency t ~pages =
+  t.handler_latency_s
+  +. Machine.Interconnect.batch_transfer_time t.interconnect ~pages
        ~page_bytes:Memsys.Page.size
 
 let invalidation_latency t =
@@ -153,7 +189,7 @@ let access t ~node ~page ~write =
     0.0
   end
   else begin
-    let has_copy = List.mem node e.copies in
+    let has_copy = has e.copies node in
     if has_copy && ((not write) || (e.exclusive && e.owner = node)) then begin
       t.st.local_hits <- t.st.local_hits + 1;
       0.0
@@ -162,32 +198,137 @@ let access t ~node ~page ~write =
       (* Read miss: fetch a shared copy from the owner. *)
       t.st.remote_fetches <- t.st.remote_fetches + 1;
       t.st.bytes_transferred <- t.st.bytes_transferred + Memsys.Page.size;
-      e.copies <- node :: e.copies;
+      t.st.protocol_msgs <- t.st.protocol_msgs + 1;
+      e.copies <- e.copies lor bit node;
       e.exclusive <- false;
       page_latency t
     end
     else begin
       (* Write: invalidate every other copy, take exclusive ownership. *)
-      let others = List.filter (fun n -> n <> node) e.copies in
+      let n_others = popcount (e.copies land lnot (bit node)) in
       let fetch = if has_copy then 0.0 else page_latency t in
       if not has_copy then begin
         t.st.remote_fetches <- t.st.remote_fetches + 1;
         t.st.bytes_transferred <- t.st.bytes_transferred + Memsys.Page.size
       end;
-      t.st.invalidations <- t.st.invalidations + List.length others;
-      e.copies <- [ node ];
+      t.st.invalidations <- t.st.invalidations + n_others;
+      t.st.protocol_msgs <- t.st.protocol_msgs + 1;
+      e.copies <- bit node;
       e.owner <- node;
       e.exclusive <- true;
-      fetch +. (float_of_int (List.length others) *. invalidation_latency t)
+      fetch +. (float_of_int n_others *. invalidation_latency t)
     end
   end
 
+(* Coalesce the contiguous run [first, first+count) — every page Invalid
+   at [node] with one common owner holding the only copy — into a single
+   protocol operation: one request, one handler invocation, one response
+   carrying all pages (ownership/invalidation of the source copy rides
+   the same message). Returns [None] when the run is not uniform, in
+   which case nothing has changed except lazily materialized entries. *)
+let fetch_run t ~node ~first ~count ~write =
+  check_node t node;
+  let entries = Array.init count (fun i -> entry t (first + i)) in
+  let uniform =
+    count > 0
+    && begin
+         let e0 = entries.(0) in
+         (not e0.aliased)
+         && e0.owner <> node
+         && e0.copies = bit e0.owner
+         && Array.for_all
+              (fun e ->
+                (not e.aliased)
+                && e.owner = e0.owner
+                && e.copies = bit e0.owner)
+              entries
+       end
+  in
+  if not uniform then None
+  else begin
+    Array.iter
+      (fun e ->
+        if write then begin
+          t.st.invalidations <- t.st.invalidations + 1;
+          e.copies <- bit node;
+          e.owner <- node;
+          e.exclusive <- true
+        end
+        else begin
+          e.copies <- e.copies lor bit node;
+          e.exclusive <- false
+        end)
+      entries;
+    t.st.remote_fetches <- t.st.remote_fetches + count;
+    t.st.bytes_transferred <- t.st.bytes_transferred + (count * Memsys.Page.size);
+    t.st.protocol_msgs <- t.st.protocol_msgs + 1;
+    Some (batch_latency t ~pages:count)
+  end
+
+(* Longest ascending contiguous run at the head of [pages]; returns
+   (first, count, rest). *)
+let take_run pages =
+  match pages with
+  | [] -> invalid_arg "Hdsm.take_run: empty"
+  | first :: rest ->
+    let rec go last count = function
+      | next :: rest when next = last + 1 -> go next (count + 1) rest
+      | rest -> (count, rest)
+    in
+    let count, rest = go first 1 rest in
+    (first, count, rest)
+
+(* The whole run lies in one untouched lazy range owned by the accessing
+   node: every page is a local hit and would materialize to the default
+   entry anyway, so sweep it without creating per-page entries. The
+   [Hashtbl.mem] probes guard the (never-seen in practice) case of a page
+   individually registered inside a range's interval. *)
+let owner_sweep t ~node ~first ~count ~write:_ =
+  match find_range t first with
+  | Some r
+    when r.r_owner = node
+         && r.r_materialized = 0
+         && first + count <= r.r_first + r.r_count ->
+    let clean = ref true in
+    for page = first to first + count - 1 do
+      if Hashtbl.mem t.pages page then clean := false
+    done;
+    if !clean then begin
+      t.st.local_hits <- t.st.local_hits + count;
+      true
+    end
+    else false
+  | Some _ | None -> false
+
 (* One DSM call per phase instead of one per page: the fold over a
    phase's page list runs inside the service, resolving each page's
-   entry once (lazily materialized pages included). *)
+   entry once (lazily materialized pages included). Contiguous runs are
+   detected as they stream by; with batching enabled a run that is
+   Invalid at the caller with a common owner becomes one coalesced
+   protocol operation instead of [count] round trips. *)
 let access_many t ~node ~pages ~write =
   check_node t node;
-  List.fold_left (fun acc page -> acc +. access t ~node ~page ~write) 0.0 pages
+  let rec go acc = function
+    | [] -> acc
+    | pages ->
+      let first, count, rest = take_run pages in
+      if owner_sweep t ~node ~first ~count ~write then go acc rest
+      else begin
+        let batched =
+          if t.batch && count > 1 then fetch_run t ~node ~first ~count ~write
+          else None
+        in
+        match batched with
+        | Some latency -> go (acc +. latency) rest
+        | None ->
+          let acc = ref acc in
+          for page = first to first + count - 1 do
+            acc := !acc +. access t ~node ~page ~write
+          done;
+          go !acc rest
+      end
+  in
+  go 0.0 pages
 
 let owner t ~page = (entry t page).owner
 
@@ -229,23 +370,60 @@ let drain t ~from_ ~to_ =
     (fun page ->
       let e = entry t page in
       e.owner <- to_;
-      e.copies <- [ to_ ];
+      e.copies <- bit to_;
       e.exclusive <- true;
       t.st.remote_fetches <- t.st.remote_fetches + 1;
-      t.st.bytes_transferred <- t.st.bytes_transferred + Memsys.Page.size)
+      t.st.bytes_transferred <- t.st.bytes_transferred + Memsys.Page.size;
+      t.st.protocol_msgs <- t.st.protocol_msgs + 1)
     pages;
   float_of_int (List.length pages) *. page_latency t
 
-let drain_page t to_ acc page =
+(* Move one page to [to_] if it is not already there; returns true when a
+   transfer happened. Byte/fetch accounting only — the caller charges
+   latency per page or per batch. *)
+let move_page t to_ page =
   let e = entry t page in
-  if e.aliased || e.owner = to_ then acc
+  if e.aliased || e.owner = to_ then false
   else begin
     e.owner <- to_;
-    e.copies <- [ to_ ];
+    e.copies <- bit to_;
     e.exclusive <- true;
     t.st.remote_fetches <- t.st.remote_fetches + 1;
     t.st.bytes_transferred <- t.st.bytes_transferred + Memsys.Page.size;
+    true
+  end
+
+let drain_page t to_ acc page =
+  if move_page t to_ page then begin
+    t.st.protocol_msgs <- t.st.protocol_msgs + 1;
     acc +. page_latency t
+  end
+  else acc
+
+(* Move the contiguous segment to [to_]; pages already there (or aliased)
+   are skipped. One protocol operation per segment when batching. *)
+let move_segment t ~to_ (first, count) =
+  if t.batch then begin
+    let moved = ref 0 in
+    for page = first to first + count - 1 do
+      if move_page t to_ page then incr moved
+    done;
+    if !moved = 0 then (0, 0.0)
+    else begin
+      t.st.protocol_msgs <- t.st.protocol_msgs + 1;
+      (!moved, batch_latency t ~pages:!moved)
+    end
+  end
+  else begin
+    let moved = ref 0 and lat = ref 0.0 in
+    for page = first to first + count - 1 do
+      if move_page t to_ page then begin
+        incr moved;
+        t.st.protocol_msgs <- t.st.protocol_msgs + 1;
+        lat := !lat +. page_latency t
+      end
+    done;
+    (!moved, !lat)
   end
 
 let drain_pages t ~pages ~to_ =
@@ -253,18 +431,44 @@ let drain_pages t ~pages ~to_ =
   List.fold_left (drain_page t to_) 0.0 pages
 
 (* Drain a chunk of contiguous page segments (one migration-protocol
-   batch), accumulating the per-page latency exactly as [drain_pages]
-   would over the flattened list. *)
+   batch), accumulating either the per-page latency exactly as
+   [drain_pages] would, or — with batching — one coalesced operation per
+   segment. *)
 let drain_seq t ~segments ~to_ =
   check_node t to_;
-  List.fold_left
-    (fun acc (first, count) ->
-      let acc = ref acc in
-      for page = first to first + count - 1 do
-        acc := drain_page t to_ !acc page
-      done;
-      !acc)
-    0.0 segments
+  if t.batch then
+    List.fold_left
+      (fun acc seg ->
+        let _, lat = move_segment t ~to_ seg in
+        acc +. lat)
+      0.0 segments
+  else
+    (* Per-page accumulation in the exact order [drain_pages] would use
+       over the flattened list — bit-identical to the unbatched model. *)
+    List.fold_left
+      (fun acc (first, count) ->
+        let acc = ref acc in
+        for page = first to first + count - 1 do
+          acc := drain_page t to_ !acc page
+        done;
+        !acc)
+      0.0 segments
+
+(* Push pages toward [to_] ahead of demand: the migration-time
+   working-set prefetch. Contiguous runs in [pages] coalesce into one
+   protocol operation each when batching is on; pages already at the
+   destination cost nothing. *)
+let prefetch t ~pages ~to_ =
+  check_node t to_;
+  let rec go acc = function
+    | [] -> acc
+    | pages ->
+      let first, count, rest = take_run pages in
+      let moved, lat = move_segment t ~to_ (first, count) in
+      t.st.prefetched_pages <- t.st.prefetched_pages + moved;
+      go (acc +. lat) rest
+  in
+  go 0.0 pages
 
 let stats t = t.st
 
@@ -272,4 +476,6 @@ let reset_stats t =
   t.st.local_hits <- 0;
   t.st.remote_fetches <- 0;
   t.st.invalidations <- 0;
-  t.st.bytes_transferred <- 0
+  t.st.bytes_transferred <- 0;
+  t.st.protocol_msgs <- 0;
+  t.st.prefetched_pages <- 0

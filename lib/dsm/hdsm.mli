@@ -8,6 +8,12 @@
     vDSO) is aliased — each kernel maps its own ISA's image at the same
     virtual range, so text pages are always local and never transferred.
 
+    With [batch] enabled, contiguous page runs with a common owner
+    coalesce into one protocol operation (one request, one handler
+    invocation, one bulk response) instead of a full round trip per page
+    — the coherence outcome and bytes moved are identical, only the
+    latency and message counts change.
+
     Nodes are small integers (kernel ids). *)
 
 type node = int
@@ -17,14 +23,21 @@ type page_state = Invalid | Shared | Exclusive
 type stats = {
   mutable local_hits : int;
   mutable remote_fetches : int;
+      (** pages fetched/moved across the interconnect (batched or not) *)
   mutable invalidations : int;
   mutable bytes_transferred : int;
+  mutable protocol_msgs : int;
+      (** protocol round trips: one per remote page unbatched, one per
+          coalesced run when batching *)
+  mutable prefetched_pages : int;
+      (** pages pushed ahead of demand by {!prefetch} *)
 }
 
 type t
 
 val create :
   ?handler_latency_s:float ->
+  ?batch:bool ->
   nodes:int ->
   interconnect:Machine.Interconnect.t ->
   unit ->
@@ -33,7 +46,11 @@ val create :
     operation (page-fault handler, message marshalling, mapping update) —
     the dominant term over a fast PCIe interconnect. Default 50 us,
     calibrated so that draining an NPB-IS-class working set takes the ~2
-    seconds visible in the paper's Figure 11. *)
+    seconds visible in the paper's Figure 11. [batch] (default false)
+    enables run-coalesced transfers; when off, behaviour is bit-identical
+    to the historical per-page protocol. *)
+
+val batching : t -> bool
 
 val register_page : t -> page:int -> owner:node -> unit
 (** Introduce a data page, initially [Exclusive] at its owner. Idempotent
@@ -50,7 +67,10 @@ val register_range : t -> range:Memsys.Page.range -> owner:node -> unit
 
 val register_alias : t -> page:int -> unit
 (** Mark a page as per-ISA aliased (text / vDSO): every node always has a
-    local copy; the page never moves. *)
+    local copy; the page never moves. Idempotent for an already-aliased
+    page; raises [Invalid_argument] if the page is already registered as
+    a data page (individually or via a range) — silently rewriting its
+    coherence state would corrupt ownership. *)
 
 val state_of : t -> page:int -> node -> page_state
 
@@ -62,9 +82,22 @@ val access : t -> node:node -> page:int -> write:bool -> float
 
 val access_many : t -> node:node -> pages:int list -> write:bool -> float
 (** One DSM call covering a whole phase's page list; returns the summed
-    latency, exactly as folding {!access} over [pages] would. The batch
-    resolves each page once inside the service instead of paying one
-    protocol entry per page. *)
+    latency. Without batching this is exactly folding {!access} over
+    [pages]. Contiguous runs entirely inside an untouched lazy range
+    owned by the accessing node are swept without materializing per-page
+    entries; with batching, an Invalid run with a common single-copy
+    owner becomes one {!fetch_run} operation. *)
+
+val fetch_run :
+  t -> node:node -> first:int -> count:int -> write:bool -> float option
+(** Coalesce the contiguous run [[first, first+count)] — every page
+    Invalid at [node] with one common owner holding the only copy — into
+    a single protocol operation: one request, one handler invocation and
+    one response carrying all pages (source-side invalidation for writes
+    rides the same message). Returns the batched latency, or [None] when
+    the run is not uniform (mixed owners, sharers, aliased pages, or the
+    caller already holds a copy) — in that case no coherence state has
+    changed. *)
 
 val owner : t -> page:int -> node
 
@@ -87,8 +120,17 @@ val drain_pages : t -> pages:int list -> to_:node -> float
 
 val drain_seq : t -> segments:(int * int) list -> to_:node -> float
 (** [drain_seq t ~segments ~to_] drains the contiguous page segments
-    [(first, count)] like {!drain_pages} over the flattened page list,
-    without the caller materializing it. *)
+    [(first, count)] like {!drain_pages} over the flattened page list.
+    With batching, each segment is one coalesced protocol operation over
+    the pages actually moved; without, the per-page accounting is
+    bit-identical to {!drain_pages}. *)
+
+val prefetch : t -> pages:int list -> to_:node -> float
+(** Push [pages] to [to_] ahead of demand (the migration working-set
+    prefetch): contiguous runs coalesce like {!drain_seq} segments when
+    batching; pages already at the destination or aliased cost nothing.
+    Moved pages are counted in [stats.prefetched_pages]. Returns the
+    transfer latency, which the caller may overlap with other work. *)
 
 val stats : t -> stats
 val reset_stats : t -> unit

@@ -13,6 +13,7 @@ type t = {
   bus : Message.t;
   dsm : Dsm.Hdsm.t;
   faults : Faults.Injector.t option;
+  prefetch : bool;  (** push the migrating thread's working set ahead *)
   nodes : node array;
   trace : Sim.Trace.t;
   vdso : Vdso.t;  (** the shared scheduler/application flag page *)
@@ -20,6 +21,8 @@ type t = {
   mutable next_pid : int;
   mutable next_cid : int;
   mutable next_slot : int;  (** loader slot allocator, per ensemble *)
+  mutable migration_downtime_s : float;
+  mutable drain_time_s : float;
   mutable exit_hooks : (Process.t -> unit) list;
   mutable thread_hooks : (Process.t -> Process.thread -> unit) list;
   mutable abort_hooks : (Process.t -> Process.thread -> dest:int -> unit) list;
@@ -119,7 +122,7 @@ let crash t ~node =
   end
 
 let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
-    ?faults ~machines () =
+    ?faults ?(dsm_batch = false) ?(prefetch = false) ~machines () =
   let nodes =
     Array.of_list
       (List.mapi
@@ -148,8 +151,11 @@ let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
     {
       engine;
       bus = Message.create ?faults:injector engine interconnect;
-      dsm = Dsm.Hdsm.create ~nodes:(Array.length nodes) ~interconnect ();
+      dsm =
+        Dsm.Hdsm.create ~batch:dsm_batch ~nodes:(Array.length nodes)
+          ~interconnect ();
       faults = injector;
+      prefetch;
       nodes;
       trace = Sim.Trace.create ();
       vdso = Vdso.create ();
@@ -157,6 +163,8 @@ let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
       next_pid = 1;
       next_cid = 1;
       next_slot = 0;
+      migration_downtime_s = 0.0;
+      drain_time_s = 0.0;
       exit_hooks = [];
       thread_hooks = [];
       abort_hooks = [];
@@ -314,6 +322,7 @@ let drain_residual t proc ~to_node =
           segments_of_ranges proc.Process.data_pages ~i ~stop
         in
         let latency = Dsm.Hdsm.drain_seq t.dsm ~segments ~to_:to_node in
+        t.drain_time_s <- t.drain_time_s +. latency;
         Sim.Engine.schedule_in t.engine ~after:(Float.max latency 1e-9)
           (fun () -> drain_from stop)
       end
@@ -372,13 +381,46 @@ and run_phase t proc th phase rest =
         step t proc th
       end)
 
+(* Pages the thread will touch right after restarting on the destination:
+   the page lists of its next few phases, deduplicated and sorted so
+   contiguous runs coalesce. *)
+and prefetch_window (th : Process.thread) =
+  let depth = 4 in
+  let rec take n = function
+    | phase :: rest when n > 0 ->
+      phase.Process.pages :: take (n - 1) rest
+    | _ -> []
+  in
+  List.sort_uniq compare (List.concat (take depth th.Process.remaining))
+
 and begin_migration t proc th dest =
   th.Process.status <- Process.Migrating;
+  let t0 = Sim.Engine.now t.engine in
   let src_id = th.Process.node in
   (* The transformation runs on the source CPU. *)
   adjust_busy t src_id 1;
   let latency = proc.Process.transform_latency (arch_of t th.Process.node) in
+  (* Working-set prefetch: push the thread's predicted next-phase pages
+     to the destination while the stack transformation runs. Only the
+     non-overlapped remainder of the transfer stalls the restart; with
+     batching the whole window usually hides under the transformation
+     latency, turning first-touch misses after restart into local hits.
+     If the migration later aborts, the pages were moved early for
+     nothing — demand fetches bring them back, coherence is unaffected. *)
+  let prefetch_stall =
+    if not t.prefetch then 0.0
+    else begin
+      let p_lat =
+        Dsm.Hdsm.prefetch t.dsm ~pages:(prefetch_window th) ~to_:dest
+      in
+      Float.max 0.0 (p_lat -. latency)
+    end
+  in
   let gen = th.Process.gen in
+  let settle_downtime () =
+    t.migration_downtime_s <-
+      t.migration_downtime_s +. (Sim.Engine.now t.engine -. t0)
+  in
   Sim.Engine.schedule_in t.engine ~after:latency (fun () ->
       adjust_busy t src_id (-1);
       if th.Process.gen = gen then begin
@@ -398,13 +440,20 @@ and begin_migration t proc th dest =
           Message.send t.bus Message.Thread_migration ~bytes:4096
             ~on_delivery:(fun () ->
               if th.Process.gen = gen then begin
-                th.Process.node <- dest;
-                th.Process.migrate_to <- None;
-                Vdso.clear t.vdso ~tid:th.Process.tid;
-                th.Process.migrations <- th.Process.migrations + 1;
-                th.Process.status <- Process.Ready;
-                maybe_drain t proc;
-                step t proc th
+                let restart () =
+                  th.Process.node <- dest;
+                  th.Process.migrate_to <- None;
+                  Vdso.clear t.vdso ~tid:th.Process.tid;
+                  th.Process.migrations <- th.Process.migrations + 1;
+                  th.Process.status <- Process.Ready;
+                  settle_downtime ();
+                  maybe_drain t proc;
+                  step t proc th
+                in
+                if prefetch_stall > 0.0 then
+                  Sim.Engine.schedule_in t.engine ~after:prefetch_stall
+                    (fun () -> if th.Process.gen = gen then restart ())
+                else restart ()
               end)
             ~on_failure:(fun () ->
               if th.Process.gen = gen then begin
@@ -414,6 +463,7 @@ and begin_migration t proc th dest =
                 th.Process.migrate_to <- None;
                 Vdso.clear t.vdso ~tid:th.Process.tid;
                 th.Process.status <- Process.Ready;
+                settle_downtime ();
                 List.iter
                   (fun hook -> hook proc th ~dest)
                   t.abort_hooks;

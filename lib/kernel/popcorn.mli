@@ -30,6 +30,7 @@ type t = {
   bus : Message.t;
   dsm : Dsm.Hdsm.t;
   faults : Faults.Injector.t option;
+  prefetch : bool;  (** push the migrating thread's working set ahead *)
   nodes : node array;
   trace : Sim.Trace.t;
   vdso : Vdso.t;  (** the shared scheduler/application flag page *)
@@ -37,6 +38,13 @@ type t = {
   mutable next_pid : int;
   mutable next_cid : int;
   mutable next_slot : int;  (** loader slot allocator, per ensemble *)
+  mutable migration_downtime_s : float;
+      (** summed simulated time threads spent paused in migrations
+          (transformation + handoff message + any prefetch stall),
+          aborted attempts included *)
+  mutable drain_time_s : float;
+      (** summed simulated latency of post-migration residual-page
+          drains — the Figure 11 page-transfer spike *)
   mutable exit_hooks : (Process.t -> unit) list;
   mutable thread_hooks : (Process.t -> Process.thread -> unit) list;
   mutable abort_hooks : (Process.t -> Process.thread -> dest:int -> unit) list;
@@ -47,12 +55,19 @@ val create :
   Sim.Engine.t ->
   ?interconnect:Machine.Interconnect.t ->
   ?faults:Faults.Plan.t ->
+  ?dsm_batch:bool ->
+  ?prefetch:bool ->
   machines:Machine.Server.t list ->
   unit ->
   t
 (** Boot one kernel per machine (default interconnect: Dolphin PXH810).
     Without [faults] the ensemble behaves exactly as before this option
     existed — no injector is built and no extra PRNG draws happen.
+    [dsm_batch] (default false) coalesces contiguous hDSM page runs into
+    single protocol operations; [prefetch] (default false) pushes a
+    migrating thread's predicted next-phase pages to the destination
+    during the stack transformation. Both default off, leaving behaviour
+    bit-identical to the historical per-page model.
     Raises [Invalid_argument] if the plan schedules a crash on a node
     index outside [machines], or references an unknown message kind. *)
 

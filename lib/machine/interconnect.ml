@@ -12,3 +12,8 @@ let transfer_time t ~bytes =
 let page_transfer_time t ~page_bytes =
   (* Request message (small) + response carrying the page. *)
   t.latency_s +. transfer_time t ~bytes:page_bytes
+
+let batch_transfer_time t ~pages ~page_bytes =
+  (* One request + one response carrying the whole coalesced run: the
+     per-page round-trip latency is amortized, the bandwidth term is not. *)
+  t.latency_s +. transfer_time t ~bytes:(pages * page_bytes)

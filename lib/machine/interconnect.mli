@@ -19,3 +19,9 @@ val transfer_time : t -> bytes:int -> float
 
 val page_transfer_time : t -> page_bytes:int -> float
 (** Time for one DSM page move including the request/response round trip. *)
+
+val batch_transfer_time : t -> pages:int -> page_bytes:int -> float
+(** Time to move [pages] contiguous pages as one request/response pair:
+    a single round-trip latency amortized over the run, plus the
+    unchanged serialization time of the full payload. Equal to
+    {!page_transfer_time} when [pages = 1]. *)

@@ -34,15 +34,26 @@ let dest_frames per_dst (src_frames : Thread_state.frame list) ~top =
 
 (* src-slot-address -> dst-slot-address for every local that lives in a
    stack slot on both ISAs (address-taken locals always do). *)
+(* First-match lookup table over an association list: deep frames carry
+   long location/live lists, and the transform loop used to rescan them
+   with [List.assoc] per value — quadratic in frame size. *)
+let assoc_table kvs =
+  let tbl = Hashtbl.create (max 16 (List.length kvs)) in
+  List.iter
+    (fun (name, v) -> if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name v)
+    kvs;
+  tbl
+
 let slot_translation per_src per_dst src_frames dst_frames =
   let map = Hashtbl.create 64 in
   List.iter2
     (fun (sf : Thread_state.frame) (df : Thread_state.frame) ->
       let finfo_src = Compiler.Toolchain.frame_of per_src sf.Thread_state.fname in
       let finfo_dst = Compiler.Toolchain.frame_of per_dst df.Thread_state.fname in
+      let dst_locs = assoc_table finfo_dst.Compiler.Backend.locations in
       List.iter
         (fun (name, loc_src) ->
-          match (loc_src, List.assoc_opt name finfo_dst.Compiler.Backend.locations) with
+          match (loc_src, Hashtbl.find_opt dst_locs name) with
           | Compiler.Backend.In_slot off_s, Some (Compiler.Backend.In_slot off_d) ->
             Hashtbl.replace map (sf.Thread_state.fp - off_s)
               (df.Thread_state.fp - off_d)
@@ -98,7 +109,11 @@ let transform tc (src : Thread_state.t) =
           Stack_mem.write dst.Thread_state.stack (fp - off + (8 * i)) lane)
         v
     in
-    let place_value (df : Thread_state.frame) inner_dst name
+    (* Destination frames indexed innermost-first: frames strictly inner
+       to index [idx] are [dst_arr.(idx-1) .. dst_arr.(0)], nearest (the
+       direct callee) first — no per-frame rescans of the chain. *)
+    let dst_arr = Array.of_list dframes in
+    let place_value ~idx (df : Thread_state.frame) name
         (tl : Compiler.Stackmap.ty_loc) (v : int64 array) =
       let v =
         if Ir.Ty.is_pointer tl.Compiler.Stackmap.ty then begin
@@ -127,68 +142,62 @@ let transform tc (src : Thread_state.t) =
           let uw = Compiler.Toolchain.unwind_of per_dst f.Thread_state.fname in
           Compiler.Unwind.saved_offset uw r
         in
-        let rec search = function
-          | [] -> Regfile.set_lanes dst.Thread_state.regs r v
-          | f :: rest -> begin
-            match saves_r f with
-            | Some off -> write_lanes ~fp:f.Thread_state.fp ~off v
-            | None -> search rest
+        let rec search j =
+          if j < 0 then Regfile.set_lanes dst.Thread_state.regs r v
+          else begin
+            match saves_r dst_arr.(j) with
+            | Some off -> write_lanes ~fp:dst_arr.(j).Thread_state.fp ~off v
+            | None -> search (j - 1)
           end
         in
-        (* [inner_dst] runs from this frame's direct callee inwards. *)
-        search inner_dst
+        (* Search from this frame's direct callee inwards. *)
+        search (idx - 1)
     in
     (* Rewrite frame-by-frame, innermost first (the paper's "outer-most
        frame, i.e. the most recently called"). *)
-    let rec rewrite srcs dsts =
-      match (srcs, dsts) with
-      | [], [] -> ()
-      | sf :: srest, df :: drest ->
-        let live = Interp.live_values tc src sf in
-        let entry =
-          match
-            Compiler.Stackmap.find per_dst.Compiler.Toolchain.stackmaps
-              ~fname:df.Thread_state.fname ~key:df.Thread_state.key
-          with
-          | Some e -> e
+    let src_arr = Array.of_list src_frames in
+    if Array.length src_arr <> Array.length dst_arr then
+      raise (Fail "frame chain length mismatch");
+    let nframes = Array.length src_arr in
+    for idx = 0 to nframes - 1 do
+      let sf = src_arr.(idx) and df = dst_arr.(idx) in
+      let live = assoc_table (Interp.live_values tc src sf) in
+      let entry =
+        match
+          Compiler.Stackmap.find per_dst.Compiler.Toolchain.stackmaps
+            ~fname:df.Thread_state.fname ~key:df.Thread_state.key
+        with
+        | Some e -> e
+        | None ->
+          raise
+            (Fail
+               (Printf.sprintf "no destination stackmap for %s"
+                  df.Thread_state.fname))
+      in
+      List.iter
+        (fun (name, tl) ->
+          match Hashtbl.find_opt live name with
+          | Some v -> place_value ~idx df name tl v
           | None ->
             raise
               (Fail
-                 (Printf.sprintf "no destination stackmap for %s"
-                    df.Thread_state.fname))
-        in
-        (* Destination frames strictly inner to df, nearest first. *)
-        let inner_dst = List.rev (drop_after df dframes) in
-        List.iter
-          (fun (name, tl) ->
-            match List.assoc_opt name live with
-            | Some v -> place_value df inner_dst name tl v
-            | None ->
-              raise
-                (Fail
-                   (Printf.sprintf "stackmaps disagree on live value %s" name)))
-          entry.Compiler.Stackmap.live;
-        (* Frame record: saved caller FP + re-encoded return address. *)
-        let caller_fp, ra =
-          match (srest, drest) with
-          | _ :: _, caller :: _ ->
-            ( caller.Thread_state.fp,
-              Ra_encoding.encode arch_dst ~base_of
-                ~fname:caller.Thread_state.fname ~key:caller.Thread_state.key )
-          | [], [] -> (0, 0)
-          | _, _ -> raise (Fail "frame chain length mismatch")
-        in
-        Stack_mem.write dst.Thread_state.stack df.Thread_state.fp
-          (Int64.of_int caller_fp);
-        Stack_mem.write dst.Thread_state.stack (df.Thread_state.fp + 8)
-          (Int64.of_int ra);
-        rewrite srest drest
-      | _, _ -> raise (Fail "frame chain length mismatch")
-    and drop_after target = function
-      | [] -> []
-      | f :: rest -> if f == target then [] else f :: drop_after target rest
-    in
-    rewrite src_frames dframes;
+                 (Printf.sprintf "stackmaps disagree on live value %s" name)))
+        entry.Compiler.Stackmap.live;
+      (* Frame record: saved caller FP + re-encoded return address. *)
+      let caller_fp, ra =
+        if idx + 1 < nframes then begin
+          let caller = dst_arr.(idx + 1) in
+          ( caller.Thread_state.fp,
+            Ra_encoding.encode arch_dst ~base_of
+              ~fname:caller.Thread_state.fname ~key:caller.Thread_state.key )
+        end
+        else (0, 0)
+      in
+      Stack_mem.write dst.Thread_state.stack df.Thread_state.fp
+        (Int64.of_int caller_fp);
+      Stack_mem.write dst.Thread_state.stack (df.Thread_state.fp + 8)
+        (Int64.of_int ra)
+    done;
     (* r_AB: map PC, SP, FP to the destination frame chain. *)
     let inner = Thread_state.innermost dst in
     Regfile.set_fp dst.Thread_state.regs inner.Thread_state.fp;

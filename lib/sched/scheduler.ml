@@ -10,6 +10,9 @@ type result = {
   failed : int;
   retried : int;
   migration_aborts : int;
+  downtime_s : float;
+  remote_fetches : int;
+  drain_time_s : float;
 }
 
 let thread_location (th : Kernel.Process.thread) =
@@ -20,10 +23,12 @@ let thread_location (th : Kernel.Process.thread) =
 type admission = Fcfs | Sjf
 
 let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
-    ?(admission = Fcfs) ?faults policy jobs =
+    ?(admission = Fcfs) ?faults ?dsm_batch ?prefetch policy jobs =
   let engine = Sim.Engine.create () in
   let machines = Policy.machines policy in
-  let pop = Kernel.Popcorn.create engine ?faults ~machines () in
+  let pop =
+    Kernel.Popcorn.create engine ?faults ?dsm_batch ?prefetch ~machines ()
+  in
   let container = Kernel.Popcorn.new_container pop ~name:"datacenter" in
   let share = Policy.share policy in
   let n_nodes = Array.length pop.Kernel.Popcorn.nodes in
@@ -357,6 +362,9 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
     failed = !failed;
     retried = !retried;
     migration_aborts = Kernel.Popcorn.aborted_migrations pop;
+    downtime_s = pop.Kernel.Popcorn.migration_downtime_s;
+    remote_fetches = (Dsm.Hdsm.stats pop.Kernel.Popcorn.dsm).Dsm.Hdsm.remote_fetches;
+    drain_time_s = pop.Kernel.Popcorn.drain_time_s;
   }
 
 let pp_result ppf r =

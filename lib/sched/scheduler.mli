@@ -22,6 +22,13 @@ type result = {
   retried : int;  (** crash-orphaned jobs re-admitted to the queue *)
   migration_aborts : int;
       (** thread migrations rolled back (handoff message lost) *)
+  downtime_s : float;
+      (** summed simulated migration downtime across all threads:
+          transformation + handoff message + any prefetch stall *)
+  remote_fetches : int;
+      (** hDSM pages moved across the interconnect during the run *)
+  drain_time_s : float;
+      (** summed simulated post-migration residual-page drain latency *)
 }
 
 type admission = Fcfs | Sjf
@@ -34,6 +41,8 @@ val run :
   ?rebalance_period:float ->
   ?admission:admission ->
   ?faults:Faults.Plan.t ->
+  ?dsm_batch:bool ->
+  ?prefetch:bool ->
   Policy.t ->
   Job.t list ->
   result
@@ -41,7 +50,11 @@ val run :
     (default 1e8); [rebalance_period] the dynamic policies' load-check
     interval (default 2 s); [admission] the queue order (default
     [Fcfs]). Jobs wider than every machine are rejected at submission
-    and counted in [rejected].
+    and counted in [rejected]. [dsm_batch] and [prefetch] (both default
+    false, bit-identical to the historical model when off) enable
+    coalesced hDSM transfers and the migration working-set prefetch;
+    their effect is visible in [downtime_s], [remote_fetches],
+    [drain_time_s] and the makespan.
 
     [faults] (default: none — byte-identical to a build without fault
     injection) threads a deterministic fault plan through the ensemble:

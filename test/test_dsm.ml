@@ -156,6 +156,183 @@ let coherence_random_props =
       done;
       !ok)
 
+(* --- batched transfers, aliasing guard, prefetch ------------------------ *)
+
+let make_batched () =
+  Dsm.Hdsm.create ~batch:true ~nodes:2
+    ~interconnect:Machine.Interconnect.dolphin_pxh810 ()
+
+let alias_guard_rejects_data_pages () =
+  let d = make_dsm () in
+  Dsm.Hdsm.register_page d ~page:1 ~owner:0;
+  Dsm.Hdsm.register_range d ~range:{ Memsys.Page.first = 10; count = 4 } ~owner:1;
+  Dsm.Hdsm.register_alias d ~page:5;
+  (* Idempotent on an already-aliased page. *)
+  Dsm.Hdsm.register_alias d ~page:5;
+  let rejects page =
+    try
+      Dsm.Hdsm.register_alias d ~page;
+      false
+    with Invalid_argument _ -> true
+  in
+  checkb "rejects an individually registered data page" true (rejects 1);
+  checkb "rejects a page inside a lazy data range" true (rejects 12);
+  (* The failed attempts must not have clobbered coherence state. *)
+  checki "page keeps its owner" 0 (Dsm.Hdsm.owner d ~page:1);
+  checki "range page keeps its owner" 1 (Dsm.Hdsm.owner d ~page:12);
+  checkb "still exclusive at owner" true
+    (Dsm.Hdsm.state_of d ~page:1 0 = Dsm.Hdsm.Exclusive)
+
+let fetch_run_uniform_batches () =
+  let d = make_batched () in
+  Dsm.Hdsm.register_range d ~range:{ Memsys.Page.first = 0; count = 8 } ~owner:0;
+  let lat = Dsm.Hdsm.fetch_run d ~node:1 ~first:0 ~count:8 ~write:true in
+  checkb "uniform run coalesces" true (lat <> None);
+  for p = 0 to 7 do
+    checki "ownership moved" 1 (Dsm.Hdsm.owner d ~page:p)
+  done;
+  let st = Dsm.Hdsm.stats d in
+  checki "one round trip" 1 st.Dsm.Hdsm.protocol_msgs;
+  checki "all pages counted" 8 st.Dsm.Hdsm.remote_fetches;
+  checki "all bytes counted" (8 * Memsys.Page.size) st.Dsm.Hdsm.bytes_transferred
+
+let fetch_run_nonuniform_refuses () =
+  let d = make_batched () in
+  Dsm.Hdsm.register_page d ~page:0 ~owner:0;
+  Dsm.Hdsm.register_page d ~page:1 ~owner:1;
+  (* Mixed owners: node 1 already owns page 1. *)
+  checkb "mixed-owner run refused" true
+    (Dsm.Hdsm.fetch_run d ~node:1 ~first:0 ~count:2 ~write:true = None);
+  checki "no state change" 0 (Dsm.Hdsm.owner d ~page:0);
+  checki "no traffic" 0 (Dsm.Hdsm.stats d).Dsm.Hdsm.remote_fetches;
+  (* A shared copy at a third party also breaks uniformity. *)
+  let d3 =
+    Dsm.Hdsm.create ~batch:true ~nodes:3
+      ~interconnect:Machine.Interconnect.dolphin_pxh810 ()
+  in
+  Dsm.Hdsm.register_page d3 ~page:0 ~owner:0;
+  Dsm.Hdsm.register_page d3 ~page:1 ~owner:0;
+  ignore (Dsm.Hdsm.access d3 ~node:2 ~page:1 ~write:false);
+  checkb "sharer in run refused" true
+    (Dsm.Hdsm.fetch_run d3 ~node:1 ~first:0 ~count:2 ~write:true = None)
+
+let batching_cheaper_than_per_page () =
+  let run batch =
+    let d =
+      Dsm.Hdsm.create ~batch ~nodes:2
+        ~interconnect:Machine.Interconnect.dolphin_pxh810 ()
+    in
+    Dsm.Hdsm.register_range d ~range:{ Memsys.Page.first = 0; count = 64 }
+      ~owner:0;
+    let lat =
+      Dsm.Hdsm.access_many d ~node:1 ~pages:(List.init 64 Fun.id) ~write:true
+    in
+    (lat, Dsm.Hdsm.stats d)
+  in
+  let lat_pp, st_pp = run false in
+  let lat_b, st_b = run true in
+  checkb "coalesced run at least 10x cheaper" true (lat_pp > 10.0 *. lat_b);
+  checki "same pages moved" st_pp.Dsm.Hdsm.remote_fetches
+    st_b.Dsm.Hdsm.remote_fetches;
+  checki "same bytes moved" st_pp.Dsm.Hdsm.bytes_transferred
+    st_b.Dsm.Hdsm.bytes_transferred;
+  checki "same invalidations" st_pp.Dsm.Hdsm.invalidations
+    st_b.Dsm.Hdsm.invalidations;
+  checkb "fewer round trips" true
+    (st_b.Dsm.Hdsm.protocol_msgs < st_pp.Dsm.Hdsm.protocol_msgs)
+
+let prefetch_moves_and_localizes () =
+  let d = make_batched () in
+  Dsm.Hdsm.register_range d ~range:{ Memsys.Page.first = 0; count = 16 } ~owner:0;
+  (* Partially materialize the range first. *)
+  ignore (Dsm.Hdsm.access d ~node:1 ~page:3 ~write:true);
+  let lat = Dsm.Hdsm.prefetch d ~pages:(List.init 16 Fun.id) ~to_:1 in
+  checkb "prefetch costs" true (lat > 0.0);
+  checki "only the 15 remote pages pushed" 15
+    (Dsm.Hdsm.stats d).Dsm.Hdsm.prefetched_pages;
+  checki "nothing left at the source" 0 (Dsm.Hdsm.residual_pages d ~home:0);
+  checkf "subsequent access local" 0.0
+    (Dsm.Hdsm.access d ~node:1 ~page:9 ~write:true);
+  (* Prefetching pages already at the destination is free. *)
+  checkf "idempotent free" 0.0
+    (Dsm.Hdsm.prefetch d ~pages:(List.init 16 Fun.id) ~to_:1)
+
+let adjacent_ranges_share_boundary () =
+  List.iter
+    (fun batch ->
+      let d =
+        Dsm.Hdsm.create ~batch ~nodes:2
+          ~interconnect:Machine.Interconnect.dolphin_pxh810 ()
+      in
+      Dsm.Hdsm.register_range d ~range:{ Memsys.Page.first = 0; count = 4 }
+        ~owner:0;
+      (* Overlaps the first range on page 3: first registration wins. *)
+      Dsm.Hdsm.register_range d ~range:{ Memsys.Page.first = 3; count = 4 }
+        ~owner:1;
+      checki "boundary page keeps first owner" 0 (Dsm.Hdsm.owner d ~page:3);
+      checki "remainder gets second owner" 1 (Dsm.Hdsm.owner d ~page:4);
+      (* A run crossing the ownership boundary still coheres correctly. *)
+      ignore
+        (Dsm.Hdsm.access_many d ~node:1 ~pages:[ 2; 3; 4; 5 ] ~write:true);
+      List.iter (fun p -> checki "node 1 owns after write" 1 (Dsm.Hdsm.owner d ~page:p))
+        [ 2; 3; 4; 5 ])
+    [ false; true ]
+
+(* Batched and per-page protocols must be observationally equivalent:
+   identical final coherence state and identical page/byte/invalidation
+   accounting; only latency and protocol_msgs may differ. *)
+let batch_equivalence_prop =
+  QCheck.Test.make
+    ~name:"batched transfers reach the per-page coherence state and traffic"
+    ~count:150
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let nodes = 2 + Sim.Prng.int (Sim.Prng.create seed) 2 in
+      let build batch =
+        let rng = Sim.Prng.create seed in
+        ignore (Sim.Prng.int rng 2);
+        let d =
+          Dsm.Hdsm.create ~batch ~nodes
+            ~interconnect:Machine.Interconnect.dolphin_pxh810 ()
+        in
+        (* A few lazy ranges (some adjacent) plus stray single pages. *)
+        Dsm.Hdsm.register_range d
+          ~range:{ Memsys.Page.first = 0; count = 12 }
+          ~owner:(Sim.Prng.int rng nodes);
+        Dsm.Hdsm.register_range d
+          ~range:{ Memsys.Page.first = 12; count = 8 }
+          ~owner:(Sim.Prng.int rng nodes);
+        Dsm.Hdsm.register_page d ~page:20 ~owner:(Sim.Prng.int rng nodes);
+        Dsm.Hdsm.register_alias d ~page:21;
+        for _ = 1 to 30 do
+          let node = Sim.Prng.int rng nodes in
+          let write = Sim.Prng.bool rng in
+          let first = Sim.Prng.int rng 20 in
+          let len = 1 + Sim.Prng.int rng (22 - first - 1) in
+          let pages = List.init len (fun i -> first + i) in
+          ignore (Dsm.Hdsm.access_many d ~node ~pages ~write)
+        done;
+        d
+      in
+      let d_pp = build false and d_b = build true in
+      let same_state =
+        List.for_all
+          (fun page ->
+            Dsm.Hdsm.owner d_pp ~page = Dsm.Hdsm.owner d_b ~page
+            && List.for_all
+                 (fun node ->
+                   Dsm.Hdsm.state_of d_pp ~page node
+                   = Dsm.Hdsm.state_of d_b ~page node)
+                 (List.init nodes Fun.id))
+          (List.init 21 Fun.id)
+      in
+      let s_pp = Dsm.Hdsm.stats d_pp and s_b = Dsm.Hdsm.stats d_b in
+      same_state
+      && s_pp.Dsm.Hdsm.remote_fetches = s_b.Dsm.Hdsm.remote_fetches
+      && s_pp.Dsm.Hdsm.bytes_transferred = s_b.Dsm.Hdsm.bytes_transferred
+      && s_pp.Dsm.Hdsm.invalidations = s_b.Dsm.Hdsm.invalidations
+      && s_pp.Dsm.Hdsm.local_hits = s_b.Dsm.Hdsm.local_hits)
+
 let suite =
   [
     ("fresh page exclusive at owner", `Quick, initial_exclusive);
@@ -170,5 +347,13 @@ let suite =
     ("partial drain", `Quick, drain_pages_partial);
     ("page migration localizes access", `Quick, page_migration_makes_access_local);
     ("traffic statistics", `Quick, stats_bytes_accounted);
+    ("alias guard protects data pages", `Quick, alias_guard_rejects_data_pages);
+    ("fetch_run coalesces a uniform run", `Quick, fetch_run_uniform_batches);
+    ("fetch_run refuses non-uniform runs", `Quick, fetch_run_nonuniform_refuses);
+    ("batching cheaper, same traffic", `Quick, batching_cheaper_than_per_page);
+    ("prefetch moves and localizes", `Quick, prefetch_moves_and_localizes);
+    ("adjacent ranges share a boundary page", `Quick,
+     adjacent_ranges_share_boundary);
     QCheck_alcotest.to_alcotest coherence_random_props;
+    QCheck_alcotest.to_alcotest batch_equivalence_prop;
   ]

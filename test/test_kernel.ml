@@ -384,6 +384,42 @@ let split_threads_pingpong_dsm () =
   checkb "coherence ping-pong observed" true
     (st.Dsm.Hdsm.invalidations > 5 && st.Dsm.Hdsm.remote_fetches > 5)
 
+let batched_prefetched_migration_equivalent () =
+  (* The same migration scenario under --dsm-batch --prefetch: the thread
+     still completes all its work on the destination, every page still
+     drains, and the simulated drain latency shrinks. *)
+  let scenario ~dsm_batch ~prefetch =
+    let engine = Sim.Engine.create () in
+    let pop = Kernel.Popcorn.create engine ~machines ~dsm_batch ~prefetch () in
+    let c = Kernel.Popcorn.new_container pop ~name:"c" in
+    let proc =
+      Kernel.Popcorn.spawn pop ~container:c ~node:0 ~name:"job"
+        ~footprint_bytes:(1 lsl 20) ~thread_phases:[ [] ] ()
+    in
+    let pages = Memsys.Page.ranges_pages proc.Kernel.Process.data_pages in
+    let th = List.hd proc.Kernel.Process.threads in
+    th.Kernel.Process.remaining <-
+      List.init 10 (fun i ->
+          phase ~pages:(List.filteri (fun j _ -> j mod 10 = i) pages)
+            ~writes:true 1e9);
+    Kernel.Popcorn.start pop proc;
+    Sim.Engine.schedule engine ~at:0.05 (fun () ->
+        Kernel.Popcorn.migrate pop proc ~to_node:1);
+    Sim.Engine.run engine;
+    checkb "done" false (Kernel.Process.alive proc);
+    checki "thread on node 1" 1 th.Kernel.Process.node;
+    checki "all pages drained" 0
+      (Dsm.Hdsm.residual_pages pop.Kernel.Popcorn.dsm ~home:0);
+    (pop.Kernel.Popcorn.drain_time_s,
+     (Dsm.Hdsm.stats pop.Kernel.Popcorn.dsm).Dsm.Hdsm.prefetched_pages)
+  in
+  let drain_off, pref_off = scenario ~dsm_batch:false ~prefetch:false in
+  let drain_on, pref_on = scenario ~dsm_batch:true ~prefetch:true in
+  checki "no prefetch without the flag" 0 pref_off;
+  checkb "prefetch pushed pages" true (pref_on > 0);
+  checkb "batched drain at least 2x faster" true
+    (drain_off > 2.0 *. drain_on && drain_on > 0.0)
+
 let suite =
   [
     ("message delivery and accounting", `Quick, message_delivery_latency);
@@ -407,4 +443,6 @@ let suite =
     ("migration message traffic accounted", `Quick,
      message_traffic_accounted_during_migration);
     ("split threads ping-pong the DSM", `Quick, split_threads_pingpong_dsm);
+    ("batched+prefetched migration equivalent", `Quick,
+     batched_prefetched_migration_equivalent);
   ]
