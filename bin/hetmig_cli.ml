@@ -307,6 +307,88 @@ let state_map_cmd =
        ~doc:"Verify the paper's Section-3 state-class mappings on a binary")
     Term.(const run $ bench_arg $ cls_arg)
 
+(* --- lint ------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run json rules workloads jobs seq list_rules =
+    if list_rules then begin
+      Format.printf "%-32s %-8s %s@." "RULE" "SEVERITY" "DESCRIPTION";
+      List.iter
+        (fun (id, sev, desc) ->
+          Format.printf "%-32s %-8s %s@." id
+            (Analysis.Diagnostic.severity_to_string sev)
+            desc)
+        Analysis.Lint.rules
+    end
+    else begin
+      List.iter
+        (fun id ->
+          if not (Analysis.Lint.is_rule id) then begin
+            Format.eprintf "unknown rule %s (hetmig lint --list-rules)@." id;
+            exit 2
+          end)
+        rules;
+      let targets =
+        match workloads with
+        | [] -> Analysis.Lint.all_targets
+        | names ->
+          List.map
+            (fun name ->
+              match Analysis.Lint.target_of_name name with
+              | Some t -> t
+              | None ->
+                Format.eprintf "unknown workload %s (want e.g. cg.A)@." name;
+                exit 2)
+            names
+      in
+      let rules = match rules with [] -> None | ids -> Some ids in
+      let jobs = if seq then Some 1 else jobs in
+      let diags = Analysis.Lint.run ?rules ~targets ?jobs () in
+      if json then print_string (Analysis.Diagnostic.report_to_json diags)
+      else Analysis.Diagnostic.pp_report Format.std_formatter diags;
+      if Analysis.Diagnostic.errors diags > 0 then exit 1
+    end
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the report as deterministic JSON (byte-stable \
+                   across $(b,--jobs) values).")
+  in
+  let rules =
+    Arg.(value & opt_all string []
+         & info [ "rule" ] ~docv:"RULE"
+             ~doc:"Check only this rule id (repeatable).")
+  in
+  let workloads =
+    Arg.(value & opt_all string []
+         & info [ "workload" ] ~docv:"NAME"
+             ~doc:"Lint only this workload, e.g. cg.A (repeatable; default: \
+                   every benchmark and class).")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Domains to lint targets on (default: HETMIG_JOBS or the \
+                   machine's core count).")
+  in
+  let seq =
+    Arg.(value & flag
+         & info [ "seq" ] ~doc:"Lint sequentially (same as --jobs 1).")
+  in
+  let list_rules =
+    Arg.(value & flag
+         & info [ "list-rules" ] ~doc:"Print the rule registry and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Verify migratability invariants of the benchmark programs: IR \
+          well-formedness, stackmap coverage, unwind/frame soundness, \
+          cross-ISA layout alignment, and DSM race freedom. Exits 1 when \
+          any error-severity diagnostic fires.")
+    Term.(const run $ json $ rules $ workloads $ jobs $ seq $ list_rules)
+
 (* --- experiment ---------------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -347,4 +429,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ compile_cmd; migrate_cmd; emulation_cmd; schedule_cmd;
-            state_map_cmd; trace_cmd; experiment_cmd ]))
+            state_map_cmd; trace_cmd; lint_cmd; experiment_cmd ]))

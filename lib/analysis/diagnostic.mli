@@ -1,0 +1,61 @@
+(** Structured diagnostics shared by every [hetmig lint] pass.
+
+    A diagnostic pins a rule violation to a location — the program (or
+    workload) being analysed, optionally a function within it and a site
+    within the function — with a severity and a human-readable message.
+    Two renderers exist: a compact human format for terminals, and a
+    deterministic JSON format (stable field order, sorted output) that CI
+    archives and diff-checks across sequential and parallel runs. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+(** ["error"] / ["warning"] / ["info"]. *)
+
+type location = {
+  prog : string;  (** program or workload under analysis, e.g. ["is.A"] *)
+  func : string option;  (** function within the program *)
+  site : string option;  (** equivalence point / symbol / page *)
+}
+
+type t = {
+  rule : string;  (** rule id, e.g. ["stackmap-missing-entry"] *)
+  severity : severity;
+  loc : location;
+  message : string;
+}
+
+val make :
+  rule:string ->
+  severity:severity ->
+  prog:string ->
+  ?func:string ->
+  ?site:string ->
+  string ->
+  t
+
+val compare : t -> t -> int
+(** Order by location, then rule, then message — the canonical report
+    order, independent of pass scheduling. *)
+
+val errors : t list -> int
+val warnings : t list -> int
+
+val pp : Format.formatter -> t -> unit
+(** One line: [severity rule prog[/func][@site]: message]. *)
+
+val pp_report : Format.formatter -> t list -> unit
+(** All diagnostics in canonical order followed by a summary line. *)
+
+val json_escape : string -> string
+
+val to_json : t -> string
+(** One JSON object with fixed field order:
+    [{"rule":...,"severity":...,"prog":...,"func":...,"site":...,"message":...}]
+    ([func]/[site] rendered as [null] when absent). *)
+
+val report_to_json : t list -> string
+(** A complete report:
+    [{"errors":N,"warnings":N,"infos":N,"diagnostics":[...]}] with the
+    diagnostics in canonical order. Deterministic byte-for-byte for a
+    given diagnostic set. *)

@@ -1,0 +1,171 @@
+module D = Diagnostic
+
+let rules =
+  [
+    ("ir-missing-entry", D.Error, "the program's entry function is not defined");
+    ("ir-duplicate-function", D.Error, "two functions share a name");
+    ("ir-undefined-use", D.Error, "a variable is used before any definition");
+    ("ir-unknown-callee", D.Error, "a call site targets an unknown function");
+    ("ir-call-arity", D.Error, "a call passes a different argument count than the callee declares");
+    ("ir-call-arg-type", D.Error, "a call argument's type disagrees with the callee's parameter type");
+    ("ir-duplicate-site", D.Error, "two equivalence points in one function share an id");
+    ("ir-loop-trips", D.Error, "a loop has a non-positive trip count");
+    ("ir-pointer-type", D.Error, "a pointer-initialized local is not typed Ptr");
+    ("ir-unknown-global", D.Error, "a pointer initializer targets an undefined global symbol");
+    ("ir-unreachable-function", D.Warning, "a non-library function is unreachable from the entry");
+  ]
+
+let site_str kind id =
+  match (kind : Ir.Liveness.site_kind) with
+  | Ir.Liveness.At_call -> Printf.sprintf "call:%d" id
+  | Ir.Liveness.At_mig_point -> Printf.sprintf "mig-point:%d" id
+
+(* Walk a body, visiting every statement (loops descended once). *)
+let rec iter_stmts f body =
+  List.iter
+    (fun stmt ->
+      f stmt;
+      match stmt with
+      | Ir.Prog.Loop l -> iter_stmts f l.Ir.Prog.body
+      | Ir.Prog.Work _ | Ir.Prog.Def _ | Ir.Prog.Use _ | Ir.Prog.Call _
+      | Ir.Prog.Mig_point _ -> ())
+    body
+
+let check_func ~label ~prog ~globals (func : Ir.Prog.func) =
+  let fname = func.Ir.Prog.fname in
+  let out = ref [] in
+  let emit ~rule ~severity ?site msg =
+    out := D.make ~rule ~severity ~prog:label ~func:fname ?site msg :: !out
+  in
+  (match Ir.Liveness.check_uses_defined func with
+  | Ok _ -> ()
+  | Error var ->
+      emit ~rule:"ir-undefined-use" ~severity:D.Error
+        (Printf.sprintf "variable %s is used before any definition" var));
+  let types =
+    List.fold_left
+      (fun m v -> (v.Ir.Prog.vname, v.Ir.Prog.ty) :: m)
+      [] (Ir.Prog.locals func)
+  in
+  let seen_sites = Hashtbl.create 16 in
+  iter_stmts
+    (fun stmt ->
+      match stmt with
+      | Ir.Prog.Work _ | Ir.Prog.Use _ -> ()
+      | Ir.Prog.Loop l ->
+          if l.Ir.Prog.trips < 1 then
+            emit ~rule:"ir-loop-trips" ~severity:D.Error
+              (Printf.sprintf "loop has trip count %d (must be >= 1)"
+                 l.Ir.Prog.trips)
+      | Ir.Prog.Mig_point id ->
+          let key = (Ir.Liveness.At_mig_point, id) in
+          if Hashtbl.mem seen_sites key then
+            emit ~rule:"ir-duplicate-site" ~severity:D.Error
+              ~site:(site_str Ir.Liveness.At_mig_point id)
+              "duplicate migration-point id"
+          else Hashtbl.add seen_sites key ()
+      | Ir.Prog.Def v -> begin
+          match v.Ir.Prog.init with
+          | Ir.Prog.Scalar -> ()
+          | Ir.Prog.Ptr_to_heap _ | Ir.Prog.Ptr_to_local _
+          | Ir.Prog.Ptr_to_global _ ->
+              if v.Ir.Prog.ty <> Ir.Ty.Ptr then
+                emit ~rule:"ir-pointer-type" ~severity:D.Error
+                  (Printf.sprintf
+                     "local %s has a pointer initializer but type %s"
+                     v.Ir.Prog.vname
+                     (Ir.Ty.to_string v.Ir.Prog.ty));
+              (match v.Ir.Prog.init with
+              | Ir.Prog.Ptr_to_global g when not (List.mem g globals) ->
+                  emit ~rule:"ir-unknown-global" ~severity:D.Error
+                    (Printf.sprintf "local %s points to undefined global %s"
+                       v.Ir.Prog.vname g)
+              | _ -> ())
+        end
+      | Ir.Prog.Call c ->
+          let site = site_str Ir.Liveness.At_call c.Ir.Prog.site_id in
+          let key = (Ir.Liveness.At_call, c.Ir.Prog.site_id) in
+          if Hashtbl.mem seen_sites key then
+            emit ~rule:"ir-duplicate-site" ~severity:D.Error ~site
+              "duplicate call-site id"
+          else Hashtbl.add seen_sites key ();
+          begin
+            match List.assoc_opt c.Ir.Prog.callee prog.Ir.Prog.funcs with
+            | None ->
+                emit ~rule:"ir-unknown-callee" ~severity:D.Error ~site
+                  (Printf.sprintf "call targets unknown function %s"
+                     c.Ir.Prog.callee)
+            | Some callee ->
+                let params = callee.Ir.Prog.params in
+                let n_args = List.length c.Ir.Prog.args in
+                let n_params = List.length params in
+                if n_args <> n_params then
+                  emit ~rule:"ir-call-arity" ~severity:D.Error ~site
+                    (Printf.sprintf "%s expects %d argument(s), %d passed"
+                       c.Ir.Prog.callee n_params n_args)
+                else
+                  List.iter2
+                    (fun arg param ->
+                      match List.assoc_opt arg types with
+                      | None -> () (* reported as ir-undefined-use *)
+                      | Some ty ->
+                          if ty <> param.Ir.Prog.ty then
+                            emit ~rule:"ir-call-arg-type" ~severity:D.Error
+                              ~site
+                              (Printf.sprintf
+                                 "argument %s has type %s, %s's parameter %s \
+                                  expects %s"
+                                 arg (Ir.Ty.to_string ty) c.Ir.Prog.callee
+                                 param.Ir.Prog.vname
+                                 (Ir.Ty.to_string param.Ir.Prog.ty)))
+                    c.Ir.Prog.args params
+          end)
+    func.Ir.Prog.body;
+  !out
+
+let check ?label (prog : Ir.Prog.t) =
+  let label = match label with Some l -> l | None -> prog.Ir.Prog.name in
+  let out = ref [] in
+  let emit ~rule ~severity ?func msg =
+    out := D.make ~rule ~severity ~prog:label ?func msg :: !out
+  in
+  let globals =
+    List.map (fun s -> s.Memsys.Symbol.name) prog.Ir.Prog.globals
+  in
+  if not (List.mem_assoc prog.Ir.Prog.entry prog.Ir.Prog.funcs) then
+    emit ~rule:"ir-missing-entry" ~severity:D.Error
+      (Printf.sprintf "entry function %s is not defined" prog.Ir.Prog.entry);
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then
+        emit ~rule:"ir-duplicate-function" ~severity:D.Error ~func:name
+          "function name defined more than once"
+      else Hashtbl.add seen name ())
+    prog.Ir.Prog.funcs;
+  List.iter
+    (fun (_, func) ->
+      out := check_func ~label ~prog ~globals func @ !out)
+    prog.Ir.Prog.funcs;
+  (* Reachability needs a structurally valid call graph; skip it when the
+     program already has unknown callees or a missing entry. *)
+  if
+    not
+      (List.exists
+         (fun (d : D.t) ->
+           d.D.rule = "ir-unknown-callee" || d.D.rule = "ir-missing-entry")
+         !out)
+  then begin
+    let cg = Ir.Callgraph.build prog in
+    let reachable = Ir.Callgraph.reachable cg prog.Ir.Prog.entry in
+    List.iter
+      (fun (name, func) ->
+        if
+          (not (List.mem name reachable))
+          && not func.Ir.Prog.is_library
+        then
+          emit ~rule:"ir-unreachable-function" ~severity:D.Warning ~func:name
+            "function is unreachable from the entry point")
+      prog.Ir.Prog.funcs
+  end;
+  List.rev !out

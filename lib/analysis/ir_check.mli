@@ -1,0 +1,17 @@
+(** Pass 1: IR well-formedness.
+
+    Type-checks every function of a program: variable uses dominated by
+    definitions (via {!Ir.Liveness.check_uses_defined}), call sites
+    matching their callee's signature, pointer initializers typed [Ptr]
+    and targeting things that exist, loops with positive trip counts —
+    plus whole-program reachability (functions the entry can never reach
+    are reported, not silently carried). The constructors in {!Ir.Prog}
+    reject some of these shapes at build time; the linter re-checks them
+    so that tampered or hand-built programs get diagnostics instead of
+    exceptions. *)
+
+val rules : (string * Diagnostic.severity * string) list
+(** (rule id, severity, description) for every rule this pass can emit. *)
+
+val check : ?label:string -> Ir.Prog.t -> Diagnostic.t list
+(** [label] defaults to the program's own name. *)

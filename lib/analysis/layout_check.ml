@@ -1,0 +1,140 @@
+module D = Diagnostic
+
+let rules =
+  [
+    ("layout-address-mismatch", D.Error, "a symbol is placed at different addresses on the two ISAs");
+    ("layout-missing-symbol", D.Error, "a symbol is placed in one per-ISA layout only");
+    ("layout-size-mismatch", D.Error, "a data/TLS symbol's size differs across ISAs");
+    ("layout-overlap", D.Error, "two placements overlap or escape their section");
+    ("layout-text-alias", D.Error, "the per-ISA .text ranges cannot be aliased page-for-page");
+    ("layout-tls-scheme", D.Error, "a per-ISA binary does not use the unified TLS scheme");
+    ("layout-tls-incompatible", D.Error, "the per-ISA TLS layouts assign different offsets");
+    ("layout-entry-mismatch", D.Error, "the per-ISA ELF entry points differ");
+  ]
+
+let arch_str = Isa.Arch.to_string
+
+let check_aligned ~label (aligned : Binary.Align.t) =
+  let out = ref [] in
+  let emit ~rule ?site msg =
+    out := D.make ~rule ~severity:D.Error ~prog:label ?site msg :: !out
+  in
+  let layouts = aligned.Binary.Align.layouts in
+  (* Per-layout structural soundness. *)
+  List.iter
+    (fun (arch, layout) ->
+      match Binary.Layout.check_no_overlap layout with
+      | Ok () -> ()
+      | Error msg ->
+          emit ~rule:"layout-overlap" (Printf.sprintf "%s: %s" (arch_str arch) msg))
+    layouts;
+  (* Pairwise symbol agreement against the first layout. *)
+  (match layouts with
+  | [] | [ _ ] -> ()
+  | (arch_a, la) :: rest ->
+      let index_of (l : Binary.Layout.t) =
+        let tbl = Hashtbl.create 64 in
+        List.iter
+          (fun (p : Binary.Layout.placed) ->
+            Hashtbl.replace tbl p.Binary.Layout.symbol.Memsys.Symbol.name p)
+          l.Binary.Layout.placed;
+        tbl
+      in
+      let ta = index_of la in
+      List.iter
+        (fun (arch_b, lb) ->
+          let tb = index_of lb in
+          List.iter
+            (fun (pa : Binary.Layout.placed) ->
+              let name = pa.Binary.Layout.symbol.Memsys.Symbol.name in
+              match Hashtbl.find_opt tb name with
+              | None ->
+                  emit ~rule:"layout-missing-symbol" ~site:name
+                    (Printf.sprintf "placed on %s but absent from %s"
+                       (arch_str arch_a) (arch_str arch_b))
+              | Some pb ->
+                  if pa.Binary.Layout.addr <> pb.Binary.Layout.addr then
+                    emit ~rule:"layout-address-mismatch" ~site:name
+                      (Printf.sprintf "0x%x on %s but 0x%x on %s"
+                         pa.Binary.Layout.addr (arch_str arch_a)
+                         pb.Binary.Layout.addr (arch_str arch_b));
+                  let sym_a = pa.Binary.Layout.symbol in
+                  let sym_b = pb.Binary.Layout.symbol in
+                  if
+                    (not (Memsys.Symbol.is_function sym_a))
+                    && sym_a.Memsys.Symbol.size <> sym_b.Memsys.Symbol.size
+                  then
+                    emit ~rule:"layout-size-mismatch" ~site:name
+                      (Printf.sprintf
+                         "%d bytes on %s but %d bytes on %s — data symbols \
+                          must agree"
+                         sym_a.Memsys.Symbol.size (arch_str arch_a)
+                         sym_b.Memsys.Symbol.size (arch_str arch_b)))
+            la.Binary.Layout.placed;
+          List.iter
+            (fun (pb : Binary.Layout.placed) ->
+              let name = pb.Binary.Layout.symbol.Memsys.Symbol.name in
+              if not (Hashtbl.mem ta name) then
+                emit ~rule:"layout-missing-symbol" ~site:name
+                  (Printf.sprintf "placed on %s but absent from %s"
+                     (arch_str arch_b) (arch_str arch_a)))
+            lb.Binary.Layout.placed;
+          (* Aliasing requires the two .text images to cover the same
+             address range, page-for-page. *)
+          let bounds l =
+            List.assoc_opt Memsys.Symbol.Text l.Binary.Layout.section_bounds
+          in
+          match (bounds la, bounds lb) with
+          | Some (s_a, e_a), Some (s_b, e_b)
+            when s_a <> s_b || e_a <> e_b ->
+              emit ~rule:"layout-text-alias" ~site:".text"
+                (Printf.sprintf
+                   "[0x%x,0x%x) on %s but [0x%x,0x%x) on %s" s_a e_a
+                   (arch_str arch_a) s_b e_b (arch_str arch_b))
+          | _ -> ())
+        rest);
+  List.rev !out
+
+let check ?label (t : Compiler.Toolchain.t) =
+  let label =
+    match label with Some l -> l | None -> t.Compiler.Toolchain.prog.Ir.Prog.name
+  in
+  let out = ref (check_aligned ~label t.Compiler.Toolchain.aligned) in
+  let emit ~rule ?site msg =
+    out := !out @ [ D.make ~rule ~severity:D.Error ~prog:label ?site msg ]
+  in
+  List.iter
+    (fun (p : Compiler.Toolchain.per_isa) ->
+      if p.Compiler.Toolchain.tls.Memsys.Tls.scheme <> Memsys.Tls.Common_x86
+      then
+        emit ~rule:"layout-tls-scheme"
+          (Printf.sprintf "%s binary does not use the Common_x86 TLS scheme"
+             (arch_str p.Compiler.Toolchain.arch)))
+    t.Compiler.Toolchain.isas;
+  (match t.Compiler.Toolchain.isas with
+  | [] | [ _ ] -> ()
+  | a :: rest ->
+      List.iter
+        (fun (b : Compiler.Toolchain.per_isa) ->
+          if
+            not
+              (Memsys.Tls.compatible a.Compiler.Toolchain.tls
+                 b.Compiler.Toolchain.tls)
+          then
+            emit ~rule:"layout-tls-incompatible"
+              (Printf.sprintf
+                 "TLS offsets differ between %s and %s — L^A <> L^B"
+                 (arch_str a.Compiler.Toolchain.arch)
+                 (arch_str b.Compiler.Toolchain.arch));
+          if
+            a.Compiler.Toolchain.elf.Binary.Elf.entry
+            <> b.Compiler.Toolchain.elf.Binary.Elf.entry
+          then
+            emit ~rule:"layout-entry-mismatch"
+              (Printf.sprintf "ELF entry 0x%x on %s but 0x%x on %s"
+                 a.Compiler.Toolchain.elf.Binary.Elf.entry
+                 (arch_str a.Compiler.Toolchain.arch)
+                 b.Compiler.Toolchain.elf.Binary.Elf.entry
+                 (arch_str b.Compiler.Toolchain.arch)))
+        rest);
+  !out

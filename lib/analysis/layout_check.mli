@@ -1,0 +1,18 @@
+(** Pass 4: cross-ISA layout alignment.
+
+    Re-verifies the alignment tool's defining property on a compiled
+    binary (paper Section 5.2.2): every symbol at the same virtual
+    address in every per-ISA layout, data/TLS symbols additionally the
+    same size, no overlapping placements, the [.text] ranges aliased
+    page-for-page, the unified TLS scheme in force, and the two ELF
+    entry points equal. Unlike {!Binary.Align.check_aligned}, every
+    violation becomes its own diagnostic. *)
+
+val rules : (string * Diagnostic.severity * string) list
+
+val check_aligned : label:string -> Binary.Align.t -> Diagnostic.t list
+(** Layout-only checks (addresses, sizes, overlaps, text bounds) —
+    callable on a tampered {!Binary.Align.t} without a full binary. *)
+
+val check : ?label:string -> Compiler.Toolchain.t -> Diagnostic.t list
+(** {!check_aligned} plus TLS-scheme and ELF-entry agreement. *)

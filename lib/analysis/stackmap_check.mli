@@ -1,0 +1,31 @@
+(** Pass 2: stackmap coverage.
+
+    Every live variable at every equivalence point must have a stackmap
+    entry on both ISAs, the recorded location must be ABI-valid for its
+    ISA (a callee-saved register of the right class, or a properly
+    aligned slot inside the frame), the entry must agree with the
+    backend's own frame layout, and the two ISAs must describe the same
+    sites with the same variables at the same types. Cross-ISA structural
+    disagreements come from {!Compiler.Stackmap.diff_sites} — every
+    mismatch becomes a diagnostic, not a single exception. *)
+
+val rules : (string * Diagnostic.severity * string) list
+
+val check_isa :
+  label:string ->
+  prog:Ir.Prog.t ->
+  Compiler.Toolchain.per_isa ->
+  Diagnostic.t list
+(** Single-ISA checks: coverage against liveness, ABI validity, frame
+    agreement. [prog] must be the {e instrumented} program the metadata
+    was generated from. *)
+
+val check_pair :
+  label:string ->
+  Compiler.Toolchain.per_isa ->
+  Compiler.Toolchain.per_isa ->
+  Diagnostic.t list
+(** Cross-ISA checks: site-set agreement and per-variable type equality. *)
+
+val check : ?label:string -> Compiler.Toolchain.t -> Diagnostic.t list
+(** All of the above over every ISA and ISA pair of a compiled binary. *)

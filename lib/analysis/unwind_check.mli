@@ -1,0 +1,20 @@
+(** Pass 3: unwind / frame soundness.
+
+    Walks every function's unwind rule and the acyclic call chains of the
+    program checking that frames compose: frame sizes positive and
+    stack-aligned (so the CFA chain is strictly monotone), the return
+    address inside the frame record, callee-saved register save slots
+    inside the frame and disjoint from each other and from live-value
+    slots, and the deepest call chain within the half-stack budget the
+    transformation runtime gets (the other half holds the rewritten
+    frames, paper Section 5.3). *)
+
+val rules : (string * Diagnostic.severity * string) list
+
+val check_isa :
+  label:string ->
+  prog:Ir.Prog.t ->
+  Compiler.Toolchain.per_isa ->
+  Diagnostic.t list
+
+val check : ?label:string -> Compiler.Toolchain.t -> Diagnostic.t list

@@ -42,17 +42,110 @@ let find entries ~fname ~key:(kind, site_id) =
   in
   Hashtbl.find_opt tbl (fname, kind, site_id)
 
+type mismatch =
+  | Site_missing of {
+      fname : string;
+      kind : Ir.Liveness.site_kind;
+      site_id : int;
+      missing_in : [ `First | `Second ];
+    }
+  | Site_order of { fname : string; kind : Ir.Liveness.site_kind; site_id : int }
+  | Live_set of {
+      fname : string;
+      kind : Ir.Liveness.site_kind;
+      site_id : int;
+      only_in_first : string list;
+      only_in_second : string list;
+    }
+
+let site_kind_string = function
+  | Ir.Liveness.At_call -> "call"
+  | Ir.Liveness.At_mig_point -> "mig-point"
+
+let pp_mismatch ppf = function
+  | Site_missing { fname; kind; site_id; missing_in } ->
+    Format.fprintf ppf "%s %s#%d only in the %s metadata set" fname
+      (site_kind_string kind) site_id
+      (match missing_in with `First -> "second" | `Second -> "first")
+  | Site_order { fname; kind; site_id } ->
+    Format.fprintf ppf "%s %s#%d appears at different sequence positions"
+      fname (site_kind_string kind) site_id
+  | Live_set { fname; kind; site_id; only_in_first; only_in_second } ->
+    let side label = function
+      | [] -> ""
+      | names -> Printf.sprintf " %s: %s" label (String.concat "," names)
+    in
+    Format.fprintf ppf "%s %s#%d live sets disagree%s%s" fname
+      (site_kind_string kind) site_id
+      (side "only-first" only_in_first)
+      (side "only-second" only_in_second)
+
+let entry_key e = (e.fname, e.kind, e.site_id)
+
+(* Exhaustive, deterministic: walk [a] in order reporting entries missing
+   or displaced in [b] and live-set disagreements, then [b] for entries
+   [a] lacks. *)
+let diff_sites a b =
+  let pos_b = Hashtbl.create (List.length b) in
+  List.iteri (fun i e -> Hashtbl.replace pos_b (entry_key e) (i, e)) b;
+  let keys_a = Hashtbl.create (List.length a) in
+  List.iter (fun e -> Hashtbl.replace keys_a (entry_key e) ()) a;
+  let fwd =
+    List.concat
+      (List.mapi
+         (fun i ea ->
+           let fname = ea.fname and kind = ea.kind and site_id = ea.site_id in
+           match Hashtbl.find_opt pos_b (entry_key ea) with
+           | None -> [ Site_missing { fname; kind; site_id; missing_in = `Second } ]
+           | Some (j, eb) ->
+             let order =
+               if i <> j then [ Site_order { fname; kind; site_id } ] else []
+             in
+             let na = List.map fst ea.live and nb = List.map fst eb.live in
+             if na = nb then order
+             else begin
+               let only_in_first = List.filter (fun n -> not (List.mem n nb)) na in
+               let only_in_second = List.filter (fun n -> not (List.mem n na)) nb in
+               order
+               @ [ Live_set { fname; kind; site_id; only_in_first; only_in_second } ]
+             end)
+         a)
+  in
+  let bwd =
+    List.filter_map
+      (fun eb ->
+        if Hashtbl.mem keys_a (entry_key eb) then None
+        else
+          Some
+            (Site_missing
+               { fname = eb.fname; kind = eb.kind; site_id = eb.site_id;
+                 missing_in = `First }))
+      b
+  in
+  fwd @ bwd
+
+let join_sites a b =
+  let mismatches = diff_sites a b in
+  let by_key = Hashtbl.create (List.length b) in
+  List.iter (fun e -> Index.add_first by_key (entry_key e) e) b;
+  let pairs =
+    List.filter_map
+      (fun ea ->
+        match Hashtbl.find_opt by_key (entry_key ea) with
+        | Some eb when List.map fst ea.live = List.map fst eb.live ->
+          Some (ea, eb)
+        | Some _ | None -> None)
+      a
+  in
+  (pairs, mismatches)
+
 let common_sites a b =
-  let key e = (e.fname, e.kind, e.site_id) in
-  if List.map key a <> List.map key b then
-    invalid_arg "Stackmap.common_sites: metadata sets disagree on sites";
-  List.map2
-    (fun ea eb ->
-      let names e = List.map fst e.live in
-      if names ea <> names eb then
-        invalid_arg
-          (Printf.sprintf
-             "Stackmap.common_sites: %s site %d disagrees on live variables"
-             ea.fname ea.site_id);
-      (ea, eb))
-    a b
+  match join_sites a b with
+  | pairs, [] -> pairs
+  | _, (first :: _ as mismatches) ->
+    invalid_arg
+      (Format.asprintf
+         "Stackmap.common_sites: metadata sets disagree (%d mismatch%s): %a"
+         (List.length mismatches)
+         (if List.length mismatches = 1 then "" else "es")
+         pp_mismatch first)

@@ -25,8 +25,48 @@ val generate : Ir.Prog.func -> Backend.frame -> entry list
 
 val find : entry list -> fname:string -> key:site_key -> entry option
 
+(** {1 Cross-ISA agreement}
+
+    Multi-ISA binaries are compiled from the same IR, so the per-ISA
+    metadata sets must describe the same equivalence points with the same
+    live-variable names. A violated invariant used to surface as a single
+    [Invalid_argument] from {!common_sites}; {!diff_sites} instead reports
+    {e every} disagreement, which is what the static verifier
+    ([hetmig lint]) renders as diagnostics and what the transformation
+    runtime uses for precise error messages. *)
+
+type mismatch =
+  | Site_missing of {
+      fname : string;
+      kind : Ir.Liveness.site_kind;
+      site_id : int;
+      missing_in : [ `First | `Second ];
+    }  (** a (function, site) present in one metadata set only *)
+  | Site_order of { fname : string; kind : Ir.Liveness.site_kind; site_id : int }
+      (** both sets contain the site but at different sequence positions —
+          the per-ISA backends disagree on syntactic site order *)
+  | Live_set of {
+      fname : string;
+      kind : Ir.Liveness.site_kind;
+      site_id : int;
+      only_in_first : string list;
+      only_in_second : string list;
+    }  (** the two ISAs disagree on which variables are live at the site *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+val diff_sites : entry list -> entry list -> mismatch list
+(** Exhaustive comparison of two per-ISA metadata sets: every missing
+    site, out-of-order site, and live-set disagreement, in a deterministic
+    order. [[]] means the sets agree (the {!common_sites} precondition). *)
+
+val join_sites : entry list -> entry list -> (entry * entry) list * mismatch list
+(** Pair up the entries that {e do} agree (same (function, kind, site) key
+    and same live-variable names), alongside the full mismatch report.
+    With an empty report the pairs cover both sets in order. *)
+
 val common_sites : entry list -> entry list -> (entry * entry) list
-(** Pair up entries describing the same (function, site) on two ISAs.
-    Raises [Invalid_argument] if the two metadata sets disagree on which
-    sites exist or on the live-variable names at any site — multi-ISA
-    binaries are compiled from the same IR, so they must agree. *)
+(** Raising wrapper over {!join_sites} kept for compatibility: pairs up
+    entries describing the same (function, site) on two ISAs and raises
+    [Invalid_argument] with the first mismatch (and the total mismatch
+    count) if the sets disagree in any way. *)

@@ -38,6 +38,10 @@ type range_info = {
       (** pages of this range that now have a per-page entry *)
 }
 
+type observation =
+  | Obs_access of { node : node; page : int; write : bool }
+  | Obs_sync of { src : node; dst : node }
+
 type t = {
   nodes : int;
   interconnect : Machine.Interconnect.t;
@@ -45,6 +49,7 @@ type t = {
   batch : bool;
   pages : (int, entry) Hashtbl.t;
   mutable ranges : range_info array;  (** sorted by [r_first], disjoint *)
+  mutable observer : (observation -> unit) option;
   st : stats;
 }
 
@@ -59,12 +64,15 @@ let create ?(handler_latency_s = 50e-6) ?(batch = false) ~nodes ~interconnect
     batch;
     pages = Hashtbl.create 1024;
     ranges = [||];
+    observer = None;
     st =
       { local_hits = 0; remote_fetches = 0; invalidations = 0;
         bytes_transferred = 0; protocol_msgs = 0; prefetched_pages = 0 };
   }
 
 let batching t = t.batch
+
+let set_observer t obs = t.observer <- obs
 
 let check_node t node =
   if node < 0 || node >= t.nodes then
@@ -181,9 +189,30 @@ let batch_latency t ~pages =
 let invalidation_latency t =
   t.handler_latency_s +. t.interconnect.Machine.Interconnect.latency_s
 
+(* Emit the observation events of one access against the {e pre-mutation}
+   coherence state: the ordering edges are exactly the protocol messages
+   the access is about to trigger (fetch from the owner on a read miss;
+   an invalidation ack from every other copy holder on a write). *)
+let observe_access t e ~node ~page ~write =
+  match t.observer with
+  | None -> ()
+  | Some f ->
+    if not e.aliased then begin
+      let has_copy = has e.copies node in
+      if write && not (has_copy && e.exclusive && e.owner = node) then begin
+        for c = 0 to t.nodes - 1 do
+          if c <> node && has e.copies c then f (Obs_sync { src = c; dst = node })
+        done
+      end
+      else if (not write) && not has_copy then
+        f (Obs_sync { src = e.owner; dst = node })
+    end;
+    f (Obs_access { node; page; write })
+
 let access t ~node ~page ~write =
   check_node t node;
   let e = entry t page in
+  observe_access t e ~node ~page ~write;
   if e.aliased then begin
     t.st.local_hits <- t.st.local_hits + 1;
     0.0
@@ -246,6 +275,15 @@ let fetch_run t ~node ~first ~count ~write =
   in
   if not uniform then None
   else begin
+    (* One coalesced protocol message from the common owner carries every
+       page of the run: a single ordering edge, one access per page. *)
+    (match t.observer with
+    | None -> ()
+    | Some f ->
+      f (Obs_sync { src = entries.(0).owner; dst = node });
+      Array.iteri
+        (fun i _ -> f (Obs_access { node; page = first + i; write }))
+        entries);
     Array.iter
       (fun e ->
         if write then begin
@@ -283,7 +321,7 @@ let take_run pages =
    entry anyway, so sweep it without creating per-page entries. The
    [Hashtbl.mem] probes guard the (never-seen in practice) case of a page
    individually registered inside a range's interval. *)
-let owner_sweep t ~node ~first ~count ~write:_ =
+let owner_sweep t ~node ~first ~count ~write =
   match find_range t first with
   | Some r
     when r.r_owner = node
@@ -294,6 +332,12 @@ let owner_sweep t ~node ~first ~count ~write:_ =
       if Hashtbl.mem t.pages page then clean := false
     done;
     if !clean then begin
+      (match t.observer with
+      | None -> ()
+      | Some f ->
+        for page = first to first + count - 1 do
+          f (Obs_access { node; page; write })
+        done);
       t.st.local_hits <- t.st.local_hits + count;
       true
     end
@@ -366,6 +410,11 @@ let drain t ~from_ ~to_ =
   check_node t from_;
   check_node t to_;
   let pages = pages_owned_by t from_ in
+  (* The bulk transfer is one message stream from the old home: a single
+     ordering edge covers every page it carries. *)
+  (match (t.observer, pages) with
+  | Some f, _ :: _ -> f (Obs_sync { src = from_; dst = to_ })
+  | _ -> ());
   List.iter
     (fun page ->
       let e = entry t page in
@@ -385,6 +434,9 @@ let move_page t to_ page =
   let e = entry t page in
   if e.aliased || e.owner = to_ then false
   else begin
+    (match t.observer with
+    | None -> ()
+    | Some f -> f (Obs_sync { src = e.owner; dst = to_ }));
     e.owner <- to_;
     e.copies <- bit to_;
     e.exclusive <- true;

@@ -134,3 +134,21 @@ val prefetch : t -> pages:int list -> to_:node -> float
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+(** {1 Observation}
+
+    The static-analysis race detector replays hDSM access logs through a
+    vector-clock happens-before checker. An observer receives one event
+    per page access and one per protocol-induced ordering edge (page
+    fetch, invalidation, drain/prefetch transfer) — the messages that
+    order conflicting accesses in a coherent execution. With no observer
+    installed the hot paths pay a single [None] check. *)
+
+type observation =
+  | Obs_access of { node : node; page : int; write : bool }
+      (** an application access to a data page *)
+  | Obs_sync of { src : node; dst : node }
+      (** a protocol message whose delivery orders everything [src] did
+          before it ahead of everything [dst] does after it *)
+
+val set_observer : t -> (observation -> unit) option -> unit

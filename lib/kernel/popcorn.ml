@@ -27,6 +27,8 @@ type t = {
   mutable thread_hooks : (Process.t -> Process.thread -> unit) list;
   mutable abort_hooks : (Process.t -> Process.thread -> dest:int -> unit) list;
   mutable crash_hooks : (int -> Process.t list -> unit) list;
+  mutable migrated_hooks :
+    (Process.t -> Process.thread -> from_:int -> to_:int -> unit) list;
 }
 
 let node_of_arch t arch =
@@ -169,6 +171,7 @@ let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
       thread_hooks = [];
       abort_hooks = [];
       crash_hooks = [];
+      migrated_hooks = [];
     }
   in
   (match injector with
@@ -275,6 +278,7 @@ let on_process_exit t hook = t.exit_hooks <- hook :: t.exit_hooks
 let on_thread_finish t hook = t.thread_hooks <- hook :: t.thread_hooks
 let on_migration_abort t hook = t.abort_hooks <- hook :: t.abort_hooks
 let on_node_crash t hook = t.crash_hooks <- hook :: t.crash_hooks
+let on_thread_migrated t hook = t.migrated_hooks <- hook :: t.migrated_hooks
 
 let arch_of t id = t.nodes.(id).machine.Machine.Server.arch
 
@@ -447,6 +451,9 @@ and begin_migration t proc th dest =
                   th.Process.migrations <- th.Process.migrations + 1;
                   th.Process.status <- Process.Ready;
                   settle_downtime ();
+                  List.iter
+                    (fun hook -> hook proc th ~from_:src_id ~to_:dest)
+                    t.migrated_hooks;
                   maybe_drain t proc;
                   step t proc th
                 in

@@ -49,6 +49,8 @@ type t = {
   mutable thread_hooks : (Process.t -> Process.thread -> unit) list;
   mutable abort_hooks : (Process.t -> Process.thread -> dest:int -> unit) list;
   mutable crash_hooks : (int -> Process.t list -> unit) list;
+  mutable migrated_hooks :
+    (Process.t -> Process.thread -> from_:int -> to_:int -> unit) list;
 }
 
 val create :
@@ -141,6 +143,13 @@ val on_migration_abort : t -> (Process.t -> Process.thread -> dest:int -> unit) 
 val on_node_crash : t -> (int -> Process.t list -> unit) -> unit
 (** Called after a plan-scheduled crash, with the node id and the
     processes it orphaned (their threads already retired). *)
+
+val on_thread_migrated : t -> (Process.t -> Process.thread -> from_:int -> to_:int -> unit) -> unit
+(** Called when a thread's migration handoff message was delivered and the
+    thread restarted on the destination node — the ordering edge the DSM
+    race detector needs between the thread's source- and destination-side
+    page accesses. Fires after [th.node] has moved, before the thread's
+    next phase runs. *)
 
 val attach_sensors : t -> hz:float -> until:float -> unit
 (** Record per-node power/load series into [trace] (series names

@@ -62,6 +62,27 @@ let slot_translation per_src per_dst src_frames dst_frames =
     src_frames dst_frames;
   map
 
+(* When a migration fails on missing/disagreeing stackmaps, the exhaustive
+   cross-ISA report pinpoints every divergence instead of just the value
+   that happened to trip first. *)
+let stackmap_report per_src per_dst =
+  match
+    Compiler.Stackmap.diff_sites per_src.Compiler.Toolchain.stackmaps
+      per_dst.Compiler.Toolchain.stackmaps
+  with
+  | [] -> ""
+  | mismatches ->
+    let rec take n = function
+      | m :: rest when n > 0 -> m :: take (n - 1) rest
+      | _ -> []
+    in
+    Format.asprintf " [cross-ISA stackmap diff, %d mismatch(es): %a]"
+      (List.length mismatches)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         Compiler.Stackmap.pp_mismatch)
+      (take 3 mismatches)
+
 let transform tc (src : Thread_state.t) =
   let exception Fail of string in
   try
@@ -171,8 +192,9 @@ let transform tc (src : Thread_state.t) =
         | None ->
           raise
             (Fail
-               (Printf.sprintf "no destination stackmap for %s"
-                  df.Thread_state.fname))
+               (Printf.sprintf "no destination stackmap for %s%s"
+                  df.Thread_state.fname
+                  (stackmap_report per_src per_dst)))
       in
       List.iter
         (fun (name, tl) ->
@@ -181,7 +203,8 @@ let transform tc (src : Thread_state.t) =
           | None ->
             raise
               (Fail
-                 (Printf.sprintf "stackmaps disagree on live value %s" name)))
+                 (Printf.sprintf "stackmaps disagree on live value %s%s" name
+                    (stackmap_report per_src per_dst))))
         entry.Compiler.Stackmap.live;
       (* Frame record: saved caller FP + re-encoded return address. *)
       let caller_fp, ra =

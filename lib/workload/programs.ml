@@ -128,8 +128,9 @@ let cg cls =
       ~body:
         [
           Def (v "idx" Ir.Ty.I64);
-          loop 32 [ w ~cat (t *. 0.01 /. (32.0 *. 32.0)); call 0 "randlc" [ "idx" ] ];
-          Use "nz";
+          Def (v "seed" Ir.Ty.F64);
+          loop 32 [ w ~cat (t *. 0.01 /. (32.0 *. 32.0)); call 0 "randlc" [ "seed" ] ];
+          Use "idx"; Use "nz";
         ]
   in
   let makea =
@@ -167,7 +168,9 @@ let cg cls =
   in
   let verify =
     make_func ~name:"cg_verify" ~params:[]
-      ~body:[ Def (v "zeta" Ir.Ty.F64); call 0 "cg_dot" [ "zeta" ]; Use "zeta" ]
+      ~body:
+        [ Def (v "zeta" Ir.Ty.F64); Def (v "vn" Ir.Ty.I64);
+          call 0 "cg_dot" [ "vn" ]; Use "zeta" ]
   in
   let main =
     make_func ~name:"main" ~params:[]

@@ -21,4 +21,5 @@ let () =
       ("sched", Test_sched.suite);
       ("parallel", Test_parallel.suite);
       ("core", Test_core.suite);
+      ("analysis", Test_analysis.suite);
     ]
