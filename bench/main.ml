@@ -26,6 +26,8 @@ let experiments =
      Experiments.Degraded.run);
     ("prefetch", "Batched hDSM transfers + prefetch (non-paper)",
      Experiments.Prefetch.run);
+    ("telemetry", "Observability: traced degraded run (non-paper)",
+     Experiments.Telemetry.run);
   ]
 
 (* Wall-clock seconds on the monotonic clock: experiment grids now run on
@@ -171,7 +173,7 @@ let json_float f =
   if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
   else Printf.sprintf "%.6g" f
 
-let write_json path ~jobs ~experiment_times ~micro =
+let write_json path ~jobs ~metrics ~experiment_times ~micro =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -179,6 +181,11 @@ let write_json path ~jobs ~experiment_times ~micro =
   | Some rev -> out "  \"git_rev\": \"%s\",\n" (json_escape rev)
   | None -> out "  \"git_rev\": null,\n");
   out "  \"jobs\": %d,\n" jobs;
+  (* The canonical scenario's metrics registry is already a byte-stable
+     JSON object; embed it verbatim. *)
+  (match metrics with
+  | Some m -> out "  \"metrics\": %s,\n" (String.trim m)
+  | None -> ());
   out "  \"experiments\": [\n";
   List.iteri
     (fun i (name, wall_s) ->
@@ -248,7 +255,7 @@ let compare_against ppf ~baseline experiment_times =
 
 let usage ppf =
   Format.fprintf ppf
-    "usage: main.exe [--no-micro] [--seq] [--jobs N] [--json PATH] [--compare BASELINE] [experiment ...]@.";
+    "usage: main.exe [--no-micro] [--seq] [--jobs N] [--json PATH] [--metrics PATH] [--compare BASELINE] [experiment ...]@.";
   Format.fprintf ppf "available experiments:@.";
   List.iter
     (fun (n, d, _) -> Format.fprintf ppf "  %-8s %s@." n d)
@@ -260,6 +267,7 @@ let () =
   let seq = ref false in
   let jobs_flag = ref None in
   let json_path = ref None in
+  let metrics_path = ref None in
   let compare_path = ref None in
   let wanted = ref [] in
   let rec parse = function
@@ -279,6 +287,10 @@ let () =
     | "--json" :: path :: rest -> json_path := Some path; parse rest
     | [ "--json" ] ->
       Format.eprintf "--json expects a path@.";
+      exit 2
+    | "--metrics" :: path :: rest -> metrics_path := Some path; parse rest
+    | [ "--metrics" ] ->
+      Format.eprintf "--metrics expects a path@.";
       exit 2
     | "--compare" :: path :: rest -> compare_path := Some path; parse rest
     | [ "--compare" ] ->
@@ -320,9 +332,23 @@ let () =
   let micro =
     if (not !no_micro) && wanted = [] then run_micro ppf else []
   in
+  (* The metrics report is the canonical observed scenario's registry —
+     deterministic, so byte-identical across --seq / --jobs N. *)
+  let metrics =
+    match !metrics_path with
+    | None -> None
+    | Some path ->
+      let obs, _ = Experiments.Telemetry.observed_run () in
+      let json = Obs.metrics_json obs in
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Format.fprintf ppf "(metrics written to %s)@." path;
+      Some json
+  in
   (match !json_path with
   | Some path ->
-    write_json path ~jobs:jobs_used ~experiment_times ~micro;
+    write_json path ~jobs:jobs_used ~metrics ~experiment_times ~micro;
     Format.fprintf ppf "(results written to %s)@." path
   | None -> ());
   let regressions =

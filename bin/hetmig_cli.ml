@@ -164,9 +164,21 @@ let crash_conv =
   Arg.conv (parse, fun ppf (c : Faults.Plan.crash) ->
       Format.fprintf ppf "%d@%g" c.Faults.Plan.node c.Faults.Plan.at)
 
+(* Per-policy output path for --trace: "out.json" -> "out-<policy>.json"
+   (policy names are filename-safe). *)
+let trace_path base policy_name =
+  match Filename.chop_suffix_opt ~suffix:".json" base with
+  | Some stem -> Printf.sprintf "%s-%s.json" stem policy_name
+  | None -> Printf.sprintf "%s-%s" base policy_name
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
 let schedule_cmd =
   let run seed jobs periodic drop fault_seed retry_budget crashes
-      page_timeout_rate dsm_batch prefetch =
+      page_timeout_rate dsm_batch prefetch trace metrics =
     let js =
       if periodic then Sched.Arrival.periodic ~seed ~waves:5 ~max_per_wave:14
       else Sched.Arrival.sustained ~seed ~jobs
@@ -191,8 +203,19 @@ let schedule_cmd =
     | None -> ());
     List.iter
       (fun p ->
-        let r = Sched.Scheduler.run ?faults ~dsm_batch ~prefetch p js in
-        Format.printf "  %a@." Sched.Scheduler.pp_result r)
+        let obs =
+          if trace <> None || metrics then Obs.create () else Obs.noop
+        in
+        let r = Sched.Scheduler.run ?faults ~dsm_batch ~prefetch ~obs p js in
+        Format.printf "  %a@." Sched.Scheduler.pp_result r;
+        (match trace with
+        | Some base ->
+          let path = trace_path base (Sched.Policy.name p) in
+          write_file path (Obs.chrome_json obs);
+          Format.printf "    (trace: %s, %d events)@." path
+            (Obs.event_count obs)
+        | None -> ());
+        if metrics then print_string (Obs.metrics_text obs))
       Sched.Policy.all
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
@@ -241,10 +264,66 @@ let schedule_cmd =
                "Push a migrating thread's predicted working set to the \
                 destination during the stack transformation.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:
+               "Write a Chrome trace-event JSON per policy (Perfetto / \
+                chrome://tracing loadable) to PATH with the policy name \
+                appended, e.g. out-dynamic-balanced.json.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the collected metrics registry after each policy.")
+  in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Run a workload under all five scheduling policies")
     Term.(const run $ seed $ jobs $ periodic $ drop $ fault_seed $ retry_budget
-          $ crashes $ page_timeout_rate $ dsm_batch $ prefetch)
+          $ crashes $ page_timeout_rate $ dsm_batch $ prefetch $ trace
+          $ metrics)
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let metrics_cmd =
+  let run json trace =
+    let obs, r = Experiments.Telemetry.observed_run () in
+    (match trace with
+    | Some path ->
+      write_file path (Obs.chrome_json obs);
+      Format.eprintf "(trace written to %s, %d events)@." path
+        (Obs.event_count obs)
+    | None -> ());
+    if json then begin
+      Format.eprintf "canonical degraded scenario: %a@."
+        Sched.Scheduler.pp_result r;
+      print_string (Obs.metrics_json obs)
+    end
+    else begin
+      Format.printf "canonical degraded scenario: %a@.@."
+        Sched.Scheduler.pp_result r;
+      print_string (Obs.metrics_text obs)
+    end
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Emit the registry as byte-stable sorted JSON instead of \
+                text (the result line moves to stderr).")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"Also write the scenario's Chrome trace-event JSON.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run the canonical observed scenario (the fig-12 sustained mix \
+          under 5% message loss with a mid-run node crash, \
+          dynamic-balanced) and dump its metrics registry")
+    Term.(const run $ json $ trace)
 
 (* --- trace ------------------------------------------------------------------- *)
 
@@ -399,7 +478,8 @@ let experiment_cmd =
       ("fig12", Experiments.Fig12.run); ("fig13", Experiments.Fig13.run);
       ("ablations", Experiments.Ablation.run);
       ("degraded", Experiments.Degraded.run);
-      ("prefetch", Experiments.Prefetch.run) ]
+      ("prefetch", Experiments.Prefetch.run);
+      ("telemetry", Experiments.Telemetry.run) ]
   in
   let run name =
     match List.assoc_opt name experiments with
@@ -429,4 +509,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ compile_cmd; migrate_cmd; emulation_cmd; schedule_cmd;
-            state_map_cmd; trace_cmd; lint_cmd; experiment_cmd ]))
+            state_map_cmd; trace_cmd; lint_cmd; metrics_cmd; experiment_cmd ]))

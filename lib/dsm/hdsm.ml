@@ -47,14 +47,18 @@ type t = {
   interconnect : Machine.Interconnect.t;
   handler_latency_s : float;
   batch : bool;
+  obs : Obs.t;
+  now : unit -> float;
+      (** the owning ensemble's simulated clock, for obs event timestamps;
+          without one, obs events stamp 0 *)
   pages : (int, entry) Hashtbl.t;
   mutable ranges : range_info array;  (** sorted by [r_first], disjoint *)
   mutable observer : (observation -> unit) option;
   st : stats;
 }
 
-let create ?(handler_latency_s = 50e-6) ?(batch = false) ~nodes ~interconnect
-    () =
+let create ?(handler_latency_s = 50e-6) ?(batch = false) ?(obs = Obs.noop)
+    ?(now = fun () -> 0.0) ~nodes ~interconnect () =
   if nodes > Sys.int_size - 2 then
     invalid_arg "Hdsm.create: too many nodes for the copy-set bitmask";
   {
@@ -62,6 +66,8 @@ let create ?(handler_latency_s = 50e-6) ?(batch = false) ~nodes ~interconnect
     interconnect;
     handler_latency_s;
     batch;
+    obs;
+    now;
     pages = Hashtbl.create 1024;
     ranges = [||];
     observer = None;
@@ -275,6 +281,12 @@ let fetch_run t ~node ~first ~count ~write =
   in
   if not uniform then None
   else begin
+    Obs.incr t.obs "dsm.batched_runs";
+    if Obs.enabled t.obs then
+      Obs.complete t.obs ~ts:(t.now ()) ~dur:(batch_latency t ~pages:count)
+        ~pid:node ~tid:Obs.dsm_tid ~cat:"dsm" ~name:"batch_fetch"
+        ~args:[ ("first", Obs.I first); ("pages", Obs.I count) ]
+        ();
     (* One coalesced protocol message from the common owner carries every
        page of the run: a single ordering edge, one access per page. *)
     (match t.observer with
@@ -372,7 +384,17 @@ let access_many t ~node ~pages ~write =
           go !acc rest
       end
   in
-  go 0.0 pages
+  let total = go 0.0 pages in
+  (* One aggregate protocol event per phase's page fold; purely local
+     folds (all hits) stay silent so the dsm lane shows only traffic. *)
+  if Obs.enabled t.obs && total > 0.0 then
+    Obs.complete t.obs ~ts:(t.now ()) ~dur:total ~pid:node ~tid:Obs.dsm_tid
+      ~cat:"dsm" ~name:"access"
+      ~args:
+        [ ("pages", Obs.I (List.length pages));
+          ("write", Obs.I (if write then 1 else 0)) ]
+      ();
+  total
 
 let owner t ~page = (entry t page).owner
 
@@ -512,15 +534,22 @@ let drain_seq t ~segments ~to_ =
    destination cost nothing. *)
 let prefetch t ~pages ~to_ =
   check_node t to_;
-  let rec go acc = function
-    | [] -> acc
+  let rec go acc moved_total = function
+    | [] -> (acc, moved_total)
     | pages ->
       let first, count, rest = take_run pages in
       let moved, lat = move_segment t ~to_ (first, count) in
       t.st.prefetched_pages <- t.st.prefetched_pages + moved;
-      go (acc +. lat) rest
+      go (acc +. lat) (moved_total + moved) rest
   in
-  go 0.0 pages
+  let total, moved = go 0.0 0 pages in
+  Obs.incr t.obs "dsm.prefetch_ops";
+  if Obs.enabled t.obs && moved > 0 then
+    Obs.complete t.obs ~ts:(t.now ()) ~dur:total ~pid:to_ ~tid:Obs.dsm_tid
+      ~cat:"dsm" ~name:"prefetch"
+      ~args:[ ("pages", Obs.I moved) ]
+      ();
+  total
 
 let stats t = t.st
 

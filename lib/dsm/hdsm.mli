@@ -38,6 +38,8 @@ type t
 val create :
   ?handler_latency_s:float ->
   ?batch:bool ->
+  ?obs:Obs.t ->
+  ?now:(unit -> float) ->
   nodes:int ->
   interconnect:Machine.Interconnect.t ->
   unit ->
@@ -48,7 +50,15 @@ val create :
     calibrated so that draining an NPB-IS-class working set takes the ~2
     seconds visible in the paper's Figure 11. [batch] (default false)
     enables run-coalesced transfers; when off, behaviour is bit-identical
-    to the historical per-page protocol. *)
+    to the historical per-page protocol.
+
+    [obs] (default {!Obs.noop}) records one aggregate event per
+    latency-bearing {!access_many} fold, per coalesced batch fetch, and
+    per prefetch, on the requesting node's hDSM lane ([tid]
+    {!Obs.dsm_tid}), plus [dsm.batched_runs]/[dsm.prefetch_ops] counters.
+    [now] supplies the owning ensemble's simulated clock for the event
+    timestamps (events stamp 0 without it). Coherence behaviour and
+    returned latencies are unaffected. *)
 
 val batching : t -> bool
 

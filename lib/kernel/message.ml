@@ -8,6 +8,13 @@ let kind_to_string = function
   | Page_reply -> "page_reply"
   | Service_update -> "service_update"
 
+(* Chrome trace row of each kind under the synthetic interconnect track. *)
+let kind_index = function
+  | Thread_migration -> 0
+  | Page_request -> 1
+  | Page_reply -> 2
+  | Service_update -> 3
+
 type retry_stats = {
   mutable attempts : int;
   mutable delivered : int;
@@ -20,17 +27,27 @@ type t = {
   engine : Sim.Engine.t;
   interconnect : Machine.Interconnect.t;
   faults : Faults.Injector.t option;
+  obs : Obs.t;
   counts : (kind, int) Hashtbl.t;
   retries : (kind, retry_stats) Hashtbl.t;
   mutable bytes : int;
   mutable messages : int;
 }
 
-let create ?faults engine interconnect =
+let create ?faults ?(obs = Obs.noop) engine interconnect =
+  if Obs.enabled obs then begin
+    Obs.process_name obs ~pid:Obs.interconnect_pid "interconnect";
+    List.iter
+      (fun kind ->
+        Obs.thread_name obs ~pid:Obs.interconnect_pid ~tid:(kind_index kind)
+          (kind_to_string kind))
+      all_kinds
+  end;
   {
     engine;
     interconnect;
     faults;
+    obs;
     counts = Hashtbl.create 8;
     retries = Hashtbl.create 8;
     bytes = 0;
@@ -49,7 +66,24 @@ let count_attempt t kind ~bytes =
   let n = match Hashtbl.find_opt t.counts kind with None -> 0 | Some n -> n in
   Hashtbl.replace t.counts kind (n + 1);
   t.bytes <- t.bytes + bytes;
-  t.messages <- t.messages + 1
+  t.messages <- t.messages + 1;
+  Obs.incr t.obs ("msg.sent." ^ kind_to_string kind)
+
+(* One complete RPC span per message, from the first send attempt to
+   delivery (or abandonment), on the interconnect track's per-kind row.
+   The span is emitted at resolution time, so a message still in flight
+   when the engine drains never appears — matching the aggregate
+   counters, which also only count resolved attempts. *)
+let rpc_span t kind ~t0 ~bytes ~attempts ~failed =
+  let now = Sim.Engine.now t.engine in
+  let dur = now -. t0 in
+  Obs.complete t.obs ~ts:t0 ~dur ~pid:Obs.interconnect_pid
+    ~tid:(kind_index kind) ~cat:"rpc" ~name:(kind_to_string kind)
+    ~args:
+      (("bytes", Obs.I bytes) :: ("attempts", Obs.I attempts)
+      :: (if failed then [ ("failed", Obs.I 1) ] else []))
+    ();
+  Obs.observe t.obs "msg.rpc_us" (dur *. 1e6)
 
 let send t kind ?on_failure ~bytes ~on_delivery () =
   if bytes < 0 then invalid_arg "Message.send: negative size";
@@ -59,11 +93,18 @@ let send t kind ?on_failure ~bytes ~on_delivery () =
     (* The fault-free fast path: exactly the pre-fault behavior (and
        event ordering), one attempt, guaranteed delivery. *)
     count_attempt t kind ~bytes;
-    Sim.Engine.schedule_in t.engine ~after:latency on_delivery
+    if Obs.enabled t.obs then begin
+      let t0 = Sim.Engine.now t.engine in
+      Sim.Engine.schedule_in t.engine ~after:latency (fun () ->
+          rpc_span t kind ~t0 ~bytes ~attempts:1 ~failed:false;
+          on_delivery ())
+    end
+    else Sim.Engine.schedule_in t.engine ~after:latency on_delivery
   | Some inj ->
     let kind_name = kind_to_string kind in
     let stats = retry_stats t kind in
     let budget = Faults.Injector.retry_budget inj in
+    let t0 = Sim.Engine.now t.engine in
     (* Attempt [n] (0-based). A lost attempt is detected by timeout:
        the sender waits one transfer time plus an exponentially growing
        backoff before retransmitting. When the budget is exhausted the
@@ -74,21 +115,35 @@ let send t kind ?on_failure ~bytes ~on_delivery () =
       stats.attempts <- stats.attempts + 1;
       if Faults.Injector.drop_attempt inj ~kind:kind_name then begin
         stats.dropped <- stats.dropped + 1;
+        Obs.incr t.obs ("msg.dropped." ^ kind_name);
         if n + 1 < budget then begin
           stats.retried <- stats.retried + 1;
-          Sim.Engine.schedule_in t.engine
-            ~after:(latency +. Faults.Injector.backoff inj ~attempt:(n + 1))
+          let backoff = Faults.Injector.backoff inj ~attempt:(n + 1) in
+          if Obs.enabled t.obs then
+            Obs.instant t.obs ~ts:(Sim.Engine.now t.engine)
+              ~pid:Obs.interconnect_pid ~tid:(kind_index kind) ~cat:"rpc"
+              ~name:"retry"
+              ~args:[ ("attempt", Obs.I (n + 1)); ("backoff_us", Obs.F (backoff *. 1e6)) ]
+              ();
+          Sim.Engine.schedule_in t.engine ~after:(latency +. backoff)
             (fun () -> attempt (n + 1))
         end
         else begin
           stats.failed <- stats.failed + 1;
+          Obs.incr t.obs ("msg.failed." ^ kind_name);
+          if Obs.enabled t.obs then
+            rpc_span t kind ~t0 ~bytes ~attempts:(n + 1) ~failed:true;
           match on_failure with Some f -> f () | None -> ()
         end
       end
       else begin
         stats.delivered <- stats.delivered + 1;
         let extra = Faults.Injector.delivery_delay inj ~kind:kind_name in
-        Sim.Engine.schedule_in t.engine ~after:(latency +. extra) on_delivery
+        if Obs.enabled t.obs then
+          Sim.Engine.schedule_in t.engine ~after:(latency +. extra) (fun () ->
+              rpc_span t kind ~t0 ~bytes ~attempts:(n + 1) ~failed:false;
+              on_delivery ())
+        else Sim.Engine.schedule_in t.engine ~after:(latency +. extra) on_delivery
       end
     in
     attempt 0

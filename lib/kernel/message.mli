@@ -31,7 +31,17 @@ type retry_stats = {
 
 type t
 
-val create : ?faults:Faults.Injector.t -> Sim.Engine.t -> Machine.Interconnect.t -> t
+val create :
+  ?faults:Faults.Injector.t ->
+  ?obs:Obs.t ->
+  Sim.Engine.t ->
+  Machine.Interconnect.t ->
+  t
+(** [obs] (default {!Obs.noop}) records one complete RPC span per message
+    — first send attempt to delivery or abandonment, on the interconnect
+    track's per-kind row — plus retry instants and
+    [msg.sent./msg.dropped./msg.failed.<kind>] counters. With the no-op
+    sink the bus behaves exactly as before this option existed. *)
 
 val send :
   t ->

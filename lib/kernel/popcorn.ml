@@ -13,6 +13,7 @@ type t = {
   bus : Message.t;
   dsm : Dsm.Hdsm.t;
   faults : Faults.Injector.t option;
+  obs : Obs.t;
   prefetch : bool;  (** push the migrating thread's working set ahead *)
   nodes : node array;
   trace : Sim.Trace.t;
@@ -124,7 +125,8 @@ let crash t ~node =
   end
 
 let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
-    ?faults ?(dsm_batch = false) ?(prefetch = false) ~machines () =
+    ?faults ?(dsm_batch = false) ?(prefetch = false) ?(obs = Obs.noop)
+    ~machines () =
   let nodes =
     Array.of_list
       (List.mapi
@@ -152,11 +154,14 @@ let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
   let t =
     {
       engine;
-      bus = Message.create ?faults:injector engine interconnect;
+      bus = Message.create ?faults:injector ~obs engine interconnect;
       dsm =
         Dsm.Hdsm.create ~batch:dsm_batch ~nodes:(Array.length nodes)
-          ~interconnect ();
+          ~interconnect ~obs
+          ~now:(fun () -> Sim.Engine.now engine)
+          ();
       faults = injector;
+      obs;
       prefetch;
       nodes;
       trace = Sim.Trace.create ();
@@ -183,6 +188,14 @@ let create engine ?(interconnect = Machine.Interconnect.dolphin_pxh810)
             let orphans = crash t ~node:c.Faults.Plan.node in
             List.iter (fun h -> h c.Faults.Plan.node orphans) t.crash_hooks))
       (Faults.Injector.crashes inj));
+  if Obs.enabled obs then
+    Array.iter
+      (fun n ->
+        Obs.process_name obs ~pid:n.id
+          (Printf.sprintf "node%d %s (%s)" n.id n.machine.Machine.Server.name
+             (Isa.Arch.to_string n.machine.Machine.Server.arch));
+        Obs.thread_name obs ~pid:n.id ~tid:Obs.dsm_tid "hDSM")
+      nodes;
   t
 
 let new_container t ~name =
@@ -193,31 +206,79 @@ let new_container t ~name =
 
 (* Median stack-transformation latency of a binary, measured through the
    real runtime across every reachable migration point. Memoized per
-   binary (physical equality). The memo table is module-global — shared by
-   every ensemble in the process — so it is mutex-guarded: scheduler runs
-   execute on multiple domains and may spawn from the same binary
-   concurrently. Concurrent misses at worst duplicate the measurement
-   (it is deterministic), never corrupt the table. *)
-let latency_cache : (Compiler.Toolchain.t * (Isa.Arch.t * float) list) list ref =
-  ref []
+   *program* (structural equality on the IR): the measurement is a pure
+   function of the program — toolchains recompiled from the same source
+   measure identically — so keying on the toolchain's physical identity,
+   as this cache originally did, re-measured every recompilation and let
+   the table grow without bound across a bench grid. The memo is
+   module-global (shared by every ensemble in the process) and
+   mutex-guarded: scheduler runs execute on multiple domains and may
+   spawn from the same binary concurrently. Concurrent misses at worst
+   duplicate the measurement (it is deterministic), never corrupt the
+   table. Capacity-bounded with FIFO eviction. *)
+let latency_cache : (Ir.Prog.t, (Isa.Arch.t * float) list) Hashtbl.t =
+  Hashtbl.create 16
 
+let latency_cache_order : Ir.Prog.t Queue.t = Queue.create ()
+let latency_cache_capacity = ref 64
+let latency_cache_hits = ref 0
+let latency_cache_misses = ref 0
 let latency_cache_lock = Mutex.create ()
 
-let latency_cache_find tc =
+let locked f =
   Mutex.lock latency_cache_lock;
-  let found = List.find_opt (fun (key, _) -> key == tc) !latency_cache in
-  Mutex.unlock latency_cache_lock;
-  found
+  Fun.protect ~finally:(fun () -> Mutex.unlock latency_cache_lock) f
 
-let latency_cache_add tc per_arch =
-  Mutex.lock latency_cache_lock;
-  latency_cache := (tc, per_arch) :: !latency_cache;
-  Mutex.unlock latency_cache_lock
+let latency_cache_clear () =
+  locked (fun () ->
+      Hashtbl.reset latency_cache;
+      Queue.clear latency_cache_order;
+      latency_cache_hits := 0;
+      latency_cache_misses := 0)
 
-let measured_transform_latency tc =
-  match latency_cache_find tc with
-  | Some (_, per_arch) -> fun arch -> List.assoc arch per_arch
+let latency_cache_stats () =
+  locked (fun () -> (!latency_cache_hits, !latency_cache_misses))
+
+let latency_cache_size () = locked (fun () -> Hashtbl.length latency_cache)
+
+let latency_cache_evict_locked () =
+  while Hashtbl.length latency_cache > !latency_cache_capacity do
+    Hashtbl.remove latency_cache (Queue.pop latency_cache_order)
+  done
+
+let set_latency_cache_capacity n =
+  if n < 1 then
+    invalid_arg "Popcorn.set_latency_cache_capacity: capacity must be >= 1";
+  locked (fun () ->
+      latency_cache_capacity := n;
+      latency_cache_evict_locked ())
+
+let latency_cache_find prog =
+  locked (fun () ->
+      match Hashtbl.find_opt latency_cache prog with
+      | Some _ as found ->
+        incr latency_cache_hits;
+        found
+      | None ->
+        incr latency_cache_misses;
+        None)
+
+let latency_cache_add prog per_arch =
+  locked (fun () ->
+      if not (Hashtbl.mem latency_cache prog) then begin
+        Hashtbl.replace latency_cache prog per_arch;
+        Queue.push prog latency_cache_order;
+        latency_cache_evict_locked ()
+      end)
+
+let measured_transform_latency ?(obs = Obs.noop) tc =
+  let prog = tc.Compiler.Toolchain.prog in
+  match latency_cache_find prog with
+  | Some per_arch ->
+    Obs.incr obs "popcorn.latency_cache.hits";
+    fun arch -> List.assoc arch per_arch
   | None ->
+    Obs.incr obs "popcorn.latency_cache.misses";
     let sites = Runtime.Interp.reachable_mig_sites tc in
     let per_arch =
       List.map
@@ -228,7 +289,7 @@ let measured_transform_latency tc =
                 match Runtime.Interp.state_at tc arch ~fname ~mig_id with
                 | None -> None
                 | Some st -> begin
-                  match Runtime.Transform.transform tc st with
+                  match Runtime.Transform.transform ~obs tc st with
                   | Ok (_, cost) -> Some cost.Runtime.Transform.latency_s
                   | Error _ -> None
                 end)
@@ -242,7 +303,7 @@ let measured_transform_latency tc =
           (arch, latency))
         Isa.Arch.all
     in
-    latency_cache_add tc per_arch;
+    latency_cache_add prog per_arch;
     fun arch -> List.assoc arch per_arch
 
 let spawn t ~container ~node ~name ?binary ?transform_latency ~footprint_bytes
@@ -257,7 +318,7 @@ let spawn t ~container ~node ~name ?binary ?transform_latency ~footprint_bytes
   let transform_latency =
     match (transform_latency, binary) with
     | Some f, _ -> f
-    | None, Some tc -> measured_transform_latency tc
+    | None, Some tc -> measured_transform_latency ~obs:t.obs tc
     | None, None -> fun _ -> 250e-6
   in
   let pid = t.next_pid in
@@ -267,6 +328,15 @@ let spawn t ~container ~node ~name ?binary ?transform_latency ~footprint_bytes
       (fun i phases -> Process.make_thread ~tid:(100 * pid + i) ~node ~phases)
       thread_phases
   in
+  if Obs.enabled t.obs then
+    List.iter
+      (fun (th : Process.thread) ->
+        Array.iter
+          (fun n ->
+            Obs.thread_name t.obs ~pid:n.id ~tid:th.Process.tid
+              (Printf.sprintf "%s/t%d" name th.Process.tid))
+          t.nodes)
+      threads;
   let proc =
     Process.make ~pid ~name ~home:node ?binary ~aspace:image.Loader.aspace
       ~data_pages:image.Loader.data_pages ~threads ~transform_latency ()
@@ -327,6 +397,19 @@ let drain_residual t proc ~to_node =
         in
         let latency = Dsm.Hdsm.drain_seq t.dsm ~segments ~to_:to_node in
         t.drain_time_s <- t.drain_time_s +. latency;
+        if Obs.enabled t.obs then begin
+          (* [dur] is the exact float added to [drain_time_s] above, so
+             folding the drain spans replays the aggregate bit-for-bit. *)
+          Obs.complete t.obs
+            ~ts:(Sim.Engine.now t.engine)
+            ~dur:latency ~pid:from_node ~tid:Obs.dsm_tid ~cat:"migration"
+            ~name:"drain"
+            ~args:
+              [ ("pid", Obs.I proc.Process.pid); ("to", Obs.I to_node);
+                ("pages", Obs.I (stop - i)) ]
+            ();
+          Obs.observe t.obs "drain.chunk_us" (latency *. 1e6)
+        end;
         Sim.Engine.schedule_in t.engine ~after:(Float.max latency 1e-9)
           (fun () -> drain_from stop)
       end
@@ -378,9 +461,18 @@ and run_phase t proc th phase rest =
   in
   let duration = (compute *. contention) +. dsm_latency in
   let gen = th.Process.gen in
+  let started = Sim.Engine.now t.engine in
   Sim.Engine.schedule_in t.engine ~after:duration (fun () ->
       adjust_busy t node_id (-1);
       if th.Process.gen = gen then begin
+        if Obs.enabled t.obs then
+          Obs.complete t.obs ~ts:started ~dur:duration ~pid:node_id
+            ~tid:th.Process.tid ~cat:"phase"
+            ~name:(Isa.Cost_model.category_to_string phase.Process.category)
+            ~args:
+              [ ("instructions", Obs.F phase.Process.instructions);
+                ("dsm_us", Obs.F (dsm_latency *. 1e6)) ]
+            ();
         th.Process.remaining <- rest;
         step t proc th
       end)
@@ -421,10 +513,25 @@ and begin_migration t proc th dest =
     end
   in
   let gen = th.Process.gen in
-  let settle_downtime () =
-    t.migration_downtime_s <-
-      t.migration_downtime_s +. (Sim.Engine.now t.engine -. t0)
+  let settle_downtime outcome =
+    (* [d] is computed once and used for both the aggregate and the span:
+       the "migrate" spans fold back to [migration_downtime_s] exactly. *)
+    let d = Sim.Engine.now t.engine -. t0 in
+    t.migration_downtime_s <- t.migration_downtime_s +. d;
+    if Obs.enabled t.obs then begin
+      Obs.complete t.obs ~ts:t0 ~dur:d ~pid:src_id ~tid:th.Process.tid
+        ~cat:"migration" ~name:"migrate"
+        ~args:[ ("dest", Obs.I dest); ("outcome", Obs.S outcome) ]
+        ();
+      Obs.observe t.obs "migration.downtime_us" (d *. 1e6)
+    end
   in
+  if Obs.enabled t.obs then begin
+    Obs.complete t.obs ~ts:t0 ~dur:latency ~pid:src_id ~tid:th.Process.tid
+      ~cat:"migration" ~name:"stack_transform"
+      ~args:[ ("dest", Obs.I dest) ] ();
+    Obs.observe t.obs "migration.transform_us" (latency *. 1e6)
+  end;
   Sim.Engine.schedule_in t.engine ~after:latency (fun () ->
       adjust_busy t src_id (-1);
       if th.Process.gen = gen then begin
@@ -441,25 +548,40 @@ and begin_migration t proc th dest =
              attempt is lost, the migration aborts: restore the
              pre-transform continuation and leave the thread runnable
              on the source node, exactly as if it had never tried. *)
+          let handoff_t0 = Sim.Engine.now t.engine in
           Message.send t.bus Message.Thread_migration ~bytes:4096
             ~on_delivery:(fun () ->
               if th.Process.gen = gen then begin
+                if Obs.enabled t.obs then
+                  Obs.complete t.obs ~ts:handoff_t0
+                    ~dur:(Sim.Engine.now t.engine -. handoff_t0)
+                    ~pid:src_id ~tid:th.Process.tid ~cat:"migration"
+                    ~name:"handoff"
+                    ~args:[ ("dest", Obs.I dest) ]
+                    ();
                 let restart () =
                   th.Process.node <- dest;
                   th.Process.migrate_to <- None;
                   Vdso.clear t.vdso ~tid:th.Process.tid;
                   th.Process.migrations <- th.Process.migrations + 1;
                   th.Process.status <- Process.Ready;
-                  settle_downtime ();
+                  Obs.incr t.obs "popcorn.migrations";
+                  settle_downtime "restarted";
                   List.iter
                     (fun hook -> hook proc th ~from_:src_id ~to_:dest)
                     t.migrated_hooks;
                   maybe_drain t proc;
                   step t proc th
                 in
-                if prefetch_stall > 0.0 then
+                if prefetch_stall > 0.0 then begin
+                  if Obs.enabled t.obs then
+                    Obs.complete t.obs
+                      ~ts:(Sim.Engine.now t.engine)
+                      ~dur:prefetch_stall ~pid:dest ~tid:th.Process.tid
+                      ~cat:"migration" ~name:"prefetch_stall" ();
                   Sim.Engine.schedule_in t.engine ~after:prefetch_stall
                     (fun () -> if th.Process.gen = gen then restart ())
+                end
                 else restart ()
               end)
             ~on_failure:(fun () ->
@@ -470,7 +592,12 @@ and begin_migration t proc th dest =
                 th.Process.migrate_to <- None;
                 Vdso.clear t.vdso ~tid:th.Process.tid;
                 th.Process.status <- Process.Ready;
-                settle_downtime ();
+                Obs.incr t.obs "popcorn.migration_aborts";
+                Obs.instant t.obs
+                  ~ts:(Sim.Engine.now t.engine)
+                  ~pid:src_id ~tid:th.Process.tid ~cat:"migration"
+                  ~name:"migration_abort" ();
+                settle_downtime "aborted";
                 List.iter
                   (fun hook -> hook proc th ~dest)
                   t.abort_hooks;

@@ -30,6 +30,7 @@ type t = {
   bus : Message.t;
   dsm : Dsm.Hdsm.t;
   faults : Faults.Injector.t option;
+  obs : Obs.t;  (** observability sink; {!Obs.noop} unless passed to create *)
   prefetch : bool;  (** push the migrating thread's working set ahead *)
   nodes : node array;
   trace : Sim.Trace.t;
@@ -59,6 +60,7 @@ val create :
   ?faults:Faults.Plan.t ->
   ?dsm_batch:bool ->
   ?prefetch:bool ->
+  ?obs:Obs.t ->
   machines:Machine.Server.t list ->
   unit ->
   t
@@ -70,6 +72,17 @@ val create :
     migrating thread's predicted next-phase pages to the destination
     during the stack transformation. Both default off, leaving behaviour
     bit-identical to the historical per-page model.
+
+    [obs] (default {!Obs.noop}) threads a structured-observability sink
+    through the ensemble and its bus/DSM: per-phase execution spans,
+    migration phase spans ([stack_transform], [handoff],
+    [prefetch_stall], [drain] and the covering [migrate] span whose
+    durations fold back to [migration_downtime_s] and [drain_time_s]
+    {e exactly} — the same floats are added to the aggregates and
+    recorded as span durations, in the same order), plus counters and
+    latency histograms. With the no-op sink every simulated result is
+    bit-identical to a run without it.
+
     Raises [Invalid_argument] if the plan schedules a crash on a node
     index outside [machines], or references an unknown message kind. *)
 
@@ -96,6 +109,29 @@ val crash : t -> node:int -> Process.t list
     automatically. *)
 
 val new_container : t -> name:string -> Container.t
+
+(** {2 Stack-transformation latency cache}
+
+    {!spawn} with [?binary] measures the binary's median
+    stack-transformation latency through the real runtime — an expensive,
+    deterministic computation memoized process-globally, keyed on the
+    program IR (structural equality: recompiling the same program hits).
+    The cache is mutex-guarded and capacity-bounded with FIFO eviction.
+    Per-ensemble hit/miss counts also land in the [obs] metrics
+    [popcorn.latency_cache.hits]/[popcorn.latency_cache.misses]. *)
+
+val latency_cache_clear : unit -> unit
+(** Empty the cache and zero the hit/miss counters (tests). *)
+
+val latency_cache_stats : unit -> int * int
+(** [(hits, misses)] since the last {!latency_cache_clear}. *)
+
+val latency_cache_size : unit -> int
+(** Entries currently cached. *)
+
+val set_latency_cache_capacity : int -> unit
+(** Change the bound (default 64), evicting oldest entries if the cache
+    is over it. Raises [Invalid_argument] if [< 1]. *)
 
 val spawn :
   t ->

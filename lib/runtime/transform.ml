@@ -83,7 +83,7 @@ let stackmap_report per_src per_dst =
          Compiler.Stackmap.pp_mismatch)
       (take 3 mismatches)
 
-let transform tc (src : Thread_state.t) =
+let transform ?(obs = Obs.noop) tc (src : Thread_state.t) =
   let exception Fail of string in
   try
     let arch_src = src.Thread_state.arch in
@@ -243,8 +243,12 @@ let transform tc (src : Thread_state.t) =
           +. (float_of_int !pointers *. per_pointer);
       }
     in
+    Obs.incr obs "transform.runs";
+    Obs.observe obs "transform.latency_us" (cost.latency_s *. 1e6);
     Ok (dst, cost)
-  with Fail msg -> Error msg
+  with Fail msg ->
+    Obs.incr obs "transform.errors";
+    Error msg
 
 let verify tc (src : Thread_state.t) (dst : Thread_state.t) =
   let exception Bad of string in

@@ -27,8 +27,14 @@ type cost = {
 }
 
 val transform :
-  Compiler.Toolchain.t -> Thread_state.t -> (Thread_state.t * cost, string) result
+  ?obs:Obs.t ->
+  Compiler.Toolchain.t ->
+  Thread_state.t ->
+  (Thread_state.t * cost, string) result
 (** Transform a suspended thread state to the other ISA of the binary.
+    [obs] (default {!Obs.noop}) counts [transform.runs]/[transform.errors]
+    and feeds the [transform.latency_us] histogram; it never changes the
+    result.
     The innermost frame must be suspended at a migration point; outer
     frames at call sites. Errors (rather than raises) on metadata
     inconsistencies — e.g. a live stack pointer with no destination slot. *)

@@ -23,11 +23,25 @@ let thread_location (th : Kernel.Process.thread) =
 type admission = Fcfs | Sjf
 
 let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
-    ?(admission = Fcfs) ?faults ?dsm_batch ?prefetch policy jobs =
+    ?(admission = Fcfs) ?faults ?dsm_batch ?prefetch ?(obs = Obs.noop) policy
+    jobs =
   let engine = Sim.Engine.create () in
   let machines = Policy.machines policy in
   let pop =
-    Kernel.Popcorn.create engine ?faults ?dsm_batch ?prefetch ~machines ()
+    Kernel.Popcorn.create engine ?faults ?dsm_batch ?prefetch ~obs ~machines ()
+  in
+  if Obs.enabled obs then
+    Obs.process_name obs ~pid:Obs.scheduler_pid
+      (Printf.sprintf "scheduler (%s)" (Policy.name policy));
+  let job_event name (job : Job.t) extra =
+    if Obs.enabled obs then
+      Obs.instant obs ~ts:(Sim.Engine.now engine) ~pid:Obs.scheduler_pid ~tid:0
+        ~cat:"job" ~name
+        ~args:
+          (("jid", Obs.I job.Job.jid)
+          :: ("threads", Obs.I job.Job.threads)
+          :: extra)
+        ()
   in
   let container = Kernel.Popcorn.new_container pop ~name:"datacenter" in
   let share = Policy.share policy in
@@ -71,8 +85,17 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
      process's thread list at each placement decision. *)
   let node_load = Array.make n_nodes 0 in
   let load node = node_load.(node) in
+  let sample_load () =
+    if Obs.enabled obs then
+      Obs.counter_sample obs ~ts:(Sim.Engine.now engine) ~pid:Obs.scheduler_pid
+        ~name:"node_load"
+        ~args:
+          (List.init n_nodes (fun i ->
+               (Printf.sprintf "node%d" i, Obs.I node_load.(i))))
+  in
   Kernel.Popcorn.on_thread_finish pop (fun _proc th ->
-      node_load.(thread_location th) <- node_load.(thread_location th) - 1);
+      node_load.(thread_location th) <- node_load.(thread_location th) - 1;
+      sample_load ());
   let cores node =
     pop.Kernel.Popcorn.nodes.(node).Kernel.Popcorn.machine.Machine.Server.cores
   in
@@ -152,6 +175,8 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
       proc.Kernel.Process.threads phase_lists;
     node_load.(node) <- node_load.(node) + job.Job.threads;
     running := (proc, job) :: !running;
+    job_event "job_start" job [ ("node", Obs.I node) ];
+    sample_load ();
     Kernel.Popcorn.start pop proc
   in
   let rec try_admit () =
@@ -173,6 +198,9 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
       incr completed;
       decr remaining_jobs;
       makespan := Float.max !makespan (Sim.Engine.now engine);
+      (match List.assq_opt proc !running with
+      | Some job -> job_event "job_finish" job []
+      | None -> ());
       running := List.filter (fun (p, _) -> p != proc) !running;
       try_admit ();
       update_power ();
@@ -184,13 +212,15 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
   Kernel.Popcorn.on_migration_abort pop (fun _proc th ~dest ->
       node_load.(dest) <- node_load.(dest) - 1;
       node_load.(th.Kernel.Process.node) <-
-        node_load.(th.Kernel.Process.node) + 1);
+        node_load.(th.Kernel.Process.node) + 1;
+      sample_load ());
   (* Node crash: Popcorn has already retired the orphaned threads (the
      thread-finish hook fixed [node_load]); here the jobs themselves are
      re-admitted, up to the plan's retry budget, or failed. Queued jobs
      that no longer fit on any surviving machine fail too. *)
   let job_tries : (int, int) Hashtbl.t = Hashtbl.create 16 in
-  let fail_job () =
+  let fail_job job =
+    job_event "job_fail" job [];
     incr failed;
     decr remaining_jobs;
     if !remaining_jobs = 0 then begin
@@ -218,17 +248,18 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
                && job.Job.threads <= alive_max_cores () then begin
               Hashtbl.replace job_tries job.Job.jid (tries + 1);
               incr retried;
+              job_event "job_retry" job [ ("try", Obs.I (tries + 1)) ];
               Queue.push job queue;
               resort_queue ()
             end
-            else fail_job ())
+            else fail_job job)
         orphans;
       let survivors =
         Queue.to_seq queue
         |> Seq.filter (fun (j : Job.t) ->
                if j.Job.threads <= alive_max_cores () then true
                else begin
-                 fail_job ();
+                 fail_job j;
                  false
                end)
         |> List.of_seq
@@ -250,10 +281,19 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
   in
   remaining_jobs := List.length feasible;
   let rejected = List.length infeasible in
+  if Obs.enabled obs then
+    List.iter
+      (fun (j : Job.t) ->
+        Obs.instant obs ~ts:j.Job.arrival ~pid:Obs.scheduler_pid ~tid:0
+          ~cat:"job" ~name:"job_reject"
+          ~args:[ ("jid", Obs.I j.Job.jid); ("threads", Obs.I j.Job.threads) ]
+          ())
+      infeasible;
   List.iter
     (fun (job : Job.t) ->
       Sim.Engine.schedule engine ~at:job.Job.arrival (fun () ->
-          if job.Job.threads > alive_max_cores () then fail_job ()
+          job_event "job_submit" job [];
+          if job.Job.threads > alive_max_cores () then fail_job job
           else begin
             Queue.push job queue;
             resort_queue ();
@@ -303,7 +343,7 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
             (fun (_, job) -> load under + job.Job.threads <= cores under)
             sorted
         with
-        | Some (proc, _) ->
+        | Some (proc, job) ->
           (* [migratable] guarantees no pending requests, so every live
              thread currently counts at its [node]; re-point it at the
              destination before the vDSO flags change the locations. *)
@@ -315,6 +355,9 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
                 node_load.(under) <- node_load.(under) + 1
               end)
             proc.Kernel.Process.threads;
+          job_event "job_migrate" job
+            [ ("from", Obs.I !over); ("to", Obs.I under) ];
+          sample_load ();
           Kernel.Popcorn.migrate pop proc ~to_node:under
         | None -> ()
       end
@@ -350,22 +393,65 @@ let run ?(quantum_instructions = 1e8) ?(rebalance_period = 2.0)
             0 c.Kernel.Container.processes)
       0 pop.Kernel.Popcorn.containers
   in
-  {
-    policy;
-    makespan = !makespan;
-    energy;
-    total_energy;
-    edp = total_energy *. !makespan;
-    migrations;
-    completed = !completed;
-    rejected;
-    failed = !failed;
-    retried = !retried;
-    migration_aborts = Kernel.Popcorn.aborted_migrations pop;
-    downtime_s = pop.Kernel.Popcorn.migration_downtime_s;
-    remote_fetches = (Dsm.Hdsm.stats pop.Kernel.Popcorn.dsm).Dsm.Hdsm.remote_fetches;
-    drain_time_s = pop.Kernel.Popcorn.drain_time_s;
-  }
+  let result =
+    {
+      policy;
+      makespan = !makespan;
+      energy;
+      total_energy;
+      edp = total_energy *. !makespan;
+      migrations;
+      completed = !completed;
+      rejected;
+      failed = !failed;
+      retried = !retried;
+      migration_aborts = Kernel.Popcorn.aborted_migrations pop;
+      downtime_s = pop.Kernel.Popcorn.migration_downtime_s;
+      remote_fetches =
+        (Dsm.Hdsm.stats pop.Kernel.Popcorn.dsm).Dsm.Hdsm.remote_fetches;
+      drain_time_s = pop.Kernel.Popcorn.drain_time_s;
+    }
+  in
+  if Obs.enabled obs then begin
+    (* End-of-run snapshot: the headline result and the subsystem stats
+       as gauges, so a metrics dump is self-contained. *)
+    let g = Obs.gauge obs in
+    let gi name v = Obs.gauge obs name (float_of_int v) in
+    g "sched.makespan_s" result.makespan;
+    g "sched.total_energy_j" result.total_energy;
+    g "sched.edp_js" result.edp;
+    g "sched.downtime_s" result.downtime_s;
+    g "sched.drain_time_s" result.drain_time_s;
+    gi "sched.migrations" result.migrations;
+    gi "sched.migration_aborts" result.migration_aborts;
+    gi "sched.completed" result.completed;
+    gi "sched.rejected" result.rejected;
+    gi "sched.failed" result.failed;
+    gi "sched.retried" result.retried;
+    Array.iteri
+      (fun i e -> g (Printf.sprintf "node%d.energy_j" i) e)
+      result.energy;
+    let d = Dsm.Hdsm.stats pop.Kernel.Popcorn.dsm in
+    gi "dsm.local_hits" d.Dsm.Hdsm.local_hits;
+    gi "dsm.remote_fetches" d.Dsm.Hdsm.remote_fetches;
+    gi "dsm.invalidations" d.Dsm.Hdsm.invalidations;
+    gi "dsm.bytes_transferred" d.Dsm.Hdsm.bytes_transferred;
+    gi "dsm.protocol_msgs" d.Dsm.Hdsm.protocol_msgs;
+    gi "dsm.prefetched_pages" d.Dsm.Hdsm.prefetched_pages;
+    gi "msg.total_messages" (Kernel.Message.total_messages pop.Kernel.Popcorn.bus);
+    gi "msg.total_bytes" (Kernel.Message.total_bytes pop.Kernel.Popcorn.bus);
+    List.iter
+      (fun kind ->
+        let s = Kernel.Message.retry_stats pop.Kernel.Popcorn.bus kind in
+        let k = Kernel.Message.kind_to_string kind in
+        gi (Printf.sprintf "msg.%s.attempts" k) s.Kernel.Message.attempts;
+        gi (Printf.sprintf "msg.%s.delivered" k) s.Kernel.Message.delivered;
+        gi (Printf.sprintf "msg.%s.dropped" k) s.Kernel.Message.dropped;
+        gi (Printf.sprintf "msg.%s.retried" k) s.Kernel.Message.retried;
+        gi (Printf.sprintf "msg.%s.failed" k) s.Kernel.Message.failed)
+      Kernel.Message.all_kinds
+  end;
+  result
 
 let pp_result ppf r =
   Format.fprintf ppf

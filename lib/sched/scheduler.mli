@@ -43,6 +43,7 @@ val run :
   ?faults:Faults.Plan.t ->
   ?dsm_batch:bool ->
   ?prefetch:bool ->
+  ?obs:Obs.t ->
   Policy.t ->
   Job.t list ->
   result
@@ -55,6 +56,16 @@ val run :
     coalesced hDSM transfers and the migration working-set prefetch;
     their effect is visible in [downtime_s], [remote_fetches],
     [drain_time_s] and the makespan.
+
+    [obs] (default {!Obs.noop} — the run computes exactly the same
+    result, byte for byte) collects structured observability: job
+    lifecycle instants ([job_submit] / [job_start] / [job_migrate] /
+    [job_retry] / [job_finish] / [job_fail] / [job_reject]) and
+    node-load counter samples on the {!Obs.scheduler_pid} track, the
+    ensemble's phase/migration/DSM/RPC spans, and an end-of-run gauge
+    snapshot of this [result] plus hDSM and message-bus statistics. The
+    "migrate" and "drain" span durations fold back to [downtime_s] and
+    [drain_time_s] exactly.
 
     [faults] (default: none — byte-identical to a build without fault
     injection) threads a deterministic fault plan through the ensemble:

@@ -20,14 +20,26 @@ let stddev xs =
     let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
     sqrt (ss /. float_of_int (List.length xs - 1))
 
+(* Polymorphic [compare] on floats boxes both operands per comparison and,
+   worse, its total order is an accident of the runtime representation;
+   [Float.compare] is the intended order. NaN is rejected outright: every
+   statistic in this module is meaningless over NaN, and letting one sort
+   to an end of the array silently corrupts quantiles. *)
 let sorted_array xs =
   let arr = Array.of_list xs in
-  Array.sort compare arr;
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Stats: NaN input")
+    arr;
+  Array.sort Float.compare arr;
   arr
 
 let quantile sorted q =
   let n = Array.length sorted in
   if n = 0 then invalid_arg "Stats.quantile: empty";
+  (* Under [Float.compare] a NaN sorts below every number, so checking the
+     first cell catches a NaN anywhere in a caller-sorted array. *)
+  if Float.is_nan sorted.(0) || Float.is_nan sorted.(n - 1) then
+    invalid_arg "Stats.quantile: NaN input";
   if q <= 0.0 then sorted.(0)
   else if q >= 1.0 then sorted.(n - 1)
   else begin
@@ -86,7 +98,10 @@ let log_histogram ~base ~buckets xs =
   assert (base > 1.0 && buckets > 0);
   let counts = Array.make buckets 0 in
   let bucket_of x =
-    if x < 1.0 then 0
+    if Float.is_nan x || x < 0.0 then
+      invalid_arg
+        (Printf.sprintf "Stats.log_histogram: negative or NaN input %g" x)
+    else if x < 1.0 then 0
     else begin
       let b = int_of_float (Float.floor (log x /. log base)) in
       if b >= buckets then buckets - 1 else b

@@ -10,14 +10,16 @@ type summary = {
 }
 
 val summarize : float list -> summary
-(** Raises [Invalid_argument] on the empty list. *)
+(** Raises [Invalid_argument] on the empty list and on NaN inputs. *)
 
 val mean : float list -> float
 val stddev : float list -> float
 
 val quantile : float array -> float -> float
 (** [quantile sorted q] with [q] in [\[0,1\]]; linear interpolation between
-    order statistics. The array must be sorted ascending. *)
+    order statistics. The array must be sorted ascending (with
+    [Float.compare] order). Raises [Invalid_argument] on the empty array
+    and on arrays containing NaN. *)
 
 type boxplot = {
   bmin : float;
@@ -29,7 +31,8 @@ type boxplot = {
 
 val boxplot : float list -> boxplot
 (** Five-number summary (min, Q1, median, Q3, max), as in the paper's
-    Figure 10. Raises [Invalid_argument] on the empty list. *)
+    Figure 10. Raises [Invalid_argument] on the empty list and on NaN
+    inputs. *)
 
 val pp_boxplot : Format.formatter -> boxplot -> unit
 
@@ -40,8 +43,12 @@ type histogram = {
 
 val log_histogram : base:float -> buckets:int -> float list -> histogram
 (** Logarithmic histogram: bucket [i] covers [\[base^i, base^(i+1))];
-    values below 1.0 land in bucket 0, values beyond the last bucket in the
-    last. Used for the migration-point interval distributions (Figs. 3-5). *)
+    values in [\[0, 1)] land in bucket 0, values beyond the last bucket in
+    the last. Negative or NaN inputs raise [Invalid_argument] — they used
+    to be silently binned into bucket 0, which made a histogram of signed
+    residuals look like a pile of sub-unit samples. Used for the
+    migration-point interval distributions (Figs. 3-5) and the obs metrics
+    registry. *)
 
 val geometric_mean : float list -> float
 (** Geometric mean of positive values. *)

@@ -1,13 +1,19 @@
-type t = { mutable tbl : (string * (float * float) list ref) list }
+(* Series are keyed in a hashtable: [record] is O(1) per sample where the
+   old assoc-list representation scanned every series name on every
+   sample — a hot path once the obs timeline records per-event series on
+   top of the 100 Hz power sensors. Iteration order of the table is
+   unspecified, so every enumeration below sorts by name to stay
+   deterministic. *)
+type t = { tbl : (string, (float * float) list ref) Hashtbl.t }
 
-let create () = { tbl = [] }
+let create () = { tbl = Hashtbl.create 64 }
 
 let find_or_add t name =
-  match List.assoc_opt name t.tbl with
+  match Hashtbl.find_opt t.tbl name with
   | Some r -> r
   | None ->
     let r = ref [] in
-    t.tbl <- (name, r) :: t.tbl;
+    Hashtbl.replace t.tbl name r;
     r
 
 let record t ~series ~time v =
@@ -15,11 +21,12 @@ let record t ~series ~time v =
   r := (time, v) :: !r
 
 let series t name =
-  match List.assoc_opt name t.tbl with
+  match Hashtbl.find_opt t.tbl name with
   | None -> []
   | Some r -> List.rev !r
 
-let series_names t = List.sort compare (List.map fst t.tbl)
+let series_names t =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
 
 let resample samples ~dt ~t_end =
   let n = int_of_float (Float.ceil (t_end /. dt)) in

@@ -5,13 +5,15 @@ type t
 val create : unit -> t
 
 val record : t -> series:string -> time:float -> float -> unit
-(** Append a [(time, value)] sample to the named series. *)
+(** Append a [(time, value)] sample to the named series. O(1) per sample
+    (the series table is hashed, not an assoc list). *)
 
 val series : t -> string -> (float * float) list
 (** Samples of a series in chronological order (empty if unknown). *)
 
 val series_names : t -> string list
-(** All series names, sorted. *)
+(** All series names, deterministically sorted ([String.compare]) —
+    independent of hash-table iteration order and insertion order. *)
 
 val resample : (float * float) list -> dt:float -> t_end:float -> float array
 (** [resample samples ~dt ~t_end] converts a step signal (value holds until

@@ -420,6 +420,58 @@ let batched_prefetched_migration_equivalent () =
   checkb "batched drain at least 2x faster" true
     (drain_off > 2.0 *. drain_on && drain_on > 0.0)
 
+(* --- stack-transformation latency cache ---------------------------------- *)
+
+let spawn_with_binary ?obs tc =
+  let engine = Sim.Engine.create () in
+  let pop = Kernel.Popcorn.create engine ?obs ~machines () in
+  let container = Kernel.Popcorn.new_container pop ~name:"t" in
+  ignore
+    (Kernel.Popcorn.spawn pop ~container ~node:0 ~name:"bin" ~binary:tc
+       ~footprint_bytes:(1 lsl 20) ~thread_phases:[ [] ] ())
+
+let latency_cache_structural_hits () =
+  Kernel.Popcorn.latency_cache_clear ();
+  let prog = Workload.Programs.program Workload.Spec.IS Workload.Spec.A in
+  (* two compilations of the same program: physically distinct, equal IR *)
+  let tc1 = Compiler.Toolchain.compile prog in
+  let tc2 = Compiler.Toolchain.compile prog in
+  checkb "distinct toolchain values" true (tc1 != tc2);
+  spawn_with_binary tc1;
+  checkb "first spawn misses" true
+    (Kernel.Popcorn.latency_cache_stats () = (0, 1));
+  let obs = Obs.create () in
+  spawn_with_binary ~obs tc2;
+  checkb "recompiled binary hits" true
+    (Kernel.Popcorn.latency_cache_stats () = (1, 1));
+  checki "one entry" 1 (Kernel.Popcorn.latency_cache_size ());
+  checkb "hit surfaced as an obs metric" true
+    (Obs.counter_value obs "popcorn.latency_cache.hits" = Some 1);
+  Kernel.Popcorn.latency_cache_clear ();
+  checkb "clear resets" true
+    (Kernel.Popcorn.latency_cache_stats () = (0, 0)
+    && Kernel.Popcorn.latency_cache_size () = 0)
+
+let latency_cache_bounded () =
+  Kernel.Popcorn.latency_cache_clear ();
+  Kernel.Popcorn.set_latency_cache_capacity 1;
+  let tc_of b =
+    Compiler.Toolchain.compile (Workload.Programs.program b Workload.Spec.A)
+  in
+  spawn_with_binary (tc_of Workload.Spec.IS);
+  spawn_with_binary (tc_of Workload.Spec.CG);
+  checki "FIFO-bounded at capacity" 1 (Kernel.Popcorn.latency_cache_size ());
+  (* IS was evicted to make room for CG, so it misses again *)
+  spawn_with_binary (tc_of Workload.Spec.IS);
+  checkb "evicted entry re-measures" true
+    (Kernel.Popcorn.latency_cache_stats () = (0, 3));
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument
+       "Popcorn.set_latency_cache_capacity: capacity must be >= 1") (fun () ->
+      Kernel.Popcorn.set_latency_cache_capacity 0);
+  Kernel.Popcorn.set_latency_cache_capacity 64;
+  Kernel.Popcorn.latency_cache_clear ()
+
 let suite =
   [
     ("message delivery and accounting", `Quick, message_delivery_latency);
@@ -445,4 +497,6 @@ let suite =
     ("split threads ping-pong the DSM", `Quick, split_threads_pingpong_dsm);
     ("batched+prefetched migration equivalent", `Quick,
      batched_prefetched_migration_equivalent);
+    ("latency cache keyed structurally", `Quick, latency_cache_structural_hits);
+    ("latency cache bounded with FIFO eviction", `Quick, latency_cache_bounded);
   ]

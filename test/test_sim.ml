@@ -237,6 +237,55 @@ let trace_integrate_edges () =
   checkf "single mid-window sample holds to t_end" 3.0
     (Sim.Trace.integrate [ (1.0, 3.0) ] ~t_end:2.0)
 
+(* NaN poisons every order-statistic; the stats layer rejects it loudly
+   instead of letting Float.compare sort it to an end of the array. *)
+let stats_nan_raises () =
+  Alcotest.check_raises "summarize" (Invalid_argument "Stats: NaN input")
+    (fun () -> ignore (Sim.Stats.summarize [ 1.0; Float.nan; 2.0 ]));
+  Alcotest.check_raises "boxplot" (Invalid_argument "Stats: NaN input")
+    (fun () -> ignore (Sim.Stats.boxplot [ Float.nan ]));
+  Alcotest.check_raises "quantile (caller-sorted array)"
+    (Invalid_argument "Stats.quantile: NaN input") (fun () ->
+      ignore (Sim.Stats.quantile [| Float.nan; 1.0 |] 0.5))
+
+let stats_sorts_with_float_compare () =
+  (* values polymorphic compare used to box per comparison; the order
+     itself must be plain numeric order *)
+  let s = Sim.Stats.summarize [ 2.0; -1.0; 0.5; -0.0; 1e300; -1e300 ] in
+  checkf "min" (-1e300) s.Sim.Stats.min;
+  checkf "max" 1e300 s.Sim.Stats.max;
+  checkf "median" 0.25 s.Sim.Stats.median
+
+let stats_log_histogram_rejects () =
+  Alcotest.check_raises "negative sample"
+    (Invalid_argument "Stats.log_histogram: negative or NaN input -1")
+    (fun () ->
+      ignore (Sim.Stats.log_histogram ~base:10.0 ~buckets:4 [ 2.0; -1.0 ]));
+  Alcotest.check_raises "NaN sample"
+    (Invalid_argument "Stats.log_histogram: negative or NaN input nan")
+    (fun () ->
+      ignore (Sim.Stats.log_histogram ~base:10.0 ~buckets:4 [ Float.nan ]));
+  (* zero is fine: it lands in the first bucket *)
+  let h = Sim.Stats.log_histogram ~base:10.0 ~buckets:4 [ 0.0; 0.5; 50.0 ] in
+  checkb "sub-1 samples in bucket 0" true
+    (h.Sim.Stats.counts.(0) = 2 && h.Sim.Stats.counts.(1) = 1)
+
+let trace_series_names_sorted () =
+  let t = Sim.Trace.create () in
+  List.iter
+    (fun i ->
+      Sim.Trace.record t
+        ~series:(Printf.sprintf "s%02d" i)
+        ~time:0.0 (float_of_int i))
+    [ 5; 3; 9; 1; 0; 8; 2; 7; 6; 4 ];
+  checkb "names sorted regardless of registration order" true
+    (Sim.Trace.series_names t
+    = List.init 10 (fun i -> Printf.sprintf "s%02d" i));
+  Sim.Trace.record t ~series:"s03" ~time:1.0 42.0;
+  checkb "samples stay in time order per series" true
+    (Sim.Trace.series t "s03" = [ (0.0, 3.0); (1.0, 42.0) ]);
+  checkb "unknown series is empty" true (Sim.Trace.series t "zz" = [])
+
 let suite =
   [
     ("prng deterministic", `Quick, prng_deterministic);
@@ -268,4 +317,8 @@ let suite =
     ("trace resample", `Quick, trace_resample);
     ("trace resample edge cases", `Quick, trace_resample_edges);
     ("trace integrate edge cases", `Quick, trace_integrate_edges);
+    ("stats rejects NaN", `Quick, stats_nan_raises);
+    ("stats numeric sort order", `Quick, stats_sorts_with_float_compare);
+    ("log histogram rejects negatives", `Quick, stats_log_histogram_rejects);
+    ("trace series names sorted", `Quick, trace_series_names_sorted);
   ]
