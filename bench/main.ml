@@ -28,6 +28,8 @@ let experiments =
      Experiments.Prefetch.run);
     ("telemetry", "Observability: traced degraded run (non-paper)",
      Experiments.Telemetry.run);
+    ("engine", "Event core: engine/calendar/islands (non-paper)",
+     Experiments.Engine.run);
   ]
 
 (* Wall-clock seconds on the monotonic clock: experiment grids now run on
@@ -106,6 +108,32 @@ let micro_tests () =
            ignore
              (Sched.Scheduler.run Sched.Policy.Dynamic_balanced
                 (Sched.Arrival.periodic ~seed:7 ~waves:2 ~max_per_wave:4))));
+    (* Engine: one push + pop through the pooled heap. *)
+    Test.make ~name:"engine/engine_push_pop"
+      (Staged.stage
+         (let e = Sim.Engine.create () in
+          let t = ref 0.0 in
+          fun () ->
+            t := !t +. 1.0;
+            Sim.Engine.schedule e ~at:!t ignore;
+            Sim.Engine.run_until e !t));
+    (* Engine: one keyed calendar push + pop. *)
+    Test.make ~name:"engine/calendar_push_pop"
+      (Staged.stage
+         (let cal = Sim.Calendar.create ~dummy:0 () in
+          let t = ref 0.0 in
+          let seq = ref 0 in
+          fun () ->
+            t := !t +. 1.0;
+            incr seq;
+            Sim.Calendar.push cal ~time:!t ~src:0 ~seq:!seq 1;
+            ignore (Sim.Calendar.pop cal)));
+    (* Engine: one small fleet scenario on the island runtime. *)
+    Test.make ~name:"engine/fleet_small"
+      (Staged.stage (fun () ->
+           ignore
+             (Sched.Fleet.run ~domains:1
+                (Sched.Fleet.default ~nodes:2 ~jobs:3 ~seed:5))));
   ]
 
 (* Returns (name, ns/run, r^2) per micro-benchmark for the JSON report. *)

@@ -468,6 +468,107 @@ let lint_cmd =
           any error-severity diagnostic fires.")
     Term.(const run $ json $ rules $ workloads $ jobs $ seq $ list_rules)
 
+(* --- fleet ------------------------------------------------------------------ *)
+
+let fleet_cmd =
+  let run nodes jobs seed islands seq epoch rate placement no_migration
+      fail_rate out =
+    let cfg =
+      { (Sched.Fleet.default ~nodes ~jobs ~seed) with
+        Sched.Fleet.epoch_s = epoch;
+        mean_interarrival_s = rate;
+        placement;
+        migration = not no_migration;
+        fail_rate;
+      }
+    in
+    let domains =
+      if seq then 1
+      else
+        match islands with
+        | Some d -> d
+        | None -> Parallel.Pool.default_jobs ()
+    in
+    let r = Sched.Fleet.run ~domains cfg in
+    let text = Sched.Fleet.render cfg r in
+    (match out with
+    | Some path -> write_file path text
+    | None -> print_string text);
+    if r.Sched.Fleet.failed > 0 && cfg.Sched.Fleet.fail_rate = 0.0 then exit 1
+  in
+  let nodes =
+    Arg.(value & opt int 64
+         & info [ "nodes" ] ~docv:"N" ~doc:"Worker nodes (alternating \
+                                            x86-64/arm64 servers).")
+  in
+  let jobs =
+    Arg.(value & opt int 1000 & info [ "jobs" ] ~docv:"N" ~doc:"Jobs to run.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let islands =
+    Arg.(value & opt (some int) None
+         & info [ "islands" ] ~docv:"D"
+             ~doc:
+               "Domains to span the run over (default: HETMIG_JOBS or the \
+                machine's core count). The report is byte-identical \
+                whatever this is.")
+  in
+  let seq =
+    Arg.(value & flag
+         & info [ "seq" ]
+             ~doc:"Sequential reference run (same as --islands 1).")
+  in
+  let epoch =
+    Arg.(value & opt float 0.25
+         & info [ "epoch" ] ~docv:"S"
+             ~doc:"Control-traffic batching epoch in seconds — the \
+                   runtime's conservative lookahead.")
+  in
+  let rate =
+    Arg.(value & opt float 0.5
+         & info [ "rate" ] ~docv:"S" ~doc:"Mean job interarrival in seconds.")
+  in
+  let placement =
+    let placement_conv =
+      let parse = function
+        | "ll" | "least-loaded" -> Ok Sched.Fleet.Least_loaded
+        | "rr" | "round-robin" -> Ok Sched.Fleet.Round_robin
+        | s -> Error (`Msg (Printf.sprintf "unknown placement %s (ll, rr)" s))
+      in
+      Arg.conv (parse, fun ppf p ->
+          Format.pp_print_string ppf (Sched.Fleet.placement_name p))
+    in
+    Arg.(value & opt placement_conv Sched.Fleet.Least_loaded
+         & info [ "placement" ] ~docv:"POLICY"
+             ~doc:"Placement policy: ll (least-loaded) or rr (round-robin).")
+  in
+  let no_migration =
+    Arg.(value & flag
+         & info [ "no-migration" ]
+             ~doc:"Disable epoch-tick load-balancing migration.")
+  in
+  let fail_rate =
+    Arg.(value & opt float 0.0
+         & info [ "fail-rate" ] ~docv:"P"
+             ~doc:"Per-phase failure probability (phases retry, then the \
+                   job fails).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH"
+             ~doc:"Write the report to PATH instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Warehouse-scale mixed-ISA fleet simulation on the parallel \
+          time-island runtime: one scheduler island plus one island per \
+          node, synchronized on conservative-lookahead windows. The \
+          report is a pure function of the configuration, not of the \
+          domain count.")
+    Term.(const run $ nodes $ jobs $ seed $ islands $ seq $ epoch $ rate
+          $ placement $ no_migration $ fail_rate $ out)
+
 (* --- experiment ---------------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -508,5 +609,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ compile_cmd; migrate_cmd; emulation_cmd; schedule_cmd;
+          [ compile_cmd; migrate_cmd; emulation_cmd; schedule_cmd; fleet_cmd;
             state_map_cmd; trace_cmd; lint_cmd; metrics_cmd; experiment_cmd ]))

@@ -159,10 +159,12 @@ let register_alias t ~page =
         { owner = 0; copies = bit t.nodes - 1; exclusive = false;
           aliased = true }
 
+(* Hot path of every access: already-materialized pages hit the table
+   without allocating an option on the way out. *)
 let entry t page =
-  match Hashtbl.find_opt t.pages page with
-  | Some e -> e
-  | None -> begin
+  match Hashtbl.find t.pages page with
+  | e -> e
+  | exception Not_found -> begin
     match find_range t page with
     | Some r ->
       let e =

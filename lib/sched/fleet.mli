@@ -1,0 +1,54 @@
+(** Warehouse-scale mixed-ISA fleet simulation on the time-island
+    runtime ({!Sim.Islands}).
+
+    Island 0 is the fleet scheduler; islands 1..N are alternating
+    x86/arm64 nodes. All control traffic (dispatch, completion reports,
+    migration commands) is batched on [epoch_s] boundaries, so the epoch
+    is the conservative lookahead: a run spans domains with
+    [run ~domains:n] and is bit-identical to the sequential reference
+    ([domains:1]). *)
+
+type placement = Least_loaded | Round_robin
+
+val placement_name : placement -> string
+
+type config = {
+  nodes : int;  (** worker nodes (>= 2); islands = nodes + 1 *)
+  jobs : int;
+  seed : int;
+  mean_interarrival_s : float;  (** open-loop Poisson arrivals *)
+  epoch_s : float;  (** control-traffic batching epoch = lookahead *)
+  placement : placement;
+  migration : bool;  (** epoch-tick load-balancing migration *)
+  fail_rate : float;
+      (** per-phase failure probability; phases retry up to a budget,
+          then the job fails *)
+  quantum_instructions : float;
+  interconnect : Machine.Interconnect.t;
+}
+
+val default : nodes:int -> jobs:int -> seed:int -> config
+
+type result = {
+  completed : int;
+  failed : int;
+  retried_phases : int;
+  migrations : int;
+  makespan : float;
+  total_energy_j : float;
+  energy_x86_j : float;
+  energy_arm_j : float;
+  edp : float;
+  p50_latency_s : float;
+  p99_latency_s : float;
+  events : int;  (** simulation events executed *)
+  windows : int;  (** conservative synchronization windows *)
+}
+
+val run : ?domains:int -> config -> result
+(** Deterministic: the result is a pure function of [config], not of
+    [domains]. *)
+
+val render : config -> result -> string
+(** Byte-stable text report (no wall-clock, no domain count): the
+    artifact CI diffs between [--seq] and [--islands N] runs. *)

@@ -1,0 +1,154 @@
+(* Per-island event calendar for the time-island runtime: a flat binary
+   min-heap over mutable event records keyed by the deterministic total
+   order (time, seq, src). [seq] is drawn from the *source* island's
+   event counter and [src] is the source island id, so every key is
+   unique (an island never reuses a sequence number) and the pop order is
+   a strict total order independent of push order — the property the
+   window-barrier merge relies on.
+
+   Records are recycled through a freelist: pushing and popping inside a
+   window allocates nothing once the calendar has warmed up. The payload
+   is typically an action closure; recycled records drop their payload
+   reference so the freelist never pins dead closures. *)
+
+type 'a event = {
+  mutable time : float;
+  mutable src : int;
+  mutable seq : int;
+  mutable payload : 'a;
+}
+
+type 'a t = {
+  dummy : 'a;
+  sentinel : 'a event;
+  mutable heap : 'a event array;
+  mutable size : int;
+  mutable free : 'a event array;
+  mutable free_n : int;
+  mutable last_time : float;
+  mutable last_src : int;
+  mutable last_seq : int;
+}
+
+let default_capacity = 64
+
+let create ?(capacity = default_capacity) ~dummy () =
+  let capacity = max 1 capacity in
+  let sentinel = { time = 0.0; src = 0; seq = 0; payload = dummy } in
+  {
+    dummy;
+    sentinel;
+    heap = Array.make capacity sentinel;
+    size = 0;
+    free = Array.make capacity sentinel;
+    free_n = 0;
+    last_time = 0.0;
+    last_src = 0;
+    last_seq = 0;
+  }
+
+let size t = t.size
+let is_empty t = t.size = 0
+let capacity t = Array.length t.heap
+let min_time t = if t.size = 0 then Float.infinity else t.heap.(0).time
+
+(* The (time, seq, src) total order of the islanded runtime. *)
+let before a b =
+  a.time < b.time
+  || (a.time = b.time
+      && (a.seq < b.seq || (a.seq = b.seq && a.src < b.src)))
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) t.sentinel in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let alloc t ~time ~src ~seq payload =
+  if t.free_n > 0 then begin
+    t.free_n <- t.free_n - 1;
+    let ev = t.free.(t.free_n) in
+    t.free.(t.free_n) <- t.sentinel;
+    ev.time <- time;
+    ev.src <- src;
+    ev.seq <- seq;
+    ev.payload <- payload;
+    ev
+  end
+  else { time; src; seq; payload }
+
+let recycle t ev =
+  ev.payload <- t.dummy;
+  if t.free_n = Array.length t.free then begin
+    let bigger = Array.make (2 * Array.length t.free) t.sentinel in
+    Array.blit t.free 0 bigger 0 t.free_n;
+    t.free <- bigger
+  end;
+  t.free.(t.free_n) <- ev;
+  t.free_n <- t.free_n + 1
+
+let push t ~time ~src ~seq payload =
+  if t.size = Array.length t.heap then grow t;
+  let ev = alloc t ~time ~src ~seq payload in
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.size = 0 then invalid_arg "Calendar.pop: empty";
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- t.sentinel;
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+  done;
+  t.last_time <- top.time;
+  t.last_src <- top.src;
+  t.last_seq <- top.seq;
+  let payload = top.payload in
+  recycle t top;
+  payload
+
+let last_time t = t.last_time
+let last_src t = t.last_src
+let last_seq t = t.last_seq
+
+let clear ?shrink_to t =
+  let cap =
+    max default_capacity (Option.value ~default:default_capacity shrink_to)
+  in
+  if Array.length t.heap > cap then t.heap <- Array.make cap t.sentinel
+  else Array.fill t.heap 0 t.size t.sentinel;
+  if Array.length t.free > cap then begin
+    t.free <- Array.make cap t.sentinel;
+    t.free_n <- 0
+  end
+  else begin
+    Array.fill t.free 0 t.free_n t.sentinel;
+    t.free_n <- 0
+  end;
+  t.size <- 0

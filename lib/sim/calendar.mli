@@ -1,0 +1,42 @@
+(** Per-island event calendar: a flat binary min-heap over mutable event
+    records keyed by the deterministic total order (time, seq, src),
+    where [seq] is the source island's event counter and [src] the
+    source island id. Keys are unique, so the pop order is a strict
+    total order independent of push order — cross-island deliveries can
+    be merged at a window barrier in any order without affecting
+    execution order.
+
+    Event records are pooled on a freelist: push/pop in steady state
+    allocates nothing beyond the caller's payload. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills recycled records so the freelist never retains dead
+    payloads. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val capacity : 'a t -> int
+(** Current backing-array size (grows by doubling; shrinks only through
+    {!clear}). *)
+
+val min_time : 'a t -> float
+(** Timestamp of the earliest pending event, or [infinity] if empty. *)
+
+val push : 'a t -> time:float -> src:int -> seq:int -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Remove and return the payload of the minimum-key event. The popped
+    key is readable through {!last_time}/{!last_src}/{!last_seq} until
+    the next [pop]. Raises [Invalid_argument] when empty. *)
+
+val last_time : 'a t -> float
+val last_src : 'a t -> int
+val last_seq : 'a t -> int
+
+val clear : ?shrink_to:int -> 'a t -> unit
+(** Empty the calendar and shrink the heap and freelist back to
+    [shrink_to] slots (default: the initial capacity) if they grew
+    beyond it. *)

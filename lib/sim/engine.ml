@@ -1,19 +1,42 @@
 (* A binary min-heap keyed on (time, sequence number): the sequence number
-   breaks ties so that simultaneous events fire in insertion order. *)
+   breaks ties so that simultaneous events fire in insertion order.
 
-type event = { time : float; seq : int; action : unit -> unit }
+   Event records are mutable and recycled through a freelist: in steady
+   state the run loop allocates nothing per event beyond the caller's
+   action closure. *)
+
+type event = { mutable time : float; mutable seq : int; mutable action : unit -> unit }
 
 type t = {
   mutable heap : event array;
   mutable size : int;
   mutable clock : float;
   mutable next_seq : int;
+  mutable free : event array;
+  mutable free_n : int;
 }
 
-let dummy = { time = 0.0; seq = 0; action = (fun () -> ()) }
-let create () = { heap = Array.make 64 dummy; size = 0; clock = 0.0; next_seq = 0 }
+let noop () = ()
+
+(* Shared sentinel filling empty heap/freelist slots; never mutated, never
+   executed. *)
+let dummy = { time = 0.0; seq = 0; action = noop }
+
+let default_capacity = 64
+
+let create () =
+  {
+    heap = Array.make default_capacity dummy;
+    size = 0;
+    clock = 0.0;
+    next_seq = 0;
+    free = Array.make default_capacity dummy;
+    free_n = 0;
+  }
+
 let now t = t.clock
 let pending t = t.size
+let capacity t = Array.length t.heap
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -21,6 +44,31 @@ let grow t =
   let bigger = Array.make (2 * Array.length t.heap) dummy in
   Array.blit t.heap 0 bigger 0 t.size;
   t.heap <- bigger
+
+let alloc_event t ~time ~seq ~action =
+  if t.free_n > 0 then begin
+    t.free_n <- t.free_n - 1;
+    let ev = t.free.(t.free_n) in
+    t.free.(t.free_n) <- dummy;
+    ev.time <- time;
+    ev.seq <- seq;
+    ev.action <- action;
+    ev
+  end
+  else { time; seq; action }
+
+(* Recycle a popped record. The action reference is dropped so the
+   freelist never retains closures (and whatever they capture) across
+   windows. *)
+let recycle t ev =
+  ev.action <- noop;
+  if t.free_n = Array.length t.free then begin
+    let bigger = Array.make (2 * Array.length t.free) dummy in
+    Array.blit t.free 0 bigger 0 t.free_n;
+    t.free <- bigger
+  end;
+  t.free.(t.free_n) <- ev;
+  t.free_n <- t.free_n + 1
 
 let push t ev =
   if t.size = Array.length t.heap then grow t;
@@ -69,7 +117,7 @@ let schedule t ~at action =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule: at=%g is before now=%g" at t.clock);
-  let ev = { time = at; seq = t.next_seq; action } in
+  let ev = alloc_event t ~time:at ~seq:t.next_seq ~action in
   t.next_seq <- t.next_seq + 1;
   push t ev
 
@@ -78,8 +126,11 @@ let schedule_in t ~after action = schedule t ~at:(t.clock +. after) action
 let run t =
   while t.size > 0 do
     let ev = pop t in
-    t.clock <- ev.time;
-    ev.action ()
+    let time = ev.time in
+    let action = ev.action in
+    recycle t ev;
+    t.clock <- time;
+    action ()
   done
 
 let run_until t limit =
@@ -88,8 +139,31 @@ let run_until t limit =
     if t.size = 0 || t.heap.(0).time > limit then continue := false
     else begin
       let ev = pop t in
-      t.clock <- ev.time;
-      ev.action ()
+      let time = ev.time in
+      let action = ev.action in
+      recycle t ev;
+      t.clock <- time;
+      action ()
     end
   done;
   if t.clock < limit then t.clock <- limit
+
+(* Reset for reuse. A pooled engine that once ran a warehouse-scale
+   scenario would otherwise retain its peak-size heap and freelist arrays
+   forever ([grow] only ever doubles); shrinking here returns the engine
+   to a bounded footprint between runs. *)
+let clear ?shrink_to t =
+  let cap = max default_capacity (Option.value ~default:default_capacity shrink_to) in
+  if Array.length t.heap > cap then t.heap <- Array.make cap dummy
+  else Array.fill t.heap 0 t.size dummy;
+  if Array.length t.free > cap then begin
+    t.free <- Array.make cap dummy;
+    t.free_n <- 0
+  end
+  else begin
+    Array.fill t.free 0 t.free_n dummy;
+    t.free_n <- 0
+  end;
+  t.size <- 0;
+  t.clock <- 0.0;
+  t.next_seq <- 0

@@ -26,3 +26,14 @@ val run_until : t -> float -> unit
 
 val pending : t -> int
 (** Number of queued events. *)
+
+val capacity : t -> int
+(** Current size of the backing heap array (grows by doubling, shrinks
+    only through {!clear}). *)
+
+val clear : ?shrink_to:int -> t -> unit
+(** [clear t] empties the queue and resets the clock and sequence counter
+    so the engine can be reused for a fresh run. The backing heap and
+    event-record freelist are shrunk back to [shrink_to] slots (default:
+    the initial capacity) if they grew beyond it, so pooled engines do
+    not retain their peak-size arrays across runs. *)

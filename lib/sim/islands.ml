@@ -1,0 +1,291 @@
+(* Conservative-lookahead parallel discrete-event runtime ("time
+   islands", CMB-style).
+
+   One simulation is split into [n] islands, each owning a private
+   {!Calendar} (its event queue and clock) and a private PRNG stream
+   split deterministically from the run seed. Islands may only touch
+   island-local state from inside their actions; all cross-island
+   causality flows through {!post}, which delivers an action to the
+   destination island no earlier than [lookahead] simulated seconds
+   after the sender's current time.
+
+   Execution proceeds in windows. Each round:
+
+     next        = min over islands of their earliest pending event
+     window_end  = next + lookahead
+
+   and every island executes all of its events with [time < window_end],
+   in (time, seq, src) key order. This is safe: an event executing at
+   time [t >= next] can only post cross-island work arriving at
+   [t + after >= next + lookahead = window_end], i.e. strictly outside
+   the current window — no island can ever receive an event earlier
+   than something it already executed. Cross-island deliveries are
+   staged in per-(src,dst) outboxes and merged into the destination
+   calendars at the window barrier; because calendar keys are globally
+   unique, merge order is irrelevant to execution order.
+
+   Determinism: sequence numbers are drawn from per-island counters
+   (advanced only by that island's own execution, which is sequential),
+   PRNG streams are per-island, and the within-island execution order is
+   the total key order — so a run is bit-identical whatever the domain
+   count, and [domains:1] is the sequential reference execution of the
+   same schedule. *)
+
+type island = {
+  id : int;
+  n_islands : int;
+  lookahead : float;
+  cal : (island -> unit) Calendar.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  prng : Prng.t;
+  outboxes : out_ev list ref array;  (* staged posts, indexed by dest *)
+  mutable executed : int;
+  record : bool;
+  mutable trace : (float * int * int * int) list;
+      (* (time, seq, src, island), reversed execution order *)
+}
+
+and out_ev = {
+  o_time : float;
+  o_src : int;
+  o_seq : int;
+  o_act : island -> unit;
+}
+
+type t = {
+  lookahead : float;
+  islands : island array;
+  mutable windows : int;
+}
+
+let noop_action (_ : island) = ()
+
+let create ?(record = false) ~islands:n ~lookahead ~seed () =
+  if n < 1 then invalid_arg "Islands.create: need at least one island";
+  if not (Float.is_finite lookahead) || lookahead <= 0.0 then
+    invalid_arg "Islands.create: lookahead must be finite and positive";
+  let master = Prng.create seed in
+  let islands =
+    Array.init n (fun id ->
+        {
+          id;
+          n_islands = n;
+          lookahead;
+          cal = Calendar.create ~dummy:noop_action ();
+          clock = 0.0;
+          next_seq = 0;
+          prng = Prng.split master;
+          outboxes = Array.init n (fun _ -> ref []);
+          executed = 0;
+          record;
+          trace = [];
+        })
+  in
+  { lookahead; islands; windows = 0 }
+
+let island t id = t.islands.(id)
+let island_count t = Array.length t.islands
+let lookahead t = t.lookahead
+let id isl = isl.id
+let now isl = isl.clock
+let prng isl = isl.prng
+
+let schedule isl ~at act =
+  if at < isl.clock then
+    invalid_arg
+      (Printf.sprintf "Islands.schedule: at=%g is before island %d now=%g" at
+         isl.id isl.clock);
+  Calendar.push isl.cal ~time:at ~src:isl.id ~seq:isl.next_seq act;
+  isl.next_seq <- isl.next_seq + 1
+
+let schedule_in isl ~after act = schedule isl ~at:(isl.clock +. after) act
+
+let post isl ~dst ~after act =
+  if dst < 0 || dst >= isl.n_islands then
+    invalid_arg (Printf.sprintf "Islands.post: unknown island %d" dst);
+  if after < isl.lookahead then
+    invalid_arg
+      (Printf.sprintf
+         "Islands.post: delay %g violates the lookahead %g (island %d -> %d)"
+         after isl.lookahead isl.id dst);
+  if dst = isl.id then schedule_in isl ~after act
+  else begin
+    let msg =
+      { o_time = isl.clock +. after; o_src = isl.id; o_seq = isl.next_seq;
+        o_act = act }
+    in
+    isl.next_seq <- isl.next_seq + 1;
+    let box = isl.outboxes.(dst) in
+    box := msg :: !box
+  end
+
+(* Run one island up to (strictly before) [until]. Actions may push more
+   local events inside the window; the loop drains them in key order. *)
+let run_island_window isl ~until =
+  let cal = isl.cal in
+  let continue = ref true in
+  while !continue do
+    if Calendar.size cal = 0 || Calendar.min_time cal >= until then
+      continue := false
+    else begin
+      let act = Calendar.pop cal in
+      isl.clock <- Calendar.last_time cal;
+      isl.executed <- isl.executed + 1;
+      if isl.record then
+        isl.trace <-
+          (Calendar.last_time cal, Calendar.last_seq cal, Calendar.last_src cal,
+           isl.id)
+          :: isl.trace;
+      act isl
+    end
+  done
+
+let next_time t =
+  Array.fold_left
+    (fun acc isl -> Float.min acc (Calendar.min_time isl.cal))
+    Float.infinity t.islands
+
+(* Deliver every staged cross-island message into its destination
+   calendar. Runs only at window barriers, single-threaded. *)
+let deliver t =
+  Array.iter
+    (fun src ->
+      Array.iteri
+        (fun dst box ->
+          match !box with
+          | [] -> ()
+          | msgs ->
+            let cal = t.islands.(dst).cal in
+            List.iter
+              (fun m ->
+                Calendar.push cal ~time:m.o_time ~src:m.o_src ~seq:m.o_seq
+                  m.o_act)
+              msgs;
+            box := [])
+        src.outboxes)
+    t.islands
+
+let run_sequential t =
+  let continue = ref true in
+  while !continue do
+    let next = next_time t in
+    if next = Float.infinity then continue := false
+    else begin
+      let until = next +. t.lookahead in
+      Array.iter (fun isl -> run_island_window isl ~until) t.islands;
+      deliver t;
+      t.windows <- t.windows + 1
+    end
+  done
+
+(* Parallel execution: [d] lanes over persistent domains, island [i]
+   handled by lane [i mod d]. Lane 0 is the coordinating domain. Window
+   state is handed to the workers under a mutex/condition barrier; the
+   islands themselves are disjoint, so lanes never contend on simulation
+   state. *)
+let run_parallel t ~domains =
+  let n = Array.length t.islands in
+  let d = min domains n in
+  let m = Mutex.create () in
+  let cv = Condition.create () in
+  let round = ref 0 in
+  let window = ref 0.0 in
+  let stop = ref false in
+  let done_workers = ref 0 in
+  let failure = ref None in
+  let run_lane k ~until =
+    try
+      let i = ref k in
+      while !i < n do
+        run_island_window t.islands.(!i) ~until;
+        i := !i + d
+      done
+    with exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      Mutex.lock m;
+      if !failure = None then failure := Some (exn, bt);
+      Mutex.unlock m
+  in
+  let worker k () =
+    let my_round = ref 0 in
+    let continue = ref true in
+    while !continue do
+      Mutex.lock m;
+      while !round = !my_round && not !stop do
+        Condition.wait cv m
+      done;
+      if !stop then begin
+        Mutex.unlock m;
+        continue := false
+      end
+      else begin
+        my_round := !round;
+        let until = !window in
+        Mutex.unlock m;
+        run_lane k ~until;
+        Mutex.lock m;
+        incr done_workers;
+        Condition.broadcast cv;
+        Mutex.unlock m
+      end
+    done
+  in
+  let workers = Array.init (d - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+  let finished = ref false in
+  while not !finished do
+    let next = next_time t in
+    if next = Float.infinity || !failure <> None then finished := true
+    else begin
+      let until = next +. t.lookahead in
+      Mutex.lock m;
+      window := until;
+      done_workers := 0;
+      incr round;
+      Condition.broadcast cv;
+      Mutex.unlock m;
+      run_lane 0 ~until;
+      Mutex.lock m;
+      while !done_workers < d - 1 do
+        Condition.wait cv m
+      done;
+      Mutex.unlock m;
+      deliver t;
+      t.windows <- t.windows + 1
+    end
+  done;
+  Mutex.lock m;
+  stop := true;
+  Condition.broadcast cv;
+  Mutex.unlock m;
+  Array.iter Domain.join workers;
+  match !failure with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let run ?(domains = 1) t =
+  if domains <= 1 || Array.length t.islands <= 1 then run_sequential t
+  else run_parallel t ~domains
+
+let events_executed t =
+  Array.fold_left (fun acc isl -> acc + isl.executed) 0 t.islands
+
+let windows t = t.windows
+
+(* Merged execution log in the canonical (time, seq, src) total order —
+   identical whatever the domain count, because each island's log is
+   already sorted by key and keys are globally unique. *)
+let log t =
+  let all =
+    Array.fold_left
+      (fun acc isl -> List.rev_append isl.trace acc)
+      [] t.islands
+  in
+  List.sort
+    (fun (t1, q1, s1, _) (t2, q2, s2, _) ->
+      match Float.compare t1 t2 with
+      | 0 -> begin
+        match compare q1 q2 with 0 -> compare s1 s2 | c -> c
+      end
+      | c -> c)
+    all

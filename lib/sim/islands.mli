@@ -1,0 +1,63 @@
+(** Conservative-lookahead parallel discrete-event runtime ("time
+    islands").
+
+    A simulation is split into islands, each owning a private
+    {!Calendar}, clock, and PRNG stream (split deterministically from
+    the run seed). Actions must only touch state owned by their island;
+    cross-island causality flows exclusively through {!post}, whose
+    delivery delay is bounded below by the runtime's [lookahead] — in a
+    datacenter model, the minimum cross-node interconnect/protocol
+    latency. Under that contract no island can receive an event earlier
+    than its local clock, every event executes in the deterministic
+    (time, seq, src-island) total order, and a run is bit-identical
+    whatever [domains] is: [run ~domains:1] is the sequential reference
+    execution of the same schedule. *)
+
+type t
+(** A runtime: a set of islands plus the window machinery. *)
+
+type island
+(** Handle to one island, passed to every action it executes. *)
+
+val create : ?record:bool -> islands:int -> lookahead:float -> seed:int -> unit -> t
+(** [record:true] keeps a per-island execution log for determinism
+    tests (see {!log}); off by default, costing nothing. [lookahead]
+    must be finite and positive. *)
+
+val island : t -> int -> island
+val island_count : t -> int
+val lookahead : t -> float
+
+val id : island -> int
+val now : island -> float
+(** The island's local clock: the timestamp of the event being executed. *)
+
+val prng : island -> Prng.t
+(** The island's private PRNG stream. Draw order is the island's
+    deterministic execution order, so results never depend on the
+    domain count. *)
+
+val schedule : island -> at:float -> (island -> unit) -> unit
+(** Island-local event; [at] must not be in the island's past. *)
+
+val schedule_in : island -> after:float -> (island -> unit) -> unit
+
+val post : island -> dst:int -> after:float -> (island -> unit) -> unit
+(** Cross-island event, delivered to [dst] at [now + after]. [after]
+    must be at least the runtime's lookahead — this is the conservative
+    synchronization contract; violating it raises [Invalid_argument].
+    Posting to the own island degrades to {!schedule_in}. *)
+
+val run : ?domains:int -> t -> unit
+(** Execute until no events remain anywhere. [domains] bounds the number
+    of parallel lanes (capped at the island count); [1] (the default)
+    runs the sequential reference schedule on the calling domain. *)
+
+val events_executed : t -> int
+val windows : t -> int
+(** Number of synchronization windows the run took. *)
+
+val log : t -> (float * int * int * int) list
+(** With [record:true]: every executed event as
+    [(time, seq, src island, executing island)], merged across islands
+    in the canonical (time, seq, src) order. *)

@@ -105,7 +105,68 @@ let phases t ~threads ~quantum_instructions =
   let n = min n_pages 65536 in
   phases_from_pages t ~threads ~quantum_instructions ~n ~nth:Fun.id
 
+(* Phase expansion is pure in (spec, threads, quantum, page ranges) and
+   the records it builds are immutable — threads only ever reassign
+   their [remaining] list pointer, never a phase — so the lists are
+   safely shared across processes and domains. Every ensemble re-spawn
+   of the same (program, input class) pays the List.init walk otherwise;
+   memoize it. Mutex-guarded with FIFO eviction, same discipline as
+   {!Kernel.Popcorn.latency_cache}: a concurrent miss at worst
+   duplicates the (deterministic) expansion, never corrupts the table. *)
+let phase_memo :
+    ( string * int * float * Memsys.Page.range list,
+      Kernel.Process.phase list list )
+    Hashtbl.t =
+  Hashtbl.create 16
+
+let phase_memo_order :
+    (string * int * float * Memsys.Page.range list) Queue.t =
+  Queue.create ()
+
+let phase_memo_capacity = 128
+let phase_memo_hits = ref 0
+let phase_memo_misses = ref 0
+let phase_memo_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock phase_memo_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock phase_memo_lock) f
+
+let phase_memo_clear () =
+  locked (fun () ->
+      Hashtbl.reset phase_memo;
+      Queue.clear phase_memo_order;
+      phase_memo_hits := 0;
+      phase_memo_misses := 0)
+
+let phase_memo_stats () = locked (fun () -> (!phase_memo_hits, !phase_memo_misses))
+
 let phases_for_process t ~threads ~quantum_instructions ~data_pages =
-  phases_from_pages t ~threads ~quantum_instructions
-    ~n:(Memsys.Page.ranges_count data_pages)
-    ~nth:(Memsys.Page.ranges_nth data_pages)
+  let key = (t.name, threads, quantum_instructions, data_pages) in
+  let cached =
+    locked (fun () ->
+        match Hashtbl.find_opt phase_memo key with
+        | Some _ as found ->
+          incr phase_memo_hits;
+          found
+        | None ->
+          incr phase_memo_misses;
+          None)
+  in
+  match cached with
+  | Some ph -> ph
+  | None ->
+    let ph =
+      phases_from_pages t ~threads ~quantum_instructions
+        ~n:(Memsys.Page.ranges_count data_pages)
+        ~nth:(Memsys.Page.ranges_nth data_pages)
+    in
+    locked (fun () ->
+        if not (Hashtbl.mem phase_memo key) then begin
+          Hashtbl.replace phase_memo key ph;
+          Queue.push key phase_memo_order;
+          while Hashtbl.length phase_memo > phase_memo_capacity do
+            Hashtbl.remove phase_memo (Queue.pop phase_memo_order)
+          done
+        end);
+    ph

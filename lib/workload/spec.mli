@@ -47,4 +47,13 @@ val phases_for_process :
   data_pages:Memsys.Page.range list ->
   Kernel.Process.phase list list
 (** Like {!phases}, with page samples drawn from the process's actual DSM
-    pages (the loader's contiguous runs, indexed as one flat sequence). *)
+    pages (the loader's contiguous runs, indexed as one flat sequence).
+    Memoized per (name, threads, quantum, page ranges): the expansion is
+    pure and the phase records immutable, so repeated ensemble spawns of
+    the same (program, input class) share one list. Thread-safe. *)
+
+val phase_memo_clear : unit -> unit
+(** Drop every memoized phase expansion and reset the hit/miss counters. *)
+
+val phase_memo_stats : unit -> int * int
+(** [(hits, misses)] of the {!phases_for_process} memo table. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "hetmig"
     [
       ("sim", Test_sim.suite);
+      ("islands", Test_islands.suite);
       ("obs", Test_obs.suite);
       ("isa", Test_isa.suite);
       ("memsys", Test_memsys.suite);

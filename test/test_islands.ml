@@ -1,0 +1,298 @@
+(* The parallel event core: keyed calendars, the time-island runtime,
+   and the fleet scenario built on it. The load-bearing property
+   throughout is determinism — the (time, seq, src) total order makes a
+   run a pure function of its configuration, never of the domain
+   count. *)
+
+let check = Alcotest.check
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checki msg = Alcotest.check Alcotest.int msg
+
+(* --- Calendar ---------------------------------------------------------- *)
+
+let calendar_pop_order () =
+  let keys =
+    [ (2.0, 1, 0); (1.0, 0, 0); (1.0, 0, 1); (1.0, 1, 0); (3.0, 0, 2);
+      (2.0, 0, 1) ]
+  in
+  let drain order =
+    let cal = Sim.Calendar.create ~dummy:(-1) () in
+    List.iteri
+      (fun i (time, seq, src) -> Sim.Calendar.push cal ~time ~src ~seq i)
+      order;
+    List.init (List.length order) (fun _ ->
+        let v = Sim.Calendar.pop cal in
+        (Sim.Calendar.last_time cal, Sim.Calendar.last_seq cal,
+         Sim.Calendar.last_src cal, v))
+  in
+  let popped = drain keys in
+  let popped_keys = List.map (fun (t, q, s, _) -> (t, q, s)) popped in
+  check
+    (Alcotest.list (Alcotest.triple (Alcotest.float 0.0) Alcotest.int Alcotest.int))
+    "(time, seq, src) total order"
+    [ (1.0, 0, 0); (1.0, 0, 1); (1.0, 1, 0); (2.0, 0, 1); (2.0, 1, 0);
+      (3.0, 0, 2) ]
+    popped_keys;
+  (* Push order is irrelevant: reversed input, same pop keys. *)
+  let rev = List.map (fun (t, q, s, _) -> (t, q, s)) (drain (List.rev keys)) in
+  checkb "push-order invariant" true (popped_keys = rev)
+
+let calendar_empty () =
+  let cal = Sim.Calendar.create ~dummy:0 () in
+  checkb "empty" true (Sim.Calendar.is_empty cal);
+  checkb "min_time infinity" true (Sim.Calendar.min_time cal = Float.infinity);
+  Alcotest.check_raises "pop on empty"
+    (Invalid_argument "Calendar.pop: empty") (fun () ->
+      ignore (Sim.Calendar.pop cal))
+
+let calendar_clear_shrinks () =
+  let cal = Sim.Calendar.create ~dummy:0 () in
+  for i = 0 to 9_999 do
+    Sim.Calendar.push cal ~time:(float_of_int i) ~src:0 ~seq:i i
+  done;
+  let peak = Sim.Calendar.capacity cal in
+  checkb "heap grew" true (peak >= 10_000);
+  Sim.Calendar.clear cal;
+  checkb "capacity shrunk" true (Sim.Calendar.capacity cal < peak);
+  checki "emptied" 0 (Sim.Calendar.size cal);
+  Sim.Calendar.push cal ~time:1.0 ~src:0 ~seq:0 7;
+  checki "still usable" 7 (Sim.Calendar.pop cal)
+
+(* --- Engine.clear ------------------------------------------------------ *)
+
+let engine_clear_shrinks () =
+  let e = Sim.Engine.create () in
+  for i = 0 to 9_999 do
+    Sim.Engine.schedule e ~at:(float_of_int i) ignore
+  done;
+  let peak = Sim.Engine.capacity e in
+  checkb "heap grew" true (peak >= 10_000);
+  Sim.Engine.clear e;
+  checkb "capacity shrunk" true (Sim.Engine.capacity e < peak);
+  checki "no pending events" 0 (Sim.Engine.pending e);
+  checkb "clock reset" true (Sim.Engine.now e = 0.0);
+  let ran = ref false in
+  Sim.Engine.schedule e ~at:2.0 (fun () -> ran := true);
+  Sim.Engine.run e;
+  checkb "still usable" true !ran;
+  (* Explicit shrink target is honoured. *)
+  Sim.Engine.clear e;
+  for i = 0 to 9_999 do
+    Sim.Engine.schedule e ~at:(float_of_int i) ignore
+  done;
+  Sim.Engine.clear ~shrink_to:512 e;
+  checkb "shrink_to honoured" true (Sim.Engine.capacity e <= 512)
+
+(* --- Islands: windows and the lookahead contract ----------------------- *)
+
+let islands_validation () =
+  Alcotest.check_raises "lookahead must be positive"
+    (Invalid_argument "Islands.create: lookahead must be finite and positive")
+    (fun () ->
+      ignore (Sim.Islands.create ~islands:2 ~lookahead:0.0 ~seed:1 ()));
+  let rt = Sim.Islands.create ~islands:2 ~lookahead:1.0 ~seed:1 () in
+  let isl = Sim.Islands.island rt 0 in
+  checkb "post below lookahead rejected" true
+    (try
+       Sim.Islands.post isl ~dst:1 ~after:0.5 ignore;
+       false
+     with Invalid_argument _ -> true);
+  checkb "post to unknown island rejected" true
+    (try
+       Sim.Islands.post isl ~dst:7 ~after:1.0 ignore;
+       false
+     with Invalid_argument _ -> true);
+  checkb "schedule in the past rejected" true
+    (try
+       Sim.Islands.schedule isl ~at:(-1.0) ignore;
+       false
+     with Invalid_argument _ -> true)
+
+(* A post with delay exactly the lookahead lands exactly on the window
+   boundary (window_end = next + lookahead) and must execute in a LATER
+   window — the strict [time < window_end] rule. With a local event
+   already scheduled at the same instant, the (time, seq, src) order
+   decides: equal time, equal seq, then the smaller source island id
+   goes first. *)
+let islands_window_boundary () =
+  let rt = Sim.Islands.create ~record:true ~islands:2 ~lookahead:1.0 ~seed:3 () in
+  let i0 = Sim.Islands.island rt 0 and i1 = Sim.Islands.island rt 1 in
+  let order = ref [] in
+  (* Island 1's local event at t=1.0: src=1, seq=0. *)
+  Sim.Islands.schedule i1 ~at:1.0 (fun _ -> order := "local" :: !order);
+  (* Island 0 at t=0 posts to island 1 with after = lookahead, arriving
+     at exactly t=1.0 = the first window's end: src=0, seq=1. *)
+  Sim.Islands.schedule i0 ~at:0.0 (fun isl ->
+      Sim.Islands.post isl ~dst:1 ~after:1.0 (fun _ ->
+          order := "posted" :: !order));
+  Sim.Islands.run rt;
+  (* Both t=1.0 events ran, and the posted one was NOT pulled into the
+     first window: at least two windows were needed. *)
+  check (Alcotest.list Alcotest.string) "both executed, src order at the tie"
+    [ "posted"; "local" ] !order;
+  (* (1.0, 0, 1) local vs (1.0, 1, 0) posted: seq decides before src. *)
+  checkb "took more than one window" true (Sim.Islands.windows rt >= 2);
+  checki "three events total" 3 (Sim.Islands.events_executed rt);
+  (* The merged log is in (time, seq, src) order. *)
+  let log = Sim.Islands.log rt in
+  checkb "log sorted by key" true
+    (List.sort
+       (fun (t1, q1, s1, _) (t2, q2, s2, _) -> compare (t1, q1, s1) (t2, q2, s2))
+       log
+    = log)
+
+let islands_seq_equals_parallel_simple () =
+  (* A deterministic ping-pong across three islands, run at 1 and 3
+     domains: identical merged logs and event counts. *)
+  let build () =
+    let rt = Sim.Islands.create ~record:true ~islands:3 ~lookahead:0.5 ~seed:9 () in
+    let rec ping hops isl =
+      if hops > 0 then begin
+        let dst = (Sim.Islands.id isl + 1) mod 3 in
+        let jitter = Sim.Prng.float (Sim.Islands.prng isl) 0.25 in
+        Sim.Islands.post isl ~dst ~after:(0.5 +. jitter) (ping (hops - 1));
+        Sim.Islands.schedule_in isl ~after:0.1 (fun _ -> ())
+      end
+    in
+    for i = 0 to 2 do
+      Sim.Islands.schedule (Sim.Islands.island rt i)
+        ~at:(0.05 *. float_of_int i)
+        (ping 20)
+    done;
+    rt
+  in
+  let a = build () and b = build () in
+  Sim.Islands.run ~domains:1 a;
+  Sim.Islands.run ~domains:3 b;
+  checkb "logs identical" true (Sim.Islands.log a = Sim.Islands.log b);
+  checki "same event count" (Sim.Islands.events_executed a)
+    (Sim.Islands.events_executed b);
+  checki "same window count" (Sim.Islands.windows a) (Sim.Islands.windows b)
+
+(* QCheck: random little simulations — random island count, fan-out and
+   delays — always produce domain-count-independent logs. *)
+let qcheck_islands_deterministic =
+  QCheck.Test.make ~name:"island log independent of domain count" ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let build () =
+        let rt =
+          Sim.Islands.create ~record:true ~islands:4 ~lookahead:1.0 ~seed ()
+        in
+        let rec act depth isl =
+          let rng = Sim.Islands.prng isl in
+          if depth > 0 then begin
+            let fanout = 1 + Sim.Prng.int rng 2 in
+            for _ = 1 to fanout do
+              let dst = Sim.Prng.int rng 4 in
+              let after = 1.0 +. Sim.Prng.float rng 2.0 in
+              Sim.Islands.post isl ~dst ~after (act (depth - 1))
+            done;
+            if Sim.Prng.float rng 1.0 < 0.5 then
+              Sim.Islands.schedule_in isl ~after:(Sim.Prng.float rng 0.9)
+                (fun _ -> ())
+          end
+        in
+        for i = 0 to 3 do
+          Sim.Islands.schedule (Sim.Islands.island rt i)
+            ~at:(0.1 *. float_of_int i) (act 4)
+        done;
+        rt
+      in
+      let a = build () and b = build () in
+      Sim.Islands.run ~domains:1 a;
+      Sim.Islands.run ~domains:4 b;
+      Sim.Islands.log a = Sim.Islands.log b
+      && Sim.Islands.events_executed a = Sim.Islands.events_executed b)
+
+(* --- Fleet: the end-to-end consumer ------------------------------------ *)
+
+let fleet_render_stable () =
+  let cfg = Sched.Fleet.default ~nodes:4 ~jobs:15 ~seed:21 in
+  let a = Sched.Fleet.run ~domains:1 cfg in
+  let b = Sched.Fleet.run ~domains:3 cfg in
+  check Alcotest.string "render byte-identical across domain counts"
+    (Sched.Fleet.render cfg a) (Sched.Fleet.render cfg b);
+  checki "all jobs accounted" 15
+    (a.Sched.Fleet.completed + a.Sched.Fleet.failed);
+  checkb "positive makespan" true (a.Sched.Fleet.makespan > 0.0);
+  checkb "both ISAs burned energy" true
+    (a.Sched.Fleet.energy_x86_j > 0.0 && a.Sched.Fleet.energy_arm_j > 0.0)
+
+let qcheck_fleet_deterministic =
+  QCheck.Test.make
+    ~name:"fleet report independent of domain count (seeds x faults x policy)"
+    ~count:8
+    QCheck.(int_bound 10_000)
+    (fun raw ->
+      let seed = raw mod 1000 in
+      let fail_rate = if raw mod 2 = 0 then 0.0 else 0.05 in
+      let placement =
+        if raw mod 4 < 2 then Sched.Fleet.Least_loaded
+        else Sched.Fleet.Round_robin
+      in
+      let migration = raw mod 3 <> 0 in
+      let cfg =
+        { (Sched.Fleet.default ~nodes:3 ~jobs:8 ~seed) with
+          Sched.Fleet.fail_rate;
+          placement;
+          migration;
+        }
+      in
+      let a = Sched.Fleet.run ~domains:1 cfg in
+      let b = Sched.Fleet.run ~domains:2 cfg in
+      Sched.Fleet.render cfg a = Sched.Fleet.render cfg b)
+
+(* --- Workload phase memoization ----------------------------------------- *)
+
+let phase_memo_shares () =
+  Workload.Spec.phase_memo_clear ();
+  let spec = Workload.Spec.spec Workload.Spec.CG Workload.Spec.A in
+  let pages = [ { Memsys.Page.first = 100; count = 64 } ] in
+  let a =
+    Workload.Spec.phases_for_process spec ~threads:2
+      ~quantum_instructions:1e8 ~data_pages:pages
+  in
+  let b =
+    Workload.Spec.phases_for_process spec ~threads:2
+      ~quantum_instructions:1e8 ~data_pages:pages
+  in
+  checkb "second call shares the first expansion" true (a == b);
+  check
+    (Alcotest.pair Alcotest.int Alcotest.int)
+    "one hit, one miss" (1, 1)
+    (Workload.Spec.phase_memo_stats ());
+  (* A different key misses and yields a different expansion. *)
+  let c =
+    Workload.Spec.phases_for_process spec ~threads:4
+      ~quantum_instructions:1e8 ~data_pages:pages
+  in
+  checkb "different thread count is a different entry" true (c != a);
+  check
+    (Alcotest.pair Alcotest.int Alcotest.int)
+    "two misses now" (1, 2)
+    (Workload.Spec.phase_memo_stats ());
+  Workload.Spec.phase_memo_clear ();
+  check
+    (Alcotest.pair Alcotest.int Alcotest.int)
+    "cleared" (0, 0)
+    (Workload.Spec.phase_memo_stats ())
+
+let suite =
+  [
+    Alcotest.test_case "calendar: pop order" `Quick calendar_pop_order;
+    Alcotest.test_case "calendar: empty" `Quick calendar_empty;
+    Alcotest.test_case "calendar: clear shrinks" `Quick calendar_clear_shrinks;
+    Alcotest.test_case "engine: clear shrinks" `Quick engine_clear_shrinks;
+    Alcotest.test_case "islands: validation" `Quick islands_validation;
+    Alcotest.test_case "islands: window boundary tie-break" `Quick
+      islands_window_boundary;
+    Alcotest.test_case "islands: seq = parallel (ping-pong)" `Quick
+      islands_seq_equals_parallel_simple;
+    QCheck_alcotest.to_alcotest qcheck_islands_deterministic;
+    Alcotest.test_case "fleet: render stable across domains" `Quick
+      fleet_render_stable;
+    QCheck_alcotest.to_alcotest qcheck_fleet_deterministic;
+    Alcotest.test_case "workload: phase expansion memoized" `Quick
+      phase_memo_shares;
+  ]
