@@ -1,0 +1,86 @@
+(* Open-loop serving with latency SLOs (non-paper): the headline
+   acceptance scenario for {!Sched.Service}.
+
+   A two-day diurnal trace (compressed days, phase-shifted per-service
+   peaks, silent night troughs) drives 8 services over a 16-node
+   Xeon/X-Gene fleet under three placement policies:
+
+     - static-x86:  every service pinned to its x86 anchor — the
+                    latency-optimal, energy-hungry baseline;
+     - static-arm:  every service pinned to its ARM anchor — the
+                    energy-optimal baseline whose tail blows through
+                    the SLO at peak;
+     - slo-aware:   start on ARM, escalate to x86 on windowed p99
+                    breach, return to ARM when the window goes quiet.
+
+   The checks encode the paper's Section-7 story transplanted to
+   serving: the SLO-aware policy must beat static-ARM on p99 *and*
+   static-x86 on energy, pay for it in measured migration downtime,
+   conserve every request, and stay byte-identical between the
+   sequential and 4-domain island runs. *)
+
+let policies =
+  [ Sched.Service.Slo_aware; Sched.Service.Static_x86;
+    Sched.Service.Static_arm ]
+
+let config policy =
+  let trace = Sched.Arrival.diurnal ~seed:42 ~services:8 ~days:2 () in
+  { (Sched.Service.default ~nodes:16 ~seed:42 ~trace) with policy }
+
+let conserved (r : Sched.Service.result) =
+  r.responded + r.dropped + r.in_flight_at_end = r.arrived
+
+let run ppf =
+  Shape.section ppf "Serving: open-loop SLO workload (non-paper)";
+  let t0 = Sys.time () in
+  let results =
+    List.map
+      (fun policy ->
+        let cfg = config policy in
+        (policy, cfg, Sched.Service.run ~domains:1 cfg))
+      policies
+  in
+  let t1 = Sys.time () in
+  let find p = match List.assoc_opt p (List.map (fun (p, _, r) -> (p, r)) results) with
+    | Some r -> r
+    | None -> assert false
+  in
+  let slo = find Sched.Service.Slo_aware in
+  let x86 = find Sched.Service.Static_x86 in
+  let arm = find Sched.Service.Static_arm in
+  List.iter
+    (fun (policy, _, (r : Sched.Service.result)) ->
+      Format.fprintf ppf
+        "  %-10s p50=%.1fms p99=%.1fms p999=%.1fms energy=%.1fkJ \
+         migrations=%d downtime=%.2fs violations=%d@."
+        (Sched.Service.policy_name policy)
+        r.p50_ms r.p99_ms r.p999_ms (r.total_energy_j /. 1e3) r.migrations
+        r.downtime_s r.slo_violations;
+      Shape.check ppf
+        (Printf.sprintf "%s conserves requests (%d arrived)"
+           (Sched.Service.policy_name policy) r.arrived)
+        (conserved r);
+      Shape.check ppf
+        (Printf.sprintf "%s latency percentiles monotone (p50 <= p99 <= p999)"
+           (Sched.Service.policy_name policy))
+        (r.p50_ms <= r.p99_ms && r.p99_ms <= r.p999_ms))
+    results;
+  Shape.check ppf "slo-aware beats static-arm on tail latency (p99)"
+    (slo.p99_ms < arm.p99_ms);
+  Shape.check ppf "slo-aware beats static-x86 on energy"
+    (slo.total_energy_j < x86.total_energy_j);
+  Shape.check ppf "slo-aware pays measured migration downtime for it"
+    (slo.migrations > 0 && slo.downtime_s > 0.0);
+  Shape.check ppf "static policies never migrate"
+    (x86.migrations = 0 && arm.migrations = 0);
+  (* The island determinism guarantee, end to end on the serving path. *)
+  let cfg = config Sched.Service.Slo_aware in
+  let t2 = Sys.time () in
+  let par = Sched.Service.run ~domains:4 cfg in
+  let t3 = Sys.time () in
+  Shape.check ppf "slo-aware run byte-identical on 1 vs 4 domains"
+    (Sched.Service.render cfg slo = Sched.Service.render cfg par);
+  Format.fprintf ppf
+    "  (3 policies in %.2fs, 4-domain rerun %.2fs of host time; %d events, \
+     %d windows)@."
+    (t1 -. t0) (t3 -. t2) slo.events slo.windows

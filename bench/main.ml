@@ -30,6 +30,8 @@ let experiments =
      Experiments.Telemetry.run);
     ("engine", "Event core: engine/calendar/islands (non-paper)",
      Experiments.Engine.run);
+    ("serving", "Open-loop SLO serving (non-paper)",
+     Experiments.Serving.run);
   ]
 
 (* Wall-clock seconds on the monotonic clock: experiment grids now run on
@@ -134,6 +136,14 @@ let micro_tests () =
            ignore
              (Sched.Fleet.run ~domains:1
                 (Sched.Fleet.default ~nodes:2 ~jobs:3 ~seed:5))));
+    (* Serving: one short bursty serve run end to end. *)
+    Test.make ~name:"serving/serve_small"
+      (Staged.stage
+         (let trace =
+            Sched.Arrival.bursty ~seed:5 ~services:2 ~duration_s:5.0 ()
+          in
+          let cfg = Sched.Service.default ~nodes:4 ~seed:5 ~trace in
+          fun () -> ignore (Sched.Service.run ~domains:1 cfg)));
   ]
 
 (* Returns (name, ns/run, r^2) per micro-benchmark for the JSON report. *)

@@ -569,6 +569,202 @@ let fleet_cmd =
     Term.(const run $ nodes $ jobs $ seed $ islands $ seq $ epoch $ rate
           $ placement $ no_migration $ fail_rate $ out)
 
+(* --- serve ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run nodes seed arrivals trace_file services duration days islands seq
+      epoch slo policy window workers zero_downtime crashes out trace metrics
+      save_trace =
+    let req_trace =
+      match trace_file with
+      | Some path -> Sched.Arrival.of_file path
+      | None -> begin
+        match arrivals with
+        | "bursty" ->
+          Sched.Arrival.bursty ~seed ~services ~duration_s:duration ()
+        | "diurnal" -> Sched.Arrival.diurnal ~seed ~services ~days ()
+        | s ->
+          Format.eprintf "unknown arrival model %s (bursty, diurnal)@." s;
+          exit 2
+      end
+    in
+    (match save_trace with
+    | Some path -> Sched.Arrival.to_file req_trace path
+    | None -> ());
+    let cfg =
+      { (Sched.Service.default ~nodes ~seed ~trace:req_trace) with
+        Sched.Service.epoch_s = epoch;
+        slo_ms = slo;
+        policy;
+        window_s = window;
+        workers;
+        zero_downtime;
+        crashes;
+      }
+    in
+    let domains =
+      if seq then 1
+      else
+        match islands with
+        | Some d -> d
+        | None -> Parallel.Pool.default_jobs ()
+    in
+    let obs = if trace <> None || metrics then Obs.create () else Obs.noop in
+    let r = Sched.Service.run ~domains ~obs cfg in
+    let text = Sched.Service.render cfg r in
+    (match out with
+    | Some path -> write_file path text
+    | None -> print_string text);
+    (match trace with
+    | Some path ->
+      write_file path (Obs.chrome_json obs);
+      Format.eprintf "(trace written to %s, %d events)@." path
+        (Obs.event_count obs)
+    | None -> ());
+    if metrics then print_string (Obs.metrics_text obs);
+    (* Request conservation is the serving path's ground truth; a run
+       that loses track of a request is broken however good the report
+       looks. *)
+    if
+      r.Sched.Service.responded + r.Sched.Service.dropped
+      + r.Sched.Service.in_flight_at_end
+      <> r.Sched.Service.arrived
+    then begin
+      Format.eprintf "request conservation violated@.";
+      exit 1
+    end
+  in
+  let nodes =
+    Arg.(value & opt int 16
+         & info [ "nodes" ] ~docv:"N"
+             ~doc:"Fleet nodes (alternating x86-64/arm64 servers).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let arrivals =
+    Arg.(value & opt string "bursty"
+         & info [ "arrivals" ] ~docv:"MODEL"
+             ~doc:"Arrival model: bursty (MMPP on/off) or diurnal \
+                   (piecewise-rate day curve).")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None
+         & info [ "trace-file" ] ~docv:"PATH"
+             ~doc:"Replay a recorded request trace instead of generating \
+                   one (overrides --arrivals).")
+  in
+  let services =
+    Arg.(value & opt int 8
+         & info [ "services" ] ~docv:"K" ~doc:"Service instances.")
+  in
+  let duration =
+    Arg.(value & opt float 60.0
+         & info [ "duration" ] ~docv:"S"
+             ~doc:"Trace length in seconds (bursty model).")
+  in
+  let days =
+    Arg.(value & opt int 2
+         & info [ "days" ] ~docv:"D"
+             ~doc:"Compressed days to simulate (diurnal model).")
+  in
+  let islands =
+    Arg.(value & opt (some int) None
+         & info [ "islands" ] ~docv:"D"
+             ~doc:
+               "Domains to span the run over (default: HETMIG_JOBS or the \
+                machine's core count). The report is byte-identical \
+                whatever this is.")
+  in
+  let seq =
+    Arg.(value & flag
+         & info [ "seq" ]
+             ~doc:"Sequential reference run (same as --islands 1).")
+  in
+  let epoch =
+    Arg.(value & opt float 0.05
+         & info [ "epoch" ] ~docv:"S"
+             ~doc:"Routing/report batching epoch in seconds — the \
+                   runtime's conservative lookahead.")
+  in
+  let slo =
+    Arg.(value & opt float 150.0
+         & info [ "slo" ] ~docv:"MS" ~doc:"Latency SLO in milliseconds.")
+  in
+  let policy =
+    let policy_conv =
+      let parse = function
+        | "slo" | "slo-aware" -> Ok Sched.Service.Slo_aware
+        | "static-x86" | "x86" -> Ok Sched.Service.Static_x86
+        | "static-arm" | "arm" -> Ok Sched.Service.Static_arm
+        | s ->
+          Error
+            (`Msg (Printf.sprintf
+                     "unknown policy %s (slo, static-x86, static-arm)" s))
+      in
+      Arg.conv (parse, fun ppf p ->
+          Format.pp_print_string ppf (Sched.Service.policy_name p))
+    in
+    Arg.(value & opt policy_conv Sched.Service.Slo_aware
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Placement policy: slo (SLO-aware dynamic), static-x86, \
+                   or static-arm.")
+  in
+  let window =
+    Arg.(value & opt float 5.0
+         & info [ "window" ] ~docv:"S"
+             ~doc:"Sliding window for the p99 estimate, seconds.")
+  in
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Concurrent requests per service instance.")
+  in
+  let zero_downtime =
+    Arg.(value & flag
+         & info [ "zero-downtime" ]
+             ~doc:"Ablation stub: migrations pause nothing (isolates the \
+                   placement effect from the downtime-vs-tail trade).")
+  in
+  let crashes =
+    Arg.(value & opt_all crash_conv []
+         & info [ "crash" ] ~docv:"NODE@TIME"
+             ~doc:"Crash a node at a simulated time (repeatable).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH"
+             ~doc:"Write the report to PATH instead of stdout.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"PATH"
+             ~doc:"Write a Chrome trace-event JSON (Perfetto loadable) \
+                   with the per-service p99 timeline and migration spans.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the collected metrics registry after the run.")
+  in
+  let save_trace =
+    Arg.(value & opt (some string) None
+         & info [ "save-trace" ] ~docv:"PATH"
+             ~doc:"Write the (generated or replayed) request trace to a \
+                   replayable trace file.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Open-loop request serving with latency SLOs on the parallel \
+          time-island runtime: services pinned to mixed-ISA nodes, \
+          trace-driven open-loop traffic, per-request latency tails, and \
+          an SLO-aware policy migrating services across the ISA boundary. \
+          The report is a pure function of the configuration, not of the \
+          domain count.")
+    Term.(const run $ nodes $ seed $ arrivals $ trace_file $ services
+          $ duration $ days $ islands $ seq $ epoch $ slo $ policy $ window
+          $ workers $ zero_downtime $ crashes $ out $ trace $ metrics
+          $ save_trace)
+
 (* --- experiment ---------------------------------------------------------------- *)
 
 let experiment_cmd =
@@ -610,4 +806,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ compile_cmd; migrate_cmd; emulation_cmd; schedule_cmd; fleet_cmd;
-            state_map_cmd; trace_cmd; lint_cmd; metrics_cmd; experiment_cmd ]))
+            serve_cmd; state_map_cmd; trace_cmd; lint_cmd; metrics_cmd;
+            experiment_cmd ]))

@@ -110,3 +110,20 @@ let drop_process t ~pid =
     t.replicas
 
 let updates_sent t = t.updates
+
+(* The cost of re-homing a migrating process's service slices, priced by
+   the same per-entry round-trip [broadcast] charges for a Strong write:
+   each entry must reach every other replica before the service can
+   answer for the process on its new kernel. Eventual services converge
+   in the background and add nothing to the pause. *)
+let replication_cost ~consistency ~interconnect ~replicas ~entries =
+  if replicas < 0 then invalid_arg "Service.replication_cost: replicas < 0";
+  if entries < 0 then invalid_arg "Service.replication_cost: entries < 0";
+  match consistency with
+  | Eventual -> 0.0
+  | Strong ->
+    if replicas <= 1 || entries = 0 then 0.0
+    else
+      float_of_int entries
+      *. 2.0
+      *. Machine.Interconnect.transfer_time interconnect ~bytes:update_bytes

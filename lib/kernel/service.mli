@@ -50,3 +50,18 @@ val drop_process : t -> pid:int -> unit
 
 val updates_sent : t -> int
 (** Replication messages this service has put on the interconnect. *)
+
+val replication_cost :
+  consistency:consistency ->
+  interconnect:Machine.Interconnect.t ->
+  replicas:int ->
+  entries:int ->
+  float
+(** Pure pricing of re-homing a migrating process's service slices:
+    [entries] Strong-consistency entries each cost one request/ack round
+    on [interconnect] (the same round {!set} charges), so the result is
+    [entries * 2 * transfer_time] when [replicas > 1], and [0] for
+    [Eventual] services or single-replica deployments. Used by the
+    serving path to charge kernel-state replication against migration
+    downtime without instantiating a full service. Raises
+    [Invalid_argument] on negative [replicas] or [entries]. *)

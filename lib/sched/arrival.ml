@@ -17,6 +17,194 @@ let sustained ~seed ~jobs =
   let rng = Sim.Prng.create seed in
   List.init jobs (fun jid -> draw_job rng jid 0.0)
 
+(* --- open-loop request traces (serving workloads) ---------------------- *)
+
+type request = { rid : int; svc : int; at : float }
+
+type request_trace = {
+  tname : string;
+  services : int;
+  requests : request array;
+}
+
+(* Canonicalize raw (time, service, draw-order) triples into a trace:
+   sort by (time, service, draw order) — draw order breaks exact-time
+   ties deterministically — then assign request ids in that order, so a
+   trace's identity is independent of how its generator interleaved the
+   per-service streams. *)
+let finalize ~tname ~services pairs =
+  let arr = Array.of_list pairs in
+  Array.sort
+    (fun (a_at, a_svc, a_k) (b_at, b_svc, b_k) ->
+      match Float.compare a_at b_at with
+      | 0 -> begin
+        match compare a_svc b_svc with 0 -> compare a_k b_k | c -> c
+      end
+      | c -> c)
+    arr;
+  {
+    tname;
+    services;
+    requests = Array.mapi (fun rid (at, svc, _) -> { rid; svc; at }) arr;
+  }
+
+(* Poisson arrivals at [rate] over [seg_start, seg_end), appended to
+   [acc] with the per-service draw counter [k]. *)
+let poisson_segment rng ~svc ~rate ~seg_start ~seg_end k acc =
+  if rate <= 0.0 then (k, acc)
+  else begin
+    let mean = 1.0 /. rate in
+    let t = ref (seg_start +. Sim.Prng.exponential rng ~mean) in
+    let k = ref k and acc = ref acc in
+    while !t < seg_end do
+      acc := (!t, svc, !k) :: !acc;
+      incr k;
+      t := !t +. Sim.Prng.exponential rng ~mean
+    done;
+    (!k, !acc)
+  end
+
+let bursty ?(rate_high = 40.0) ?(rate_low = 2.0) ?(mean_on = 10.0)
+    ?(mean_off = 30.0) ~seed ~services ~duration_s () =
+  if services < 1 then invalid_arg "Arrival.bursty: need at least one service";
+  if duration_s <= 0.0 then invalid_arg "Arrival.bursty: empty duration";
+  if rate_high < 0.0 || rate_low < 0.0 then
+    invalid_arg "Arrival.bursty: negative rate";
+  if mean_on <= 0.0 || mean_off <= 0.0 then
+    invalid_arg "Arrival.bursty: sojourn means must be positive";
+  let master = Sim.Prng.create seed in
+  let acc = ref [] in
+  (* MMPP on/off per service: exponential sojourns in a high-rate ON
+     state and a low-rate OFF state, Poisson arrivals within each
+     sojourn. Each service draws from its own split stream, so adding a
+     service never perturbs the others. *)
+  for svc = 0 to services - 1 do
+    let rng = Sim.Prng.split master in
+    let on = ref (Sim.Prng.bool rng) in
+    let t = ref 0.0 in
+    let k = ref 0 in
+    while !t < duration_s do
+      let mean_sojourn = if !on then mean_on else mean_off in
+      let rate = if !on then rate_high else rate_low in
+      let sojourn = Sim.Prng.exponential rng ~mean:mean_sojourn in
+      let seg_end = Float.min duration_s (!t +. sojourn) in
+      let k', acc' =
+        poisson_segment rng ~svc ~rate ~seg_start:!t ~seg_end !k !acc
+      in
+      k := k';
+      acc := acc';
+      t := seg_end;
+      on := not !on
+    done
+  done;
+  finalize ~tname:(Printf.sprintf "bursty-s%d" seed) ~services !acc
+
+(* Hour-by-hour shape of a day's demand, normalized to peak 1.0: a
+   silent night trough (the consolidation opportunity an SLO-aware
+   energy policy harvests), a morning ramp, a midday plateau, and an
+   evening peak. *)
+let day_shape =
+  [|
+    0.05; 0.00; 0.00; 0.00; 0.00; 0.00; 0.30; 0.50; 0.70; 0.85; 0.95; 1.00;
+    1.00; 0.95; 0.90; 0.85; 0.80; 0.85; 0.95; 1.00; 0.90; 0.70; 0.50; 0.35;
+  |]
+
+let diurnal ?(base_rps = 0.0) ?(peak_rps = 20.0) ?(day_s = 240.0) ~seed
+    ~services ~days () =
+  if services < 1 then invalid_arg "Arrival.diurnal: need at least one service";
+  if days < 1 then invalid_arg "Arrival.diurnal: need at least one day";
+  if base_rps < 0.0 || peak_rps < base_rps then
+    invalid_arg "Arrival.diurnal: need 0 <= base_rps <= peak_rps";
+  if day_s <= 0.0 then invalid_arg "Arrival.diurnal: day_s must be positive";
+  let master = Sim.Prng.create seed in
+  let slot_s = day_s /. 24.0 in
+  let acc = ref [] in
+  for svc = 0 to services - 1 do
+    let rng = Sim.Prng.split master in
+    (* Per-service phase shift: services peak at different hours, which
+       is what gives the SLO policy something to consolidate around. *)
+    let phase = Sim.Prng.int rng 24 in
+    let k = ref 0 in
+    for slot = 0 to (days * 24) - 1 do
+      let shape = day_shape.((slot + phase) mod 24) in
+      let rate = base_rps +. ((peak_rps -. base_rps) *. shape) in
+      let seg_start = float_of_int slot *. slot_s in
+      let k', acc' =
+        poisson_segment rng ~svc ~rate ~seg_start
+          ~seg_end:(seg_start +. slot_s) !k !acc
+      in
+      k := k';
+      acc := acc'
+    done
+  done;
+  finalize ~tname:(Printf.sprintf "diurnal-s%d" seed) ~services !acc
+
+(* Replayable trace files: a tagged header, then one "<at> <svc>" line
+   per request in trace order. Times are written as lossless hex floats
+   ([%h]) so a round trip through disk reproduces the trace
+   bit-identically; [float_of_string] also accepts plain decimals, so
+   hand-written traces work too. *)
+let to_file trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# hetmig-request-trace v1 services=%d name=%s\n"
+        trace.services trace.tname;
+      Array.iter
+        (fun r -> Printf.fprintf oc "%h %d\n" r.at r.svc)
+        trace.requests)
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let bad line msg =
+        invalid_arg
+          (Printf.sprintf "Arrival.of_file %s, line %d: %s" path line msg)
+      in
+      let header = try input_line ic with End_of_file -> bad 1 "empty file" in
+      let services, tname =
+        try
+          Scanf.sscanf header "# hetmig-request-trace v1 services=%d name=%s"
+            (fun s n -> (s, n))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+          bad 1 "expected '# hetmig-request-trace v1 services=<n> name=<s>'"
+      in
+      if services < 1 then bad 1 "services must be positive";
+      let pairs = ref [] in
+      let k = ref 0 in
+      let line = ref 1 in
+      (try
+         while true do
+           let l = input_line ic in
+           incr line;
+           let l = String.trim l in
+           if l <> "" && l.[0] <> '#' then begin
+             (* [float_of_string] rather than Scanf's [%f]: it accepts
+                both the lossless [%h] hex floats [to_file] writes and
+                plain decimals from hand-written traces. *)
+             let at, svc =
+               match String.split_on_char ' ' l with
+               | [ a; s ] -> begin
+                 try (float_of_string a, int_of_string s)
+                 with Failure _ -> bad !line "expected '<at> <svc>'"
+               end
+               | _ -> bad !line "expected '<at> <svc>'"
+             in
+             if Float.is_nan at || at < 0.0 then
+               bad !line "arrival time must be non-negative";
+             if svc < 0 || svc >= services then
+               bad !line
+                 (Printf.sprintf "service %d outside [0, %d)" svc services);
+             pairs := (at, svc, !k) :: !pairs;
+             incr k
+           end
+         done
+       with End_of_file -> ());
+      finalize ~tname ~services !pairs)
+
 let periodic ~seed ~waves ~max_per_wave =
   let rng = Sim.Prng.create seed in
   (* Sets differ widely in how full their waves are — from near-idle

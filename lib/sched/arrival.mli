@@ -17,3 +17,69 @@ val periodic :
   seed:int -> waves:int -> max_per_wave:int -> Job.t list
 (** Periodic arrivals: waves of up to [max_per_wave] jobs spaced uniformly
     60-240 s apart (the paper's 10 sets of 5 waves of <= 14 jobs). *)
+
+(** {1 Open-loop request traces}
+
+    Serving workloads ({!Service}) are driven by per-request arrival
+    traces rather than job sets: requests arrive whether or not earlier
+    ones have completed (open loop), which is what produces real
+    queueing tails. *)
+
+type request = {
+  rid : int;  (** dense id, the trace's canonical (at, svc) order *)
+  svc : int;  (** service the request targets, in [\[0, services)] *)
+  at : float;  (** arrival time, seconds *)
+}
+
+type request_trace = {
+  tname : string;
+  services : int;
+  requests : request array;  (** sorted by (at, svc); [rid = index] *)
+}
+
+val bursty :
+  ?rate_high:float ->
+  ?rate_low:float ->
+  ?mean_on:float ->
+  ?mean_off:float ->
+  seed:int ->
+  services:int ->
+  duration_s:float ->
+  unit ->
+  request_trace
+(** MMPP on/off traffic: each service alternates exponential sojourns in
+    a high-rate ON state ([mean_on] s, [rate_high] req/s, default 10 s at
+    40 req/s) and a low-rate OFF state ([mean_off] s, [rate_low] req/s,
+    default 30 s at 2 req/s), with Poisson arrivals within each sojourn.
+    Services draw from independent split streams, so the per-service
+    sub-traces are stable under [services] changes. *)
+
+val diurnal :
+  ?base_rps:float ->
+  ?peak_rps:float ->
+  ?day_s:float ->
+  seed:int ->
+  services:int ->
+  days:int ->
+  unit ->
+  request_trace
+(** Piecewise-constant day curve: 24 equal slots per compressed day of
+    [day_s] seconds (default 240 — a day in four minutes), each slot's
+    Poisson rate interpolated between [base_rps] (default 0: the night
+    trough is truly silent, so idle-return policies have something to
+    harvest) and [peak_rps] by a fixed trough/ramp/plateau/peak shape.
+    Each service's curve is phase-shifted by a per-service random
+    offset so peaks stagger across the fleet. *)
+
+val to_file : request_trace -> string -> unit
+(** Write a replayable trace file: a
+    [# hetmig-request-trace v1 services=<n> name=<s>] header then one
+    [<at> <svc>] line per request. Times are lossless hex floats, so
+    [of_file (to_file t)] reproduces [t] bit-identically. *)
+
+val of_file : string -> request_trace
+(** Parse a trace file ({!to_file}'s format; decimal times and [#]
+    comment lines are also accepted). Requests are re-canonicalized:
+    sorted by [(at, svc)] with file order breaking ties, then re-
+    numbered. Raises [Invalid_argument] on malformed input, negative or
+    NaN times, or out-of-range service ids. *)

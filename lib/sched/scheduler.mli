@@ -44,6 +44,7 @@ val run :
   ?dsm_batch:bool ->
   ?prefetch:bool ->
   ?obs:Obs.t ->
+  ?on_islands:bool ->
   Policy.t ->
   Job.t list ->
   result
@@ -75,6 +76,12 @@ val run :
     [plan.retry_budget - 1] times, then counted in [failed]; queued or
     arriving jobs wider than every surviving machine also fail. The
     same plan and seed reproduce bit-identical results.
+
+    [on_islands] (default false) hosts the run's engine on the
+    {!Sim.Islands} runtime via {!Sim.Islands.drive} instead of running
+    it directly; the result is byte-identical, and the flag exists so
+    the island runtime's ability to carry the full ensemble is covered
+    by a regression diff.
 
     Each call is self-contained: it builds its own {!Sim.Engine},
     Popcorn ensemble, and per-run state, and shares nothing mutable

@@ -1,0 +1,90 @@
+(** Open-loop request serving with latency SLOs.
+
+    The paper's headline datacenter workload is Redis served across the
+    ISA boundary; this module supplies the serving-side story the batch
+    scheduler cannot express: long-lived service instances pinned to
+    fleet nodes, open-loop request traffic from an
+    {!Arrival.request_trace}, per-request latency accounting, and an
+    SLO-aware policy that migrates services toward x86 when a windowed
+    p99 estimate breaches the SLO and back to ARM for energy when the
+    window goes quiet.
+
+    Runs execute on the {!Sim.Islands} runtime (island 0 routes and
+    decides; islands 1..N are nodes alternating Xeon/X-Gene, as in
+    {!Fleet}) with the routing epoch as the conservative lookahead, so
+    [run ~domains:n] is bit-identical to [run ~domains:1].
+
+    Migration is drain-based stop-and-copy: requests arriving at a
+    draining instance queue behind it and wait out the
+    transform + working-set transfer + kernel-state replication pause,
+    inflating the tail — the downtime-vs-tail-budget trade. Setting
+    [zero_downtime] stubs the pause to zero for ablations. *)
+
+type policy =
+  | Slo_aware
+      (** start on ARM; escalate to x86 on windowed p99 breach, return
+          to ARM when the window is quiet *)
+  | Static_x86  (** pin every service to its x86 anchor *)
+  | Static_arm  (** pin every service to its ARM anchor *)
+
+val policy_name : policy -> string
+
+type config = {
+  nodes : int;
+  seed : int;
+  epoch_s : float;  (** routing/report batching epoch = lookahead *)
+  slo_ms : float;
+  policy : policy;
+  window_s : float;  (** sliding window for the p99 estimate *)
+  demand_instructions : float;  (** mean per-request work *)
+  demand_sigma : float;  (** lognormal sigma of per-request work *)
+  workers : int;  (** concurrent requests per service instance *)
+  queue_cap : int;  (** per-instance queue bound; overflow drops *)
+  footprint_bytes : int;  (** working set moved at migration *)
+  zero_downtime : bool;  (** ablation stub: migrations pause nothing *)
+  interconnect : Machine.Interconnect.t;
+  crashes : Faults.Plan.crash list;
+  trace : Arrival.request_trace;
+}
+
+val default : nodes:int -> seed:int -> trace:Arrival.request_trace -> config
+
+type result = {
+  arrived : int;
+  responded : int;
+  dropped : int;
+      (** queue overflows, crash losses, and routing-transient rejects;
+          [responded + dropped + in_flight_at_end = arrived], always *)
+  in_flight_at_end : int;
+  forwarded : int;  (** deliveries that chased a moved instance *)
+  migrations : int;
+  downtime_s : float;  (** summed stop-and-copy pauses *)
+  slo_violations : int;  (** responses above the SLO *)
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  mean_ms : float;
+  makespan : float;
+  energy_x86_j : float;
+  energy_arm_j : float;
+  total_energy_j : float;
+  events : int;
+  windows : int;
+}
+
+val run : ?domains:int -> ?obs:Obs.t -> config -> result
+(** Simulate the trace to completion. [domains] bounds the island
+    runtime's parallel lanes; any value produces bit-identical results.
+    [obs] (default {!Obs.noop}, byte-identical off switch) collects the
+    per-request latency histogram ([serve.latency_ms]), response/drop
+    counters, per-service windowed-p99 counter samples on the
+    {!Obs.scheduler_pid} track (the p99 timeline), migration spans, and
+    an end-of-run gauge snapshot; the sink is only touched from the
+    controller island, so instrumented runs stay deterministic under
+    any domain count. Raises [Invalid_argument] on configs that cannot
+    run: fewer than 2 nodes, an epoch at or below the interconnect
+    latency, no workers, or crashes at unknown nodes. *)
+
+val render : config -> result -> string
+(** Byte-stable report (pure function of config and result): the
+    `--seq` vs `--islands N` CI diff runs on exactly this string. *)

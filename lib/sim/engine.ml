@@ -37,6 +37,7 @@ let create () =
 let now t = t.clock
 let pending t = t.size
 let capacity t = Array.length t.heap
+let next_time t = if t.size = 0 then None else Some t.heap.(0).time
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 

@@ -27,6 +27,11 @@ val run_until : t -> float -> unit
 val pending : t -> int
 (** Number of queued events. *)
 
+val next_time : t -> float option
+(** Timestamp of the earliest queued event, if any — the hook an outer
+    runtime (e.g. {!Islands.drive}) uses to pump a hosted engine without
+    advancing it. *)
+
 val capacity : t -> int
 (** Current size of the backing heap array (grows by doubling, shrinks
     only through {!clear}). *)

@@ -267,6 +267,30 @@ let run ?(domains = 1) t =
   if domains <= 1 || Array.length t.islands <= 1 then run_sequential t
   else run_parallel t ~domains
 
+(* Host a plain sequential {!Engine} on one island: every engine event
+   becomes an island event at the same timestamp, so the hosted engine's
+   pop order is exactly what [Engine.run] would produce while the island
+   runtime stays free to interleave other islands around it. The pump
+   re-arms itself after each batch; engine events that land at or before
+   the island's current clock (the engine lagging the island) are drained
+   immediately rather than scheduled into the island's past. *)
+let drive isl engine =
+  let rec pump isl =
+    match Engine.next_time engine with
+    | None -> ()
+    | Some t ->
+      let nw = isl.clock in
+      if t <= nw then begin
+        Engine.run_until engine nw;
+        pump isl
+      end
+      else
+        schedule isl ~at:t (fun isl ->
+            Engine.run_until engine isl.clock;
+            pump isl)
+  in
+  pump isl
+
 let events_executed t =
   Array.fold_left (fun acc isl -> acc + isl.executed) 0 t.islands
 

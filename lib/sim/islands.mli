@@ -48,6 +48,15 @@ val post : island -> dst:int -> after:float -> (island -> unit) -> unit
     synchronization contract; violating it raises [Invalid_argument].
     Posting to the own island degrades to {!schedule_in}. *)
 
+val drive : island -> Engine.t -> unit
+(** [drive isl engine] hosts a sequential {!Engine} on [isl]: each queued
+    engine event is replayed as an island event at its own timestamp, in
+    exactly the order [Engine.run] would pop it, while the surrounding
+    runtime interleaves other islands. Call once after seeding the engine
+    and before {!run}; events the engine schedules during execution are
+    picked up automatically. The engine must only be touched from [isl]'s
+    actions. *)
+
 val run : ?domains:int -> t -> unit
 (** Execute until no events remain anywhere. [domains] bounds the number
     of parallel lanes (capped at the island count); [1] (the default)

@@ -111,6 +111,50 @@ let log_histogram ~base ~buckets xs =
   let bucket_lo = Array.init buckets (fun i -> base ** float_of_int i) in
   { bucket_lo; counts }
 
+(* Percentile extraction from a log histogram, interpolating the
+   empirical CDF linearly inside the covering bucket. Bucket edges are
+   the histogram's own semantics: bucket 0 really covers [0, base) even
+   though its recorded lower edge is base^0 = 1, and the last bucket is
+   closed at base^buckets (everything beyond was clamped into it). The
+   bucket-edge conventions matter at exact boundaries: a sample equal to
+   base^i lands in bucket i (inclusive lower edge), so the estimate for
+   a point mass at base^i must come back inside [base^i, base^(i+1)),
+   never from bucket i-1. *)
+let percentile h q =
+  if Float.is_nan q || q < 0.0 || q > 1.0 then
+    invalid_arg (Printf.sprintf "Stats.percentile: q=%g outside [0,1]" q);
+  let buckets = Array.length h.bucket_lo in
+  if buckets = 0 || buckets <> Array.length h.counts then
+    invalid_arg "Stats.percentile: malformed histogram";
+  let total = Array.fold_left ( + ) 0 h.counts in
+  if total = 0 then invalid_arg "Stats.percentile: empty histogram";
+  (* Recover the base from the recorded edges (base^1 / base^0); a
+     single-bucket histogram has no second edge, so fall back to the
+     log_histogram default width of one decade. *)
+  let base = if buckets > 1 then h.bucket_lo.(1) /. h.bucket_lo.(0) else 10.0 in
+  let lo_of i = if i = 0 then 0.0 else h.bucket_lo.(i) in
+  let hi_of i =
+    if i = buckets - 1 then h.bucket_lo.(i) *. base else h.bucket_lo.(i + 1)
+  in
+  let rank = q *. float_of_int total in
+  let rec find i cum =
+    let c = h.counts.(i) in
+    if i = buckets - 1 || rank <= float_of_int (cum + c) then (i, cum)
+    else find (i + 1) (cum + c)
+  in
+  (* Skip leading empty buckets so rank=0 resolves to the first occupied
+     bucket's lower edge, not to 0 counts of air below it. *)
+  let rec first_occupied i = if h.counts.(i) > 0 then i else first_occupied (i + 1) in
+  let start = first_occupied 0 in
+  let i, cum = find start 0 in
+  let c = h.counts.(i) in
+  if c = 0 then lo_of i
+  else begin
+    let frac = (rank -. float_of_int cum) /. float_of_int c in
+    let frac = Float.min 1.0 (Float.max 0.0 frac) in
+    lo_of i +. (frac *. (hi_of i -. lo_of i))
+  end
+
 let geometric_mean xs =
   match xs with
   | [] -> invalid_arg "Stats.geometric_mean: empty"

@@ -50,5 +50,18 @@ val log_histogram : base:float -> buckets:int -> float list -> histogram
     migration-point interval distributions (Figs. 3-5) and the obs metrics
     registry. *)
 
+val percentile : histogram -> float -> float
+(** [percentile h q] with [q] in [\[0,1\]]: the value below which a
+    fraction [q] of the histogram's samples fall, interpolating the
+    empirical CDF linearly inside the covering bucket. Bucket edges
+    follow {!log_histogram}'s semantics exactly: bucket 0 spans
+    [\[0, base)] (its recorded lower edge is [base^0 = 1], but sub-unit
+    samples land there), interior bucket [i] spans
+    [\[base^i, base^(i+1))] with an {e inclusive} lower edge, and the
+    last bucket is closed at [base^buckets]. Raises [Invalid_argument]
+    on an empty histogram and on NaN or out-of-range [q] — consistent
+    with {!log_histogram}'s rejection of NaN/negative samples. Used for
+    the serving path's windowed p50/p99/p999 tail estimates. *)
+
 val geometric_mean : float list -> float
 (** Geometric mean of positive values. *)

@@ -21,6 +21,7 @@ let () =
       ("workload", Test_workload.suite);
       ("baseline", Test_baseline.suite);
       ("sched", Test_sched.suite);
+      ("serving", Test_serving.suite);
       ("parallel", Test_parallel.suite);
       ("core", Test_core.suite);
       ("analysis", Test_analysis.suite);

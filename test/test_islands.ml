@@ -243,6 +243,21 @@ let qcheck_fleet_deterministic =
       let b = Sched.Fleet.run ~domains:2 cfg in
       Sched.Fleet.render cfg a = Sched.Fleet.render cfg b)
 
+(* --- Popcorn-ensemble scheduler on the island runtime -------------------- *)
+
+(* The PR-6 leftover: a fig12-scale sustained run driven through
+   {!Sim.Islands.drive} (the [~on_islands] flag) must render exactly the
+   report the plain sequential engine produces. *)
+let scheduler_on_islands_byte_identical () =
+  let jobs = Sched.Arrival.sustained ~seed:3 ~jobs:40 in
+  let direct = Sched.Scheduler.run Sched.Policy.Dynamic_unbalanced jobs in
+  let islanded =
+    Sched.Scheduler.run ~on_islands:true Sched.Policy.Dynamic_unbalanced jobs
+  in
+  checkb "fig12-scale ensemble run byte-identical on the island runtime" true
+    (Format.asprintf "%a" Sched.Scheduler.pp_result direct
+    = Format.asprintf "%a" Sched.Scheduler.pp_result islanded)
+
 (* --- Workload phase memoization ----------------------------------------- *)
 
 let phase_memo_shares () =
@@ -293,6 +308,8 @@ let suite =
     Alcotest.test_case "fleet: render stable across domains" `Quick
       fleet_render_stable;
     QCheck_alcotest.to_alcotest qcheck_fleet_deterministic;
+    Alcotest.test_case "scheduler: fig12-scale run on islands" `Quick
+      scheduler_on_islands_byte_identical;
     Alcotest.test_case "workload: phase expansion memoized" `Quick
       phase_memo_shares;
   ]

@@ -270,6 +270,59 @@ let stats_log_histogram_rejects () =
   checkb "sub-1 samples in bucket 0" true
     (h.Sim.Stats.counts.(0) = 2 && h.Sim.Stats.counts.(1) = 1)
 
+let percentile_edge_cases () =
+  Alcotest.check_raises "empty histogram"
+    (Invalid_argument "Stats.percentile: empty histogram") (fun () ->
+      ignore
+        (Sim.Stats.percentile
+           (Sim.Stats.log_histogram ~base:10.0 ~buckets:4 []) 0.5));
+  let h = Sim.Stats.log_histogram ~base:10.0 ~buckets:4 [ 5.0 ] in
+  Alcotest.check_raises "q above 1"
+    (Invalid_argument "Stats.percentile: q=1.5 outside [0,1]") (fun () ->
+      ignore (Sim.Stats.percentile h 1.5));
+  Alcotest.check_raises "negative q"
+    (Invalid_argument "Stats.percentile: q=-0.1 outside [0,1]") (fun () ->
+      ignore (Sim.Stats.percentile h (-0.1)));
+  Alcotest.check_raises "NaN q"
+    (Invalid_argument "Stats.percentile: q=nan outside [0,1]") (fun () ->
+      ignore (Sim.Stats.percentile h Float.nan));
+  (* Single sample of 5: bucket 0 spans [0, base) = [0, 10), so every
+     quantile interpolates inside [0, 10] (q=1 resolves to the upper
+     edge). *)
+  List.iter
+    (fun q ->
+      let v = Sim.Stats.percentile h q in
+      checkb
+        (Printf.sprintf "single sample: p%g inside its bucket" (q *. 100.0))
+        true
+        (v >= 0.0 && v <= 10.0))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (* Exact bucket boundary: a point mass at base^2 = 100 lands in
+     [100, 1000) — the inclusive lower edge — never in bucket 1, and
+     p0 resolves to exactly the boundary. *)
+  let hb = Sim.Stats.log_histogram ~base:10.0 ~buckets:4 [ 100.0; 100.0 ] in
+  checkf "boundary mass: p0 at the inclusive edge" 100.0
+    (Sim.Stats.percentile hb 0.0);
+  List.iter
+    (fun q ->
+      let v = Sim.Stats.percentile hb q in
+      checkb
+        (Printf.sprintf "boundary mass: p%g in [100, 1000]" (q *. 100.0))
+        true
+        (v >= 100.0 && v <= 1000.0))
+    [ 0.0; 0.5; 1.0 ];
+  (* Bucket 0 spans [0, base) despite its recorded lower edge of 1:
+     sub-unit samples must resolve below base, starting at 0. *)
+  let h0 = Sim.Stats.log_histogram ~base:10.0 ~buckets:4 [ 0.0; 0.25; 0.5 ] in
+  checkb "sub-unit mass: p0 at the true lower edge 0" true
+    (Sim.Stats.percentile h0 0.0 = 0.0);
+  checkb "sub-unit mass: p100 below base" true
+    (Sim.Stats.percentile h0 1.0 <= 10.0);
+  (* Interpolation is exact on a uniform two-bucket split. *)
+  let h2 = Sim.Stats.log_histogram ~base:10.0 ~buckets:4 [ 5.0; 50.0 ] in
+  checkf "two-sample median at the shared edge" 10.0
+    (Sim.Stats.percentile h2 0.5)
+
 let trace_series_names_sorted () =
   let t = Sim.Trace.create () in
   List.iter
@@ -320,5 +373,6 @@ let suite =
     ("stats rejects NaN", `Quick, stats_nan_raises);
     ("stats numeric sort order", `Quick, stats_sorts_with_float_compare);
     ("log histogram rejects negatives", `Quick, stats_log_histogram_rejects);
+    ("percentile edge cases", `Quick, percentile_edge_cases);
     ("trace series names sorted", `Quick, trace_series_names_sorted);
   ]
