@@ -1,0 +1,822 @@
+(* VENDORED REFERENCE — the PR-7 list-based serving path, frozen.
+
+   This is lib/sched/service.ml as of commit fdf6a33 (module-prefixed
+   to compile outside the sched library), kept verbatim as the
+   regression baseline for the throughput bench: the streamed,
+   allocation-light rewrite must beat this implementation by >= 10x
+   requests/s on the same scenario. Nothing in the product depends on
+   this module; do not "fix" or modernize it — its materialized
+   traces, unconditionally-growing window lists, per-node latency
+   lists, and end-of-run sort are exactly what is being measured.
+
+   Original header follows.
+
+   Open-loop request serving with latency SLOs on the time-island
+   runtime.
+
+   Topology mirrors `Fleet`: island 0 is the router/controller, islands
+   1..N are nodes alternating x86 (Xeon) and arm64 (X-Gene) servers.
+   Long-lived service instances are pinned to nodes; requests arrive
+   open-loop from an `Sched.Arrival.request_trace` (they keep coming whether
+   or not earlier ones finished — that is what produces real queueing
+   tails), flow router -> node -> worker -> response, and every
+   cross-island hop is epoch-batched, so the epoch is the runtime's
+   conservative lookahead and a run is bit-identical whatever the
+   domain count.
+
+   The controller owns the routing map, the windowed latency/arrival
+   history, and the migration protocol; each node owns its queues,
+   worker slots, energy integral, and latency log outright. Nothing is
+   shared across islands, and the observability sink is only ever
+   touched from island 0.
+
+   Migration is drain-based stop-and-copy: the controller commands the
+   current home to drain; requests arriving at the draining instance
+   queue behind it (they are NOT forwarded — this is precisely how
+   migration downtime inflates the tail); when the last in-flight
+   request finishes, the instance pays the PR-3-style pause
+   (transform + batched working-set transfer + strong kernel-state
+   replication) and lands, queue and all, on the destination. A
+   generation counter per service makes stale drain/land/ack messages
+   harmless when crashes re-place instances concurrently. *)
+
+type policy = Slo_aware | Static_x86 | Static_arm
+
+let policy_name = function
+  | Slo_aware -> "slo-aware"
+  | Static_x86 -> "static-x86"
+  | Static_arm -> "static-arm"
+
+type config = {
+  nodes : int;
+  seed : int;
+  epoch_s : float;  (** routing/report batching epoch = lookahead *)
+  slo_ms : float;
+  policy : policy;
+  window_s : float;  (** sliding window for the p99 estimate *)
+  demand_instructions : float;  (** mean per-request work *)
+  demand_sigma : float;  (** lognormal sigma of per-request work *)
+  workers : int;  (** concurrent requests per service instance *)
+  queue_cap : int;  (** per-instance queue bound; overflow drops *)
+  footprint_bytes : int;  (** working set moved at migration *)
+  zero_downtime : bool;  (** ablation stub: migrations pause nothing *)
+  interconnect : Machine.Interconnect.t;
+  crashes : Faults.Plan.crash list;
+  trace : Sched.Arrival.request_trace;
+}
+
+let default ~nodes ~seed ~trace =
+  {
+    nodes;
+    seed;
+    epoch_s = 0.05;
+    slo_ms = 150.0;
+    policy = Slo_aware;
+    window_s = 5.0;
+    demand_instructions = 5e7;
+    demand_sigma = 0.5;
+    workers = 4;
+    queue_cap = 512;
+    footprint_bytes = 64 * 1024 * 1024;
+    zero_downtime = false;
+    interconnect = Machine.Interconnect.ethernet_10g;
+    crashes = [];
+    trace;
+  }
+
+type result = {
+  arrived : int;
+  responded : int;
+  dropped : int;
+  in_flight_at_end : int;
+  forwarded : int;
+  migrations : int;
+  downtime_s : float;
+  slo_violations : int;
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  mean_ms : float;
+  makespan : float;
+  energy_x86_j : float;
+  energy_arm_j : float;
+  total_energy_j : float;
+  events : int;
+  windows : int;
+}
+
+(* --- per-island state -------------------------------------------------- *)
+
+type node_state = {
+  node_id : int;
+  machine : Machine.Server.t;
+  mutable crashed : bool;
+  mutable busy : int;  (** executing requests, all services *)
+  mutable hosted_count : int;
+  mutable energy_j : float;
+  mutable last_update : float;
+  hosted : bool array;  (* per service *)
+  draining : bool array;
+  drain_dst : int array;
+  drain_gen : int array;
+  forward : int array;  (* -1 = none; else re-post arrivals there *)
+  queues : Sched.Arrival.request Queue.t array;
+  executing : int array;
+  mutable responded : int;
+  mutable dropped : int;
+  mutable forwarded : int;
+  mutable migrations_out : int;
+  mutable downtime_s : float;
+  mutable latencies_ms : float list;  (* reversed completion order *)
+}
+
+type ctrl_state = {
+  home : int array;  (* per service; -1 = unplaced, drop at router *)
+  gen : int array;  (* migration generation, stale-message guard *)
+  migrating : bool array;
+  last_move : float array;
+  alive : bool array;  (* controller's view of the nodes *)
+  arr_window : float list array;  (* arrival times, per service *)
+  lat_window : (float * float) list array;  (* (resolve time, ms) *)
+  spans : Obs.span option array;  (* open migration spans *)
+  mutable arrived : int;
+  mutable resolved : int;  (* responses + drops accounted *)
+  mutable router_dropped : int;
+  mutable slo_violations : int;
+  mutable end_time : float;
+  total : int;
+}
+
+let machine_for i =
+  if i mod 2 = 0 then Machine.Server.xeon_e5_1650_v2 else Machine.Server.xgene1
+
+let is_x86_node i = i mod 2 = 0
+
+(* A node's power state: off when crashed, the low-power state when it
+   hosts nothing (service-free servers sleep — the energy the SLO policy
+   harvests by parking idle services on fewer machines), else the affine
+   utilization model. *)
+let node_power ns =
+  let m = ns.machine in
+  if ns.crashed then 0.0
+  else if ns.hosted_count = 0 && ns.busy = 0 then
+    m.Machine.Server.power.Machine.Power.sleep_w
+  else
+    Machine.Power.system_power m.Machine.Server.power
+      ~utilization:
+        (Float.min 1.0
+           (float_of_int ns.busy /. float_of_int m.Machine.Server.cores))
+
+let settle ns ~now =
+  ns.energy_j <- ns.energy_j +. ((now -. ns.last_update) *. node_power ns);
+  ns.last_update <- now
+
+(* Per-request demand is a pure function of the request id: no island
+   stream is consulted, so routing/migration decisions can reshuffle
+   which island executes a request without perturbing any draw order. *)
+let demand_for cfg rid =
+  let rng = Sim.Prng.create (cfg.seed lxor ((rid + 1) * 0x9e3779b1)) in
+  let sigma = cfg.demand_sigma in
+  if sigma <= 0.0 then cfg.demand_instructions
+  else
+    cfg.demand_instructions
+    *. Sim.Prng.lognormal rng ~mu:(-0.5 *. sigma *. sigma) ~sigma
+
+(* Stop-and-copy pause charged when a drained instance leaves its node:
+   state transformation, the working set as one batched stream, and the
+   strong-consistency re-homing of the instance's kernel-service slices
+   (PR-3's downtime model extended with `Kernel.Service`). *)
+let migration_pause cfg =
+  if cfg.zero_downtime then 0.0
+  else
+    300e-6
+    +. Machine.Interconnect.batch_transfer_time cfg.interconnect
+         ~pages:(Memsys.Page.count ~bytes:cfg.footprint_bytes)
+         ~page_bytes:Memsys.Page.size
+    +. Kernel.Service.replication_cost ~consistency:Kernel.Service.Strong
+         ~interconnect:cfg.interconnect ~replicas:cfg.nodes ~entries:4
+
+let window_p99 lat_window =
+  match lat_window with
+  | [] -> None
+  | samples ->
+    let h =
+      Sim.Stats.log_histogram ~base:2.0 ~buckets:40 (List.map snd samples)
+    in
+    Some (Sim.Stats.percentile h 0.99)
+
+(* --- the simulation ---------------------------------------------------- *)
+
+let run ?(domains = 1) ?(obs = Obs.noop) cfg =
+  if cfg.nodes < 2 then invalid_arg "Service.run: need at least 2 nodes";
+  if cfg.trace.Sched.Arrival.services < 1 then
+    invalid_arg "Service.run: trace has no services";
+  if cfg.epoch_s <= cfg.interconnect.Machine.Interconnect.latency_s then
+    invalid_arg "Service.run: epoch must exceed the interconnect latency";
+  if cfg.workers < 1 then invalid_arg "Service.run: need at least one worker";
+  if cfg.queue_cap < 0 then invalid_arg "Service.run: negative queue cap";
+  List.iter
+    (fun (c : Faults.Plan.crash) ->
+      if c.Faults.Plan.node < 0 || c.Faults.Plan.node >= cfg.nodes then
+        invalid_arg
+          (Printf.sprintf "Service.run: crash at unknown node %d"
+             c.Faults.Plan.node);
+      if c.Faults.Plan.at < 0.0 then
+        invalid_arg "Service.run: crash before t=0")
+    cfg.crashes;
+  let services = cfg.trace.Sched.Arrival.services in
+  let requests = cfg.trace.Sched.Arrival.requests in
+  let rt =
+    Sim.Islands.create ~islands:(cfg.nodes + 1) ~lookahead:cfg.epoch_s
+      ~seed:cfg.seed ()
+  in
+  let nodes =
+    Array.init cfg.nodes (fun i ->
+        {
+          node_id = i;
+          machine = machine_for i;
+          crashed = false;
+          busy = 0;
+          hosted_count = 0;
+          energy_j = 0.0;
+          last_update = 0.0;
+          hosted = Array.make services false;
+          draining = Array.make services false;
+          drain_dst = Array.make services (-1);
+          drain_gen = Array.make services 0;
+          forward = Array.make services (-1);
+          queues = Array.init services (fun _ -> Queue.create ());
+          executing = Array.make services 0;
+          responded = 0;
+          dropped = 0;
+          forwarded = 0;
+          migrations_out = 0;
+          downtime_s = 0.0;
+          latencies_ms = [];
+        })
+  in
+  (* Static per-service anchors on each side of the ISA boundary: x86
+     anchors spread 1:1 over the even nodes (performance placement),
+     ARM anchors pack two services per odd node (energy placement —
+     parking a pair of idle services on one ARM server lets two x86
+     servers sleep, which is where the SLO policy's consolidation win
+     comes from). The SLO policy always moves a service between its two
+     anchors, so placement is a pure function of the service id and the
+     policy history. *)
+  let x86_ids =
+    Array.of_list (List.filter is_x86_node (List.init cfg.nodes Fun.id))
+  in
+  let arm_ids =
+    Array.of_list
+      (List.filter (fun i -> not (is_x86_node i)) (List.init cfg.nodes Fun.id))
+  in
+  if Array.length x86_ids = 0 || Array.length arm_ids = 0 then
+    invalid_arg "Service.run: need nodes on both sides of the ISA boundary";
+  let x86_home s = x86_ids.(s mod Array.length x86_ids) in
+  let arm_home s = arm_ids.(s / 2 mod Array.length arm_ids) in
+  let initial_home s =
+    match cfg.policy with
+    | Static_x86 -> x86_home s
+    | Static_arm | Slo_aware -> arm_home s
+  in
+  let ctrl =
+    {
+      home = Array.init services initial_home;
+      gen = Array.make services 0;
+      migrating = Array.make services false;
+      last_move = Array.make services 0.0;
+      alive = Array.make cfg.nodes true;
+      arr_window = Array.make services [];
+      lat_window = Array.make services [];
+      spans = Array.make services None;
+      arrived = 0;
+      resolved = 0;
+      router_dropped = 0;
+      slo_violations = 0;
+      end_time = 0.0;
+      total = Array.length requests;
+    }
+  in
+  (* Install the initial placement at t=0, before any event runs. *)
+  Array.iteri
+    (fun s home ->
+      let ns = nodes.(home) in
+      ns.hosted.(s) <- true;
+      ns.hosted_count <- ns.hosted_count + 1)
+    ctrl.home;
+  let pause = migration_pause cfg in
+  let epoch = cfg.epoch_s in
+
+  (* --- controller-side resolution (island 0 only) ---------------------- *)
+  let note_resolved isl =
+    ctrl.end_time <- Float.max ctrl.end_time (Sim.Islands.now isl)
+  in
+  let resolve_response svc lat_ms isl =
+    ctrl.resolved <- ctrl.resolved + 1;
+    ctrl.lat_window.(svc) <-
+      (Sim.Islands.now isl, lat_ms) :: ctrl.lat_window.(svc);
+    if lat_ms > cfg.slo_ms then ctrl.slo_violations <- ctrl.slo_violations + 1;
+    Obs.observe obs "serve.latency_ms" lat_ms;
+    Obs.incr obs "serve.responded";
+    note_resolved isl
+  in
+  let resolve_drops count isl =
+    ctrl.resolved <- ctrl.resolved + count;
+    Obs.incr ~by:count obs "serve.dropped";
+    note_resolved isl
+  in
+
+  (* --- node islands (island id = node_id + 1) -------------------------- *)
+  let rec start_request ns svc (r : Sched.Arrival.request) isl =
+    let now = Sim.Islands.now isl in
+    settle ns ~now;
+    ns.busy <- ns.busy + 1;
+    ns.executing.(svc) <- ns.executing.(svc) + 1;
+    let m = ns.machine in
+    let compute =
+      Isa.Cost_model.seconds_for m.Machine.Server.cost Isa.Cost_model.Memory
+        ~instructions:(demand_for cfg r.Sched.Arrival.rid)
+    in
+    let contention =
+      Float.max 1.0
+        (float_of_int ns.busy /. float_of_int m.Machine.Server.cores)
+    in
+    Sim.Islands.schedule isl
+      ~at:(now +. (compute *. contention))
+      (fun isl -> finish_request ns svc r isl)
+
+  and finish_request ns svc (r : Sched.Arrival.request) isl =
+    (* A crash while this request executed already reported it dropped
+       and zeroed the worker accounting; the completion is void. *)
+    if not ns.crashed then begin
+      let now = Sim.Islands.now isl in
+      settle ns ~now;
+      ns.busy <- ns.busy - 1;
+      ns.executing.(svc) <- ns.executing.(svc) - 1;
+      let lat_ms = (now -. r.Sched.Arrival.at) *. 1e3 in
+      ns.responded <- ns.responded + 1;
+      ns.latencies_ms <- lat_ms :: ns.latencies_ms;
+      Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_response svc lat_ms);
+      if ns.draining.(svc) && ns.executing.(svc) = 0 then finish_drain ns svc isl
+      else start_next ns svc isl
+    end
+
+  and start_next ns svc isl =
+    if
+      ns.hosted.(svc)
+      && (not ns.draining.(svc))
+      && ns.executing.(svc) < cfg.workers
+      && not (Queue.is_empty ns.queues.(svc))
+    then begin
+      start_request ns svc (Queue.pop ns.queues.(svc)) isl;
+      start_next ns svc isl
+    end
+
+  and deliver ns (r : Sched.Arrival.request) isl =
+    let svc = r.Sched.Arrival.svc in
+    if ns.crashed then begin
+      ns.dropped <- ns.dropped + 1;
+      Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops 1)
+    end
+    else if ns.hosted.(svc) then begin
+      if (not ns.draining.(svc)) && ns.executing.(svc) < cfg.workers then
+        start_request ns svc r isl
+      else if Queue.length ns.queues.(svc) < cfg.queue_cap then
+        Queue.push r ns.queues.(svc)
+      else begin
+        ns.dropped <- ns.dropped + 1;
+        Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops 1)
+      end
+    end
+    else if ns.forward.(svc) >= 0 then begin
+      (* The instance left while this request was in flight; chase it.
+         Forward pointers always lead to the newer home (the landing
+         node clears its own), so the chase terminates. *)
+      ns.forwarded <- ns.forwarded + 1;
+      let dst = ns.forward.(svc) in
+      Sim.Islands.post isl ~dst:(dst + 1) ~after:epoch (fun isl ->
+          deliver nodes.(dst) r isl)
+    end
+    else begin
+      (* Stray: routed here during a crash-recovery transient, before
+         the replacement instance landed. Reject rather than buffer —
+         the request has nowhere deterministic to wait. *)
+      ns.dropped <- ns.dropped + 1;
+      Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops 1)
+    end
+
+  and drain_cmd svc dst gen isl =
+    let ns = nodes.(Sim.Islands.id isl - 1) in
+    if ns.crashed || not ns.hosted.(svc) then
+      Sim.Islands.post isl ~dst:0 ~after:epoch (move_failed svc gen)
+    else begin
+      ns.draining.(svc) <- true;
+      ns.drain_dst.(svc) <- dst;
+      ns.drain_gen.(svc) <- gen;
+      if ns.executing.(svc) = 0 then finish_drain ns svc isl
+    end
+
+  and finish_drain ns svc isl =
+    let now = Sim.Islands.now isl in
+    let dst = ns.drain_dst.(svc) in
+    let gen = ns.drain_gen.(svc) in
+    settle ns ~now;
+    ns.hosted.(svc) <- false;
+    ns.hosted_count <- ns.hosted_count - 1;
+    ns.draining.(svc) <- false;
+    ns.drain_dst.(svc) <- -1;
+    ns.forward.(svc) <- dst;
+    ns.migrations_out <- ns.migrations_out + 1;
+    ns.downtime_s <- ns.downtime_s +. pause;
+    let carried = List.of_seq (Queue.to_seq ns.queues.(svc)) in
+    Queue.clear ns.queues.(svc);
+    (* The queue travels with the instance and waits out the pause:
+       this is the downtime-vs-tail trade — every carried request's
+       latency inflates by at least the stop-and-copy time. *)
+    Sim.Islands.post isl ~dst:(dst + 1)
+      ~after:(Float.max epoch pause)
+      (land_cmd svc gen carried)
+
+  and land_cmd svc gen carried isl =
+    let ns = nodes.(Sim.Islands.id isl - 1) in
+    if ns.crashed then begin
+      let n = List.length carried in
+      if n > 0 then begin
+        ns.dropped <- ns.dropped + n;
+        Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops n)
+      end;
+      Sim.Islands.post isl ~dst:0 ~after:epoch (move_failed svc gen)
+    end
+    else begin
+      let now = Sim.Islands.now isl in
+      settle ns ~now;
+      if not ns.hosted.(svc) then begin
+        ns.hosted.(svc) <- true;
+        ns.hosted_count <- ns.hosted_count + 1
+      end;
+      ns.draining.(svc) <- false;
+      ns.forward.(svc) <- -1;
+      List.iter
+        (fun r ->
+          if Queue.length ns.queues.(svc) < cfg.queue_cap then
+            Queue.push r ns.queues.(svc)
+          else begin
+            ns.dropped <- ns.dropped + 1;
+            Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops 1)
+          end)
+        carried;
+      start_next ns svc isl;
+      Sim.Islands.post isl ~dst:0 ~after:epoch
+        (move_done svc gen ns.node_id)
+    end
+
+  and uninstall_cmd svc isl =
+    (* A stale landing (the controller re-placed the service while this
+       copy was in flight) must not leave a zombie instance burning
+       hosted power; tear it down, dropping whatever it queued. *)
+    let ns = nodes.(Sim.Islands.id isl - 1) in
+    if (not ns.crashed) && ns.hosted.(svc) then begin
+      settle ns ~now:(Sim.Islands.now isl);
+      ns.hosted.(svc) <- false;
+      ns.hosted_count <- ns.hosted_count - 1;
+      ns.draining.(svc) <- false;
+      let n = Queue.length ns.queues.(svc) in
+      Queue.clear ns.queues.(svc);
+      if n > 0 then begin
+        ns.dropped <- ns.dropped + n;
+        Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops n)
+      end
+    end
+
+  and crash_node ns isl =
+    if not ns.crashed then begin
+      let now = Sim.Islands.now isl in
+      settle ns ~now;
+      ns.crashed <- true;
+      ns.busy <- 0;
+      ns.hosted_count <- 0;
+      let lost = ref 0 in
+      for s = 0 to services - 1 do
+        if ns.hosted.(s) then begin
+          lost := !lost + Queue.length ns.queues.(s) + ns.executing.(s);
+          Queue.clear ns.queues.(s);
+          ns.hosted.(s) <- false;
+          ns.draining.(s) <- false;
+          ns.executing.(s) <- 0
+        end;
+        ns.forward.(s) <- -1
+      done;
+      if !lost > 0 then begin
+        ns.dropped <- ns.dropped + !lost;
+        Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops !lost)
+      end;
+      Sim.Islands.post isl ~dst:0 ~after:epoch (node_crashed ns.node_id)
+    end
+
+  (* --- controller protocol handlers ------------------------------------ *)
+  and pick_replacement ~preferred_x86 =
+    let scan ids =
+      Array.fold_left
+        (fun acc i ->
+          match acc with
+          | Some _ -> acc
+          | None -> if ctrl.alive.(i) then Some i else None)
+        None ids
+    in
+    match
+      if preferred_x86 then scan x86_ids else scan arm_ids
+    with
+    | Some n -> Some n
+    | None -> if preferred_x86 then scan arm_ids else scan x86_ids
+
+  and re_place svc isl =
+    ctrl.gen.(svc) <- ctrl.gen.(svc) + 1;
+    let preferred_x86 =
+      match cfg.policy with
+      | Static_arm -> false
+      | Static_x86 -> true
+      | Slo_aware -> false
+    in
+    match pick_replacement ~preferred_x86 with
+    | Some n ->
+      ctrl.migrating.(svc) <- true;
+      let gen = ctrl.gen.(svc) in
+      Sim.Islands.post isl ~dst:(n + 1) ~after:epoch (land_cmd svc gen [])
+    | None ->
+      (* Fleet-wide outage for this service: nothing can host it; the
+         router rejects its traffic from here on. *)
+      ctrl.migrating.(svc) <- false;
+      ctrl.home.(svc) <- -1
+
+  and move_done svc gen node isl =
+    if gen = ctrl.gen.(svc) then begin
+      ctrl.migrating.(svc) <- false;
+      ctrl.home.(svc) <- node;
+      ctrl.last_move.(svc) <- Sim.Islands.now isl;
+      (match ctrl.spans.(svc) with
+      | Some span ->
+        ctrl.spans.(svc) <- None;
+        Obs.end_span obs span ~ts:(Sim.Islands.now isl)
+          ~args:[ ("to", Obs.I node) ]
+          ()
+      | None -> ());
+      Obs.incr obs "serve.migrations"
+    end
+    else if (not ctrl.migrating.(svc)) && node <> ctrl.home.(svc) then
+      (* This landing lost a generation race; evict the zombie copy —
+         but only when the service is settled somewhere else, so the
+         eviction can never race a current landing on the same node. *)
+      Sim.Islands.post isl ~dst:(node + 1) ~after:epoch (uninstall_cmd svc)
+
+  and move_failed svc gen isl =
+    if gen = ctrl.gen.(svc) then begin
+      (match ctrl.spans.(svc) with
+      | Some span ->
+        ctrl.spans.(svc) <- None;
+        Obs.end_span obs span ~ts:(Sim.Islands.now isl)
+          ~args:[ ("failed", Obs.I 1) ]
+          ()
+      | None -> ());
+      re_place svc isl
+    end
+
+  and node_crashed node isl =
+    if ctrl.alive.(node) then begin
+      ctrl.alive.(node) <- false;
+      if Obs.enabled obs then
+        Obs.instant obs ~ts:(Sim.Islands.now isl) ~pid:Obs.scheduler_pid
+          ~tid:0 ~cat:"serve" ~name:"node_crash"
+          ~args:[ ("node", Obs.I node) ]
+          ();
+      for s = 0 to services - 1 do
+        if ctrl.home.(s) = node then re_place s isl
+      done
+    end
+  in
+
+  (* --- router + SLO policy (island 0) ---------------------------------- *)
+  let route (r : Sched.Arrival.request) isl =
+    ctrl.arrived <- ctrl.arrived + 1;
+    ctrl.arr_window.(r.Sched.Arrival.svc) <-
+      r.Sched.Arrival.at :: ctrl.arr_window.(r.Sched.Arrival.svc);
+    Obs.incr obs "serve.arrived";
+    let home = ctrl.home.(r.Sched.Arrival.svc) in
+    if home < 0 then begin
+      ctrl.router_dropped <- ctrl.router_dropped + 1;
+      ctrl.resolved <- ctrl.resolved + 1;
+      Obs.incr obs "serve.dropped";
+      note_resolved isl
+    end
+    else
+      Sim.Islands.post isl ~dst:(home + 1) ~after:epoch (fun isl ->
+          deliver nodes.(home) r isl)
+  in
+  let command_migration svc dst isl =
+    let src = ctrl.home.(svc) in
+    ctrl.gen.(svc) <- ctrl.gen.(svc) + 1;
+    ctrl.migrating.(svc) <- true;
+    if Obs.enabled obs then
+      ctrl.spans.(svc) <-
+        Some
+          (Obs.begin_span obs ~ts:(Sim.Islands.now isl) ~pid:Obs.scheduler_pid
+             ~tid:0 ~cat:"serve" ~name:"migrate"
+             ~args:[ ("svc", Obs.I svc); ("from", Obs.I src) ]
+             ());
+    Sim.Islands.post isl ~dst:(src + 1) ~after:epoch
+      (drain_cmd svc dst ctrl.gen.(svc))
+  in
+  let prune_windows now =
+    let horizon = now -. cfg.window_s in
+    for s = 0 to services - 1 do
+      ctrl.arr_window.(s) <-
+        List.filter (fun at -> at >= horizon) ctrl.arr_window.(s);
+      ctrl.lat_window.(s) <-
+        List.filter (fun (at, _) -> at >= horizon) ctrl.lat_window.(s)
+    done
+  in
+  let rec tick isl =
+    let now = Sim.Islands.now isl in
+    prune_windows now;
+    for s = 0 to services - 1 do
+      let home = ctrl.home.(s) in
+      if (not ctrl.migrating.(s)) && home >= 0 && ctrl.alive.(home) then begin
+        if not (is_x86_node home) then begin
+          (* On ARM: escalate to the x86 anchor on a windowed p99
+             breach. *)
+          match window_p99 ctrl.lat_window.(s) with
+          | Some p99 when p99 > cfg.slo_ms ->
+            let dst = x86_home s in
+            if ctrl.alive.(dst) && dst <> home then command_migration s dst isl
+            else begin
+              match pick_replacement ~preferred_x86:true with
+              | Some dst when dst <> home && is_x86_node dst ->
+                command_migration s dst isl
+              | _ -> ()
+            end
+          | _ -> ()
+        end
+        else if
+          (* On x86: return to the ARM anchor for energy once the
+             window is completely quiet, with one window of cooldown
+             after the last move so a drain/land transient does not
+             read as idleness. *)
+          ctrl.arr_window.(s) = []
+          && ctrl.lat_window.(s) = []
+          && now -. ctrl.last_move.(s) >= cfg.window_s
+        then begin
+          let dst = arm_home s in
+          if ctrl.alive.(dst) then command_migration s dst isl
+        end
+      end
+    done;
+    if Obs.enabled obs then
+      Obs.counter_sample obs ~ts:now ~pid:Obs.scheduler_pid ~name:"serve.p99_ms"
+        ~args:
+          (List.init services (fun s ->
+               ( Printf.sprintf "svc%d" s,
+                 Obs.F (Option.value ~default:0.0 (window_p99 ctrl.lat_window.(s)))
+               )));
+    if ctrl.resolved < ctrl.total then
+      Sim.Islands.schedule_in isl ~after:cfg.window_s (fun isl -> tick isl)
+  in
+
+  (* --- seed the calendars ---------------------------------------------- *)
+  let ctrl_isl = Sim.Islands.island rt 0 in
+  Array.iter
+    (fun (r : Sched.Arrival.request) ->
+      Sim.Islands.schedule ctrl_isl ~at:r.Sched.Arrival.at (route r))
+    requests;
+  List.iter
+    (fun (c : Faults.Plan.crash) ->
+      let node = c.Faults.Plan.node in
+      Sim.Islands.schedule
+        (Sim.Islands.island rt (node + 1))
+        ~at:c.Faults.Plan.at
+        (fun isl -> crash_node nodes.(node) isl))
+    cfg.crashes;
+  if cfg.policy = Slo_aware && ctrl.total > 0 then
+    Sim.Islands.schedule ctrl_isl ~at:cfg.window_s (fun isl -> tick isl);
+  if Obs.enabled obs then
+    Obs.process_name obs ~pid:Obs.scheduler_pid
+      (Printf.sprintf "serve router (%s)" (policy_name cfg.policy));
+
+  Sim.Islands.run ~domains rt;
+
+  (* --- results (merged in canonical node order) ------------------------ *)
+  let makespan =
+    Array.fold_left
+      (fun acc ns -> Float.max acc ns.last_update)
+      ctrl.end_time nodes
+  in
+  Array.iter
+    (fun ns -> if ns.last_update < makespan then settle ns ~now:makespan)
+    nodes;
+  let energy_of arch =
+    Array.fold_left
+      (fun acc ns ->
+        if ns.machine.Machine.Server.arch = arch then acc +. ns.energy_j
+        else acc)
+      0.0 nodes
+  in
+  let energy_x86 = energy_of Isa.Arch.X86_64 in
+  let energy_arm = energy_of Isa.Arch.Arm64 in
+  let latencies =
+    let all =
+      Array.fold_left
+        (fun acc ns -> List.rev_append ns.latencies_ms acc)
+        [] nodes
+    in
+    let arr = Array.of_list all in
+    Array.sort Float.compare arr;
+    arr
+  in
+  let quant q =
+    if Array.length latencies = 0 then 0.0 else Sim.Stats.quantile latencies q
+  in
+  let responded = Array.fold_left (fun acc ns -> acc + ns.responded) 0 nodes in
+  let dropped =
+    ctrl.router_dropped
+    + Array.fold_left (fun acc ns -> acc + ns.dropped) 0 nodes
+  in
+  let in_flight =
+    Array.fold_left
+      (fun acc ns ->
+        acc
+        + Array.fold_left (fun a q -> a + Queue.length q) 0 ns.queues
+        + Array.fold_left ( + ) 0 ns.executing)
+      0 nodes
+  in
+  let result =
+    {
+      arrived = ctrl.arrived;
+      responded;
+      dropped;
+      in_flight_at_end = in_flight;
+      forwarded = Array.fold_left (fun acc ns -> acc + ns.forwarded) 0 nodes;
+      migrations =
+        Array.fold_left (fun acc ns -> acc + ns.migrations_out) 0 nodes;
+      downtime_s = Array.fold_left (fun acc ns -> acc +. ns.downtime_s) 0.0 nodes;
+      slo_violations = ctrl.slo_violations;
+      p50_ms = quant 0.5;
+      p99_ms = quant 0.99;
+      p999_ms = quant 0.999;
+      mean_ms =
+        (if Array.length latencies = 0 then 0.0
+         else
+           Array.fold_left ( +. ) 0.0 latencies
+           /. float_of_int (Array.length latencies));
+      makespan;
+      energy_x86_j = energy_x86;
+      energy_arm_j = energy_arm;
+      total_energy_j = energy_x86 +. energy_arm;
+      events = Sim.Islands.events_executed rt;
+      windows = Sim.Islands.windows rt;
+    }
+  in
+  if Obs.enabled obs then begin
+    let g = Obs.gauge obs in
+    let gi name v = Obs.gauge obs name (float_of_int v) in
+    gi "serve.in_flight_at_end" result.in_flight_at_end;
+    gi "serve.forwarded" result.forwarded;
+    gi "serve.slo_violations" result.slo_violations;
+    g "serve.p50_ms" result.p50_ms;
+    g "serve.p99_ms" result.p99_ms;
+    g "serve.p999_ms" result.p999_ms;
+    g "serve.downtime_s" result.downtime_s;
+    g "serve.makespan_s" result.makespan;
+    g "serve.total_energy_j" result.total_energy_j;
+    g "serve.energy_x86_j" result.energy_x86_j;
+    g "serve.energy_arm_j" result.energy_arm_j
+  end;
+  result
+
+(* Byte-stable rendering: a pure function of the deterministic
+   simulation, so `--seq` and `--islands N` outputs diff clean. *)
+let render cfg (r : result) =
+  let b = Buffer.create 512 in
+  let x86 = (cfg.nodes + 1) / 2 in
+  Printf.bprintf b
+    "serve: trace=%s requests=%d services=%d nodes=%d (x86=%d arm64=%d) \
+     seed=%d epoch=%.3fs slo=%.1fms policy=%s window=%.1fs workers=%d \
+     queue-cap=%d zero-downtime=%s crashes=%d\n"
+    cfg.trace.Sched.Arrival.tname
+    (Array.length cfg.trace.Sched.Arrival.requests)
+    cfg.trace.Sched.Arrival.services cfg.nodes x86 (cfg.nodes - x86) cfg.seed
+    cfg.epoch_s cfg.slo_ms (policy_name cfg.policy) cfg.window_s cfg.workers
+    cfg.queue_cap
+    (if cfg.zero_downtime then "on" else "off")
+    (List.length cfg.crashes);
+  Printf.bprintf b
+    "arrived=%d responded=%d dropped=%d in-flight=%d forwarded=%d\n" r.arrived
+    r.responded r.dropped r.in_flight_at_end r.forwarded;
+  Printf.bprintf b
+    "latency p50=%.3fms p99=%.3fms p999=%.3fms mean=%.3fms slo-violations=%d\n"
+    r.p50_ms r.p99_ms r.p999_ms r.mean_ms r.slo_violations;
+  Printf.bprintf b "migrations=%d downtime=%.6fs\n" r.migrations r.downtime_s;
+  Printf.bprintf b
+    "makespan=%.6fs energy=%.3fkJ (x86 %.3fkJ arm64 %.3fkJ)\n" r.makespan
+    (r.total_energy_j /. 1e3)
+    (r.energy_x86_j /. 1e3)
+    (r.energy_arm_j /. 1e3);
+  Printf.bprintf b "events=%d windows=%d\n" r.events r.windows;
+  Buffer.contents b

@@ -24,8 +24,8 @@ let policies =
     Sched.Service.Static_arm ]
 
 let config policy =
-  let trace = Sched.Arrival.diurnal ~seed:42 ~services:8 ~days:2 () in
-  { (Sched.Service.default ~nodes:16 ~seed:42 ~trace) with policy }
+  let source = Sched.Arrival.diurnal_source ~seed:42 ~services:8 ~days:2 () in
+  { (Sched.Service.default ~nodes:16 ~seed:42 ~source) with policy }
 
 let conserved (r : Sched.Service.result) =
   r.responded + r.dropped + r.in_flight_at_end = r.arrived

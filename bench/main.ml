@@ -32,6 +32,8 @@ let experiments =
      Experiments.Engine.run);
     ("serving", "Open-loop SLO serving (non-paper)",
      Experiments.Serving.run);
+    ("throughput", "Serving throughput at scale (non-paper)",
+     Experiments.Throughput.run);
   ]
 
 (* Wall-clock seconds on the monotonic clock: experiment grids now run on
@@ -136,14 +138,25 @@ let micro_tests () =
            ignore
              (Sched.Fleet.run ~domains:1
                 (Sched.Fleet.default ~nodes:2 ~jobs:3 ~seed:5))));
-    (* Serving: one short bursty serve run end to end. *)
+    (* Serving: one short bursty serve run end to end (streamed). *)
     Test.make ~name:"serving/serve_small"
       (Staged.stage
-         (let trace =
-            Sched.Arrival.bursty ~seed:5 ~services:2 ~duration_s:5.0 ()
+         (let source =
+            Sched.Arrival.bursty_source ~seed:5 ~services:2 ~duration_s:5.0 ()
           in
-          let cfg = Sched.Service.default ~nodes:4 ~seed:5 ~trace in
+          let cfg = Sched.Service.default ~nodes:4 ~seed:5 ~source in
           fun () -> ignore (Sched.Service.run ~domains:1 cfg)));
+    (* Serving: one streamed arrival pull through the k-way merge. *)
+    Test.make ~name:"serving/stream_pull"
+      (Staged.stage
+         (let source =
+            Sched.Arrival.bursty_source ~seed:9 ~services:8
+              ~duration_s:1e9 ()
+          in
+          let stream = ref (Sched.Arrival.open_stream source) in
+          fun () ->
+            if not (Sched.Arrival.next !stream) then
+              stream := Sched.Arrival.open_stream source));
   ]
 
 (* Returns (name, ns/run, r^2) per micro-benchmark for the JSON report. *)

@@ -572,27 +572,39 @@ let fleet_cmd =
 (* --- serve ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run nodes seed arrivals trace_file services duration days islands seq
+  let run nodes seed arrivals trace_file services duration days rate_high
+      rate_low peak_rps demand limit replicas max_replicas routing islands seq
       epoch slo policy window workers zero_downtime crashes out trace metrics
       save_trace =
-    let req_trace =
+    (* Sources are lazy: nothing here materializes a trace. The run
+       opens its own fresh stream, so memory stays independent of how
+       many requests the source will yield. *)
+    let source =
       match trace_file with
-      | Some path -> Sched.Arrival.of_file path
+      | Some path -> Sched.Arrival.Replay_file path
       | None -> begin
         match arrivals with
         | "bursty" ->
-          Sched.Arrival.bursty ~seed ~services ~duration_s:duration ()
-        | "diurnal" -> Sched.Arrival.diurnal ~seed ~services ~days ()
+          Sched.Arrival.bursty_source ?rate_high ?rate_low ~seed ~services
+            ~duration_s:duration ()
+        | "diurnal" ->
+          Sched.Arrival.diurnal_source ?peak_rps ~seed ~services ~days ()
         | s ->
           Format.eprintf "unknown arrival model %s (bursty, diurnal)@." s;
           exit 2
       end
     in
     (match save_trace with
-    | Some path -> Sched.Arrival.to_file req_trace path
+    | Some path ->
+      let s =
+        Sched.Arrival.open_stream
+          ?limit:(if limit > 0 then Some limit else None)
+          source
+      in
+      Sched.Arrival.stream_to_file s path
     | None -> ());
     let cfg =
-      { (Sched.Service.default ~nodes ~seed ~trace:req_trace) with
+      { (Sched.Service.default ~nodes ~seed ~source) with
         Sched.Service.epoch_s = epoch;
         slo_ms = slo;
         policy;
@@ -600,7 +612,16 @@ let serve_cmd =
         workers;
         zero_downtime;
         crashes;
+        replicas;
+        max_replicas = max max_replicas replicas;
+        routing;
+        limit;
       }
+    in
+    let cfg =
+      match demand with
+      | Some d -> { cfg with Sched.Service.demand_instructions = d }
+      | None -> cfg
     in
     let domains =
       if seq then 1
@@ -665,6 +686,62 @@ let serve_cmd =
     Arg.(value & opt int 2
          & info [ "days" ] ~docv:"D"
              ~doc:"Compressed days to simulate (diurnal model).")
+  in
+  let rate_high =
+    Arg.(value & opt (some float) None
+         & info [ "rate-high" ] ~docv:"RPS"
+             ~doc:"ON-state request rate per service (bursty model; \
+                   default 40).")
+  in
+  let rate_low =
+    Arg.(value & opt (some float) None
+         & info [ "rate-low" ] ~docv:"RPS"
+             ~doc:"OFF-state request rate per service (bursty model; \
+                   default 2).")
+  in
+  let peak_rps =
+    Arg.(value & opt (some float) None
+         & info [ "peak-rps" ] ~docv:"RPS"
+             ~doc:"Peak request rate per service (diurnal model; \
+                   default 20).")
+  in
+  let demand =
+    Arg.(value & opt (some float) None
+         & info [ "demand" ] ~docv:"INSTRUCTIONS"
+             ~doc:"Mean per-request work in instructions (default 5e7).")
+  in
+  let limit =
+    Arg.(value & opt int 0
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Serve at most N requests from the source (0 = all).")
+  in
+  let replicas =
+    Arg.(value & opt int 1
+         & info [ "replicas" ] ~docv:"R"
+             ~doc:"Initial replicas per service.")
+  in
+  let max_replicas =
+    Arg.(value & opt int 1
+         & info [ "max-replicas" ] ~docv:"R"
+             ~doc:"Scale-out ceiling for the SLO-aware policy (clamped \
+                   up to --replicas).")
+  in
+  let routing =
+    let routing_conv =
+      let parse = function
+        | "p2c" | "power-of-two" -> Ok Sched.Service.P2c
+        | "ll" | "least-loaded" -> Ok Sched.Service.Least_loaded
+        | s ->
+          Error
+            (`Msg (Printf.sprintf "unknown routing %s (p2c, least-loaded)" s))
+      in
+      Arg.conv (parse, fun ppf r ->
+          Format.pp_print_string ppf (Sched.Service.routing_name r))
+    in
+    Arg.(value & opt routing_conv Sched.Service.P2c
+         & info [ "routing" ] ~docv:"POLICY"
+             ~doc:"Replica selection: p2c (power of two choices) or \
+                   least-loaded.")
   in
   let islands =
     Arg.(value & opt (some int) None
@@ -761,9 +838,10 @@ let serve_cmd =
           The report is a pure function of the configuration, not of the \
           domain count.")
     Term.(const run $ nodes $ seed $ arrivals $ trace_file $ services
-          $ duration $ days $ islands $ seq $ epoch $ slo $ policy $ window
-          $ workers $ zero_downtime $ crashes $ out $ trace $ metrics
-          $ save_trace)
+          $ duration $ days $ rate_high $ rate_low $ peak_rps $ demand
+          $ limit $ replicas $ max_replicas $ routing $ islands $ seq
+          $ epoch $ slo $ policy $ window $ workers $ zero_downtime
+          $ crashes $ out $ trace $ metrics $ save_trace)
 
 (* --- experiment ---------------------------------------------------------------- *)
 

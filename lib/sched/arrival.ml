@@ -155,24 +155,53 @@ let to_file trace path =
         (fun r -> Printf.fprintf oc "%h %d\n" r.at r.svc)
         trace.requests)
 
+let bad_line path line msg =
+  invalid_arg (Printf.sprintf "Arrival.of_file %s, line %d: %s" path line msg)
+
+let parse_header path ic =
+  let header =
+    try input_line ic with End_of_file -> bad_line path 1 "empty file"
+  in
+  let services, tname =
+    try
+      Scanf.sscanf header "# hetmig-request-trace v1 services=%d name=%s"
+        (fun s n -> (s, n))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      bad_line path 1 "expected '# hetmig-request-trace v1 services=<n> name=<s>'"
+  in
+  if services < 1 then bad_line path 1 "services must be positive";
+  (services, tname)
+
+(* One [<at> <svc>] body line; [None] for blanks and [#] comments.
+   [float_of_string] rather than Scanf's [%f]: it accepts both the
+   lossless [%h] hex floats [to_file] writes and plain decimals from
+   hand-written traces. *)
+let parse_line path ~services ~line l =
+  let l = String.trim l in
+  if l = "" || l.[0] = '#' then None
+  else begin
+    let at, svc =
+      match String.split_on_char ' ' l with
+      | [ a; s ] -> begin
+        try (float_of_string a, int_of_string s)
+        with Failure _ -> bad_line path line "expected '<at> <svc>'"
+      end
+      | _ -> bad_line path line "expected '<at> <svc>'"
+    in
+    if Float.is_nan at || at < 0.0 then
+      bad_line path line "arrival time must be non-negative";
+    if svc < 0 || svc >= services then
+      bad_line path line
+        (Printf.sprintf "service %d outside [0, %d)" svc services);
+    Some (at, svc)
+  end
+
 let of_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let bad line msg =
-        invalid_arg
-          (Printf.sprintf "Arrival.of_file %s, line %d: %s" path line msg)
-      in
-      let header = try input_line ic with End_of_file -> bad 1 "empty file" in
-      let services, tname =
-        try
-          Scanf.sscanf header "# hetmig-request-trace v1 services=%d name=%s"
-            (fun s n -> (s, n))
-        with Scanf.Scan_failure _ | Failure _ | End_of_file ->
-          bad 1 "expected '# hetmig-request-trace v1 services=<n> name=<s>'"
-      in
-      if services < 1 then bad 1 "services must be positive";
+      let services, tname = parse_header path ic in
       let pairs = ref [] in
       let k = ref 0 in
       let line = ref 1 in
@@ -180,30 +209,404 @@ let of_file path =
          while true do
            let l = input_line ic in
            incr line;
-           let l = String.trim l in
-           if l <> "" && l.[0] <> '#' then begin
-             (* [float_of_string] rather than Scanf's [%f]: it accepts
-                both the lossless [%h] hex floats [to_file] writes and
-                plain decimals from hand-written traces. *)
-             let at, svc =
-               match String.split_on_char ' ' l with
-               | [ a; s ] -> begin
-                 try (float_of_string a, int_of_string s)
-                 with Failure _ -> bad !line "expected '<at> <svc>'"
-               end
-               | _ -> bad !line "expected '<at> <svc>'"
-             in
-             if Float.is_nan at || at < 0.0 then
-               bad !line "arrival time must be non-negative";
-             if svc < 0 || svc >= services then
-               bad !line
-                 (Printf.sprintf "service %d outside [0, %d)" svc services);
+           match parse_line path ~services ~line:!line l with
+           | None -> ()
+           | Some (at, svc) ->
              pairs := (at, svc, !k) :: !pairs;
              incr k
-           end
          done
        with End_of_file -> ());
       finalize ~tname ~services !pairs)
+
+(* --- streaming traces -------------------------------------------------- *)
+
+(* A stream is a one-shot cursor over a request sequence in canonical
+   (at, svc) order with densely increasing rids. Pulling advances the
+   cursor in place — no request records are materialized, so a
+   million-request trace costs the same memory as a ten-request one.
+
+   The generator streams reproduce the materialized generators' draw
+   sequences exactly: each service owns an incremental MMPP/diurnal
+   state machine drawing from the same split stream in the same order
+   (including the discarded segment-overshoot draw), and a k-way merge
+   on (at, svc) replays [finalize]'s sort order — per-service times are
+   nondecreasing and per-service draw order is FIFO, so (at, svc)
+   comparison alone reproduces the (at, svc, k) total order. *)
+
+type stream = {
+  sname : string;
+  sservices : int;
+  total_hint : int option;  (* known request count, for replay sources *)
+  mutable remaining : int;  (* pulls left before cutoff; -1 = unlimited *)
+  mutable cur_at : float;
+  mutable cur_svc : int;
+  mutable cur_rid : int;  (* -1 before the first pull *)
+  pull : stream -> bool;  (* advance the underlying cursor into cur_* *)
+  sclose : unit -> unit;
+}
+
+let stream_name s = s.sname
+let stream_services s = s.sservices
+let stream_total_hint s = s.total_hint
+let at s = s.cur_at
+let svc s = s.cur_svc
+let rid s = s.cur_rid
+let close_stream s = s.sclose ()
+
+let next s =
+  if s.remaining = 0 then false
+  else if s.pull s then begin
+    if s.remaining > 0 then s.remaining <- s.remaining - 1;
+    s.cur_rid <- s.cur_rid + 1;
+    true
+  end
+  else false
+
+(* Per-service incremental generator state for the Poisson-segment
+   generators. [seg] iterates segments (MMPP sojourns or diurnal
+   slots); inside a segment [cand] holds the next already-drawn arrival
+   candidate (drawing it before testing the segment boundary is what
+   consumes the same overshoot draw the materialized code does). *)
+type seg_gen = {
+  g_rng : Sim.Prng.t;
+  mutable g_in_seg : bool;
+  mutable g_seg_end : float;
+  mutable g_mean : float;  (* 1/rate of the current segment *)
+  mutable g_cand : float;  (* next candidate arrival when in_seg *)
+  g_next_seg : seg_gen -> float option;
+      (* open the next positive-rate segment: set g_seg_end/g_mean and
+         return its start time, or None when the horizon is exhausted.
+         Zero-rate segments are skipped inside the callback itself —
+         the materialized generators draw nothing for them either. *)
+}
+
+(* Advance one service's generator to its next arrival, returning
+   [infinity] at end of horizon (no finite-duration generator can
+   produce it, so it doubles as the merge sentinel without an option
+   box on the per-request path). Drawing the candidate before testing
+   the segment boundary consumes the same overshoot draw the
+   materialized [poisson_segment] does. *)
+let rec seg_gen_next g =
+  if g.g_in_seg then begin
+    if g.g_cand < g.g_seg_end then begin
+      let a = g.g_cand in
+      g.g_cand <- a +. Sim.Prng.exponential g.g_rng ~mean:g.g_mean;
+      a
+    end
+    else begin
+      g.g_in_seg <- false;
+      seg_gen_next g
+    end
+  end
+  else
+    match g.g_next_seg g with
+    | Some seg_start ->
+      g.g_in_seg <- true;
+      g.g_cand <- seg_start +. Sim.Prng.exponential g.g_rng ~mean:g.g_mean;
+      seg_gen_next g
+    | None -> Float.infinity
+
+(* k-way merge of per-service generators on (at, svc). Candidate slots
+   hold each service's next undelivered arrival ([infinity] once a
+   service's horizon is exhausted — finite-duration generators can
+   never produce it); a pull takes the minimum and refills that slot.
+   The scan is O(services) per request with zero allocation, and the
+   strict [<] picks the lowest service id on exact-time ties, matching
+   [finalize]'s (at, svc, draw-order) sort. *)
+let merged_stream ~sname ~services gens =
+  let cand = Array.make services Float.infinity in
+  let refill i = cand.(i) <- seg_gen_next gens.(i) in
+  for i = 0 to services - 1 do
+    refill i
+  done;
+  let pull s =
+    let best = ref (-1) in
+    let best_at = ref Float.infinity in
+    for i = 0 to services - 1 do
+      if cand.(i) < !best_at then begin
+        best := i;
+        best_at := cand.(i)
+      end
+    done;
+    if !best < 0 then false
+    else begin
+      s.cur_at <- !best_at;
+      s.cur_svc <- !best;
+      refill !best;
+      true
+    end
+  in
+  {
+    sname;
+    sservices = services;
+    total_hint = None;
+    remaining = -1;
+    cur_at = 0.0;
+    cur_svc = -1;
+    cur_rid = -1;
+    pull;
+    sclose = (fun () -> ());
+  }
+
+(* Build per-service generators in strict service order (master-PRNG
+   split order is part of the trace's identity). *)
+let gens_in_order services make =
+  let rec build svc acc =
+    if svc >= services then Array.of_list (List.rev acc)
+    else build (svc + 1) (make svc :: acc)
+  in
+  build 0 []
+
+let validate_bursty ~rate_high ~rate_low ~mean_on ~mean_off ~services
+    ~duration_s =
+  if services < 1 then invalid_arg "Arrival.bursty: need at least one service";
+  if duration_s <= 0.0 then invalid_arg "Arrival.bursty: empty duration";
+  if rate_high < 0.0 || rate_low < 0.0 then
+    invalid_arg "Arrival.bursty: negative rate";
+  if mean_on <= 0.0 || mean_off <= 0.0 then
+    invalid_arg "Arrival.bursty: sojourn means must be positive"
+
+let stream_bursty ?(rate_high = 40.0) ?(rate_low = 2.0) ?(mean_on = 10.0)
+    ?(mean_off = 30.0) ~seed ~services ~duration_s () =
+  validate_bursty ~rate_high ~rate_low ~mean_on ~mean_off ~services
+    ~duration_s;
+  let master = Sim.Prng.create seed in
+  let gens =
+    gens_in_order services (fun _svc ->
+        let rng = Sim.Prng.split master in
+        let on = ref (Sim.Prng.bool rng) in
+        let t = ref 0.0 in
+        let rec next_seg g =
+          if !t >= duration_s then None
+          else begin
+            let mean_sojourn = if !on then mean_on else mean_off in
+            let rate = if !on then rate_high else rate_low in
+            let sojourn = Sim.Prng.exponential g.g_rng ~mean:mean_sojourn in
+            let seg_start = !t in
+            let seg_end = Float.min duration_s (seg_start +. sojourn) in
+            t := seg_end;
+            on := not !on;
+            if rate <= 0.0 then next_seg g
+            else begin
+              g.g_seg_end <- seg_end;
+              g.g_mean <- 1.0 /. rate;
+              Some seg_start
+            end
+          end
+        in
+        {
+          g_rng = rng;
+          g_in_seg = false;
+          g_seg_end = 0.0;
+          g_mean = 1.0;
+          g_cand = 0.0;
+          g_next_seg = next_seg;
+        })
+  in
+  merged_stream ~sname:(Printf.sprintf "bursty-s%d" seed) ~services gens
+
+let validate_diurnal ~base_rps ~peak_rps ~day_s ~services ~days =
+  if services < 1 then invalid_arg "Arrival.diurnal: need at least one service";
+  if days < 1 then invalid_arg "Arrival.diurnal: need at least one day";
+  if base_rps < 0.0 || peak_rps < base_rps then
+    invalid_arg "Arrival.diurnal: need 0 <= base_rps <= peak_rps";
+  if day_s <= 0.0 then invalid_arg "Arrival.diurnal: day_s must be positive"
+
+let stream_diurnal ?(base_rps = 0.0) ?(peak_rps = 20.0) ?(day_s = 240.0) ~seed
+    ~services ~days () =
+  validate_diurnal ~base_rps ~peak_rps ~day_s ~services ~days;
+  let master = Sim.Prng.create seed in
+  let slot_s = day_s /. 24.0 in
+  let gens =
+    gens_in_order services (fun _svc ->
+        let rng = Sim.Prng.split master in
+        let phase = Sim.Prng.int rng 24 in
+        let slot = ref 0 in
+        let rec next_seg g =
+          if !slot >= days * 24 then None
+          else begin
+            let shape = day_shape.((!slot + phase) mod 24) in
+            let rate = base_rps +. ((peak_rps -. base_rps) *. shape) in
+            let seg_start = float_of_int !slot *. slot_s in
+            incr slot;
+            if rate <= 0.0 then next_seg g
+            else begin
+              g.g_seg_end <- seg_start +. slot_s;
+              g.g_mean <- 1.0 /. rate;
+              Some seg_start
+            end
+          end
+        in
+        {
+          g_rng = rng;
+          g_in_seg = false;
+          g_seg_end = 0.0;
+          g_mean = 1.0;
+          g_cand = 0.0;
+          g_next_seg = next_seg;
+        })
+  in
+  merged_stream ~sname:(Printf.sprintf "diurnal-s%d" seed) ~services gens
+
+(* Cursor over an already-materialized trace (no copying). *)
+let stream_of_trace trace =
+  let n = Array.length trace.requests in
+  let i = ref 0 in
+  let pull s =
+    if !i >= n then false
+    else begin
+      let r = trace.requests.(!i) in
+      incr i;
+      s.cur_at <- r.at;
+      s.cur_svc <- r.svc;
+      true
+    end
+  in
+  {
+    sname = trace.tname;
+    sservices = trace.services;
+    total_hint = Some n;
+    remaining = -1;
+    cur_at = 0.0;
+    cur_svc = -1;
+    cur_rid = -1;
+    pull;
+    sclose = (fun () -> ());
+  }
+
+(* Chunked replay: one line per pull, constant memory whatever the file
+   size. The file must already be in canonical (at, svc) order — which
+   everything {!to_file}/{!stream_to_file} writes is — because a stream
+   cannot re-sort what it has not read yet; out-of-order input raises
+   (use the materializing {!of_file} for hand-written unsorted traces). *)
+let stream_of_file path =
+  let ic = open_in path in
+  let services, tname =
+    try parse_header path ic
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  let closed = ref false in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      close_in_noerr ic
+    end
+  in
+  let line = ref 1 in
+  let last_at = ref (-1.0) and last_svc = ref (-1) in
+  let rec pull s =
+    match input_line ic with
+    | exception End_of_file ->
+      close ();
+      false
+    | l ->
+      incr line;
+      (match parse_line path ~services ~line:!line l with
+      | None -> pull s
+      | Some (at, svc) ->
+        if at < !last_at || (at = !last_at && svc < !last_svc) then
+          bad_line path !line
+            "trace not in canonical (at, svc) order; use Arrival.of_file";
+        last_at := at;
+        last_svc := svc;
+        s.cur_at <- at;
+        s.cur_svc <- svc;
+        true)
+  in
+  {
+    sname = tname;
+    sservices = services;
+    total_hint = None;
+    remaining = -1;
+    cur_at = 0.0;
+    cur_svc = -1;
+    cur_rid = -1;
+    pull;
+    sclose = close;
+  }
+
+(* A [source] names a trace without holding it: generator parameters or
+   a file path. Streams are one-shot stateful cursors, so anything that
+   runs a trace more than once (e.g. a sequential-vs-islands
+   comparison) keeps the source and re-opens a fresh stream per run. *)
+type source =
+  | Bursty of {
+      rate_high : float;
+      rate_low : float;
+      mean_on : float;
+      mean_off : float;
+      seed : int;
+      services : int;
+      duration_s : float;
+    }
+  | Diurnal of {
+      base_rps : float;
+      peak_rps : float;
+      day_s : float;
+      seed : int;
+      services : int;
+      days : int;
+    }
+  | Replay_file of string
+  | Materialized of request_trace
+
+let bursty_source ?(rate_high = 40.0) ?(rate_low = 2.0) ?(mean_on = 10.0)
+    ?(mean_off = 30.0) ~seed ~services ~duration_s () =
+  validate_bursty ~rate_high ~rate_low ~mean_on ~mean_off ~services
+    ~duration_s;
+  Bursty { rate_high; rate_low; mean_on; mean_off; seed; services; duration_s }
+
+let diurnal_source ?(base_rps = 0.0) ?(peak_rps = 20.0) ?(day_s = 240.0) ~seed
+    ~services ~days () =
+  validate_diurnal ~base_rps ~peak_rps ~day_s ~services ~days;
+  Diurnal { base_rps; peak_rps; day_s; seed; services; days }
+
+let open_stream ?limit source =
+  (match limit with
+  | Some n when n < 0 -> invalid_arg "Arrival.open_stream: negative limit"
+  | _ -> ());
+  let s =
+    match source with
+    | Bursty p ->
+      stream_bursty ~rate_high:p.rate_high ~rate_low:p.rate_low
+        ~mean_on:p.mean_on ~mean_off:p.mean_off ~seed:p.seed
+        ~services:p.services ~duration_s:p.duration_s ()
+    | Diurnal p ->
+      stream_diurnal ~base_rps:p.base_rps ~peak_rps:p.peak_rps ~day_s:p.day_s
+        ~seed:p.seed ~services:p.services ~days:p.days ()
+    | Replay_file path -> stream_of_file path
+    | Materialized trace -> stream_of_trace trace
+  in
+  (match limit with Some n -> s.remaining <- n | None -> ());
+  s
+
+let materialize ?limit source =
+  let s = open_stream ?limit source in
+  Fun.protect
+    ~finally:(fun () -> close_stream s)
+    (fun () ->
+      let buf = ref [] in
+      while next s do
+        buf := { rid = rid s; svc = svc s; at = at s } :: !buf
+      done;
+      {
+        tname = s.sname;
+        services = s.sservices;
+        requests = Array.of_list (List.rev !buf);
+      })
+
+let stream_to_file s path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# hetmig-request-trace v1 services=%d name=%s\n"
+        s.sservices s.sname;
+      while next s do
+        Printf.fprintf oc "%h %d\n" (at s) (svc s)
+      done)
 
 let periodic ~seed ~waves ~max_per_wave =
   let rng = Sim.Prng.create seed in

@@ -83,3 +83,105 @@ val of_file : string -> request_trace
     sorted by [(at, svc)] with file order breaking ties, then re-
     numbered. Raises [Invalid_argument] on malformed input, negative or
     NaN times, or out-of-range service ids. *)
+
+(** {1 Streaming traces}
+
+    A {!stream} is a one-shot cursor over a request sequence in
+    canonical (at, svc) order with densely increasing rids. Nothing is
+    materialized: generator streams hold one incremental MMPP/diurnal
+    state machine per service (k-way merged on the fly), file streams
+    read one line per pull — so memory is independent of trace length,
+    which is what lets one serving run push millions of requests.
+
+    Generator streams reproduce the materialized generators exactly:
+    for any seed and parameters, [materialize (bursty_source …)] equals
+    [bursty …] request for request (QCheck'd in the test suite). *)
+
+type stream
+
+type source =
+  | Bursty of {
+      rate_high : float;
+      rate_low : float;
+      mean_on : float;
+      mean_off : float;
+      seed : int;
+      services : int;
+      duration_s : float;
+    }
+  | Diurnal of {
+      base_rps : float;
+      peak_rps : float;
+      day_s : float;
+      seed : int;
+      services : int;
+      days : int;
+    }
+  | Replay_file of string
+  | Materialized of request_trace
+      (** A [source] names a trace without holding it. Streams are
+          one-shot stateful cursors, so anything that runs a trace more
+          than once (a sequential-vs-islands comparison, say) keeps the
+          source and re-opens a fresh stream per run. *)
+
+val bursty_source :
+  ?rate_high:float ->
+  ?rate_low:float ->
+  ?mean_on:float ->
+  ?mean_off:float ->
+  seed:int ->
+  services:int ->
+  duration_s:float ->
+  unit ->
+  source
+(** {!Bursty} with {!bursty}'s defaults; validates eagerly. *)
+
+val diurnal_source :
+  ?base_rps:float ->
+  ?peak_rps:float ->
+  ?day_s:float ->
+  seed:int ->
+  services:int ->
+  days:int ->
+  unit ->
+  source
+(** {!Diurnal} with {!diurnal}'s defaults; validates eagerly. *)
+
+val open_stream : ?limit:int -> source -> stream
+(** Open a fresh cursor. [limit] caps the number of requests the stream
+    will yield (a cheap way to bound replay of a longer source).
+    {!Replay_file} streams require the file in canonical (at, svc)
+    order — {!to_file} output always is — and raise [Invalid_argument]
+    on the first out-of-order line; use {!of_file} for unsorted
+    hand-written traces. *)
+
+val next : stream -> bool
+(** Advance to the next request; [false] once the stream is exhausted
+    (idempotent). After [true], read the cursor with {!at}/{!svc}/{!rid}. *)
+
+val at : stream -> float
+val svc : stream -> int
+
+val rid : stream -> int
+(** Dense id of the current request, assigned in pull order (identical
+    to the materialized trace's rid). *)
+
+val stream_name : stream -> string
+val stream_services : stream -> int
+
+val stream_total_hint : stream -> int option
+(** Request count when the source knows it up front ({!Materialized}
+    only). *)
+
+val close_stream : stream -> unit
+(** Release underlying resources (the open file for {!Replay_file};
+    a no-op otherwise). Safe to call more than once. *)
+
+val materialize : ?limit:int -> source -> request_trace
+(** Pull a whole stream into the classic list form — the compatibility
+    bridge: [materialize (Materialized t)] = [t], and generator sources
+    reproduce {!bursty}/{!diurnal}. *)
+
+val stream_to_file : stream -> string -> unit
+(** Drain [stream] into {!to_file}'s replay format without ever holding
+    the trace in memory. *)

@@ -4,28 +4,46 @@
    Topology mirrors `Fleet`: island 0 is the router/controller, islands
    1..N are nodes alternating x86 (Xeon) and arm64 (X-Gene) servers.
    Long-lived service instances are pinned to nodes; requests arrive
-   open-loop from an `Arrival.request_trace` (they keep coming whether
+   open-loop from a streaming `Arrival.source` (they keep coming whether
    or not earlier ones finished — that is what produces real queueing
    tails), flow router -> node -> worker -> response, and every
    cross-island hop is epoch-batched, so the epoch is the runtime's
    conservative lookahead and a run is bit-identical whatever the
    domain count.
 
-   The controller owns the routing map, the windowed latency/arrival
-   history, and the migration protocol; each node owns its queues,
-   worker slots, energy integral, and latency log outright. Nothing is
-   shared across islands, and the observability sink is only ever
-   touched from island 0.
+   The request hot path is allocation-light by construction, which is
+   what lets one run push millions of requests with memory independent
+   of trace length:
 
-   Migration is drain-based stop-and-copy: the controller commands the
-   current home to drain; requests arriving at the draining instance
-   queue behind it (they are NOT forwarded — this is precisely how
-   migration downtime inflates the tail); when the last in-flight
-   request finishes, the instance pays the PR-3-style pause
-   (transform + batched working-set transfer + strong kernel-state
-   replication) and lands, queue and all, on the destination. A
-   generation counter per service makes stale drain/land/ack messages
-   harmless when crashes re-place instances concurrently. *)
+     - arrivals are pulled one at a time from an `Arrival.stream`
+       (constant-memory generators / chunked file replay) and scheduled
+       lazily — the calendar holds one pending arrival, not the trace;
+     - per-instance queues are `Sim.Ring` scalar rings (arrival time +
+       rid lanes), so queuing a request moves two scalars;
+     - latencies accumulate directly into per-node log-histogram count
+       arrays (plus an exact sum for the mean) — no `latencies_ms`
+       lists, no end-of-run sort;
+     - the controller's sliding windows are rings with incremental
+       bucket counts, pruned O(1) amortized per request instead of
+       rebuilt with `List.filter` every epoch.
+
+   Services are replica groups: each service may run instances on
+   several nodes at once, and the router picks among live replicas with
+   deterministic power-of-two-choices (two island-0 PRNG draws against
+   an outstanding-requests estimate) or least-loaded selection. With a
+   single replica no draw happens and routing degenerates to the
+   classic home-node path. Escalation under the SLO-aware policy adds
+   x86 replicas (scale-out) while headroom remains and retires them
+   back onto the ARM anchors (scale-in) when the window goes quiet;
+   with max_replicas = 1 it reduces to PR-7 stop-and-copy moves.
+
+   Migration machinery is unchanged underneath: drain-based
+   stop-and-copy with per-service generation counters guarding stale
+   drain/land/ack messages. A scale-out is a landing with an empty
+   carried queue; a scale-in drains the victim and lands its backlog
+   onto a surviving replica (merging queues); the drained backlog is
+   detached in O(1) (`Ring.detach`) instead of being copied into a
+   list per migration. *)
 
 type policy = Slo_aware | Static_x86 | Static_arm
 
@@ -33,6 +51,10 @@ let policy_name = function
   | Slo_aware -> "slo-aware"
   | Static_x86 -> "static-x86"
   | Static_arm -> "static-arm"
+
+type routing = P2c | Least_loaded
+
+let routing_name = function P2c -> "p2c" | Least_loaded -> "least-loaded"
 
 type config = {
   nodes : int;
@@ -49,10 +71,14 @@ type config = {
   zero_downtime : bool;  (** ablation stub: migrations pause nothing *)
   interconnect : Machine.Interconnect.t;
   crashes : Faults.Plan.crash list;
-  trace : Arrival.request_trace;
+  replicas : int;  (** initial replicas per service *)
+  max_replicas : int;  (** scale-out ceiling for the SLO policy *)
+  routing : routing;
+  limit : int;  (** cap on requests pulled from the source; 0 = all *)
+  source : Arrival.source;
 }
 
-let default ~nodes ~seed ~trace =
+let default ~nodes ~seed ~source =
   {
     nodes;
     seed;
@@ -68,16 +94,23 @@ let default ~nodes ~seed ~trace =
     zero_downtime = false;
     interconnect = Machine.Interconnect.ethernet_10g;
     crashes = [];
-    trace;
+    replicas = 1;
+    max_replicas = 1;
+    routing = P2c;
+    limit = 0;
+    source;
   }
 
 type result = {
+  tname : string;
+  services : int;
   arrived : int;
   responded : int;
   dropped : int;
   in_flight_at_end : int;
   forwarded : int;
   migrations : int;
+  scale_outs : int;
   downtime_s : float;
   slo_violations : int;
   p50_ms : float;
@@ -92,46 +125,129 @@ type result = {
   windows : int;
 }
 
+(* --- latency histograms ------------------------------------------------ *)
+
+(* Per-node final latency histograms: base 2, 48 buckets — 2^47 ms
+   upper edge, far beyond any simulated latency, so clamping never
+   distorts the tail. Windowed p99 keeps PR 7's base-2 40-bucket shape.
+   The bucket function must agree bit-for-bit with
+   [Sim.Stats.log_histogram] so [Sim.Stats.percentile] reads these
+   count arrays with its own edge semantics. *)
+let lat_buckets = 48
+let win_buckets = 40
+
+let bucket_of ~buckets x =
+  if x < 1.0 then 0
+  else begin
+    (* floor(log2 x) from the IEEE exponent field — exact at bucket
+       edges and transcendental-free; mirrors the base-2 fast path in
+       [Sim.Stats.log_histogram]. *)
+    let b =
+      (Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float x) 52)
+      land 0x7FF)
+      - 1023
+    in
+    if b >= buckets then buckets - 1 else b
+  end
+
+let grow_int a =
+  let b = Array.make (max 8 (2 * Array.length a)) 0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_float a =
+  let b = Array.make (max 8 (2 * Array.length a)) 0.0 in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let lat_bucket_lo =
+  Array.init lat_buckets (fun i -> 2.0 ** float_of_int i)
+
+let win_bucket_lo =
+  Array.init win_buckets (fun i -> 2.0 ** float_of_int i)
+
 (* --- per-island state -------------------------------------------------- *)
+
+(* All-float record: OCaml stores these fields flat, so the hot path's
+   per-request accumulator stores (energy, clock, latency sum, pause
+   budget) never allocate a float box or hit the GC write barrier. *)
+type node_floats = {
+  mutable energy_j : float;
+  mutable last_update : float;
+  mutable lat_sum_ms : float;
+  mutable downtime_s : float;
+  mutable inv_ips : float;  (* seconds per instruction, memory-bound *)
+}
 
 type node_state = {
   node_id : int;
   machine : Machine.Server.t;
+  power_tbl : float array;
+      (* system power at [min busy cores] in-flight requests; sleep and
+         crash are branched separately in [settle]. Precomputed so the
+         twice-per-request settle never re-derives the affine model
+         through a cross-module float call the compiler cannot unbox. *)
+  nf : node_floats;
   mutable crashed : bool;
   mutable busy : int;  (** executing requests, all services *)
   mutable hosted_count : int;
-  mutable energy_j : float;
-  mutable last_update : float;
   hosted : bool array;  (* per service *)
   draining : bool array;
   drain_dst : int array;
   drain_gen : int array;
   forward : int array;  (* -1 = none; else re-post arrivals there *)
-  queues : Arrival.request Queue.t array;
+  queues : Sim.Ring.t array;  (* float = arrival time, int = rid *)
   executing : int array;
   mutable responded : int;
   mutable dropped : int;
   mutable forwarded : int;
   mutable migrations_out : int;
-  mutable downtime_s : float;
-  mutable latencies_ms : float list;  (* reversed completion order *)
+  lat_counts : int array;  (* response latency histogram, ms *)
+  mutable lat_n : int;
+  (* Per-epoch response digest under accumulation: completions are
+     batched node-side and shipped to the controller as one message per
+     node per epoch instead of one per response — the router reads
+     load/latency at epoch resolution anyway, and this removes a
+     cross-island event per request from the hot path. *)
+  mutable dg_pending : bool;  (* a flush event is scheduled *)
+  mutable dg_resp : int;
+  mutable dg_viol : int;
+  dg_svc_count : int array;  (* per-service completions this epoch *)
+  dg_touched : int array;
+  mutable dg_touched_n : int;
+  mutable dg_lat : int array;  (* packed svc*64 + window bucket *)
+  mutable dg_lat_n : int;
+  mutable dg_ms : float array;  (* raw latencies, observability only *)
+  mutable dg_ms_n : int;
 }
 
 type ctrl_state = {
-  home : int array;  (* per service; -1 = unplaced, drop at router *)
+  hosting : bool array array;  (* service x node replica map *)
+  reps : int array array;  (* hosting node ids, ascending *)
+  rep_n : int array;
+  outstanding : int array array;
+      (* routed-minus-resolved per (service, node): the load estimate
+         the router balances on. Deterministic; saturates at 0 (a
+         forwarded request resolves on a different node than it was
+         billed to, which only happens inside migration transients). *)
   gen : int array;  (* migration generation, stale-message guard *)
   migrating : bool array;
+  op_src : int array;  (* -1 = install (no drain leg) *)
+  op_scale_out : bool array;
   last_move : float array;
   alive : bool array;  (* controller's view of the nodes *)
-  arr_window : float list array;  (* arrival times, per service *)
-  lat_window : (float * float) list array;  (* (resolve time, ms) *)
+  arr_win : Sim.Ring.t array;  (* arrival times (float lane) *)
+  lat_win : Sim.Ring.t array;  (* (resolve time, window bucket) *)
+  win_counts : int array array;  (* per-service window histogram *)
+  win_n : int array;
   spans : Obs.span option array;  (* open migration spans *)
   mutable arrived : int;
   mutable resolved : int;  (* responses + drops accounted *)
   mutable router_dropped : int;
   mutable slo_violations : int;
-  mutable end_time : float;
-  total : int;
+  mutable scale_outs : int;
+  end_time : node_floats;  (* only [last_update] is used: max resolve time *)
+  mutable exhausted : bool;  (* the arrival stream ran dry *)
 }
 
 let machine_for i =
@@ -142,32 +258,41 @@ let is_x86_node i = i mod 2 = 0
 (* A node's power state: off when crashed, the low-power state when it
    hosts nothing (service-free servers sleep — the energy the SLO policy
    harvests by parking idle services on fewer machines), else the affine
-   utilization model. *)
-let node_power ns =
-  let m = ns.machine in
-  if ns.crashed then 0.0
-  else if ns.hosted_count = 0 && ns.busy = 0 then
-    m.Machine.Server.power.Machine.Power.sleep_w
-  else
-    Machine.Power.system_power m.Machine.Server.power
-      ~utilization:
-        (Float.min 1.0
-           (float_of_int ns.busy /. float_of_int m.Machine.Server.cores))
+   utilization model, read from the per-node [power_tbl] indexed by the
+   in-flight count (clamped at the core count, where utilization
+   saturates). *)
+let power_table (m : Machine.Server.t) =
+  let cores = m.Machine.Server.cores in
+  Array.init (cores + 1) (fun busy ->
+      Machine.Power.system_power m.Machine.Server.power
+        ~utilization:
+          (Float.min 1.0 (float_of_int busy /. float_of_int cores)))
 
 let settle ns ~now =
-  ns.energy_j <- ns.energy_j +. ((now -. ns.last_update) *. node_power ns);
-  ns.last_update <- now
+  let nf = ns.nf in
+  let p =
+    if ns.crashed then 0.0
+    else if ns.hosted_count = 0 && ns.busy = 0 then
+      ns.machine.Machine.Server.power.Machine.Power.sleep_w
+    else
+      let cores = ns.machine.Machine.Server.cores in
+      Array.unsafe_get ns.power_tbl
+        (if ns.busy >= cores then cores else ns.busy)
+  in
+  nf.energy_j <- nf.energy_j +. ((now -. nf.last_update) *. p);
+  nf.last_update <- now
 
 (* Per-request demand is a pure function of the request id: no island
    stream is consulted, so routing/migration decisions can reshuffle
    which island executes a request without perturbing any draw order. *)
 let demand_for cfg rid =
-  let rng = Sim.Prng.create (cfg.seed lxor ((rid + 1) * 0x9e3779b1)) in
   let sigma = cfg.demand_sigma in
   if sigma <= 0.0 then cfg.demand_instructions
   else
     cfg.demand_instructions
-    *. Sim.Prng.lognormal rng ~mu:(-0.5 *. sigma *. sigma) ~sigma
+    *. Sim.Prng.lognormal_of_seed
+         (cfg.seed lxor ((rid + 1) * 0x9e3779b1))
+         ~mu:(-0.5 *. sigma *. sigma) ~sigma
 
 (* Stop-and-copy pause charged when a drained instance leaves its node:
    state transformation, the working set as one batched stream, and the
@@ -183,25 +308,19 @@ let migration_pause cfg =
     +. Kernel.Service.replication_cost ~consistency:Kernel.Service.Strong
          ~interconnect:cfg.interconnect ~replicas:cfg.nodes ~entries:4
 
-let window_p99 lat_window =
-  match lat_window with
-  | [] -> None
-  | samples ->
-    let h =
-      Sim.Stats.log_histogram ~base:2.0 ~buckets:40 (List.map snd samples)
-    in
-    Some (Sim.Stats.percentile h 0.99)
-
 (* --- the simulation ---------------------------------------------------- *)
 
 let run ?(domains = 1) ?(obs = Obs.noop) cfg =
   if cfg.nodes < 2 then invalid_arg "Service.run: need at least 2 nodes";
-  if cfg.trace.Arrival.services < 1 then
-    invalid_arg "Service.run: trace has no services";
   if cfg.epoch_s <= cfg.interconnect.Machine.Interconnect.latency_s then
     invalid_arg "Service.run: epoch must exceed the interconnect latency";
   if cfg.workers < 1 then invalid_arg "Service.run: need at least one worker";
   if cfg.queue_cap < 0 then invalid_arg "Service.run: negative queue cap";
+  if cfg.replicas < 1 then
+    invalid_arg "Service.run: need at least one replica";
+  if cfg.max_replicas < cfg.replicas then
+    invalid_arg "Service.run: max_replicas below replicas";
+  if cfg.limit < 0 then invalid_arg "Service.run: negative limit";
   List.iter
     (fun (c : Faults.Plan.crash) ->
       if c.Faults.Plan.node < 0 || c.Faults.Plan.node >= cfg.nodes then
@@ -211,8 +330,15 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
       if c.Faults.Plan.at < 0.0 then
         invalid_arg "Service.run: crash before t=0")
     cfg.crashes;
-  let services = cfg.trace.Arrival.services in
-  let requests = cfg.trace.Arrival.requests in
+  let stream =
+    Arrival.open_stream
+      ?limit:(if cfg.limit > 0 then Some cfg.limit else None)
+      cfg.source
+  in
+  Fun.protect ~finally:(fun () -> Arrival.close_stream stream) @@ fun () ->
+  let services = Arrival.stream_services stream in
+  if services < 1 then invalid_arg "Service.run: trace has no services";
+  let tname = Arrival.stream_name stream in
   let rt =
     Sim.Islands.create ~islands:(cfg.nodes + 1) ~lookahead:cfg.epoch_s
       ~seed:cfg.seed ()
@@ -222,24 +348,43 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
         {
           node_id = i;
           machine = machine_for i;
+          power_tbl = power_table (machine_for i);
+          nf =
+            {
+              energy_j = 0.0;
+              last_update = 0.0;
+              lat_sum_ms = 0.0;
+              downtime_s = 0.0;
+              inv_ips =
+                Isa.Cost_model.seconds_for (machine_for i).Machine.Server.cost
+                  Isa.Cost_model.Memory ~instructions:1.0;
+            };
           crashed = false;
           busy = 0;
           hosted_count = 0;
-          energy_j = 0.0;
-          last_update = 0.0;
           hosted = Array.make services false;
           draining = Array.make services false;
           drain_dst = Array.make services (-1);
           drain_gen = Array.make services 0;
           forward = Array.make services (-1);
-          queues = Array.init services (fun _ -> Queue.create ());
+          queues = Array.init services (fun _ -> Sim.Ring.create ());
           executing = Array.make services 0;
           responded = 0;
           dropped = 0;
           forwarded = 0;
           migrations_out = 0;
-          downtime_s = 0.0;
-          latencies_ms = [];
+          lat_counts = Array.make lat_buckets 0;
+          lat_n = 0;
+          dg_pending = false;
+          dg_resp = 0;
+          dg_viol = 0;
+          dg_svc_count = Array.make services 0;
+          dg_touched = Array.make services 0;
+          dg_touched_n = 0;
+          dg_lat = [||];
+          dg_lat_n = 0;
+          dg_ms = [||];
+          dg_ms_n = 0;
         })
   in
   (* Static per-service anchors on each side of the ISA boundary: x86
@@ -247,9 +392,9 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
      ARM anchors pack two services per odd node (energy placement —
      parking a pair of idle services on one ARM server lets two x86
      servers sleep, which is where the SLO policy's consolidation win
-     comes from). The SLO policy always moves a service between its two
-     anchors, so placement is a pure function of the service id and the
-     policy history. *)
+     comes from). Replica r of a service sits r steps further along its
+     side's anchor chain, so placement stays a pure function of the
+     service id, the replica index, and the policy history. *)
   let x86_ids =
     Array.of_list (List.filter is_x86_node (List.init cfg.nodes Fun.id))
   in
@@ -259,80 +404,219 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
   in
   if Array.length x86_ids = 0 || Array.length arm_ids = 0 then
     invalid_arg "Service.run: need nodes on both sides of the ISA boundary";
-  let x86_home s = x86_ids.(s mod Array.length x86_ids) in
-  let arm_home s = arm_ids.(s / 2 mod Array.length arm_ids) in
-  let initial_home s =
-    match cfg.policy with
-    | Static_x86 -> x86_home s
-    | Static_arm | Slo_aware -> arm_home s
-  in
+  let x86_anchor s r = x86_ids.((s + r) mod Array.length x86_ids) in
+  let arm_anchor s r = arm_ids.(((s / 2) + r) mod Array.length arm_ids) in
   let ctrl =
     {
-      home = Array.init services initial_home;
+      hosting = Array.init services (fun _ -> Array.make cfg.nodes false);
+      reps = Array.init services (fun _ -> Array.make cfg.nodes 0);
+      rep_n = Array.make services 0;
+      outstanding = Array.init services (fun _ -> Array.make cfg.nodes 0);
       gen = Array.make services 0;
       migrating = Array.make services false;
+      op_src = Array.make services (-1);
+      op_scale_out = Array.make services false;
       last_move = Array.make services 0.0;
       alive = Array.make cfg.nodes true;
-      arr_window = Array.make services [];
-      lat_window = Array.make services [];
+      arr_win = Array.init services (fun _ -> Sim.Ring.create ());
+      lat_win = Array.init services (fun _ -> Sim.Ring.create ());
+      win_counts = Array.init services (fun _ -> Array.make win_buckets 0);
+      win_n = Array.make services 0;
       spans = Array.make services None;
       arrived = 0;
       resolved = 0;
       router_dropped = 0;
       slo_violations = 0;
-      end_time = 0.0;
-      total = Array.length requests;
+      scale_outs = 0;
+      end_time =
+        {
+          energy_j = 0.0;
+          last_update = 0.0;
+          lat_sum_ms = 0.0;
+          downtime_s = 0.0;
+          inv_ips = 0.0;
+        };
+      exhausted = false;
     }
   in
+  (* Replica-set maintenance: [reps] mirrors [hosting] as a sorted node
+     list so routing scans live replicas in deterministic ascending
+     order. Sets are tiny (<= max_replicas), so insertion shifts are
+     cheap and allocation-free. *)
+  let rep_add svc node =
+    if not ctrl.hosting.(svc).(node) then begin
+      ctrl.hosting.(svc).(node) <- true;
+      let arr = ctrl.reps.(svc) in
+      let n = ctrl.rep_n.(svc) in
+      let i = ref n in
+      while !i > 0 && arr.(!i - 1) > node do
+        arr.(!i) <- arr.(!i - 1);
+        decr i
+      done;
+      arr.(!i) <- node;
+      ctrl.rep_n.(svc) <- n + 1
+    end
+  in
+  let rep_remove svc node =
+    if ctrl.hosting.(svc).(node) then begin
+      ctrl.hosting.(svc).(node) <- false;
+      let arr = ctrl.reps.(svc) in
+      let n = ctrl.rep_n.(svc) in
+      let j = ref 0 in
+      while arr.(!j) <> node do
+        incr j
+      done;
+      for k = !j to n - 2 do
+        arr.(k) <- arr.(k + 1)
+      done;
+      ctrl.rep_n.(svc) <- n - 1
+    end
+  in
+  (* Live replicas of [svc], written into [live_scratch] in ascending
+     node order; returns the count. Zero-alloc. *)
+  let live_scratch = Array.make cfg.nodes 0 in
+  let live_reps svc =
+    let n = ref 0 in
+    for k = 0 to ctrl.rep_n.(svc) - 1 do
+      let nd = ctrl.reps.(svc).(k) in
+      if ctrl.alive.(nd) then begin
+        live_scratch.(!n) <- nd;
+        incr n
+      end
+    done;
+    !n
+  in
+  let live_count svc =
+    let n = ref 0 in
+    for k = 0 to ctrl.rep_n.(svc) - 1 do
+      if ctrl.alive.(ctrl.reps.(svc).(k)) then incr n
+    done;
+    !n
+  in
+  (* Deterministic replica selection. One live replica: no PRNG draw,
+     the classic single-home path. Otherwise power-of-two-choices (two
+     island-0 draws, fewer outstanding wins, ties to the lower node id)
+     or a full least-loaded scan. *)
+  let select_replica svc isl =
+    let ln = live_reps svc in
+    if ln = 0 then -1
+    else if ln = 1 then live_scratch.(0)
+    else begin
+      match cfg.routing with
+      | Least_loaded ->
+        let best = ref live_scratch.(0) in
+        let best_out = ref ctrl.outstanding.(svc).(!best) in
+        for k = 1 to ln - 1 do
+          let nd = live_scratch.(k) in
+          let o = ctrl.outstanding.(svc).(nd) in
+          if o < !best_out then begin
+            best := nd;
+            best_out := o
+          end
+        done;
+        !best
+      | P2c ->
+        let rng = Sim.Islands.prng isl in
+        let a = live_scratch.(Sim.Prng.int rng ln) in
+        let b = live_scratch.(Sim.Prng.int rng ln) in
+        let oa = ctrl.outstanding.(svc).(a) in
+        let ob = ctrl.outstanding.(svc).(b) in
+        if oa < ob then a
+        else if ob < oa then b
+        else min a b
+    end
+  in
   (* Install the initial placement at t=0, before any event runs. *)
-  Array.iteri
-    (fun s home ->
-      let ns = nodes.(home) in
-      ns.hosted.(s) <- true;
-      ns.hosted_count <- ns.hosted_count + 1)
-    ctrl.home;
+  for s = 0 to services - 1 do
+    for r = 0 to cfg.replicas - 1 do
+      let node =
+        match cfg.policy with
+        | Static_x86 -> x86_anchor s r
+        | Static_arm | Slo_aware -> arm_anchor s r
+      in
+      if not ctrl.hosting.(s).(node) then begin
+        rep_add s node;
+        let ns = nodes.(node) in
+        ns.hosted.(s) <- true;
+        ns.hosted_count <- ns.hosted_count + 1
+      end
+    done
+  done;
   let pause = migration_pause cfg in
   let epoch = cfg.epoch_s in
+  let slo_aware = cfg.policy = Slo_aware in
 
   (* --- controller-side resolution (island 0 only) ---------------------- *)
   let note_resolved isl =
-    ctrl.end_time <- Float.max ctrl.end_time (Sim.Islands.now isl)
+    let c = ctrl.end_time in
+    let now = Sim.Islands.now isl in
+    if now > c.last_update then c.last_update <- now
   in
-  let resolve_response svc lat_ms isl =
-    ctrl.resolved <- ctrl.resolved + 1;
-    ctrl.lat_window.(svc) <-
-      (Sim.Islands.now isl, lat_ms) :: ctrl.lat_window.(svc);
-    if lat_ms > cfg.slo_ms then ctrl.slo_violations <- ctrl.slo_violations + 1;
-    Obs.observe obs "serve.latency_ms" lat_ms;
-    Obs.incr obs "serve.responded";
+  let dec_outstanding svc node by =
+    if node >= 0 then begin
+      let o = ctrl.outstanding.(svc).(node) - by in
+      ctrl.outstanding.(svc).(node) <- (if o > 0 then o else 0)
+    end
+  in
+  (* One response digest from a node: an epoch's completions applied in
+     a single event. Window-latency entries all carry the digest's
+     arrival time, which is the same grid point for every node's digest
+     of a given epoch, so each service's latency ring stays
+     time-ordered for the O(1) prune. *)
+  let apply_digest node resp viol pairs lats ms isl =
+    ctrl.resolved <- ctrl.resolved + resp;
+    ctrl.slo_violations <- ctrl.slo_violations + viol;
+    for k = 0 to (Array.length pairs / 2) - 1 do
+      dec_outstanding pairs.(2 * k) node pairs.((2 * k) + 1)
+    done;
+    if slo_aware then begin
+      let nowt = Sim.Islands.now isl in
+      for k = 0 to Array.length lats - 1 do
+        let p = lats.(k) in
+        let svc = p lsr 6 and b = p land 63 in
+        Sim.Ring.push ctrl.lat_win.(svc) nowt b;
+        ctrl.win_counts.(svc).(b) <- ctrl.win_counts.(svc).(b) + 1;
+        ctrl.win_n.(svc) <- ctrl.win_n.(svc) + 1
+      done
+    end;
+    for k = 0 to Array.length ms - 1 do
+      Obs.observe obs "serve.latency_ms" ms.(k)
+    done;
+    Obs.incr ~by:resp obs "serve.responded";
     note_resolved isl
   in
-  let resolve_drops count isl =
+  (* Node-side drops with a known billing column. Crash wipes resolve
+     through {!resolve_crash_drops} instead: the controller zeroes the
+     whole outstanding column when it learns of the crash. *)
+  let resolve_drops svc node count isl =
+    ctrl.resolved <- ctrl.resolved + count;
+    dec_outstanding svc node count;
+    Obs.incr ~by:count obs "serve.dropped";
+    note_resolved isl
+  in
+  let resolve_crash_drops count isl =
     ctrl.resolved <- ctrl.resolved + count;
     Obs.incr ~by:count obs "serve.dropped";
     note_resolved isl
   in
 
   (* --- node islands (island id = node_id + 1) -------------------------- *)
-  let rec start_request ns svc (r : Arrival.request) isl =
+  let rec start_request ns svc rid at isl =
     let now = Sim.Islands.now isl in
     settle ns ~now;
     ns.busy <- ns.busy + 1;
     ns.executing.(svc) <- ns.executing.(svc) + 1;
     let m = ns.machine in
-    let compute =
-      Isa.Cost_model.seconds_for m.Machine.Server.cost Isa.Cost_model.Memory
-        ~instructions:(demand_for cfg r.Arrival.rid)
-    in
+    let compute = demand_for cfg rid *. ns.nf.inv_ips in
     let contention =
       Float.max 1.0
         (float_of_int ns.busy /. float_of_int m.Machine.Server.cores)
     in
     Sim.Islands.schedule isl
       ~at:(now +. (compute *. contention))
-      (fun isl -> finish_request ns svc r isl)
+      (fun isl -> finish_request ns svc at isl)
 
-  and finish_request ns svc (r : Arrival.request) isl =
+  and finish_request ns svc at isl =
     (* A crash while this request executed already reported it dropped
        and zeroed the worker accounting; the completion is void. *)
     if not ns.crashed then begin
@@ -340,39 +624,96 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
       settle ns ~now;
       ns.busy <- ns.busy - 1;
       ns.executing.(svc) <- ns.executing.(svc) - 1;
-      let lat_ms = (now -. r.Arrival.at) *. 1e3 in
+      let lat_ms = (now -. at) *. 1e3 in
       ns.responded <- ns.responded + 1;
-      ns.latencies_ms <- lat_ms :: ns.latencies_ms;
-      Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_response svc lat_ms);
+      let b = bucket_of ~buckets:lat_buckets lat_ms in
+      ns.lat_counts.(b) <- ns.lat_counts.(b) + 1;
+      ns.nf.lat_sum_ms <- ns.nf.lat_sum_ms +. lat_ms;
+      ns.lat_n <- ns.lat_n + 1;
+      (* Accumulate into the epoch digest instead of posting one
+         controller event per response. *)
+      ns.dg_resp <- ns.dg_resp + 1;
+      if lat_ms > cfg.slo_ms then ns.dg_viol <- ns.dg_viol + 1;
+      let c = ns.dg_svc_count.(svc) in
+      if c = 0 then begin
+        ns.dg_touched.(ns.dg_touched_n) <- svc;
+        ns.dg_touched_n <- ns.dg_touched_n + 1
+      end;
+      ns.dg_svc_count.(svc) <- c + 1;
+      if slo_aware then begin
+        let wb = bucket_of ~buckets:win_buckets lat_ms in
+        if ns.dg_lat_n = Array.length ns.dg_lat then
+          ns.dg_lat <- grow_int ns.dg_lat;
+        ns.dg_lat.(ns.dg_lat_n) <- (svc lsl 6) lor wb;
+        ns.dg_lat_n <- ns.dg_lat_n + 1
+      end;
+      if Obs.enabled obs then begin
+        if ns.dg_ms_n = Array.length ns.dg_ms then
+          ns.dg_ms <- grow_float ns.dg_ms;
+        ns.dg_ms.(ns.dg_ms_n) <- lat_ms;
+        ns.dg_ms_n <- ns.dg_ms_n + 1
+      end;
+      if not ns.dg_pending then begin
+        ns.dg_pending <- true;
+        let flush_at = (Float.floor (now /. epoch) +. 1.0) *. epoch in
+        Sim.Islands.schedule isl ~at:flush_at (fun isl ->
+            flush_digest ns isl)
+      end;
       if ns.draining.(svc) && ns.executing.(svc) = 0 then finish_drain ns svc isl
       else start_next ns svc isl
     end
+
+  and flush_digest ns isl =
+    let resp = ns.dg_resp and viol = ns.dg_viol in
+    let tn = ns.dg_touched_n in
+    let pairs = Array.make (2 * tn) 0 in
+    for k = 0 to tn - 1 do
+      let svc = ns.dg_touched.(k) in
+      pairs.(2 * k) <- svc;
+      pairs.((2 * k) + 1) <- ns.dg_svc_count.(svc);
+      ns.dg_svc_count.(svc) <- 0
+    done;
+    ns.dg_touched_n <- 0;
+    ns.dg_resp <- 0;
+    ns.dg_viol <- 0;
+    let lats =
+      if ns.dg_lat_n = 0 then [||] else Array.sub ns.dg_lat 0 ns.dg_lat_n
+    in
+    ns.dg_lat_n <- 0;
+    let ms = if ns.dg_ms_n = 0 then [||] else Array.sub ns.dg_ms 0 ns.dg_ms_n in
+    ns.dg_ms_n <- 0;
+    ns.dg_pending <- false;
+    Sim.Islands.post isl ~dst:0 ~after:epoch
+      (apply_digest ns.node_id resp viol pairs lats ms)
 
   and start_next ns svc isl =
     if
       ns.hosted.(svc)
       && (not ns.draining.(svc))
       && ns.executing.(svc) < cfg.workers
-      && not (Queue.is_empty ns.queues.(svc))
+      && not (Sim.Ring.is_empty ns.queues.(svc))
     then begin
-      start_request ns svc (Queue.pop ns.queues.(svc)) isl;
+      let q = ns.queues.(svc) in
+      let at = Sim.Ring.peek_f q in
+      let rid = Sim.Ring.pop q in
+      start_request ns svc rid at isl;
       start_next ns svc isl
     end
 
-  and deliver ns (r : Arrival.request) isl =
-    let svc = r.Arrival.svc in
+  and deliver ns svc rid at isl =
     if ns.crashed then begin
       ns.dropped <- ns.dropped + 1;
-      Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops 1)
+      Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops svc ns.node_id 1)
     end
     else if ns.hosted.(svc) then begin
       if (not ns.draining.(svc)) && ns.executing.(svc) < cfg.workers then
-        start_request ns svc r isl
-      else if Queue.length ns.queues.(svc) < cfg.queue_cap then
-        Queue.push r ns.queues.(svc)
+        start_request ns svc rid at isl
+      else if Sim.Ring.length ns.queues.(svc) < cfg.queue_cap then
+        Sim.Ring.push ns.queues.(svc) at rid
       else begin
         ns.dropped <- ns.dropped + 1;
-        Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops 1)
+        Sim.Islands.post isl ~dst:0 ~after:epoch
+          (resolve_drops svc ns.node_id 1)
       end
     end
     else if ns.forward.(svc) >= 0 then begin
@@ -382,14 +723,14 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
       ns.forwarded <- ns.forwarded + 1;
       let dst = ns.forward.(svc) in
       Sim.Islands.post isl ~dst:(dst + 1) ~after:epoch (fun isl ->
-          deliver nodes.(dst) r isl)
+          deliver nodes.(dst) svc rid at isl)
     end
     else begin
       (* Stray: routed here during a crash-recovery transient, before
          the replacement instance landed. Reject rather than buffer —
          the request has nowhere deterministic to wait. *)
       ns.dropped <- ns.dropped + 1;
-      Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops 1)
+      Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops svc ns.node_id 1)
     end
 
   and drain_cmd svc dst gen isl =
@@ -414,12 +755,13 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     ns.drain_dst.(svc) <- -1;
     ns.forward.(svc) <- dst;
     ns.migrations_out <- ns.migrations_out + 1;
-    ns.downtime_s <- ns.downtime_s +. pause;
-    let carried = List.of_seq (Queue.to_seq ns.queues.(svc)) in
-    Queue.clear ns.queues.(svc);
+    ns.nf.downtime_s <- ns.nf.downtime_s +. pause;
     (* The queue travels with the instance and waits out the pause:
        this is the downtime-vs-tail trade — every carried request's
-       latency inflates by at least the stop-and-copy time. *)
+       latency inflates by at least the stop-and-copy time. Detaching
+       is an O(1) backing-array swap, so draining a deep backlog costs
+       nothing beyond the messages it already owed. *)
+    let carried = Sim.Ring.detach ns.queues.(svc) in
     Sim.Islands.post isl ~dst:(dst + 1)
       ~after:(Float.max epoch pause)
       (land_cmd svc gen carried)
@@ -427,10 +769,11 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
   and land_cmd svc gen carried isl =
     let ns = nodes.(Sim.Islands.id isl - 1) in
     if ns.crashed then begin
-      let n = List.length carried in
+      let n = Sim.Ring.length carried in
       if n > 0 then begin
         ns.dropped <- ns.dropped + n;
-        Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops n)
+        Sim.Islands.post isl ~dst:0 ~after:epoch
+          (resolve_drops svc ns.node_id n)
       end;
       Sim.Islands.post isl ~dst:0 ~after:epoch (move_failed svc gen)
     end
@@ -443,15 +786,18 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
       end;
       ns.draining.(svc) <- false;
       ns.forward.(svc) <- -1;
-      List.iter
-        (fun r ->
-          if Queue.length ns.queues.(svc) < cfg.queue_cap then
-            Queue.push r ns.queues.(svc)
-          else begin
-            ns.dropped <- ns.dropped + 1;
-            Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops 1)
-          end)
-        carried;
+      (* Merge the carried backlog behind whatever this instance
+         already queued (scale-in lands on a live replica). *)
+      let q = ns.queues.(svc) in
+      let over = ref 0 in
+      Sim.Ring.iter carried (fun at rid ->
+          if Sim.Ring.length q < cfg.queue_cap then Sim.Ring.push q at rid
+          else incr over);
+      if !over > 0 then begin
+        ns.dropped <- ns.dropped + !over;
+        Sim.Islands.post isl ~dst:0 ~after:epoch
+          (resolve_drops svc ns.node_id !over)
+      end;
       start_next ns svc isl;
       Sim.Islands.post isl ~dst:0 ~after:epoch
         (move_done svc gen ns.node_id)
@@ -467,11 +813,12 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
       ns.hosted.(svc) <- false;
       ns.hosted_count <- ns.hosted_count - 1;
       ns.draining.(svc) <- false;
-      let n = Queue.length ns.queues.(svc) in
-      Queue.clear ns.queues.(svc);
+      let n = Sim.Ring.length ns.queues.(svc) in
+      Sim.Ring.clear ~shrink_to:0 ns.queues.(svc);
       if n > 0 then begin
         ns.dropped <- ns.dropped + n;
-        Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops n)
+        Sim.Islands.post isl ~dst:0 ~after:epoch
+          (resolve_drops svc ns.node_id n)
       end
     end
 
@@ -485,8 +832,8 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
       let lost = ref 0 in
       for s = 0 to services - 1 do
         if ns.hosted.(s) then begin
-          lost := !lost + Queue.length ns.queues.(s) + ns.executing.(s);
-          Queue.clear ns.queues.(s);
+          lost := !lost + Sim.Ring.length ns.queues.(s) + ns.executing.(s);
+          Sim.Ring.clear ~shrink_to:0 ns.queues.(s);
           ns.hosted.(s) <- false;
           ns.draining.(s) <- false;
           ns.executing.(s) <- 0
@@ -495,7 +842,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
       done;
       if !lost > 0 then begin
         ns.dropped <- ns.dropped + !lost;
-        Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops !lost)
+        Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_crash_drops !lost)
       end;
       Sim.Islands.post isl ~dst:0 ~after:epoch (node_crashed ns.node_id)
     end
@@ -516,6 +863,14 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     | Some n -> Some n
     | None -> if preferred_x86 then scan arm_ids else scan x86_ids
 
+  and end_span svc ~failed isl =
+    match ctrl.spans.(svc) with
+    | Some span ->
+      ctrl.spans.(svc) <- None;
+      let args = if failed then [ ("failed", Obs.I 1) ] else [] in
+      Obs.end_span obs span ~ts:(Sim.Islands.now isl) ~args ()
+    | None -> ()
+
   and re_place svc isl =
     ctrl.gen.(svc) <- ctrl.gen.(svc) + 1;
     let preferred_x86 =
@@ -527,18 +882,23 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     match pick_replacement ~preferred_x86 with
     | Some n ->
       ctrl.migrating.(svc) <- true;
+      ctrl.op_src.(svc) <- -1;
+      ctrl.op_scale_out.(svc) <- false;
       let gen = ctrl.gen.(svc) in
-      Sim.Islands.post isl ~dst:(n + 1) ~after:epoch (land_cmd svc gen [])
+      Sim.Islands.post isl ~dst:(n + 1) ~after:epoch
+        (land_cmd svc gen (Sim.Ring.create ()))
     | None ->
       (* Fleet-wide outage for this service: nothing can host it; the
-         router rejects its traffic from here on. *)
-      ctrl.migrating.(svc) <- false;
-      ctrl.home.(svc) <- -1
+         router rejects its traffic from here on (no live replicas). *)
+      ctrl.migrating.(svc) <- false
 
   and move_done svc gen node isl =
     if gen = ctrl.gen.(svc) then begin
       ctrl.migrating.(svc) <- false;
-      ctrl.home.(svc) <- node;
+      let src = ctrl.op_src.(svc) in
+      ctrl.op_src.(svc) <- -1;
+      if src >= 0 then rep_remove svc src;
+      if ctrl.alive.(node) then rep_add svc node;
       ctrl.last_move.(svc) <- Sim.Islands.now isl;
       (match ctrl.spans.(svc) with
       | Some span ->
@@ -547,24 +907,30 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
           ~args:[ ("to", Obs.I node) ]
           ()
       | None -> ());
-      Obs.incr obs "serve.migrations"
+      if ctrl.op_scale_out.(svc) then begin
+        ctrl.op_scale_out.(svc) <- false;
+        ctrl.scale_outs <- ctrl.scale_outs + 1;
+        Obs.incr obs "serve.scale_outs"
+      end
+      else Obs.incr obs "serve.migrations";
+      (* The landing node may have crashed while the ack was in
+         flight; if that left the service with no live replica, place
+         it again. *)
+      if live_count svc = 0 then re_place svc isl
     end
-    else if (not ctrl.migrating.(svc)) && node <> ctrl.home.(svc) then
+    else if (not ctrl.migrating.(svc)) && not ctrl.hosting.(svc).(node) then
       (* This landing lost a generation race; evict the zombie copy —
-         but only when the service is settled somewhere else, so the
+         but only when the service is settled elsewhere, so the
          eviction can never race a current landing on the same node. *)
       Sim.Islands.post isl ~dst:(node + 1) ~after:epoch (uninstall_cmd svc)
 
   and move_failed svc gen isl =
     if gen = ctrl.gen.(svc) then begin
-      (match ctrl.spans.(svc) with
-      | Some span ->
-        ctrl.spans.(svc) <- None;
-        Obs.end_span obs span ~ts:(Sim.Islands.now isl)
-          ~args:[ ("failed", Obs.I 1) ]
-          ()
-      | None -> ());
-      re_place svc isl
+      ctrl.migrating.(svc) <- false;
+      ctrl.op_src.(svc) <- -1;
+      ctrl.op_scale_out.(svc) <- false;
+      end_span svc ~failed:true isl;
+      if live_count svc = 0 then re_place svc isl
     end
 
   and node_crashed node isl =
@@ -576,84 +942,264 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
           ~args:[ ("node", Obs.I node) ]
           ();
       for s = 0 to services - 1 do
-        if ctrl.home.(s) = node then re_place s isl
+        ctrl.outstanding.(s).(node) <- 0;
+        if ctrl.hosting.(s).(node) then rep_remove s node;
+        (* A drain running on the dead node can never complete; fail
+           the operation now. Messages the doomed op already sent stay
+           harmless: a late [move_failed] finds [migrating] false, and
+           a drained backlog that was in flight before the crash still
+           lands normally (its [move_done] carries the current gen). *)
+        if ctrl.migrating.(s) && ctrl.op_src.(s) = node then begin
+          ctrl.migrating.(s) <- false;
+          ctrl.op_src.(s) <- -1;
+          ctrl.op_scale_out.(s) <- false;
+          end_span s ~failed:true isl
+        end;
+        if live_count s = 0 && not ctrl.migrating.(s) then re_place s isl
       done
     end
   in
 
   (* --- router + SLO policy (island 0) ---------------------------------- *)
-  let route (r : Arrival.request) isl =
+  (* Per-node arrival bursts. [route] stages routed requests here; the
+     pump flushes one post per touched node per pump event, so the
+     steady-state transport cost is one cross-island message per node
+     per epoch instead of one per request. *)
+  let b_rid = Array.make cfg.nodes [||] in
+  let b_svc = Array.make cfg.nodes [||] in
+  let b_at = Array.make cfg.nodes [||] in
+  let b_n = Array.make cfg.nodes 0 in
+  let b_touched = Array.make cfg.nodes 0 in
+  let b_touched_n = ref 0 in
+  let deliver_burst node rids svcs ats n isl =
+    let ns = nodes.(node) in
+    for i = 0 to n - 1 do
+      deliver ns svcs.(i) rids.(i) ats.(i) isl
+    done
+  in
+  (* Ship every staged burst: the batch closes at the pump boundary and
+     arrives one epoch later, so each request still experiences at least
+     one full epoch of transport delay (and at most two). Bursts to the
+     same node are at least one epoch apart, so per-node arrival order
+     follows trace order. *)
+  let flush_bursts isl =
+    for k = 0 to !b_touched_n - 1 do
+      let node = b_touched.(k) in
+      let n = b_n.(node) in
+      b_n.(node) <- 0;
+      let rids = Array.sub b_rid.(node) 0 n in
+      let svcs = Array.sub b_svc.(node) 0 n in
+      let ats = Array.sub b_at.(node) 0 n in
+      Sim.Islands.post isl ~dst:(node + 1) ~after:(2.0 *. epoch)
+        (deliver_burst node rids svcs ats n)
+    done;
+    b_touched_n := 0
+  in
+  let route rid svc at isl =
     ctrl.arrived <- ctrl.arrived + 1;
-    ctrl.arr_window.(r.Arrival.svc) <-
-      r.Arrival.at :: ctrl.arr_window.(r.Arrival.svc);
+    if slo_aware then Sim.Ring.push ctrl.arr_win.(svc) at 0;
     Obs.incr obs "serve.arrived";
-    let home = ctrl.home.(r.Arrival.svc) in
-    if home < 0 then begin
+    let node = select_replica svc isl in
+    if node < 0 then begin
       ctrl.router_dropped <- ctrl.router_dropped + 1;
       ctrl.resolved <- ctrl.resolved + 1;
       Obs.incr obs "serve.dropped";
       note_resolved isl
     end
-    else
-      Sim.Islands.post isl ~dst:(home + 1) ~after:epoch (fun isl ->
-          deliver nodes.(home) r isl)
+    else begin
+      ctrl.outstanding.(svc).(node) <- ctrl.outstanding.(svc).(node) + 1;
+      let n = b_n.(node) in
+      if n = 0 then begin
+        b_touched.(!b_touched_n) <- node;
+        incr b_touched_n
+      end;
+      if n = Array.length b_rid.(node) then begin
+        b_rid.(node) <- grow_int b_rid.(node);
+        b_svc.(node) <- grow_int b_svc.(node);
+        b_at.(node) <- grow_float b_at.(node)
+      end;
+      b_rid.(node).(n) <- rid;
+      b_svc.(node).(n) <- svc;
+      b_at.(node).(n) <- at;
+      b_n.(node) <- n + 1
+    end
   in
-  let command_migration svc dst isl =
-    let src = ctrl.home.(svc) in
+  (* Batched arrival pump: one island-0 event per epoch of traffic. The
+     event fires at the cursor's arrival, routes every arrival less than
+     one epoch ahead of it into the per-node bursts, ships the bursts,
+     then re-arms itself at the next arrival — a recursive knot, so
+     pumping allocates nothing per request and the calendar holds one
+     pending pump whatever the trace length. Stream order is canonical
+     (nondecreasing times), so the pump never schedules into the past;
+     routing a burst a fraction of an epoch early only means the router
+     balances on estimates at most one epoch stale, which is already the
+     resolution the epoch-batched transport gives it. *)
+  let rec pump_ev isl =
+    let t0 = Arrival.at stream in
+    let boundary = t0 +. epoch in
+    route (Arrival.rid stream) (Arrival.svc stream) t0 isl;
+    let continue = ref true in
+    while !continue do
+      if Arrival.next stream then begin
+        let at = Arrival.at stream in
+        if at < boundary then
+          route (Arrival.rid stream) (Arrival.svc stream) at isl
+        else begin
+          Sim.Islands.schedule isl ~at pump_ev;
+          continue := false
+        end
+      end
+      else begin
+        ctrl.exhausted <- true;
+        continue := false
+      end
+    done;
+    flush_bursts isl
+  in
+  let pump isl =
+    if Arrival.next stream then
+      Sim.Islands.schedule isl ~at:(Arrival.at stream) pump_ev
+    else ctrl.exhausted <- true
+  in
+  let serving_done () = ctrl.exhausted && ctrl.resolved >= ctrl.arrived in
+  let begin_op svc ~src ~scale_out isl =
     ctrl.gen.(svc) <- ctrl.gen.(svc) + 1;
     ctrl.migrating.(svc) <- true;
+    ctrl.op_src.(svc) <- src;
+    ctrl.op_scale_out.(svc) <- scale_out;
     if Obs.enabled obs then
       ctrl.spans.(svc) <-
         Some
           (Obs.begin_span obs ~ts:(Sim.Islands.now isl) ~pid:Obs.scheduler_pid
-             ~tid:0 ~cat:"serve" ~name:"migrate"
+             ~tid:0 ~cat:"serve"
+             ~name:(if scale_out then "scale_out" else "migrate")
              ~args:[ ("svc", Obs.I svc); ("from", Obs.I src) ]
-             ());
+             ())
+  in
+  let command_migration svc ~src ~dst isl =
+    begin_op svc ~src ~scale_out:false isl;
+    (* With other live replicas remaining, take the victim out of the
+       routing set immediately (scale-in: new traffic spreads over the
+       survivors while the backlog drains). A lone instance keeps
+       routing — requests queue behind the drain, the classic
+       downtime-vs-tail trade. *)
+    if live_count svc >= 2 then rep_remove svc src;
     Sim.Islands.post isl ~dst:(src + 1) ~after:epoch
       (drain_cmd svc dst ctrl.gen.(svc))
   in
+  let command_scale_out svc ~dst isl =
+    begin_op svc ~src:(-1) ~scale_out:true isl;
+    Sim.Islands.post isl ~dst:(dst + 1) ~after:epoch
+      (land_cmd svc ctrl.gen.(svc) (Sim.Ring.create ()))
+  in
+  (* Sliding-window upkeep, O(1) amortized per request: pop expired
+     entries off the ring heads, keeping the per-service window
+     histogram counts in step. *)
   let prune_windows now =
     let horizon = now -. cfg.window_s in
     for s = 0 to services - 1 do
-      ctrl.arr_window.(s) <-
-        List.filter (fun at -> at >= horizon) ctrl.arr_window.(s);
-      ctrl.lat_window.(s) <-
-        List.filter (fun (at, _) -> at >= horizon) ctrl.lat_window.(s)
+      let aw = ctrl.arr_win.(s) in
+      while (not (Sim.Ring.is_empty aw)) && Sim.Ring.peek_f aw < horizon do
+        ignore (Sim.Ring.pop aw)
+      done;
+      let lw = ctrl.lat_win.(s) in
+      while (not (Sim.Ring.is_empty lw)) && Sim.Ring.peek_f lw < horizon do
+        let b = Sim.Ring.pop lw in
+        ctrl.win_counts.(s).(b) <- ctrl.win_counts.(s).(b) - 1;
+        ctrl.win_n.(s) <- ctrl.win_n.(s) - 1
+      done
     done
+  in
+  let window_p99 s =
+    if ctrl.win_n.(s) = 0 then None
+    else
+      Some
+        (Sim.Stats.percentile
+           { Sim.Stats.bucket_lo = win_bucket_lo; counts = ctrl.win_counts.(s) }
+           0.99)
+  in
+  (* One SLO decision per service per tick: scale out onto x86 while
+     headroom remains on a p99 breach (falling back to a stop-and-copy
+     move when already at max_replicas), scale back in — or move home —
+     when the window goes completely quiet. With replicas = max = 1
+     this is exactly the classic single-instance escalate/park cycle. *)
+  let escalate s isl =
+    let ln = live_reps s in
+    let n_x86 = Array.length x86_ids in
+    let find_x86_target () =
+      let found = ref (-1) in
+      let j = ref 0 in
+      while !found < 0 && !j < n_x86 do
+        let cand = x86_anchor s !j in
+        if ctrl.alive.(cand) && not ctrl.hosting.(s).(cand) then found := cand;
+        incr j
+      done;
+      !found
+    in
+    if ln < cfg.max_replicas then begin
+      let dst = find_x86_target () in
+      if dst >= 0 then command_scale_out s ~dst isl
+    end
+    else begin
+      (* At the replica ceiling: move an ARM replica across the
+         boundary instead (the PR-7 escalation when the ceiling is 1). *)
+      let victim = ref (-1) in
+      for k = ln - 1 downto 0 do
+        if not (is_x86_node live_scratch.(k)) then victim := live_scratch.(k)
+      done;
+      if !victim >= 0 then begin
+        let dst = find_x86_target () in
+        if dst >= 0 then command_migration s ~src:!victim ~dst isl
+      end
+    end
+  in
+  let park s isl =
+    let ln = live_reps s in
+    (* Retire the highest-id live x86 replica. *)
+    let victim = ref (-1) in
+    for k = 0 to ln - 1 do
+      if is_x86_node live_scratch.(k) then victim := live_scratch.(k)
+    done;
+    if !victim >= 0 then begin
+      if ln > cfg.replicas then begin
+        (* Above baseline: fold the victim into a surviving ARM
+           replica when one exists, else onto a fresh ARM anchor. *)
+        let dst = ref (-1) in
+        for k = ln - 1 downto 0 do
+          if not (is_x86_node live_scratch.(k)) then dst := live_scratch.(k)
+        done;
+        if !dst < 0 then begin
+          let n_arm = Array.length arm_ids in
+          let j = ref 0 in
+          while !dst < 0 && !j < n_arm do
+            let cand = arm_anchor s !j in
+            if ctrl.alive.(cand) && not ctrl.hosting.(s).(cand) then
+              dst := cand;
+            incr j
+          done
+        end;
+        if !dst >= 0 then command_migration s ~src:!victim ~dst:!dst isl
+      end
+      else begin
+        let dst = arm_anchor s 0 in
+        if ctrl.alive.(dst) && not ctrl.hosting.(s).(dst) then
+          command_migration s ~src:!victim ~dst isl
+      end
+    end
   in
   let rec tick isl =
     let now = Sim.Islands.now isl in
     prune_windows now;
     for s = 0 to services - 1 do
-      let home = ctrl.home.(s) in
-      if (not ctrl.migrating.(s)) && home >= 0 && ctrl.alive.(home) then begin
-        if not (is_x86_node home) then begin
-          (* On ARM: escalate to the x86 anchor on a windowed p99
-             breach. *)
-          match window_p99 ctrl.lat_window.(s) with
-          | Some p99 when p99 > cfg.slo_ms ->
-            let dst = x86_home s in
-            if ctrl.alive.(dst) && dst <> home then command_migration s dst isl
-            else begin
-              match pick_replacement ~preferred_x86:true with
-              | Some dst when dst <> home && is_x86_node dst ->
-                command_migration s dst isl
-              | _ -> ()
-            end
-          | _ -> ()
-        end
-        else if
-          (* On x86: return to the ARM anchor for energy once the
-             window is completely quiet, with one window of cooldown
-             after the last move so a drain/land transient does not
-             read as idleness. *)
-          ctrl.arr_window.(s) = []
-          && ctrl.lat_window.(s) = []
-          && now -. ctrl.last_move.(s) >= cfg.window_s
-        then begin
-          let dst = arm_home s in
-          if ctrl.alive.(dst) then command_migration s dst isl
-        end
+      if (not ctrl.migrating.(s)) && live_count s > 0 then begin
+        match window_p99 s with
+        | Some p99 when p99 > cfg.slo_ms -> escalate s isl
+        | _ ->
+          if
+            Sim.Ring.is_empty ctrl.arr_win.(s)
+            && Sim.Ring.is_empty ctrl.lat_win.(s)
+            && now -. ctrl.last_move.(s) >= cfg.window_s
+          then park s isl
       end
     done;
     if Obs.enabled obs then
@@ -661,18 +1207,37 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
         ~args:
           (List.init services (fun s ->
                ( Printf.sprintf "svc%d" s,
-                 Obs.F (Option.value ~default:0.0 (window_p99 ctrl.lat_window.(s)))
-               )));
-    if ctrl.resolved < ctrl.total then
+                 Obs.F (Option.value ~default:0.0 (window_p99 s)) )));
+    if not (serving_done ()) then
       Sim.Islands.schedule_in isl ~after:cfg.window_s (fun isl -> tick isl)
+  in
+  (* Per-epoch heartbeat on the controller island: prunes the sliding
+     windows between policy ticks (keeping ring memory proportional to
+     the window, not the run) and — when observability is on — samples
+     the process GC into the metrics registry, which is how the
+     allocation-light claim is checked from a `--metrics` dump. The
+     event itself runs regardless of [obs], so instrumented and plain
+     runs execute identical event schedules and render byte-identical
+       reports. GC figures never feed back into the simulation. *)
+  let gc_prev_minor = ref 0.0 in
+  let rec heartbeat isl =
+    if slo_aware then prune_windows (Sim.Islands.now isl);
+    if Obs.enabled obs then begin
+      let s = Gc.quick_stat () in
+      Obs.observe obs "serve.gc.minor_words_per_epoch"
+        (Float.max 0.0 (s.Gc.minor_words -. !gc_prev_minor));
+      gc_prev_minor := s.Gc.minor_words;
+      Obs.gauge obs "serve.gc.minor_words" s.Gc.minor_words;
+      Obs.gauge obs "serve.gc.major_words" s.Gc.major_words;
+      Obs.gauge obs "serve.gc.top_heap_words" (float_of_int s.Gc.top_heap_words)
+    end;
+    if not (serving_done ()) then
+      Sim.Islands.schedule_in isl ~after:epoch (fun isl -> heartbeat isl)
   in
 
   (* --- seed the calendars ---------------------------------------------- *)
   let ctrl_isl = Sim.Islands.island rt 0 in
-  Array.iter
-    (fun (r : Arrival.request) ->
-      Sim.Islands.schedule ctrl_isl ~at:r.Arrival.at (route r))
-    requests;
+  pump ctrl_isl;
   List.iter
     (fun (c : Faults.Plan.crash) ->
       let node = c.Faults.Plan.node in
@@ -681,8 +1246,11 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
         ~at:c.Faults.Plan.at
         (fun isl -> crash_node nodes.(node) isl))
     cfg.crashes;
-  if cfg.policy = Slo_aware && ctrl.total > 0 then
-    Sim.Islands.schedule ctrl_isl ~at:cfg.window_s (fun isl -> tick isl);
+  if not ctrl.exhausted then begin
+    Sim.Islands.schedule ctrl_isl ~at:epoch (fun isl -> heartbeat isl);
+    if slo_aware then
+      Sim.Islands.schedule ctrl_isl ~at:cfg.window_s (fun isl -> tick isl)
+  end;
   if Obs.enabled obs then
     Obs.process_name obs ~pid:Obs.scheduler_pid
       (Printf.sprintf "serve router (%s)" (policy_name cfg.policy));
@@ -692,33 +1260,38 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
   (* --- results (merged in canonical node order) ------------------------ *)
   let makespan =
     Array.fold_left
-      (fun acc ns -> Float.max acc ns.last_update)
-      ctrl.end_time nodes
+      (fun acc ns -> Float.max acc ns.nf.last_update)
+      ctrl.end_time.last_update nodes
   in
   Array.iter
-    (fun ns -> if ns.last_update < makespan then settle ns ~now:makespan)
+    (fun ns -> if ns.nf.last_update < makespan then settle ns ~now:makespan)
     nodes;
   let energy_of arch =
     Array.fold_left
       (fun acc ns ->
-        if ns.machine.Machine.Server.arch = arch then acc +. ns.energy_j
+        if ns.machine.Machine.Server.arch = arch then acc +. ns.nf.energy_j
         else acc)
       0.0 nodes
   in
   let energy_x86 = energy_of Isa.Arch.X86_64 in
   let energy_arm = energy_of Isa.Arch.Arm64 in
-  let latencies =
-    let all =
-      Array.fold_left
-        (fun acc ns -> List.rev_append ns.latencies_ms acc)
-        [] nodes
-    in
-    let arr = Array.of_list all in
-    Array.sort Float.compare arr;
-    arr
-  in
+  let merged_counts = Array.make lat_buckets 0 in
+  let lat_n = ref 0 in
+  let lat_sum = ref 0.0 in
+  Array.iter
+    (fun ns ->
+      for b = 0 to lat_buckets - 1 do
+        merged_counts.(b) <- merged_counts.(b) + ns.lat_counts.(b)
+      done;
+      lat_n := !lat_n + ns.lat_n;
+      lat_sum := !lat_sum +. ns.nf.lat_sum_ms)
+    nodes;
   let quant q =
-    if Array.length latencies = 0 then 0.0 else Sim.Stats.quantile latencies q
+    if !lat_n = 0 then 0.0
+    else
+      Sim.Stats.percentile
+        { Sim.Stats.bucket_lo = lat_bucket_lo; counts = merged_counts }
+        q
   in
   let responded = Array.fold_left (fun acc ns -> acc + ns.responded) 0 nodes in
   let dropped =
@@ -729,12 +1302,14 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     Array.fold_left
       (fun acc ns ->
         acc
-        + Array.fold_left (fun a q -> a + Queue.length q) 0 ns.queues
+        + Array.fold_left (fun a q -> a + Sim.Ring.length q) 0 ns.queues
         + Array.fold_left ( + ) 0 ns.executing)
       0 nodes
   in
   let result =
     {
+      tname;
+      services;
       arrived = ctrl.arrived;
       responded;
       dropped;
@@ -742,16 +1317,14 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
       forwarded = Array.fold_left (fun acc ns -> acc + ns.forwarded) 0 nodes;
       migrations =
         Array.fold_left (fun acc ns -> acc + ns.migrations_out) 0 nodes;
-      downtime_s = Array.fold_left (fun acc ns -> acc +. ns.downtime_s) 0.0 nodes;
+      scale_outs = ctrl.scale_outs;
+      downtime_s =
+        Array.fold_left (fun acc ns -> acc +. ns.nf.downtime_s) 0.0 nodes;
       slo_violations = ctrl.slo_violations;
       p50_ms = quant 0.5;
       p99_ms = quant 0.99;
       p999_ms = quant 0.999;
-      mean_ms =
-        (if Array.length latencies = 0 then 0.0
-         else
-           Array.fold_left ( +. ) 0.0 latencies
-           /. float_of_int (Array.length latencies));
+      mean_ms = (if !lat_n = 0 then 0.0 else !lat_sum /. float_of_int !lat_n);
       makespan;
       energy_x86_j = energy_x86;
       energy_arm_j = energy_arm;
@@ -783,14 +1356,12 @@ let render cfg (r : result) =
   let b = Buffer.create 512 in
   let x86 = (cfg.nodes + 1) / 2 in
   Printf.bprintf b
-    "serve: trace=%s requests=%d services=%d nodes=%d (x86=%d arm64=%d) \
-     seed=%d epoch=%.3fs slo=%.1fms policy=%s window=%.1fs workers=%d \
-     queue-cap=%d zero-downtime=%s crashes=%d\n"
-    cfg.trace.Arrival.tname
-    (Array.length cfg.trace.Arrival.requests)
-    cfg.trace.Arrival.services cfg.nodes x86 (cfg.nodes - x86) cfg.seed
-    cfg.epoch_s cfg.slo_ms (policy_name cfg.policy) cfg.window_s cfg.workers
-    cfg.queue_cap
+    "serve: trace=%s services=%d nodes=%d (x86=%d arm64=%d) seed=%d \
+     epoch=%.3fs slo=%.1fms policy=%s window=%.1fs workers=%d queue-cap=%d \
+     replicas=%d max-replicas=%d routing=%s zero-downtime=%s crashes=%d\n"
+    r.tname r.services cfg.nodes x86 (cfg.nodes - x86) cfg.seed cfg.epoch_s
+    cfg.slo_ms (policy_name cfg.policy) cfg.window_s cfg.workers cfg.queue_cap
+    cfg.replicas cfg.max_replicas (routing_name cfg.routing)
     (if cfg.zero_downtime then "on" else "off")
     (List.length cfg.crashes);
   Printf.bprintf b
@@ -799,7 +1370,8 @@ let render cfg (r : result) =
   Printf.bprintf b
     "latency p50=%.3fms p99=%.3fms p999=%.3fms mean=%.3fms slo-violations=%d\n"
     r.p50_ms r.p99_ms r.p999_ms r.mean_ms r.slo_violations;
-  Printf.bprintf b "migrations=%d downtime=%.6fs\n" r.migrations r.downtime_s;
+  Printf.bprintf b "migrations=%d scale-outs=%d downtime=%.6fs\n" r.migrations
+    r.scale_outs r.downtime_s;
   Printf.bprintf b
     "makespan=%.6fs energy=%.3fkJ (x86 %.3fkJ arm64 %.3fkJ)\n" r.makespan
     (r.total_energy_j /. 1e3)

@@ -3,9 +3,9 @@
     The paper's headline datacenter workload is Redis served across the
     ISA boundary; this module supplies the serving-side story the batch
     scheduler cannot express: long-lived service instances pinned to
-    fleet nodes, open-loop request traffic from an
-    {!Arrival.request_trace}, per-request latency accounting, and an
-    SLO-aware policy that migrates services toward x86 when a windowed
+    fleet nodes, open-loop request traffic pulled lazily from a
+    streaming {!Arrival.source}, per-request latency accounting, and an
+    SLO-aware policy that shifts capacity toward x86 when a windowed
     p99 estimate breaches the SLO and back to ARM for energy when the
     window goes quiet.
 
@@ -13,6 +13,26 @@
     decides; islands 1..N are nodes alternating Xeon/X-Gene, as in
     {!Fleet}) with the routing epoch as the conservative lookahead, so
     [run ~domains:n] is bit-identical to [run ~domains:1].
+
+    The request hot path is allocation-light by design: arrivals stream
+    one at a time (the calendar holds a single pending arrival, never
+    the trace), per-instance queues are scalar rings, latencies
+    accumulate into per-node log-histograms, and the policy windows are
+    incrementally-pruned rings — so memory is independent of trace
+    length and one run can serve millions of requests.
+
+    Services are replica groups. Each service starts with [replicas]
+    instances spread along its anchor chain and the router picks among
+    live replicas per request — deterministic power-of-two-choices or
+    least-loaded against a routed-minus-resolved load estimate; with a
+    single live replica no PRNG is consulted and routing degenerates to
+    the classic home-node path. Under {!Slo_aware}, a p99 breach adds
+    an x86 replica while [max_replicas] headroom remains (scale-out)
+    instead of stop-and-copy moving the singleton, and a quiet window
+    retires x86 replicas back onto the ARM anchors (scale-in, merging
+    the drained backlog into a surviving replica's queue). With
+    [replicas = max_replicas = 1] the policy reduces exactly to the
+    classic single-instance escalate/park cycle.
 
     Migration is drain-based stop-and-copy: requests arriving at a
     draining instance queue behind it and wait out the
@@ -24,10 +44,19 @@ type policy =
   | Slo_aware
       (** start on ARM; escalate to x86 on windowed p99 breach, return
           to ARM when the window is quiet *)
-  | Static_x86  (** pin every service to its x86 anchor *)
-  | Static_arm  (** pin every service to its ARM anchor *)
+  | Static_x86  (** pin every service to its x86 anchors *)
+  | Static_arm  (** pin every service to its ARM anchors *)
 
 val policy_name : policy -> string
+
+type routing =
+  | P2c
+      (** power of two choices: two island-0 PRNG draws over the live
+          replicas, fewer outstanding requests wins, ties to the lower
+          node id *)
+  | Least_loaded  (** full scan of live replicas; deterministic *)
+
+val routing_name : routing -> string
 
 type config = {
   nodes : int;
@@ -44,12 +73,19 @@ type config = {
   zero_downtime : bool;  (** ablation stub: migrations pause nothing *)
   interconnect : Machine.Interconnect.t;
   crashes : Faults.Plan.crash list;
-  trace : Arrival.request_trace;
+  replicas : int;  (** initial replicas per service (default 1) *)
+  max_replicas : int;
+      (** scale-out ceiling for the SLO policy; must be >= [replicas] *)
+  routing : routing;
+  limit : int;  (** cap on requests pulled from the source; 0 = all *)
+  source : Arrival.source;
 }
 
-val default : nodes:int -> seed:int -> trace:Arrival.request_trace -> config
+val default : nodes:int -> seed:int -> source:Arrival.source -> config
 
 type result = {
+  tname : string;  (** the stream's trace name *)
+  services : int;
   arrived : int;
   responded : int;
   dropped : int;
@@ -57,7 +93,8 @@ type result = {
           [responded + dropped + in_flight_at_end = arrived], always *)
   in_flight_at_end : int;
   forwarded : int;  (** deliveries that chased a moved instance *)
-  migrations : int;
+  migrations : int;  (** drain-based instance moves (incl. scale-ins) *)
+  scale_outs : int;  (** replicas added by the SLO policy *)
   downtime_s : float;  (** summed stop-and-copy pauses *)
   slo_violations : int;  (** responses above the SLO *)
   p50_ms : float;
@@ -73,17 +110,23 @@ type result = {
 }
 
 val run : ?domains:int -> ?obs:Obs.t -> config -> result
-(** Simulate the trace to completion. [domains] bounds the island
-    runtime's parallel lanes; any value produces bit-identical results.
-    [obs] (default {!Obs.noop}, byte-identical off switch) collects the
-    per-request latency histogram ([serve.latency_ms]), response/drop
-    counters, per-service windowed-p99 counter samples on the
-    {!Obs.scheduler_pid} track (the p99 timeline), migration spans, and
-    an end-of-run gauge snapshot; the sink is only touched from the
-    controller island, so instrumented runs stay deterministic under
-    any domain count. Raises [Invalid_argument] on configs that cannot
-    run: fewer than 2 nodes, an epoch at or below the interconnect
-    latency, no workers, or crashes at unknown nodes. *)
+(** Open a fresh stream over [cfg.source] and simulate it to
+    completion. [domains] bounds the island runtime's parallel lanes;
+    any value produces bit-identical results. [obs] (default
+    {!Obs.noop}, byte-identical off switch) collects the per-request
+    latency histogram ([serve.latency_ms]), response/drop counters,
+    per-service windowed-p99 counter samples on the
+    {!Obs.scheduler_pid} track, migration/scale-out spans, per-epoch GC
+    samples ([serve.gc.minor_words_per_epoch] plus cumulative
+    minor/major/top-heap gauges — the allocation-flatness evidence),
+    and an end-of-run gauge snapshot; the sink is only touched from the
+    controller island and instrumented runs execute the same event
+    schedule as plain ones, so reports stay byte-identical with
+    observability on or off, under any domain count. Raises
+    [Invalid_argument] on configs that cannot run: fewer than 2 nodes,
+    an epoch at or below the interconnect latency, no workers, replica
+    counts out of range, a negative limit, or crashes at unknown
+    nodes. *)
 
 val render : config -> result -> string
 (** Byte-stable report (pure function of config and result): the

@@ -1,18 +1,18 @@
-(** Per-island event calendar: a flat binary min-heap over mutable event
-    records keyed by the deterministic total order (time, seq, src),
-    where [seq] is the source island's event counter and [src] the
-    source island id. Keys are unique, so the pop order is a strict
-    total order independent of push order — cross-island deliveries can
-    be merged at a window barrier in any order without affecting
-    execution order.
+(** Per-island event calendar: a struct-of-arrays binary min-heap keyed
+    by the deterministic total order (time, seq, src), where [seq] is
+    the source island's event counter and [src] the source island id.
+    Keys are unique, so the pop order is a strict total order
+    independent of push order — cross-island deliveries can be merged
+    at a window barrier in any order without affecting execution order.
 
-    Event records are pooled on a freelist: push/pop in steady state
-    allocates nothing beyond the caller's payload. *)
+    Keys live in unboxed float/int lanes separate from the boxed
+    payload lane, so push/pop in steady state allocates nothing beyond
+    the caller's payload and key comparisons never chase pointers. *)
 
 type 'a t
 
 val create : ?capacity:int -> dummy:'a -> unit -> 'a t
-(** [dummy] fills recycled records so the freelist never retains dead
+(** [dummy] fills vacated payload slots so the heap never retains dead
     payloads. *)
 
 val size : 'a t -> int
@@ -37,6 +37,6 @@ val last_src : 'a t -> int
 val last_seq : 'a t -> int
 
 val clear : ?shrink_to:int -> 'a t -> unit
-(** Empty the calendar and shrink the heap and freelist back to
+(** Empty the calendar and shrink the backing lanes back to
     [shrink_to] slots (default: the initial capacity) if they grew
     beyond it. *)

@@ -46,7 +46,15 @@ val post : island -> dst:int -> after:float -> (island -> unit) -> unit
 (** Cross-island event, delivered to [dst] at [now + after]. [after]
     must be at least the runtime's lookahead — this is the conservative
     synchronization contract; violating it raises [Invalid_argument].
-    Posting to the own island degrades to {!schedule_in}. *)
+    Posting to the own island degrades to {!schedule_in}.
+
+    Posts are batch-staged: each (src, dst) pair owns a recycled
+    struct-of-arrays outbox that accumulates the whole window's
+    messages and is merged into the destination calendar in one pass at
+    the barrier (senders track their dirty destinations, so merge cost
+    is proportional to traffic, not islands²). Steady-state posting
+    allocates nothing, which is what amortizes barrier cost at
+    millions-of-requests rates. *)
 
 val drive : island -> Engine.t -> unit
 (** [drive isl engine] hosts a sequential {!Engine} on [isl]: each queued

@@ -44,14 +44,63 @@ let gaussian t ~mean ~stddev =
   let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
   mean +. (stddev *. z)
 
-let exponential t ~mean =
-  let rec draw () =
-    let u = unit_float t in
-    if u <= 1e-300 then draw () else u
+(* Fused in one straight-line body (same draw sequence as
+   [-.mean *. log (unit_float t)] with the rejection loop): every Int64
+   intermediate stays let-bound and unboxed, so a draw costs one boxed
+   state store instead of four boxes across the mix/unit_float call
+   boundaries. Arrival generators draw one of these per request. *)
+let rec exponential t ~mean =
+  let s = Int64.add t.state golden_gamma in
+  t.state <- s;
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let n = Int64.(logxor z (shift_right_logical z 31)) in
+  let u =
+    Int64.to_float (Int64.shift_right_logical n 11)
+    *. (1.0 /. 9007199254740992.0)
   in
-  -.mean *. log (draw ())
+  if u <= 1e-300 then exponential t ~mean else -.mean *. log u
 
 let lognormal t ~mu ~sigma = exp (gaussian t ~mean:mu ~stddev:sigma)
+
+(* One-shot lognormal draw from a seed, bit-identical to
+   [lognormal (create seed) ~mu ~sigma] but with every Int64
+   intermediate let-bound in one straight-line body, so the compiler
+   keeps them unboxed (no [t.state] stores, no per-draw allocation).
+   This is the serving hot path's per-request demand draw: at millions
+   of requests the boxed-splitmix version dominates the profile. The
+   astronomically cold Box-Muller rejection branch (u1 <= 1e-300)
+   replays the same draw sequence through the record-based drawer. *)
+let lognormal_of_seed seed ~mu ~sigma =
+  let z = Int64.of_int seed in
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let s0 = Int64.(logxor z (shift_right_logical z 31)) in
+  let s1 = Int64.add s0 golden_gamma in
+  let z = Int64.(mul (logxor s1 (shift_right_logical s1 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let n1 = Int64.(logxor z (shift_right_logical z 31)) in
+  let u1 =
+    Int64.to_float (Int64.shift_right_logical n1 11)
+    *. (1.0 /. 9007199254740992.0)
+  in
+  if u1 <= 1e-300 then begin
+    let t = create seed in
+    let _ = unit_float t in
+    exp (gaussian t ~mean:mu ~stddev:sigma)
+  end
+  else begin
+    let s2 = Int64.add s1 golden_gamma in
+    let z = Int64.(mul (logxor s2 (shift_right_logical s2 30)) 0xBF58476D1CE4E5B9L) in
+    let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+    let n2 = Int64.(logxor z (shift_right_logical z 31)) in
+    let u2 =
+      Int64.to_float (Int64.shift_right_logical n2 11)
+      *. (1.0 /. 9007199254740992.0)
+    in
+    let g = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    exp (mu +. (sigma *. g))
+  end
 
 let choice t arr =
   assert (Array.length arr > 0);

@@ -40,6 +40,12 @@ val exponential : t -> mean:float -> float
 val lognormal : t -> mu:float -> sigma:float -> float
 (** Log-normal deviate: [exp (gaussian mu sigma)]. *)
 
+val lognormal_of_seed : int -> mu:float -> sigma:float -> float
+(** [lognormal_of_seed seed ~mu ~sigma] is bit-identical to
+    [lognormal (create seed) ~mu ~sigma] without materializing the
+    generator: one straight-line, allocation-free draw. Meant for hot
+    paths that hash a per-item seed (e.g. per-request service demand). *)
+
 val choice : t -> 'a array -> 'a
 (** Uniform choice from a non-empty array. *)
 

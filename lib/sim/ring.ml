@@ -1,0 +1,123 @@
+(* Growable circular buffer over parallel scalar lanes (one float, one
+   int per slot). The serving hot path keeps per-service queues and
+   sliding-window stats in these: push/pop are O(1) amortized and touch
+   only preallocated arrays, so steady-state traffic allocates nothing
+   — the property the millions-of-requests serving scenarios depend on.
+
+   The two lanes always move together; callers that need only one lane
+   pass a dummy for the other. Capacity grows by doubling and never
+   shrinks implicitly ([clear ?shrink_to] does), mirroring the
+   {!Engine}/{!Calendar} pooling discipline. *)
+
+type t = {
+  mutable fs : float array;
+  mutable is : int array;
+  mutable head : int;  (* index of the oldest element *)
+  mutable len : int;
+}
+
+let create ?(capacity = 0) () =
+  if capacity < 0 then invalid_arg "Ring.create: negative capacity";
+  { fs = Array.make (max capacity 0) 0.0;
+    is = Array.make (max capacity 0) 0;
+    head = 0;
+    len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let capacity t = Array.length t.fs
+
+let grow t =
+  let cap = Array.length t.fs in
+  let cap' = max 8 (cap * 2) in
+  let fs' = Array.make cap' 0.0 and is' = Array.make cap' 0 in
+  for i = 0 to t.len - 1 do
+    let j = (t.head + i) mod cap in
+    fs'.(i) <- t.fs.(j);
+    is'.(i) <- t.is.(j)
+  done;
+  t.fs <- fs';
+  t.is <- is';
+  t.head <- 0
+
+let push t f i =
+  if t.len = Array.length t.fs then grow t;
+  let tail = (t.head + t.len) mod Array.length t.fs in
+  t.fs.(tail) <- f;
+  t.is.(tail) <- i;
+  t.len <- t.len + 1
+
+let peek_f t =
+  if t.len = 0 then invalid_arg "Ring.peek_f: empty";
+  t.fs.(t.head)
+
+let peek_i t =
+  if t.len = 0 then invalid_arg "Ring.peek_i: empty";
+  t.is.(t.head)
+
+(* Pop returns only the int lane (the common case: queue of request
+   ids); read the float lane first via {!peek_f} when it matters. *)
+let pop t =
+  if t.len = 0 then invalid_arg "Ring.pop: empty";
+  let i = t.is.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.fs;
+  t.len <- t.len - 1;
+  i
+
+let get_f t k =
+  if k < 0 || k >= t.len then invalid_arg "Ring.get_f: out of range";
+  t.fs.((t.head + k) mod Array.length t.fs)
+
+let get_i t k =
+  if k < 0 || k >= t.len then invalid_arg "Ring.get_i: out of range";
+  t.is.((t.head + k) mod Array.length t.fs)
+
+let iter t f =
+  let cap = Array.length t.fs in
+  for k = 0 to t.len - 1 do
+    let j = (t.head + k) mod cap in
+    f t.fs.(j) t.is.(j)
+  done
+
+let clear ?shrink_to t =
+  t.head <- 0;
+  t.len <- 0;
+  match shrink_to with
+  | Some cap when cap >= 0 && cap < Array.length t.fs ->
+    t.fs <- Array.make cap 0.0;
+    t.is <- Array.make cap 0
+  | _ -> ()
+
+(* O(1) handoff of [src]'s whole contents: swap the backing arrays into
+   a fresh-logical ring and leave [src] empty (but still owning its old
+   capacity is NOT preserved — src restarts at zero capacity and regrows
+   on demand). Used by migration drain: the departing instance's backlog
+   is detached in constant time instead of being copied element-wise. *)
+let detach src =
+  let d = { fs = src.fs; is = src.is; head = src.head; len = src.len } in
+  src.fs <- [||];
+  src.is <- [||];
+  src.head <- 0;
+  src.len <- 0;
+  d
+
+(* Append everything in [src] onto [dst] and empty [src]. O(len src)
+   element moves, no per-element allocation. *)
+let transfer ~src ~dst =
+  if dst.len = 0 && src.len > 0 then begin
+    (* fast path: dst empty — swap backing stores, O(1) *)
+    let fs = dst.fs and is = dst.is in
+    dst.fs <- src.fs;
+    dst.is <- src.is;
+    dst.head <- src.head;
+    dst.len <- src.len;
+    src.fs <- fs;
+    src.is <- is;
+    src.head <- 0;
+    src.len <- 0
+  end
+  else begin
+    iter src (fun f i -> push dst f i);
+    src.head <- 0;
+    src.len <- 0
+  end

@@ -103,7 +103,19 @@ let log_histogram ~base ~buckets xs =
         (Printf.sprintf "Stats.log_histogram: negative or NaN input %g" x)
     else if x < 1.0 then 0
     else begin
-      let b = int_of_float (Float.floor (log x /. log base)) in
+      (* For base 2, read floor(log2 x) straight from the IEEE exponent
+         field: exact at every bucket edge (log-quotient rounding can
+         misplace samples equal to a power of the base) and free of the
+         transcendental on hot accounting paths that must agree with
+         this bucketing bit-for-bit. *)
+      let b =
+        if base = 2.0 then
+          (Int64.to_int
+             (Int64.shift_right_logical (Int64.bits_of_float x) 52)
+          land 0x7FF)
+          - 1023
+        else int_of_float (Float.floor (log x /. log base))
+      in
       if b >= buckets then buckets - 1 else b
     end
   in

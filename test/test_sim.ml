@@ -72,6 +72,87 @@ let prng_shuffle_permutation () =
   Array.sort compare sorted;
   check Alcotest.(array int) "still a permutation" (Array.init 50 Fun.id) sorted
 
+(* The hot-path fused draws must replay the exact record-based draw
+   sequences they replace: [lognormal_of_seed] against a fresh
+   generator, and the straight-line [exponential] against its defining
+   formula. *)
+let prng_lognormal_of_seed_equiv =
+  QCheck.Test.make ~name:"Prng.lognormal_of_seed = lognormal . create"
+    ~count:500
+    QCheck.(triple int (float_bound_exclusive 2.0) (float_bound_exclusive 1.5))
+    (fun (seed, mu, sigma) ->
+      Sim.Prng.lognormal_of_seed seed ~mu ~sigma
+      = Sim.Prng.lognormal (Sim.Prng.create seed) ~mu ~sigma)
+
+let prng_exponential_is_neg_mean_log_u =
+  QCheck.Test.make ~name:"Prng.exponential = -mean * log unit_float"
+    ~count:500
+    QCheck.(pair int (float_bound_exclusive 10.0))
+    (fun (seed, m) ->
+      let mean = m +. 0.01 in
+      let a = Sim.Prng.create seed in
+      let b = Sim.Prng.copy a in
+      let u = Int64.to_float (Int64.shift_right_logical (Sim.Prng.next_int64 b) 11)
+              *. (1.0 /. 9007199254740992.0) in
+      u <= 1e-300 || Sim.Prng.exponential a ~mean = -.mean *. log u)
+
+(* --- Ring --------------------------------------------------------------- *)
+
+let ring_fifo_order () =
+  let r = Sim.Ring.create ~capacity:4 () in
+  for i = 0 to 99 do
+    Sim.Ring.push r (float_of_int i) i
+  done;
+  check Alcotest.int "length" 100 (Sim.Ring.length r);
+  for i = 0 to 99 do
+    checkf "peek_f sees oldest" (float_of_int i) (Sim.Ring.peek_f r);
+    check Alcotest.int "peek_i sees oldest" i (Sim.Ring.peek_i r);
+    check Alcotest.int "pop is FIFO" i (Sim.Ring.pop r)
+  done;
+  checkb "drained" true (Sim.Ring.is_empty r)
+
+let ring_wraparound () =
+  (* Interleave pushes and pops so the window straddles the backing
+     array's wrap point, then check indexed reads against the logical
+     order. *)
+  let r = Sim.Ring.create ~capacity:8 () in
+  for i = 0 to 5 do Sim.Ring.push r (float_of_int i) i done;
+  for _ = 0 to 3 do ignore (Sim.Ring.pop r) done;
+  for i = 6 to 12 do Sim.Ring.push r (float_of_int i) i done;
+  check Alcotest.int "length" 9 (Sim.Ring.length r);
+  for k = 0 to 8 do
+    check Alcotest.int "get_i in logical order" (4 + k) (Sim.Ring.get_i r k);
+    checkf "get_f in logical order" (float_of_int (4 + k)) (Sim.Ring.get_f r k)
+  done;
+  let seen = ref [] in
+  Sim.Ring.iter r (fun _ i -> seen := i :: !seen);
+  checkb "iter is oldest-first" true
+    (List.rev !seen = List.init 9 (fun k -> 4 + k))
+
+let ring_detach_transfer () =
+  let r = Sim.Ring.create () in
+  for i = 0 to 9 do Sim.Ring.push r (float_of_int i) i done;
+  let d = Sim.Ring.detach r in
+  checkb "detach empties the source" true (Sim.Ring.is_empty r);
+  check Alcotest.int "detached holds the backlog" 10 (Sim.Ring.length d);
+  Sim.Ring.push r 99.0 99;
+  check Alcotest.int "source usable after detach" 99 (Sim.Ring.peek_i r);
+  let dst = Sim.Ring.create () in
+  Sim.Ring.push dst 50.0 50;
+  Sim.Ring.transfer ~src:d ~dst;
+  checkb "transfer empties src" true (Sim.Ring.is_empty d);
+  check Alcotest.int "transfer appends" 11 (Sim.Ring.length dst);
+  check Alcotest.int "dst order: existing first" 50 (Sim.Ring.pop dst);
+  check Alcotest.int "then the transferred backlog" 0 (Sim.Ring.pop dst)
+
+let ring_clear_shrinks () =
+  let r = Sim.Ring.create ~capacity:4 () in
+  for i = 0 to 999 do Sim.Ring.push r 0.0 i done;
+  checkb "grew" true (Sim.Ring.capacity r >= 1000);
+  Sim.Ring.clear ~shrink_to:8 r;
+  checkb "cleared" true (Sim.Ring.is_empty r);
+  checkb "shrunk" true (Sim.Ring.capacity r <= 8)
+
 (* --- Stats ------------------------------------------------------------- *)
 
 let stats_summary_basic () =
@@ -351,6 +432,12 @@ let suite =
     ("prng split independent", `Quick, prng_split_independent);
     ("prng copy preserves", `Quick, prng_copy_preserves);
     ("prng shuffle is a permutation", `Quick, prng_shuffle_permutation);
+    QCheck_alcotest.to_alcotest prng_lognormal_of_seed_equiv;
+    QCheck_alcotest.to_alcotest prng_exponential_is_neg_mean_log_u;
+    ("ring FIFO order", `Quick, ring_fifo_order);
+    ("ring wraparound reads", `Quick, ring_wraparound);
+    ("ring detach/transfer", `Quick, ring_detach_transfer);
+    ("ring clear shrinks", `Quick, ring_clear_shrinks);
     ("stats summary basics", `Quick, stats_summary_basic);
     ("stats stddev", `Quick, stats_stddev);
     ("stats empty raises", `Quick, stats_empty_raises);
