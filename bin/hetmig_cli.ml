@@ -389,7 +389,7 @@ let state_map_cmd =
 (* --- lint ------------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run json rules workloads jobs seq list_rules =
+  let run json rules workloads jobs seq list_rules fail_on_warn =
     if list_rules then begin
       Format.printf "%-32s %-8s %s@." "RULE" "SEVERITY" "DESCRIPTION";
       List.iter
@@ -425,7 +425,10 @@ let lint_cmd =
       let diags = Analysis.Lint.run ?rules ~targets ?jobs () in
       if json then print_string (Analysis.Diagnostic.report_to_json diags)
       else Analysis.Diagnostic.pp_report Format.std_formatter diags;
-      if Analysis.Diagnostic.errors diags > 0 then exit 1
+      if
+        Analysis.Diagnostic.errors diags > 0
+        || (fail_on_warn && Analysis.Diagnostic.warnings diags > 0)
+      then exit 1
     end
   in
   let json =
@@ -459,6 +462,11 @@ let lint_cmd =
     Arg.(value & flag
          & info [ "list-rules" ] ~doc:"Print the rule registry and exit.")
   in
+  let fail_on_warn =
+    Arg.(value & flag
+         & info [ "fail-on-warn" ]
+             ~doc:"Also exit 1 when any warning-severity diagnostic fires.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -466,7 +474,110 @@ let lint_cmd =
           well-formedness, stackmap coverage, unwind/frame soundness, \
           cross-ISA layout alignment, and DSM race freedom. Exits 1 when \
           any error-severity diagnostic fires.")
-    Term.(const run $ json $ rules $ workloads $ jobs $ seq $ list_rules)
+    Term.(
+      const run $ json $ rules $ workloads $ jobs $ seq $ list_rules
+      $ fail_on_warn)
+
+(* --- audit ------------------------------------------------------------------ *)
+
+let audit_cmd =
+  let run json rules scenarios domains jobs seq list_rules fail_on_warn =
+    if list_rules then begin
+      Format.printf "%-32s %-8s %s@." "RULE" "SEVERITY" "DESCRIPTION";
+      List.iter
+        (fun (id, sev, desc) ->
+          Format.printf "%-32s %-8s %s@." id
+            (Analysis.Diagnostic.severity_to_string sev)
+            desc)
+        Analysis.Audit.rules
+    end
+    else begin
+      List.iter
+        (fun id ->
+          if not (Analysis.Audit.is_rule id) then begin
+            Format.eprintf "unknown rule %s (hetmig audit --list-rules)@." id;
+            exit 2
+          end)
+        rules;
+      let scenarios =
+        match scenarios with
+        | [] -> Analysis.Audit.all_scenarios
+        | names ->
+          List.map
+            (fun name ->
+              match Analysis.Audit.scenario_of_name name with
+              | Some s -> s
+              | None ->
+                Format.eprintf
+                  "unknown scenario %s (want fleet, serve or scheduler)@." name;
+                exit 2)
+            names
+      in
+      let rules = match rules with [] -> None | ids -> Some ids in
+      let jobs = if seq then Some 1 else jobs in
+      let diags = Analysis.Audit.run ?rules ~scenarios ~domains ?jobs () in
+      if json then print_string (Analysis.Diagnostic.report_to_json diags)
+      else Analysis.Diagnostic.pp_report Format.std_formatter diags;
+      if
+        Analysis.Diagnostic.errors diags > 0
+        || (fail_on_warn && Analysis.Diagnostic.warnings diags > 0)
+      then exit 1
+    end
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the report as deterministic JSON (byte-stable \
+                   across $(b,--jobs) values).")
+  in
+  let rules =
+    Arg.(value & opt_all string []
+         & info [ "rule" ] ~docv:"RULE"
+             ~doc:"Check only this rule id (repeatable).")
+  in
+  let scenarios =
+    Arg.(value & opt_all string []
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:"Audit only this scenario: fleet, serve or scheduler \
+                   (repeatable; default: all three).")
+  in
+  let domains =
+    Arg.(value & opt int 4
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Parallel lane count certified against the sequential \
+                   reference run.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Domains to fan audit tasks over (default: HETMIG_JOBS or \
+                   the machine's core count).")
+  in
+  let seq =
+    Arg.(value & flag
+         & info [ "seq" ] ~doc:"Audit sequentially (same as --jobs 1).")
+  in
+  let list_rules =
+    Arg.(value & flag
+         & info [ "list-rules" ] ~doc:"Print the rule registry and exit.")
+  in
+  let fail_on_warn =
+    Arg.(value & flag
+         & info [ "fail-on-warn" ]
+             ~doc:"Also exit 1 when any warning-severity diagnostic fires.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Verify the parallel runtime: re-run the committed fleet, serve \
+          and scheduler scenarios with execution capture enabled, check \
+          the recorded schedule against the conservative-lookahead \
+          invariants, detect cross-island ownership races, and certify \
+          domains=1 and domains=N runs byte-identical. Exits 1 when any \
+          error-severity diagnostic fires.")
+    Term.(
+      const run $ json $ rules $ scenarios $ domains $ jobs $ seq $ list_rules
+      $ fail_on_warn)
 
 (* --- fleet ------------------------------------------------------------------ *)
 
@@ -884,5 +995,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ compile_cmd; migrate_cmd; emulation_cmd; schedule_cmd; fleet_cmd;
-            serve_cmd; state_map_cmd; trace_cmd; lint_cmd; metrics_cmd;
-            experiment_cmd ]))
+            serve_cmd; state_map_cmd; trace_cmd; lint_cmd; audit_cmd;
+            metrics_cmd; experiment_cmd ]))

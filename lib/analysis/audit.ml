@@ -1,0 +1,262 @@
+(* `hetmig audit` driver: run the committed parallel-runtime scenarios
+   with capture enabled and push the recorded executions through the
+   schedule verifier, the island race detector, and the determinism
+   certifier.
+
+   Per scenario (fleet, serve):
+
+     - base: the scenario runs audited at domains=1 and domains=N; the
+       d=1 capture is schedule-verified and race-checked, and the two
+       runs are certified against each other (captures elementwise,
+       then renders line-by-line);
+     - seed and epoch variants: plain runs at both domain counts,
+       certified on renders — the cheap determinism sweep;
+     - sensitivity: the base render (config header stripped) must
+       differ from each variant's, or the knob is not reaching the
+       simulation.
+
+   The scheduler scenario certifies the engine-hosted run against the
+   island-hosted one (`~on_islands:true`): the classic byte-identity
+   contract, now reported as structured diagnostics instead of a bare
+   cmp(1) failure.
+
+   Tasks fan over {!Parallel.Pool} in a fixed order and each task's
+   diagnostics depend only on its own runs, so the report is
+   byte-identical whatever [jobs] is. *)
+
+module D = Diagnostic
+module Det = Determinism_check
+
+type scenario = Fleet | Serve | Scheduler
+
+let scenario_name = function
+  | Fleet -> "fleet"
+  | Serve -> "serve"
+  | Scheduler -> "scheduler"
+
+let scenario_of_name = function
+  | "fleet" -> Some Fleet
+  | "serve" -> Some Serve
+  | "scheduler" -> Some Scheduler
+  | _ -> None
+
+let all_scenarios = [ Fleet; Serve; Scheduler ]
+
+let rules =
+  Islands_check.rules @ Island_race.rules @ Determinism_check.rules
+
+let is_rule id = List.exists (fun (r, _, _) -> r = id) rules
+
+let validate_rules = function
+  | None -> ()
+  | Some ids ->
+      List.iter
+        (fun id ->
+          if not (is_rule id) then
+            invalid_arg (Printf.sprintf "Audit: unknown rule %s" id))
+        ids
+
+let selected rules (d : D.t) =
+  match rules with None -> true | Some ids -> List.mem d.D.rule ids
+
+let wants_prefix rules prefix =
+  match rules with
+  | None -> true
+  | Some ids -> List.exists (fun id -> String.starts_with ~prefix id) ids
+
+(* The committed scenarios: the fleet smoke (64 nodes, 1000 jobs) and
+   the bursty 16-node serve, both seed 42 — the configurations the CI
+   sequential-vs-islands diffs already pin down. *)
+let default_fleet = Sched.Fleet.default ~nodes:64 ~jobs:1000 ~seed:42
+
+let default_serve () =
+  Sched.Service.default ~nodes:16 ~seed:42
+    ~source:
+      (Sched.Arrival.bursty_source ~seed:42 ~services:8 ~duration_s:60.0 ())
+
+(* Render with the config header stripped: the header echoes the knobs
+   (seed, epoch), so with it in place a sensitivity comparison could
+   never report the knob as dead. *)
+let body render =
+  match String.index_opt render '\n' with
+  | Some i -> String.sub render (i + 1) (String.length render - i - 1)
+  | None -> render
+
+let run ?rules:ids ?(scenarios = all_scenarios) ?(domains = 4) ?jobs
+    ?(fleet = default_fleet) ?serve () =
+  validate_rules ids;
+  if domains < 1 then invalid_arg "Audit.run: domains must be positive";
+  let serve = match serve with Some s -> s | None -> default_serve () in
+  let wants_cap = wants_prefix ids "island" in
+  let wants_det = wants_prefix ids "det-" in
+  let dn_label = Printf.sprintf "domains=%d" domains in
+  (* Each task returns (diagnostics, labeled header-stripped renders);
+     the renders feed the post-pool sensitivity checks. *)
+  let fleet_base () =
+    let label = "fleet" in
+    let r1, cap1 = Sched.Fleet.run_audited ~domains:1 fleet in
+    let rn, capn = Sched.Fleet.run_audited ~domains fleet in
+    let render1 = Sched.Fleet.render fleet r1 in
+    let rendern = Sched.Fleet.render fleet rn in
+    let obs1 =
+      { Det.r_label = "domains=1"; r_render = render1; r_capture = Some cap1 }
+    in
+    let obsn =
+      { Det.r_label = dn_label; r_render = rendern; r_capture = Some capn }
+    in
+    let diags =
+      (if wants_cap then
+         Islands_check.check ~label cap1 @ Island_race.check ~label cap1
+       else [])
+      @
+      if wants_det then Det.certify ~label ~reference:obs1 ~candidate:obsn
+      else []
+    in
+    (diags, [ ("fleet:base", body render1) ])
+  in
+  let fleet_variant ~tag cfg () =
+    let label = "fleet" in
+    let render1 = Sched.Fleet.render cfg (Sched.Fleet.run ~domains:1 cfg) in
+    let rendern = Sched.Fleet.render cfg (Sched.Fleet.run ~domains cfg) in
+    let diags =
+      Det.certify ~label
+        ~reference:
+          { Det.r_label = "domains=1"; r_render = render1; r_capture = None }
+        ~candidate:
+          { Det.r_label = dn_label; r_render = rendern; r_capture = None }
+    in
+    (diags, [ (tag, body render1) ])
+  in
+  let serve_base () =
+    let label = "serve" in
+    let r1, cap1 = Sched.Service.run_audited ~domains:1 serve in
+    let rn, capn = Sched.Service.run_audited ~domains serve in
+    let render1 = Sched.Service.render serve r1 in
+    let rendern = Sched.Service.render serve rn in
+    let obs1 =
+      { Det.r_label = "domains=1"; r_render = render1; r_capture = Some cap1 }
+    in
+    let obsn =
+      { Det.r_label = dn_label; r_render = rendern; r_capture = Some capn }
+    in
+    let diags =
+      (if wants_cap then
+         Islands_check.check ~label cap1 @ Island_race.check ~label cap1
+       else [])
+      @
+      if wants_det then Det.certify ~label ~reference:obs1 ~candidate:obsn
+      else []
+    in
+    (diags, [ ("serve:base", body render1) ])
+  in
+  let serve_variant ~tag cfg () =
+    let label = "serve" in
+    let render1 = Sched.Service.render cfg (Sched.Service.run ~domains:1 cfg) in
+    let rendern = Sched.Service.render cfg (Sched.Service.run ~domains cfg) in
+    let diags =
+      Det.certify ~label
+        ~reference:
+          { Det.r_label = "domains=1"; r_render = render1; r_capture = None }
+        ~candidate:
+          { Det.r_label = dn_label; r_render = rendern; r_capture = None }
+    in
+    (diags, [ (tag, body render1) ])
+  in
+  let sched_render r = Format.asprintf "%a" Sched.Scheduler.pp_result r in
+  let sched_base () =
+    let label = "scheduler" in
+    let jobs = Sched.Arrival.sustained ~seed:42 ~jobs:40 in
+    let policy = Sched.Policy.Dynamic_unbalanced in
+    let engine = sched_render (Sched.Scheduler.run policy jobs) in
+    let hosted =
+      sched_render (Sched.Scheduler.run ~on_islands:true policy jobs)
+    in
+    let diags =
+      Det.certify ~label
+        ~reference:
+          { Det.r_label = "engine"; r_render = engine; r_capture = None }
+        ~candidate:
+          { Det.r_label = "on-islands"; r_render = hosted; r_capture = None }
+    in
+    (diags, [ ("scheduler:base", engine) ])
+  in
+  let sched_seed () =
+    let jobs = Sched.Arrival.sustained ~seed:43 ~jobs:40 in
+    let render =
+      sched_render (Sched.Scheduler.run Sched.Policy.Dynamic_unbalanced jobs)
+    in
+    ([], [ ("scheduler:seed", render) ])
+  in
+  let tasks =
+    List.concat_map
+      (fun scenario ->
+        match scenario with
+        | Fleet ->
+            (if wants_cap || wants_det then [ fleet_base ] else [])
+            @
+            if wants_det then
+              [
+                fleet_variant ~tag:"fleet:seed"
+                  { fleet with Sched.Fleet.seed = fleet.Sched.Fleet.seed + 1 };
+                fleet_variant ~tag:"fleet:epoch"
+                  {
+                    fleet with
+                    Sched.Fleet.epoch_s = fleet.Sched.Fleet.epoch_s *. 2.0;
+                  };
+              ]
+            else []
+        | Serve ->
+            (if wants_cap || wants_det then [ serve_base ] else [])
+            @
+            if wants_det then
+              [
+                serve_variant ~tag:"serve:seed"
+                  {
+                    serve with
+                    Sched.Service.seed = serve.Sched.Service.seed + 1;
+                  };
+                serve_variant ~tag:"serve:epoch"
+                  {
+                    serve with
+                    Sched.Service.epoch_s = serve.Sched.Service.epoch_s *. 2.0;
+                  };
+              ]
+            else []
+        | Scheduler ->
+            if wants_det then [ sched_base; sched_seed ] else [])
+      scenarios
+  in
+  let outs = Parallel.Pool.map_list ?jobs (fun task -> task ()) tasks in
+  let renders = List.concat_map snd outs in
+  let sensitivity =
+    if not (wants_prefix ids "det-seed") then []
+    else
+      List.concat_map
+        (fun scenario ->
+          let name = scenario_name scenario in
+          let find tag = List.assoc_opt tag renders in
+          let probe ~variant ~vlabel =
+            match (find (name ^ ":base"), find variant) with
+            | Some base, Some perturbed ->
+                Det.check_seed_sensitivity ~label:name
+                  ~base:
+                    { Det.r_label = "base"; r_render = base; r_capture = None }
+                  ~perturbed:
+                    {
+                      Det.r_label = vlabel;
+                      r_render = perturbed;
+                      r_capture = None;
+                    }
+            | _ -> []
+          in
+          match scenario with
+          | Fleet ->
+              probe ~variant:"fleet:seed" ~vlabel:"seed+1"
+              @ probe ~variant:"fleet:epoch" ~vlabel:"epoch*2"
+          | Serve ->
+              probe ~variant:"serve:seed" ~vlabel:"seed+1"
+              @ probe ~variant:"serve:epoch" ~vlabel:"epoch*2"
+          | Scheduler -> probe ~variant:"scheduler:seed" ~vlabel:"seed+1")
+        scenarios
+  in
+  List.filter (selected ids) (List.concat_map fst outs @ sensitivity)

@@ -1,0 +1,42 @@
+(** [hetmig audit] driver: capture-and-verify over the committed
+    parallel-runtime scenarios.
+
+    Each scenario runs with the {!Sim.Islands} audit capture enabled
+    and its recorded execution flows through {!Islands_check} (schedule
+    verifier), {!Island_race} (ownership race detector), and
+    {!Determinism_check} (domains=1 vs domains=N certification, plus
+    seed/epoch sensitivity probes). The scheduler scenario certifies
+    the engine-hosted run against the island-hosted one. *)
+
+type scenario = Fleet | Serve | Scheduler
+
+val scenario_name : scenario -> string
+val scenario_of_name : string -> scenario option
+
+val all_scenarios : scenario list
+(** [Fleet; Serve; Scheduler] — the default sweep. *)
+
+val rules : (string * Diagnostic.severity * string) list
+(** Every rule an audit can emit: the union of {!Islands_check.rules},
+    {!Island_race.rules}, and {!Determinism_check.rules}. *)
+
+val is_rule : string -> bool
+
+val run :
+  ?rules:string list ->
+  ?scenarios:scenario list ->
+  ?domains:int ->
+  ?jobs:int ->
+  ?fleet:Sched.Fleet.config ->
+  ?serve:Sched.Service.config ->
+  unit ->
+  Diagnostic.t list
+(** Audit [scenarios] (default: all) and return the diagnostics.
+    [rules] restricts the output to the named rules — and skips runs
+    that cannot surface any of them; unknown ids raise
+    [Invalid_argument]. [domains] (default 4) is the parallel lane
+    count certified against the sequential reference. [jobs] bounds the
+    {!Parallel.Pool} fan-out over scenario tasks; the report is
+    byte-identical whatever its value. [fleet] and [serve] override the
+    committed scenario configs (defaults: the 64-node/1000-job fleet
+    smoke and the bursty 16-node/8-service serve, both seed 42). *)

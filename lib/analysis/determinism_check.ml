@@ -1,0 +1,152 @@
+(* Determinism certifier: diff two observations of what must be the
+   same execution — a scenario run at domains=1 vs domains=N, or the
+   engine-hosted vs island-hosted scheduler — and turn the first
+   divergence into a structured diagnostic instead of a bare cmp(1)
+   failure.
+
+   Two layers of evidence, checked independently:
+
+     - captures (when both runs recorded one): the per-island executed
+       event sequences, compared elementwise in execution order. The
+       first divergent event pins the island, window, and position
+       where the schedules forked — the thing a whole-report diff can
+       never tell you.
+     - renders: the byte-stable text reports. A render divergence with
+       identical logs means the divergence is in result accounting, not
+       scheduling; the diagnostics distinguish the two.
+
+   The seed-sensitivity probe is the inverse check: perturbing the seed
+   (or the epoch) must change the rendered result. Two byte-identical
+   renders under different seeds mean the knob is not actually plumbed
+   into the simulation — deterministic for the wrong reason. *)
+
+module D = Diagnostic
+module I = Sim.Islands
+
+type run_obs = {
+  r_label : string;  (* e.g. "domains=1" *)
+  r_render : string;
+  r_capture : I.capture option;
+}
+
+let rules =
+  [
+    ( "det-log-divergence",
+      D.Error,
+      "two runs of one scenario executed different event schedules" );
+    ( "det-render-divergence",
+      D.Error,
+      "two runs of one scenario rendered different reports" );
+    ( "det-seed-insensitive",
+      D.Warning,
+      "perturbing the seed left the rendered result byte-identical" );
+  ]
+
+let key_str (x : I.exec_rec) =
+  Printf.sprintf "(%g, %d, %d)" x.I.x_time x.I.x_seq x.I.x_src
+
+(* First position where two per-island exec sequences disagree on the
+   executed key (or one run has more events than the other). *)
+let diff_execs ~label ~ref_label ~cand_label isl ra rb =
+  let rec go idx ra rb =
+    match (ra, rb) with
+    | [], [] -> []
+    | (a : I.exec_rec) :: ra', (b : I.exec_rec) :: rb' ->
+        if
+          a.I.x_time = b.I.x_time && a.I.x_seq = b.I.x_seq
+          && a.I.x_src = b.I.x_src
+        then go (idx + 1) ra' rb'
+        else
+          [
+            D.make ~rule:"det-log-divergence" ~severity:D.Error ~prog:label
+              ~func:(Printf.sprintf "island-%d" isl)
+              ~site:(Printf.sprintf "w%d" b.I.x_window)
+              (Printf.sprintf
+                 "event %d: %s executed %s where %s executed %s" idx cand_label
+                 (key_str b) ref_label (key_str a));
+          ]
+    | (a : I.exec_rec) :: _, [] ->
+        [
+          D.make ~rule:"det-log-divergence" ~severity:D.Error ~prog:label
+            ~func:(Printf.sprintf "island-%d" isl)
+            ~site:(Printf.sprintf "w%d" a.I.x_window)
+            (Printf.sprintf
+               "event %d: %s stopped where %s executed %s" idx cand_label
+               ref_label (key_str a));
+        ]
+    | [], (b : I.exec_rec) :: _ ->
+        [
+          D.make ~rule:"det-log-divergence" ~severity:D.Error ~prog:label
+            ~func:(Printf.sprintf "island-%d" isl)
+            ~site:(Printf.sprintf "w%d" b.I.x_window)
+            (Printf.sprintf
+               "event %d: %s executed extra %s beyond %s's log" idx cand_label
+               (key_str b) ref_label);
+        ]
+  in
+  go 0 ra rb
+
+let diff_renders ~label ~ref_label ~cand_label ra rb =
+  if String.equal ra rb then []
+  else begin
+    let la = String.split_on_char '\n' ra in
+    let lb = String.split_on_char '\n' rb in
+    let rec first_diff n la lb =
+      match (la, lb) with
+      | a :: la', b :: lb' ->
+          if String.equal a b then first_diff (n + 1) la' lb' else (n, a, b)
+      | a :: _, [] -> (n, a, "<end of report>")
+      | [], b :: _ -> (n, "<end of report>", b)
+      | [], [] -> (n, "", "")
+    in
+    let line, a, b = first_diff 1 la lb in
+    [
+      D.make ~rule:"det-render-divergence" ~severity:D.Error ~prog:label
+        ~site:(Printf.sprintf "line %d" line)
+        (Printf.sprintf "%s rendered %S where %s rendered %S" cand_label b
+           ref_label a);
+    ]
+  end
+
+let certify ~label ~reference ~candidate =
+  let logs =
+    match (reference.r_capture, candidate.r_capture) with
+    | Some ca, Some cb ->
+        if ca.I.c_islands <> cb.I.c_islands then
+          [
+            D.make ~rule:"det-log-divergence" ~severity:D.Error ~prog:label
+              (Printf.sprintf "%s ran %d islands where %s ran %d"
+                 candidate.r_label cb.I.c_islands reference.r_label
+                 ca.I.c_islands);
+          ]
+        else begin
+          (* Report the first divergent island only: one schedule fork
+             cascades across every island downstream of it, and the
+             earliest island's first divergence is the actionable one. *)
+          let diags = ref [] in
+          let i = ref 0 in
+          while !diags = [] && !i < ca.I.c_islands do
+            diags :=
+              diff_execs ~label ~ref_label:reference.r_label
+                ~cand_label:candidate.r_label !i ca.I.c_execs.(!i)
+                cb.I.c_execs.(!i);
+            incr i
+          done;
+          !diags
+        end
+    | _ -> []
+  in
+  logs
+  @ diff_renders ~label ~ref_label:reference.r_label
+      ~cand_label:candidate.r_label reference.r_render candidate.r_render
+
+let check_seed_sensitivity ~label ~base ~perturbed =
+  if String.equal base.r_render perturbed.r_render then
+    [
+      D.make ~rule:"det-seed-insensitive" ~severity:D.Warning ~prog:label
+        (Printf.sprintf
+           "%s and %s rendered byte-identical reports; the perturbation is \
+            not reaching the simulation"
+           base.r_label perturbed.r_label);
+    ]
+  else []

@@ -1,0 +1,28 @@
+(** Determinism certifier: structured divergence diagnostics between
+    runs that must be bit-identical (domains=1 vs domains=N, engine vs
+    island-hosted), plus the inverse probe that a perturbed seed must
+    actually change the result. *)
+
+type run_obs = {
+  r_label : string;
+      (** how this observation was produced, e.g. ["domains=1"] *)
+  r_render : string;  (** the scenario's byte-stable text report *)
+  r_capture : Sim.Islands.capture option;
+}
+
+val rules : (string * Diagnostic.severity * string) list
+(** [(id, severity, summary)] for every rule this pass can emit. *)
+
+val certify : label:string -> reference:run_obs -> candidate:run_obs ->
+  Diagnostic.t list
+(** Diff [candidate] against [reference]. When both carry captures, the
+    per-island executed event sequences are compared first and the
+    earliest divergent event is reported with its island, window, and
+    log position ([det-log-divergence]); the rendered reports are then
+    compared line-by-line ([det-render-divergence]). Empty when the
+    runs agree. *)
+
+val check_seed_sensitivity :
+  label:string -> base:run_obs -> perturbed:run_obs -> Diagnostic.t list
+(** [det-seed-insensitive] warning when two runs that differ in seed
+    (or another plumbed knob) rendered byte-identical reports. *)

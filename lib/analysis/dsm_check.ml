@@ -54,7 +54,7 @@ let capture ~binary ~(spec : Workload.Spec.t) =
 
 let check_log ~label ~units events =
   let has_access =
-    List.exists (function Race.Access _ -> true | Race.Sync _ -> false) events
+    List.exists (function Race.Access _ -> true | _ -> false) events
   in
   let empty =
     if has_access then []

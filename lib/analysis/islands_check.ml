@@ -1,0 +1,287 @@
+(* Schedule verifier for captured time-island executions.
+
+   Every rule re-derives one clause of the conservative-lookahead
+   safety argument (DESIGN.md §7b) from the capture alone, reading only
+   the fields that clause is about — so a corrupted capture (the seeded
+   validation corpus) trips exactly the rule whose invariant it breaks,
+   and a clean run certifies each clause independently:
+
+     - every cross-island post respects the lookahead (the contract
+       that makes window execution safe at all);
+     - no event executed before its island's clock (causality within an
+       island) or outside its window's [from, until) bounds;
+     - each island's execution sequence is strictly increasing in the
+       (time, seq, src) total order, and no key is ever duplicated
+       across islands (ties would make the merge order ambiguous);
+     - windows advance monotonically: each spans exactly ahead of the
+       previous one's end, never regressing;
+     - PRNG streams are island-local: every state advance is accounted
+       for by an event executed on the owning island. *)
+
+module D = Diagnostic
+module I = Sim.Islands
+
+let rules =
+  [
+    ( "island-post-lookahead",
+      D.Error,
+      "a cross-island post's delay is below the runtime lookahead" );
+    ( "island-exec-before-clock",
+      D.Error,
+      "an event executed before its island's local clock" );
+    ( "island-exec-outside-window",
+      D.Error,
+      "an event executed outside its synchronization window's bounds" );
+    ( "island-order",
+      D.Error,
+      "an island executed events out of (time, seq, src) key order" );
+    ( "island-order-ambiguous",
+      D.Error,
+      "two executed events share a (time, seq, src) key" );
+    ( "island-window-regress",
+      D.Error,
+      "synchronization windows did not advance monotonically" );
+    ( "island-prng-nonlocal",
+      D.Error,
+      "an island's PRNG stream advanced outside its own events" );
+    ( "island-calendar-order",
+      D.Error,
+      "a calendar pop-order tripwire fired during the run" );
+    ( "island-empty-capture",
+      D.Info,
+      "the capture recorded no executed events" );
+  ]
+
+let key_compare (t1, q1, s1) (t2, q2, s2) =
+  match Float.compare t1 t2 with
+  | 0 -> begin
+    match compare q1 q2 with 0 -> compare s1 s2 | c -> c
+  end
+  | c -> c
+
+let key_str (t, q, s) = Printf.sprintf "(%g, %d, %d)" t q s
+
+let isl_name i = Printf.sprintf "island-%d" i
+let win_site w = Printf.sprintf "w%d" w
+
+let check_posts ~label (cap : I.capture) =
+  (* Reads only [p_after] against the recorded lookahead: the delay is
+     stored exactly as passed to [post], so a float re-derivation can
+     never create a spurious boundary miss. *)
+  List.filter_map
+    (fun (p : I.post_rec) ->
+      if p.I.p_after < cap.I.c_lookahead then
+        Some
+          (D.make ~rule:"island-post-lookahead" ~severity:D.Error ~prog:label
+             ~func:(isl_name p.I.p_src) ~site:(win_site p.I.p_window)
+             (Printf.sprintf
+                "post %d -> %d at t=%g has delay %g below lookahead %g"
+                p.I.p_src p.I.p_dst p.I.p_send_time p.I.p_after
+                cap.I.c_lookahead))
+      else None)
+    cap.I.c_posts
+
+let check_exec_clock ~label (cap : I.capture) =
+  let diags = ref [] in
+  Array.iter
+    (fun execs ->
+      List.iter
+        (fun (x : I.exec_rec) ->
+          if x.I.x_time < x.I.x_clock_before then
+            diags :=
+              D.make ~rule:"island-exec-before-clock" ~severity:D.Error
+                ~prog:label ~func:(isl_name x.I.x_isl)
+                ~site:(win_site x.I.x_window)
+                (Printf.sprintf
+                   "event %s executed with the island clock already at %g"
+                   (key_str (x.I.x_time, x.I.x_seq, x.I.x_src))
+                   x.I.x_clock_before)
+              :: !diags)
+        execs)
+    cap.I.c_execs;
+  List.rev !diags
+
+let check_exec_window ~label (cap : I.capture) =
+  let bars = Array.of_list cap.I.c_barriers in
+  let diags = ref [] in
+  Array.iter
+    (fun execs ->
+      List.iter
+        (fun (x : I.exec_rec) ->
+          if x.I.x_window >= 0 && x.I.x_window < Array.length bars then begin
+            let b = bars.(x.I.x_window) in
+            if x.I.x_time < b.I.b_from || x.I.x_time >= b.I.b_until then
+              diags :=
+                D.make ~rule:"island-exec-outside-window" ~severity:D.Error
+                  ~prog:label ~func:(isl_name x.I.x_isl)
+                  ~site:(win_site x.I.x_window)
+                  (Printf.sprintf
+                     "event %s executed outside window [%g, %g)"
+                     (key_str (x.I.x_time, x.I.x_seq, x.I.x_src))
+                     b.I.b_from b.I.b_until)
+                :: !diags
+          end)
+        execs)
+    cap.I.c_execs;
+  List.rev !diags
+
+let check_order ~label (cap : I.capture) =
+  (* Per-island sequences are recorded in true execution order, so a
+     strictly-increasing scan is exactly "this island executed its
+     schedule in key order" — including across window boundaries, where
+     every remaining or newly delivered event must sit at or beyond the
+     previous window's end. *)
+  let diags = ref [] in
+  Array.iter
+    (fun execs ->
+      let rec scan = function
+        | (a : I.exec_rec) :: (b : I.exec_rec) :: rest ->
+            let ka = (a.I.x_time, a.I.x_seq, a.I.x_src) in
+            let kb = (b.I.x_time, b.I.x_seq, b.I.x_src) in
+            (* Strict regressions only: an exact duplicate key is the
+               ambiguity rule's finding, not this one's. *)
+            if key_compare kb ka < 0 then
+              diags :=
+                D.make ~rule:"island-order" ~severity:D.Error ~prog:label
+                  ~func:(isl_name b.I.x_isl) ~site:(win_site b.I.x_window)
+                  (Printf.sprintf "event %s executed after %s" (key_str kb)
+                     (key_str ka))
+                :: !diags;
+            scan (b :: rest)
+        | _ -> ()
+      in
+      scan execs)
+    cap.I.c_execs;
+  List.rev !diags
+
+let check_ambiguous ~label (cap : I.capture) =
+  (* Duplicate keys anywhere in the run make the merge order ambiguous;
+     the scan is global (sort all keys, compare neighbours) and reads
+     nothing but the keys, so island-local order corruption never
+     reaches it. *)
+  let all = ref [] in
+  Array.iter
+    (fun execs ->
+      List.iter
+        (fun (x : I.exec_rec) ->
+          all := (x.I.x_time, x.I.x_seq, x.I.x_src, x.I.x_isl, x.I.x_window)
+                 :: !all)
+        execs)
+    cap.I.c_execs;
+  let arr = Array.of_list !all in
+  Array.sort
+    (fun (t1, q1, s1, _, _) (t2, q2, s2, _, _) ->
+      key_compare (t1, q1, s1) (t2, q2, s2))
+    arr;
+  let diags = ref [] in
+  for i = 1 to Array.length arr - 1 do
+    let t1, q1, s1, i1, _ = arr.(i - 1) in
+    let t2, q2, s2, i2, w2 = arr.(i) in
+    if key_compare (t1, q1, s1) (t2, q2, s2) = 0 then
+      diags :=
+        D.make ~rule:"island-order-ambiguous" ~severity:D.Error ~prog:label
+          ~func:(isl_name i2) ~site:(win_site w2)
+          (Printf.sprintf "key %s executed on both island %d and island %d"
+             (key_str (t2, q2, s2))
+             i1 i2)
+        :: !diags
+  done;
+  List.rev !diags
+
+let check_windows ~label (cap : I.capture) =
+  let diags = ref [] in
+  let prev_until = ref Float.neg_infinity in
+  List.iter
+    (fun (b : I.barrier_rec) ->
+      if b.I.b_until <= b.I.b_from then
+        diags :=
+          D.make ~rule:"island-window-regress" ~severity:D.Error ~prog:label
+            ~site:(win_site b.I.b_window)
+            (Printf.sprintf "window %d spans [%g, %g): empty or inverted"
+               b.I.b_window b.I.b_from b.I.b_until)
+          :: !diags
+      else if b.I.b_from < !prev_until then
+        diags :=
+          D.make ~rule:"island-window-regress" ~severity:D.Error ~prog:label
+            ~site:(win_site b.I.b_window)
+            (Printf.sprintf
+               "window %d starts at %g, before the previous window's end %g"
+               b.I.b_window b.I.b_from !prev_until)
+          :: !diags;
+      prev_until := b.I.b_until)
+    cap.I.c_barriers;
+  List.rev !diags
+
+let check_prng ~label (cap : I.capture) =
+  (* Replay each island's fingerprint chain: creation -> every executed
+     event's before/after pair -> each barrier snapshot. A gap means
+     the stream advanced with no owning event — a draw from another
+     island's lane, exactly what per-island determinism forbids. After
+     reporting a gap the chain resyncs, so one corruption is one
+     diagnostic, not a cascade. *)
+  let diags = ref [] in
+  for i = 0 to cap.I.c_islands - 1 do
+    let expected =
+      ref (if i < Array.length cap.I.c_prng0 then cap.I.c_prng0.(i) else 0L)
+    in
+    let execs = ref cap.I.c_execs.(i) in
+    let gap ~window ~where before =
+      diags :=
+        D.make ~rule:"island-prng-nonlocal" ~severity:D.Error ~prog:label
+          ~func:(isl_name i) ~site:(win_site window)
+          (Printf.sprintf
+             "%s: %d unaccounted PRNG draw(s) on island %d's stream" where
+             (Sim.Prng.draws_between ~before:!expected ~after:before)
+             i)
+        :: !diags
+    in
+    List.iter
+      (fun (b : I.barrier_rec) ->
+        let continue = ref true in
+        while !continue do
+          match !execs with
+          | (x : I.exec_rec) :: rest when x.I.x_window <= b.I.b_window ->
+              if x.I.x_prng_before <> !expected then
+                gap ~window:x.I.x_window
+                  ~where:
+                    (Printf.sprintf "before event %s"
+                       (key_str (x.I.x_time, x.I.x_seq, x.I.x_src)))
+                  x.I.x_prng_before;
+              expected := x.I.x_prng_after;
+              execs := rest
+          | _ -> continue := false
+        done;
+        if i < Array.length b.I.b_prng && b.I.b_prng.(i) <> !expected then begin
+          gap ~window:b.I.b_window ~where:"at the window barrier"
+            b.I.b_prng.(i);
+          expected := b.I.b_prng.(i)
+        end)
+      cap.I.c_barriers
+  done;
+  List.rev !diags
+
+let check ~label (cap : I.capture) =
+  let executed =
+    Array.fold_left (fun acc l -> acc + List.length l) 0 cap.I.c_execs
+  in
+  let empty =
+    if executed > 0 then []
+    else
+      [
+        D.make ~rule:"island-empty-capture" ~severity:D.Info ~prog:label
+          "the capture recorded no executed events";
+      ]
+  in
+  let calendar =
+    if cap.I.c_calendar_violations = 0 then []
+    else
+      [
+        D.make ~rule:"island-calendar-order" ~severity:D.Error ~prog:label
+          (Printf.sprintf "%d calendar pop(s) regressed on the (time, seq, src) order"
+             cap.I.c_calendar_violations);
+      ]
+  in
+  empty @ calendar @ check_posts ~label cap @ check_exec_clock ~label cap
+  @ check_exec_window ~label cap @ check_order ~label cap
+  @ check_ambiguous ~label cap @ check_windows ~label cap
+  @ check_prng ~label cap

@@ -1,0 +1,18 @@
+(** Schedule verifier over captured time-island executions.
+
+    Statically re-checks, from a {!Sim.Islands.capture} alone, every
+    clause of the conservative-lookahead safety argument: post delays
+    at or above the lookahead, events inside their island clock and
+    window bounds, strict (time, seq, src) execution order with no
+    ambiguous ties, monotonically advancing windows, and island-local
+    PRNG streams. Each rule reads only the capture fields its clause is
+    about, so a corrupted capture trips exactly the rule whose
+    invariant it breaks. *)
+
+val rules : (string * Diagnostic.severity * string) list
+(** [(id, severity, summary)] for every rule this pass can emit. *)
+
+val check : label:string -> Sim.Islands.capture -> Diagnostic.t list
+(** Verify one captured execution; [label] becomes the diagnostics'
+    [prog]. Diagnostics carry the island as [func] ("island-N") and the
+    window as [site] ("wN") where applicable. *)

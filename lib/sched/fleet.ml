@@ -167,14 +167,27 @@ let max_phase_retries = 3
 
 (* --- the simulation ---------------------------------------------------- *)
 
-let run ?(domains = 1) cfg =
+let run_impl ?(domains = 1) ~capture cfg =
   if cfg.nodes < 2 then invalid_arg "Fleet.run: need at least 2 nodes";
   if cfg.jobs < 1 then invalid_arg "Fleet.run: need at least 1 job";
   if cfg.epoch_s <= cfg.interconnect.Machine.Interconnect.latency_s then
     invalid_arg "Fleet.run: epoch must exceed the interconnect latency";
   let rt =
-    Sim.Islands.create ~islands:(cfg.nodes + 1) ~lookahead:cfg.epoch_s
+    Sim.Islands.create ~capture ~islands:(cfg.nodes + 1) ~lookahead:cfg.epoch_s
       ~seed:cfg.seed ()
+  in
+  (* Ownership tags for the island race audit: the scheduler island (0)
+     owns the queue and load estimates (resource 0); node island i+1
+     owns node i's mutable state (resource i+1). Guarded by a local
+     immutable bool so plain runs pay nothing. *)
+  let audit = capture in
+  let touch_sched isl =
+    if audit then Sim.Islands.touch isl ~owner:0 ~resource:0 ~write:true
+  in
+  let touch_node isl ns =
+    if audit then
+      Sim.Islands.touch isl ~owner:(ns.node_id + 1) ~resource:(ns.node_id + 1)
+        ~write:true
   in
   let nodes =
     Array.init cfg.nodes (fun i ->
@@ -216,6 +229,7 @@ let run ?(domains = 1) cfg =
 
   (* --- node islands (island id = node_id + 1) -------------------------- *)
   let rec run_phase (r : running) ns isl =
+    touch_node isl ns;
     let now = Sim.Islands.now isl in
     let m = ns.machine in
     let compute =
@@ -245,6 +259,7 @@ let run ?(domains = 1) cfg =
         phase_done r ns isl)
 
   and phase_done (r : running) ns isl =
+    touch_node isl ns;
     let now = Sim.Islands.now isl in
     (* Failure draw only when the plan can fail: the zero-rate fleet is
        byte-identical to one with no failure machinery at all. *)
@@ -257,7 +272,8 @@ let run ?(domains = 1) cfg =
         (* Give up on the job: report the failure at the next epoch. *)
         adjust_busy ns ~now (-r.job.threads);
         ns.running <- List.filter (fun x -> x != r) ns.running;
-        Sim.Islands.post isl ~dst:0 ~after:cfg.epoch_s (fun _ ->
+        Sim.Islands.post isl ~dst:0 ~after:cfg.epoch_s (fun isl ->
+            touch_sched isl;
             sched.outstanding <- sched.outstanding - 1;
             sched.failed <- sched.failed + 1;
             sched.est_load.(ns.node_id) <-
@@ -276,7 +292,8 @@ let run ?(domains = 1) cfg =
         adjust_busy ns ~now (-r.job.threads);
         ns.running <- List.filter (fun x -> x != r) ns.running;
         let latency = now -. r.job.arrival in
-        Sim.Islands.post isl ~dst:0 ~after:cfg.epoch_s (fun _ ->
+        Sim.Islands.post isl ~dst:0 ~after:cfg.epoch_s (fun isl ->
+            touch_sched isl;
             sched.outstanding <- sched.outstanding - 1;
             sched.est_load.(ns.node_id) <-
               sched.est_load.(ns.node_id) - r.job.threads;
@@ -306,7 +323,8 @@ let run ?(domains = 1) cfg =
           ~after:(Float.max cfg.epoch_s pause)
           (fun isl -> job_land r isl);
         (* Keep the scheduler's placement estimates truthful. *)
-        Sim.Islands.post isl ~dst:0 ~after:cfg.epoch_s (fun _ ->
+        Sim.Islands.post isl ~dst:0 ~after:cfg.epoch_s (fun isl ->
+            touch_sched isl;
             sched.est_load.(ns.node_id) <-
               sched.est_load.(ns.node_id) - r.job.threads;
             sched.est_load.(dst) <- sched.est_load.(dst) + r.job.threads)
@@ -316,12 +334,14 @@ let run ?(domains = 1) cfg =
 
   and job_land (r : running) isl =
     let ns = nodes.(Sim.Islands.id isl - 1) in
+    touch_node isl ns;
     adjust_busy ns ~now:(Sim.Islands.now isl) r.job.threads;
     ns.running <- r :: ns.running;
     run_phase r ns isl
 
   and job_start (job : job) isl =
     let ns = nodes.(Sim.Islands.id isl - 1) in
+    touch_node isl ns;
     let r =
       { job; remaining = job.n_phases; cold = true; phase_retries = 0;
         pending_dst = -1 }
@@ -332,6 +352,7 @@ let run ?(domains = 1) cfg =
 
   and migrate_cmd ~dst isl =
     let ns = nodes.(Sim.Islands.id isl - 1) in
+    touch_node isl ns;
     (* Smallest eligible job leaves (cheapest working set to move);
        lowest jid breaks ties deterministically. *)
     let eligible =
@@ -406,6 +427,7 @@ let run ?(domains = 1) cfg =
     end
   in
   let rec tick isl =
+    touch_sched isl;
     (* Dispatch the epoch's batch in FIFO order; the head blocks when no
        node has room under the 2x-oversubscription admission cap. *)
     let dispatching = ref true in
@@ -425,7 +447,8 @@ let run ?(domains = 1) cfg =
   let sched_isl = Sim.Islands.island rt 0 in
   List.iter
     (fun (job : job) ->
-      Sim.Islands.schedule sched_isl ~at:job.arrival (fun _ ->
+      Sim.Islands.schedule sched_isl ~at:job.arrival (fun isl ->
+          touch_sched isl;
           Queue.push job sched.queue))
     arrivals;
   Sim.Islands.schedule sched_isl ~at:cfg.epoch_s tick;
@@ -480,7 +503,16 @@ let run ?(domains = 1) cfg =
     p99_latency_s = quant 0.99;
     events = Sim.Islands.events_executed rt;
     windows = Sim.Islands.windows rt;
-  }
+  },
+  rt
+
+let run ?domains cfg = fst (run_impl ?domains ~capture:false cfg)
+
+let run_audited ?domains cfg =
+  let r, rt = run_impl ?domains ~capture:true cfg in
+  match Sim.Islands.capture rt with
+  | Some cap -> (r, cap)
+  | None -> assert false
 
 (* Byte-stable rendering: everything here is a pure function of the
    deterministic simulation, so `--seq` and `--islands N` outputs diff

@@ -49,6 +49,14 @@ val run : ?domains:int -> config -> result
 (** Deterministic: the result is a pure function of [config], not of
     [domains]. *)
 
+val run_audited : ?domains:int -> config -> result * Sim.Islands.capture
+(** Like {!run}, with the runtime's audit capture enabled: records post
+    edges, executed events, window barriers, PRNG fingerprints, and
+    ownership touches (scheduler island owns resource 0; node island
+    [i+1] owns resource [i+1]) for the [hetmig audit] passes. The
+    simulated result is identical to {!run}'s — capture is pure
+    observation. *)
+
 val render : config -> result -> string
 (** Byte-stable text report (no wall-clock, no domain count): the
     artifact CI diffs between [--seq] and [--islands N] runs. *)

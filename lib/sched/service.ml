@@ -310,7 +310,7 @@ let migration_pause cfg =
 
 (* --- the simulation ---------------------------------------------------- *)
 
-let run ?(domains = 1) ?(obs = Obs.noop) cfg =
+let run_impl ?(domains = 1) ?(obs = Obs.noop) ~capture cfg =
   if cfg.nodes < 2 then invalid_arg "Service.run: need at least 2 nodes";
   if cfg.epoch_s <= cfg.interconnect.Machine.Interconnect.latency_s then
     invalid_arg "Service.run: epoch must exceed the interconnect latency";
@@ -340,8 +340,33 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
   if services < 1 then invalid_arg "Service.run: trace has no services";
   let tname = Arrival.stream_name stream in
   let rt =
-    Sim.Islands.create ~islands:(cfg.nodes + 1) ~lookahead:cfg.epoch_s
+    Sim.Islands.create ~capture ~islands:(cfg.nodes + 1) ~lookahead:cfg.epoch_s
       ~seed:cfg.seed ()
+  in
+  (* Ownership tags for the island race audit. The controller island (0)
+     owns the routing/window state (resource 0); node island i+1 owns
+     three resources: node i's serving state (busy/hosted/accounting),
+     its request queues, and its latency-histogram/digest buffers —
+     split so a diagnostic names which structure was touched. Guarded by
+     a local immutable bool so plain runs pay one predictable branch. *)
+  let audit = capture in
+  let touch_ctrl isl =
+    if audit then Sim.Islands.touch isl ~owner:0 ~resource:0 ~write:true
+  in
+  let touch_state isl nid =
+    if audit then
+      Sim.Islands.touch isl ~owner:(nid + 1) ~resource:(1 + (nid * 3))
+        ~write:true
+  in
+  let touch_queue isl nid =
+    if audit then
+      Sim.Islands.touch isl ~owner:(nid + 1) ~resource:(2 + (nid * 3))
+        ~write:true
+  in
+  let touch_hist isl nid =
+    if audit then
+      Sim.Islands.touch isl ~owner:(nid + 1) ~resource:(3 + (nid * 3))
+        ~write:true
   in
   let nodes =
     Array.init cfg.nodes (fun i ->
@@ -564,6 +589,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
      of a given epoch, so each service's latency ring stays
      time-ordered for the O(1) prune. *)
   let apply_digest node resp viol pairs lats ms isl =
+    touch_ctrl isl;
     ctrl.resolved <- ctrl.resolved + resp;
     ctrl.slo_violations <- ctrl.slo_violations + viol;
     for k = 0 to (Array.length pairs / 2) - 1 do
@@ -589,12 +615,14 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
      through {!resolve_crash_drops} instead: the controller zeroes the
      whole outstanding column when it learns of the crash. *)
   let resolve_drops svc node count isl =
+    touch_ctrl isl;
     ctrl.resolved <- ctrl.resolved + count;
     dec_outstanding svc node count;
     Obs.incr ~by:count obs "serve.dropped";
     note_resolved isl
   in
   let resolve_crash_drops count isl =
+    touch_ctrl isl;
     ctrl.resolved <- ctrl.resolved + count;
     Obs.incr ~by:count obs "serve.dropped";
     note_resolved isl
@@ -602,6 +630,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
 
   (* --- node islands (island id = node_id + 1) -------------------------- *)
   let rec start_request ns svc rid at isl =
+    touch_state isl ns.node_id;
     let now = Sim.Islands.now isl in
     settle ns ~now;
     ns.busy <- ns.busy + 1;
@@ -620,6 +649,8 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     (* A crash while this request executed already reported it dropped
        and zeroed the worker accounting; the completion is void. *)
     if not ns.crashed then begin
+      touch_state isl ns.node_id;
+      touch_hist isl ns.node_id;
       let now = Sim.Islands.now isl in
       settle ns ~now;
       ns.busy <- ns.busy - 1;
@@ -664,6 +695,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     end
 
   and flush_digest ns isl =
+    touch_hist isl ns.node_id;
     let resp = ns.dg_resp and viol = ns.dg_viol in
     let tn = ns.dg_touched_n in
     let pairs = Array.make (2 * tn) 0 in
@@ -687,6 +719,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
       (apply_digest ns.node_id resp viol pairs lats ms)
 
   and start_next ns svc isl =
+    touch_queue isl ns.node_id;
     if
       ns.hosted.(svc)
       && (not ns.draining.(svc))
@@ -701,6 +734,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     end
 
   and deliver ns svc rid at isl =
+    touch_queue isl ns.node_id;
     if ns.crashed then begin
       ns.dropped <- ns.dropped + 1;
       Sim.Islands.post isl ~dst:0 ~after:epoch (resolve_drops svc ns.node_id 1)
@@ -735,6 +769,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
 
   and drain_cmd svc dst gen isl =
     let ns = nodes.(Sim.Islands.id isl - 1) in
+    touch_state isl ns.node_id;
     if ns.crashed || not ns.hosted.(svc) then
       Sim.Islands.post isl ~dst:0 ~after:epoch (move_failed svc gen)
     else begin
@@ -745,6 +780,8 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     end
 
   and finish_drain ns svc isl =
+    touch_state isl ns.node_id;
+    touch_queue isl ns.node_id;
     let now = Sim.Islands.now isl in
     let dst = ns.drain_dst.(svc) in
     let gen = ns.drain_gen.(svc) in
@@ -768,6 +805,8 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
 
   and land_cmd svc gen carried isl =
     let ns = nodes.(Sim.Islands.id isl - 1) in
+    touch_state isl ns.node_id;
+    touch_queue isl ns.node_id;
     if ns.crashed then begin
       let n = Sim.Ring.length carried in
       if n > 0 then begin
@@ -808,6 +847,8 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
        copy was in flight) must not leave a zombie instance burning
        hosted power; tear it down, dropping whatever it queued. *)
     let ns = nodes.(Sim.Islands.id isl - 1) in
+    touch_state isl ns.node_id;
+    touch_queue isl ns.node_id;
     if (not ns.crashed) && ns.hosted.(svc) then begin
       settle ns ~now:(Sim.Islands.now isl);
       ns.hosted.(svc) <- false;
@@ -823,6 +864,8 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     end
 
   and crash_node ns isl =
+    touch_state isl ns.node_id;
+    touch_queue isl ns.node_id;
     if not ns.crashed then begin
       let now = Sim.Islands.now isl in
       settle ns ~now;
@@ -893,6 +936,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
       ctrl.migrating.(svc) <- false
 
   and move_done svc gen node isl =
+    touch_ctrl isl;
     if gen = ctrl.gen.(svc) then begin
       ctrl.migrating.(svc) <- false;
       let src = ctrl.op_src.(svc) in
@@ -925,6 +969,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
       Sim.Islands.post isl ~dst:(node + 1) ~after:epoch (uninstall_cmd svc)
 
   and move_failed svc gen isl =
+    touch_ctrl isl;
     if gen = ctrl.gen.(svc) then begin
       ctrl.migrating.(svc) <- false;
       ctrl.op_src.(svc) <- -1;
@@ -934,6 +979,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     end
 
   and node_crashed node isl =
+    touch_ctrl isl;
     if ctrl.alive.(node) then begin
       ctrl.alive.(node) <- false;
       if Obs.enabled obs then
@@ -996,6 +1042,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     b_touched_n := 0
   in
   let route rid svc at isl =
+    touch_ctrl isl;
     ctrl.arrived <- ctrl.arrived + 1;
     if slo_aware then Sim.Ring.push ctrl.arr_win.(svc) at 0;
     Obs.incr obs "serve.arrived";
@@ -1035,6 +1082,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
      balances on estimates at most one epoch stale, which is already the
      resolution the epoch-batched transport gives it. *)
   let rec pump_ev isl =
+    touch_ctrl isl;
     let t0 = Arrival.at stream in
     let boundary = t0 +. epoch in
     route (Arrival.rid stream) (Arrival.svc stream) t0 isl;
@@ -1188,6 +1236,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     end
   in
   let rec tick isl =
+    touch_ctrl isl;
     let now = Sim.Islands.now isl in
     prune_windows now;
     for s = 0 to services - 1 do
@@ -1221,6 +1270,7 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
        reports. GC figures never feed back into the simulation. *)
   let gc_prev_minor = ref 0.0 in
   let rec heartbeat isl =
+    touch_ctrl isl;
     if slo_aware then prune_windows (Sim.Islands.now isl);
     if Obs.enabled obs then begin
       let s = Gc.quick_stat () in
@@ -1348,7 +1398,15 @@ let run ?(domains = 1) ?(obs = Obs.noop) cfg =
     g "serve.energy_x86_j" result.energy_x86_j;
     g "serve.energy_arm_j" result.energy_arm_j
   end;
-  result
+  (result, rt)
+
+let run ?domains ?obs cfg = fst (run_impl ?domains ?obs ~capture:false cfg)
+
+let run_audited ?domains ?obs cfg =
+  let r, rt = run_impl ?domains ?obs ~capture:true cfg in
+  match Sim.Islands.capture rt with
+  | Some cap -> (r, cap)
+  | None -> assert false
 
 (* Byte-stable rendering: a pure function of the deterministic
    simulation, so `--seq` and `--islands N` outputs diff clean. *)

@@ -128,6 +128,16 @@ val run : ?domains:int -> ?obs:Obs.t -> config -> result
     counts out of range, a negative limit, or crashes at unknown
     nodes. *)
 
+val run_audited :
+  ?domains:int -> ?obs:Obs.t -> config -> result * Sim.Islands.capture
+(** Like {!run}, with the runtime's audit capture enabled: records post
+    edges, executed events, window barriers, PRNG fingerprints, and
+    ownership touches for the [hetmig audit] passes. The controller
+    island owns resource 0; node island [i+1] owns resources
+    [1 + 3i] (serving state), [2 + 3i] (request queues), and [3 + 3i]
+    (latency/digest buffers). The simulated result is identical to
+    {!run}'s — capture is pure observation. *)
+
 val render : config -> result -> string
 (** Byte-stable report (pure function of config and result): the
     `--seq` vs `--islands N` CI diff runs on exactly this string. *)

@@ -28,11 +28,17 @@ type 'a t = {
   mutable last_time : float;
   mutable last_src : int;
   mutable last_seq : int;
+  (* Pop-order tripwire for the audit layer: with [check_order] on,
+     every pop compares its key against the previous pop's and counts
+     regressions. Off (the default) it costs one predictable branch. *)
+  check_order : bool;
+  mutable has_popped : bool;
+  mutable order_violations : int;
 }
 
 let default_capacity = 64
 
-let create ?(capacity = default_capacity) ~dummy () =
+let create ?(capacity = default_capacity) ?(check_order = false) ~dummy () =
   let capacity = max 1 capacity in
   {
     dummy;
@@ -44,6 +50,9 @@ let create ?(capacity = default_capacity) ~dummy () =
     last_time = 0.0;
     last_src = 0;
     last_seq = 0;
+    check_order;
+    has_popped = false;
+    order_violations = 0;
   }
 
 let size t = t.size
@@ -107,6 +116,17 @@ let push t ~time ~src ~seq payload =
 
 let pop t =
   if t.size = 0 then invalid_arg "Calendar.pop: empty";
+  if t.check_order then begin
+    (if t.has_popped then
+       let ti = t.times.(0) in
+       if
+         ti < t.last_time
+         || (ti = t.last_time
+             && (t.seqs.(0) < t.last_seq
+                 || (t.seqs.(0) = t.last_seq && t.srcs.(0) <= t.last_src)))
+       then t.order_violations <- t.order_violations + 1);
+    t.has_popped <- true
+  end;
   t.last_time <- t.times.(0);
   t.last_seq <- t.seqs.(0);
   t.last_src <- t.srcs.(0);
@@ -153,6 +173,7 @@ let pop t =
 let last_time t = t.last_time
 let last_src t = t.last_src
 let last_seq t = t.last_seq
+let order_violations t = t.order_violations
 
 let clear ?shrink_to t =
   let cap =
@@ -165,4 +186,7 @@ let clear ?shrink_to t =
     t.pays <- Array.make cap t.dummy
   end
   else Array.fill t.pays 0 t.size t.dummy;
-  t.size <- 0
+  t.size <- 0;
+  (* A cleared calendar starts a fresh key stream (engine pools recycle
+     records across unrelated runs); accumulated violations persist. *)
+  t.has_popped <- false

@@ -11,9 +11,13 @@
 
 type 'a t
 
-val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+val create : ?capacity:int -> ?check_order:bool -> dummy:'a -> unit -> 'a t
 (** [dummy] fills vacated payload slots so the heap never retains dead
-    payloads. *)
+    payloads. [check_order] (default false) arms a pop-order tripwire:
+    each pop compares its (time, seq, src) key against the previous
+    pop's and counts regressions in {!order_violations} — a cheap
+    in-situ witness of the strict total order the audit layer
+    verifies. *)
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool
@@ -35,6 +39,11 @@ val pop : 'a t -> 'a
 val last_time : 'a t -> float
 val last_src : 'a t -> int
 val last_seq : 'a t -> int
+
+val order_violations : 'a t -> int
+(** With [check_order]: the number of pops whose key did not strictly
+    exceed the previous pop's key since creation. {!clear} restarts the
+    key stream (the next pop is unconstrained) but keeps the count. *)
 
 val clear : ?shrink_to:int -> 'a t -> unit
 (** Empty the calendar and shrink the backing lanes back to

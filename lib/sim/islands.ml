@@ -31,6 +31,63 @@
    count, and [domains:1] is the sequential reference execution of the
    same schedule. *)
 
+(* --- audit capture ------------------------------------------------------ *)
+
+(* A captured execution, consumed by the `hetmig audit` passes in
+   lib/analysis. Recording is pure observation: it never perturbs the
+   event schedule, so a captured run is byte-identical to a plain one.
+   Each island appends only to its own buffers from its own lane, and
+   the barrier snapshots are taken single-threaded at delivery time, so
+   capture is race-free at any domain count and the merged capture is
+   deterministic. *)
+
+type touch_rec = { t_owner : int; t_resource : int; t_write : bool }
+
+type exec_rec = {
+  x_isl : int;  (* executing island *)
+  x_time : float;
+  x_seq : int;
+  x_src : int;  (* source island of the event's key *)
+  x_clock_before : float;  (* island clock before this event ran *)
+  x_window : int;
+  x_prng_before : int64;  (* island PRNG fingerprint around the event *)
+  x_prng_after : int64;
+  x_touches : touch_rec list;  (* ownership touches, program order *)
+}
+
+type post_rec = {
+  p_src : int;
+  p_dst : int;
+  p_send_time : float;
+  p_after : float;  (* the requested delay, exact (no float re-derivation) *)
+  p_deliver_time : float;
+  p_seq : int;
+  p_window : int;
+}
+
+type barrier_rec = {
+  b_window : int;
+  b_from : float;  (* window start: global min pending event time *)
+  b_until : float;  (* window end: from + lookahead *)
+  b_prng : int64 array;  (* per-island PRNG fingerprints at the barrier *)
+}
+
+type capture = {
+  c_islands : int;
+  c_lookahead : float;
+  c_prng0 : int64 array;  (* per-island PRNG fingerprints at creation *)
+  c_execs : exec_rec list array;  (* per island, in execution order *)
+  c_posts : post_rec list;  (* merged, (send_time, seq, src) order *)
+  c_barriers : barrier_rec list;  (* window order *)
+  c_calendar_violations : int;  (* summed calendar pop-order tripwires *)
+}
+
+type island_cap = {
+  mutable k_execs : exec_rec list;  (* reversed *)
+  mutable k_posts : post_rec list;  (* reversed *)
+  mutable k_touches : touch_rec list;  (* current event's, reversed *)
+}
+
 type island = {
   id : int;
   n_islands : int;
@@ -46,6 +103,8 @@ type island = {
   record : bool;
   mutable trace : (float * int * int * int) list;
       (* (time, seq, src, island), reversed execution order *)
+  cap : island_cap option;
+  mutable cur_window : int;  (* window index while executing *)
 }
 
 (* One epoch's staged posts to a single destination, struct-of-arrays.
@@ -66,6 +125,9 @@ type t = {
   lookahead : float;
   islands : island array;
   mutable windows : int;
+  cap_on : bool;
+  prng0 : int64 array;  (* per-island fingerprints at creation (capture) *)
+  mutable cap_barriers : barrier_rec list;  (* reversed *)
 }
 
 let noop_action (_ : island) = ()
@@ -88,7 +150,8 @@ let outbox_grow box =
   box.o_seqs <- seqs';
   box.o_acts <- acts'
 
-let create ?(record = false) ~islands:n ~lookahead ~seed () =
+let create ?(record = false) ?(capture = false) ~islands:n ~lookahead ~seed ()
+    =
   if n < 1 then invalid_arg "Islands.create: need at least one island";
   if not (Float.is_finite lookahead) || lookahead <= 0.0 then
     invalid_arg "Islands.create: lookahead must be finite and positive";
@@ -99,7 +162,7 @@ let create ?(record = false) ~islands:n ~lookahead ~seed () =
           id;
           n_islands = n;
           lookahead;
-          cal = Calendar.create ~dummy:noop_action ();
+          cal = Calendar.create ~check_order:capture ~dummy:noop_action ();
           clock = 0.0;
           next_seq = 0;
           prng = Prng.split master;
@@ -109,9 +172,18 @@ let create ?(record = false) ~islands:n ~lookahead ~seed () =
           executed = 0;
           record;
           trace = [];
+          cap =
+            (if capture then
+               Some { k_execs = []; k_posts = []; k_touches = [] }
+             else None);
+          cur_window = 0;
         })
   in
-  { lookahead; islands; windows = 0 }
+  let prng0 =
+    if capture then Array.map (fun isl -> Prng.fingerprint isl.prng) islands
+    else [||]
+  in
+  { lookahead; islands; windows = 0; cap_on = capture; prng0; cap_barriers = [] }
 
 let island t id = t.islands.(id)
 let island_count t = Array.length t.islands
@@ -151,19 +223,49 @@ let post isl ~dst ~after act =
     box.o_seqs.(i) <- isl.next_seq;
     box.o_acts.(i) <- act;
     box.o_n <- i + 1;
+    (match isl.cap with
+    | None -> ()
+    | Some cap ->
+        cap.k_posts <-
+          {
+            p_src = isl.id;
+            p_dst = dst;
+            p_send_time = isl.clock;
+            p_after = after;
+            p_deliver_time = isl.clock +. after;
+            p_seq = isl.next_seq;
+            p_window = isl.cur_window;
+          }
+          :: cap.k_posts);
     isl.next_seq <- isl.next_seq + 1
   end
 
+(* Ownership observer hook for the audit layer: models (Sched.Fleet,
+   Sched.Service) tag touches of island-owned mutable state with the
+   owning island and a resource id. Touches are attached to the event
+   being executed, in program order; outside a capture this is one
+   branch. Touches made outside any event (setup code before {!run})
+   are dropped — setup is single-threaded by construction. *)
+let touch isl ~owner ~resource ~write =
+  match isl.cap with
+  | None -> ()
+  | Some cap ->
+      cap.k_touches <-
+        { t_owner = owner; t_resource = resource; t_write = write }
+        :: cap.k_touches
+
 (* Run one island up to (strictly before) [until]. Actions may push more
    local events inside the window; the loop drains them in key order. *)
-let run_island_window isl ~until =
+let run_island_window isl ~window ~until =
   let cal = isl.cal in
+  isl.cur_window <- window;
   let continue = ref true in
   while !continue do
     if Calendar.size cal = 0 || Calendar.min_time cal >= until then
       continue := false
     else begin
       let act = Calendar.pop cal in
+      let clock_before = isl.clock in
       isl.clock <- Calendar.last_time cal;
       isl.executed <- isl.executed + 1;
       if isl.record then
@@ -171,7 +273,28 @@ let run_island_window isl ~until =
           (Calendar.last_time cal, Calendar.last_seq cal, Calendar.last_src cal,
            isl.id)
           :: isl.trace;
-      act isl
+      match isl.cap with
+      | None -> act isl
+      | Some cap ->
+          let time = Calendar.last_time cal
+          and seq = Calendar.last_seq cal
+          and src = Calendar.last_src cal in
+          cap.k_touches <- [];
+          let prng_before = Prng.fingerprint isl.prng in
+          act isl;
+          cap.k_execs <-
+            {
+              x_isl = isl.id;
+              x_time = time;
+              x_seq = seq;
+              x_src = src;
+              x_clock_before = clock_before;
+              x_window = window;
+              x_prng_before = prng_before;
+              x_prng_after = Prng.fingerprint isl.prng;
+              x_touches = List.rev cap.k_touches;
+            }
+            :: cap.k_execs
     end
   done
 
@@ -203,6 +326,20 @@ let deliver t =
       src.dirty_n <- 0)
     t.islands
 
+(* Barrier-time capture snapshot: window bounds plus every island's PRNG
+   fingerprint. Runs single-threaded after [deliver], so reading the
+   island streams is race-free. *)
+let record_barrier t ~from ~until =
+  if t.cap_on then
+    t.cap_barriers <-
+      {
+        b_window = t.windows;
+        b_from = from;
+        b_until = until;
+        b_prng = Array.map (fun isl -> Prng.fingerprint isl.prng) t.islands;
+      }
+      :: t.cap_barriers
+
 let run_sequential t =
   let continue = ref true in
   while !continue do
@@ -210,8 +347,10 @@ let run_sequential t =
     if next = Float.infinity then continue := false
     else begin
       let until = next +. t.lookahead in
-      Array.iter (fun isl -> run_island_window isl ~until) t.islands;
+      let window = t.windows in
+      Array.iter (fun isl -> run_island_window isl ~window ~until) t.islands;
       deliver t;
+      record_barrier t ~from:next ~until;
       t.windows <- t.windows + 1
     end
   done
@@ -233,9 +372,13 @@ let run_parallel t ~domains =
   let failure = ref None in
   let run_lane k ~until =
     try
+      (* [t.windows] is only advanced by lane 0 at the barrier, and every
+         lane's read is separated from that write by the round mutex, so
+         this unsynchronized-looking read is ordered. *)
+      let window = t.windows in
       let i = ref k in
       while !i < n do
-        run_island_window t.islands.(!i) ~until;
+        run_island_window t.islands.(!i) ~window ~until;
         i := !i + d
       done
     with exn ->
@@ -288,6 +431,7 @@ let run_parallel t ~domains =
       done;
       Mutex.unlock m;
       deliver t;
+      record_barrier t ~from:next ~until;
       t.windows <- t.windows + 1
     end
   done;
@@ -350,3 +494,55 @@ let log t =
       end
       | c -> c)
     all
+
+let capturing t = t.cap_on
+
+(* Assemble the merged capture. Per-island exec logs are kept in TRUE
+   execution order (not re-sorted): each island's execution is
+   sequential and deterministic, so the order is reproducible, and
+   re-sorting would erase exactly the out-of-order evidence the
+   schedule checker exists to find. Posts are merged across islands on
+   their globally-unique (send_time, seq, src) key so the merged list
+   is deterministic whatever the domain count. *)
+let capture t =
+  if not t.cap_on then None
+  else
+    let posts =
+      Array.fold_left
+        (fun acc isl ->
+          match isl.cap with
+          | None -> acc
+          | Some cap -> List.rev_append cap.k_posts acc)
+        [] t.islands
+    in
+    let posts =
+      List.sort
+        (fun a b ->
+          match Float.compare a.p_send_time b.p_send_time with
+          | 0 -> begin
+            match compare a.p_seq b.p_seq with
+            | 0 -> compare a.p_src b.p_src
+            | c -> c
+          end
+          | c -> c)
+        posts
+    in
+    Some
+      {
+        c_islands = Array.length t.islands;
+        c_lookahead = t.lookahead;
+        c_prng0 = Array.copy t.prng0;
+        c_execs =
+          Array.map
+            (fun isl ->
+              match isl.cap with
+              | None -> []
+              | Some cap -> List.rev cap.k_execs)
+            t.islands;
+        c_posts = posts;
+        c_barriers = List.rev t.cap_barriers;
+        c_calendar_violations =
+          Array.fold_left
+            (fun acc isl -> acc + Calendar.order_violations isl.cal)
+            0 t.islands;
+      }

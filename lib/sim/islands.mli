@@ -19,9 +19,76 @@ type t
 type island
 (** Handle to one island, passed to every action it executes. *)
 
-val create : ?record:bool -> islands:int -> lookahead:float -> seed:int -> unit -> t
+(** {2 Audit capture}
+
+    With [capture:true], the runtime records a structural trace of the
+    execution — post edges, executed events, window barriers, PRNG
+    fingerprints, ownership touches — for the [hetmig audit] passes in
+    [lib/analysis]. Recording is pure observation (it never perturbs
+    the schedule), each island writes only its own buffers from its own
+    lane, and barrier snapshots are taken single-threaded, so capture
+    is race-free and deterministic at any domain count. *)
+
+type touch_rec = {
+  t_owner : int;  (** island that owns the touched resource *)
+  t_resource : int;  (** model-assigned resource id *)
+  t_write : bool;
+}
+
+type exec_rec = {
+  x_isl : int;  (** executing island *)
+  x_time : float;
+  x_seq : int;
+  x_src : int;  (** source island of the event's (time, seq, src) key *)
+  x_clock_before : float;  (** island clock before this event ran *)
+  x_window : int;
+  x_prng_before : int64;  (** island PRNG fingerprint before the event *)
+  x_prng_after : int64;  (** … and after *)
+  x_touches : touch_rec list;  (** ownership touches, program order *)
+}
+
+type post_rec = {
+  p_src : int;
+  p_dst : int;
+  p_send_time : float;
+  p_after : float;  (** requested delay, exact as passed to {!post} *)
+  p_deliver_time : float;
+  p_seq : int;
+  p_window : int;  (** window in which the post was made *)
+}
+
+type barrier_rec = {
+  b_window : int;
+  b_from : float;  (** window start: global min pending event time *)
+  b_until : float;  (** window end: [b_from + lookahead] *)
+  b_prng : int64 array;  (** per-island PRNG fingerprints at the barrier *)
+}
+
+type capture = {
+  c_islands : int;
+  c_lookahead : float;
+  c_prng0 : int64 array;  (** per-island PRNG fingerprints at creation *)
+  c_execs : exec_rec list array;
+      (** per island, in true execution order (deliberately not
+          re-sorted: out-of-order pops are evidence) *)
+  c_posts : post_rec list;  (** merged, (send_time, seq, src) order *)
+  c_barriers : barrier_rec list;  (** window order *)
+  c_calendar_violations : int;
+      (** summed {!Calendar.order_violations} tripwire counts *)
+}
+
+val create :
+  ?record:bool ->
+  ?capture:bool ->
+  islands:int ->
+  lookahead:float ->
+  seed:int ->
+  unit ->
+  t
 (** [record:true] keeps a per-island execution log for determinism
-    tests (see {!log}); off by default, costing nothing. [lookahead]
+    tests (see {!log}); [capture:true] additionally records the full
+    audit capture (see {!capture}) and arms the calendars' pop-order
+    tripwires. Both are off by default, costing nothing. [lookahead]
     must be finite and positive. *)
 
 val island : t -> int -> island
@@ -69,6 +136,22 @@ val run : ?domains:int -> t -> unit
 (** Execute until no events remain anywhere. [domains] bounds the number
     of parallel lanes (capped at the island count); [1] (the default)
     runs the sequential reference schedule on the calling domain. *)
+
+val touch : island -> owner:int -> resource:int -> write:bool -> unit
+(** Ownership observer for the audit layer: a model tags an access to
+    mutable state with the island that owns it ([owner]) and a
+    model-chosen [resource] id. Touches are attached, in program order,
+    to the event currently executing on [isl]; without [capture] this
+    is a single branch. The island-race audit pass flags touches whose
+    [owner] differs from the executing island with no happens-before
+    edge. *)
+
+val capturing : t -> bool
+(** Whether the runtime was created with [capture:true]. *)
+
+val capture : t -> capture option
+(** The recorded audit capture, or [None] without [capture:true]. Call
+    after {!run}; the capture is assembled fresh on each call. *)
 
 val events_executed : t -> int
 val windows : t -> int

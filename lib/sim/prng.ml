@@ -16,6 +16,21 @@ let next_int64 t =
 let split t = { state = next_int64 t }
 let copy t = { state = t.state }
 
+let fingerprint t = t.state
+
+(* golden_gamma is odd, so it is invertible mod 2^64; Newton iteration
+   on the 2-adic inverse (x <- x * (2 - a*x)) doubles the valid bit
+   count each step, and a itself is already an inverse mod 2^3. *)
+let golden_gamma_inv =
+  let rec go x n =
+    if n = 0 then x
+    else go Int64.(mul x (sub 2L (mul golden_gamma x))) (n - 1)
+  in
+  go golden_gamma 6
+
+let draws_between ~before ~after =
+  Int64.to_int (Int64.mul (Int64.sub after before) golden_gamma_inv)
+
 let int t bound =
   assert (bound > 0);
   (* Keep 62 bits so the result is a non-negative OCaml int. *)

@@ -14,6 +14,18 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 
+val fingerprint : t -> int64
+(** The raw splitmix64 state, without advancing [t]. Two generators with
+    equal fingerprints produce identical draw sequences; the audit layer
+    snapshots fingerprints around events to certify that a stream only
+    advanced inside its owning island's execution. *)
+
+val draws_between : before:int64 -> after:int64 -> int
+(** Number of state advances (single draws or splits) separating two
+    {!fingerprint}s of the same generator. Exact: the splitmix64 state
+    moves by a fixed odd increment per draw, which is invertible
+    mod 2{^64}. *)
+
 val next_int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -25,4 +25,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("core", Test_core.suite);
       ("analysis", Test_analysis.suite);
+      ("audit", Test_audit.suite);
     ]

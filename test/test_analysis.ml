@@ -394,7 +394,7 @@ let stripped_log_is_racy () =
   let events, units = Lazy.force captured_log in
   let stripped =
     List.filter
-      (function Analysis.Race.Access _ -> true | Analysis.Race.Sync _ -> false)
+      (function Analysis.Race.Access _ -> true | _ -> false)
       events
   in
   checkb "stripped log races" true
