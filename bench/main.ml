@@ -30,6 +30,8 @@ let experiments =
      Experiments.Telemetry.run);
     ("engine", "Event core: engine/calendar/islands (non-paper)",
      Experiments.Engine.run);
+    ("cluster", "Cluster: rack topology + global policies (non-paper)",
+     Experiments.Cluster.run);
     ("serving", "Open-loop SLO serving (non-paper)",
      Experiments.Serving.run);
     ("throughput", "Serving throughput at scale (non-paper)",
@@ -138,6 +140,15 @@ let micro_tests () =
            ignore
              (Sched.Fleet.run ~domains:1
                 (Sched.Fleet.default ~nodes:2 ~jobs:3 ~seed:5))));
+    (* Cluster: one small racked scenario with the per-edge lookahead
+       matrix in play. *)
+    Test.make ~name:"cluster/cluster_small"
+      (Staged.stage
+         (let topo = Machine.Topology.make ~racks:2 ~nodes_per_rack:2 () in
+          fun () ->
+            ignore
+              (Sched.Cluster.run ~domains:1
+                 (Sched.Cluster.default ~topology:topo ~jobs:4 ~seed:5))));
     (* Serving: one short bursty serve run end to end (streamed). *)
     Test.make ~name:"serving/serve_small"
       (Staged.stage

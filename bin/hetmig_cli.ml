@@ -151,18 +151,24 @@ let emulation_cmd =
 (* --- schedule --------------------------------------------------------------- *)
 
 let crash_conv =
+  (* Sched.Validate names the token that broke ("twelve" is not a node
+     id) instead of one catch-all message; the whole-fleet range check
+     happens at run setup, once --nodes is known. *)
   let parse s =
-    match String.split_on_char '@' s with
-    | [ node; time ] -> begin
-      match (int_of_string_opt node, float_of_string_opt time) with
-      | Some node, Some at when node >= 0 && at >= 0.0 ->
-        Ok { Faults.Plan.at; node }
-      | _ -> Error (`Msg (Printf.sprintf "bad crash spec %S (want NODE@TIME)" s))
-    end
-    | _ -> Error (`Msg (Printf.sprintf "bad crash spec %S (want NODE@TIME)" s))
+    match Sched.Validate.crash_spec s with
+    | Ok c -> Ok c
+    | Error msg -> Error (`Msg msg)
   in
   Arg.conv (parse, fun ppf (c : Faults.Plan.crash) ->
       Format.fprintf ppf "%d@%g" c.Faults.Plan.node c.Faults.Plan.at)
+
+(* CLI-boundary validation: report the offending flag and exit 2 rather
+   than crash deep inside a simulator's [invalid_arg]. *)
+let validated ~cmd = function
+  | Ok v -> v
+  | Error msg ->
+    Format.eprintf "hetmig %s: %s@." cmd msg;
+    exit 2
 
 (* Per-policy output path for --trace: "out.json" -> "out-<policy>.json"
    (policy names are filename-safe). *)
@@ -509,7 +515,9 @@ let audit_cmd =
               | Some s -> s
               | None ->
                 Format.eprintf
-                  "unknown scenario %s (want fleet, serve or scheduler)@." name;
+                  "unknown scenario %s (want fleet, cluster, serve or \
+                   scheduler)@."
+                  name;
                 exit 2)
             names
       in
@@ -538,8 +546,8 @@ let audit_cmd =
   let scenarios =
     Arg.(value & opt_all string []
          & info [ "scenario" ] ~docv:"NAME"
-             ~doc:"Audit only this scenario: fleet, serve or scheduler \
-                   (repeatable; default: all three).")
+             ~doc:"Audit only this scenario: fleet, cluster, serve or \
+                   scheduler (repeatable; default: all four).")
   in
   let domains =
     Arg.(value & opt int 4
@@ -569,8 +577,9 @@ let audit_cmd =
   Cmd.v
     (Cmd.info "audit"
        ~doc:
-         "Verify the parallel runtime: re-run the committed fleet, serve \
-          and scheduler scenarios with execution capture enabled, check \
+         "Verify the parallel runtime: re-run the committed fleet, \
+          cluster, serve and scheduler scenarios with execution capture \
+          enabled, check \
           the recorded schedule against the conservative-lookahead \
           invariants, detect cross-island ownership races, and certify \
           domains=1 and domains=N runs byte-identical. Exits 1 when any \
@@ -582,8 +591,20 @@ let audit_cmd =
 (* --- fleet ------------------------------------------------------------------ *)
 
 let fleet_cmd =
-  let run nodes jobs seed islands seq epoch rate placement no_migration
-      fail_rate out =
+  let run nodes jobs seed racks mix islands seq epoch rate placement
+      no_migration fail_rate out =
+    let must v = validated ~cmd:"fleet" v in
+    let nodes = must (Sched.Validate.at_least ~what:"--nodes" ~min:2 nodes) in
+    let jobs = must (Sched.Validate.at_least ~what:"--jobs" ~min:1 jobs) in
+    let epoch = must (Sched.Validate.positive_float ~what:"--epoch" epoch) in
+    let rate = must (Sched.Validate.positive_float ~what:"--rate" rate) in
+    let fail_rate =
+      must (Sched.Validate.probability ~what:"--fail-rate" fail_rate)
+    in
+    let islands = must (Sched.Validate.islands islands) in
+    let topology =
+      must (Sched.Validate.topology ~nodes ~racks ~mix_name:mix)
+    in
     let cfg =
       { (Sched.Fleet.default ~nodes ~jobs ~seed) with
         Sched.Fleet.epoch_s = epoch;
@@ -591,6 +612,7 @@ let fleet_cmd =
         placement;
         migration = not no_migration;
         fail_rate;
+        topology;
       }
     in
     let domains =
@@ -611,6 +633,21 @@ let fleet_cmd =
     Arg.(value & opt int 64
          & info [ "nodes" ] ~docv:"N" ~doc:"Worker nodes (alternating \
                                             x86-64/arm64 servers).")
+  in
+  let racks =
+    Arg.(value & opt int 1
+         & info [ "racks" ] ~docv:"R"
+             ~doc:"Racks to split the nodes over (must divide --nodes). 1 \
+                   (the default) is the flat pre-cluster topology whose \
+                   single hop is the paper's 10GbE link; more racks use \
+                   ToR + aggregation hops, making migration and hDSM \
+                   costs path-dependent.")
+  in
+  let mix =
+    Arg.(value & opt string "alternate"
+         & info [ "mix" ] ~docv:"MIX"
+             ~doc:"ISA mix: alternate (per node), isa-racks (whole racks \
+                   per ISA), x86-only or arm-only.")
   in
   let jobs =
     Arg.(value & opt int 1000 & info [ "jobs" ] ~docv:"N" ~doc:"Jobs to run.")
@@ -674,11 +711,136 @@ let fleet_cmd =
        ~doc:
          "Warehouse-scale mixed-ISA fleet simulation on the parallel \
           time-island runtime: one scheduler island plus one island per \
-          node, synchronized on conservative-lookahead windows. The \
-          report is a pure function of the configuration, not of the \
-          domain count.")
-    Term.(const run $ nodes $ jobs $ seed $ islands $ seq $ epoch $ rate
-          $ placement $ no_migration $ fail_rate $ out)
+          node, synchronized on topology-aware conservative-lookahead \
+          windows (each island pair's minimum delay is the epoch plus \
+          its rack-fabric path latency). The report is a pure function \
+          of the configuration, not of the domain count.")
+    Term.(const run $ nodes $ jobs $ seed $ racks $ mix $ islands $ seq
+          $ epoch $ rate $ placement $ no_migration $ fail_rate $ out)
+
+(* --- cluster ---------------------------------------------------------------- *)
+
+let cluster_cmd =
+  let run nodes racks mix jobs seed policy power_cap islands seq epoch rate
+      out =
+    let must v = validated ~cmd:"cluster" v in
+    let nodes = must (Sched.Validate.at_least ~what:"--nodes" ~min:2 nodes) in
+    let jobs = must (Sched.Validate.at_least ~what:"--jobs" ~min:1 jobs) in
+    let epoch = must (Sched.Validate.positive_float ~what:"--epoch" epoch) in
+    let rate = must (Sched.Validate.positive_float ~what:"--rate" rate) in
+    let islands = must (Sched.Validate.islands islands) in
+    let topology =
+      must (Sched.Validate.topology ~nodes ~racks ~mix_name:mix)
+    in
+    let policy =
+      match Sched.Cluster.policy_of_name policy with
+      | Some p -> p
+      | None ->
+        Format.eprintf
+          "hetmig cluster: unknown --policy %s (want pack-power-cap, \
+           edp-migrate or work-steal)@."
+          policy;
+        exit 2
+    in
+    let cfg =
+      { (Sched.Cluster.default ~topology ~jobs ~seed) with
+        Sched.Cluster.policy;
+        epoch_s = epoch;
+        mean_interarrival_s = rate;
+      }
+    in
+    let cfg =
+      match power_cap with
+      | None -> cfg
+      | Some w ->
+        let w = must (Sched.Validate.positive_float ~what:"--power-cap" w) in
+        { cfg with Sched.Cluster.power_cap_w = w }
+    in
+    let domains =
+      if seq then 1
+      else
+        match islands with
+        | Some d -> d
+        | None -> Parallel.Pool.default_jobs ()
+    in
+    let r = Sched.Cluster.run ~domains cfg in
+    let text = Sched.Cluster.render cfg r in
+    match out with
+    | Some path -> write_file path text
+    | None -> print_string text
+  in
+  let nodes =
+    Arg.(value & opt int 256
+         & info [ "nodes" ] ~docv:"N" ~doc:"Cluster nodes.")
+  in
+  let racks =
+    Arg.(value & opt int 8
+         & info [ "racks" ] ~docv:"R"
+             ~doc:"Racks to split the nodes over (must divide --nodes).")
+  in
+  let mix =
+    Arg.(value & opt string "alternate"
+         & info [ "mix" ] ~docv:"MIX"
+             ~doc:"ISA mix: alternate (per node), isa-racks (whole racks \
+                   per ISA), x86-only or arm-only.")
+  in
+  let jobs =
+    Arg.(value & opt int 2000 & info [ "jobs" ] ~docv:"N" ~doc:"Jobs to run.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let policy =
+    Arg.(value & opt string "edp-migrate"
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Global policy: pack-power-cap (power-capped bin \
+                   packing), edp-migrate (energy/EDP-aware placement and \
+                   global dynamic migration) or work-steal (idle nodes \
+                   steal, in-rack victims first).")
+  in
+  let power_cap =
+    Arg.(value & opt (some float) None
+         & info [ "power-cap" ] ~docv:"W"
+             ~doc:"Projected cluster power budget for pack-power-cap \
+                   (default: 75% of 110W per node).")
+  in
+  let islands =
+    Arg.(value & opt (some int) None
+         & info [ "islands" ] ~docv:"D"
+             ~doc:
+               "Domains to span the run over (default: HETMIG_JOBS or the \
+                machine's core count). The report is byte-identical \
+                whatever this is.")
+  in
+  let seq =
+    Arg.(value & flag
+         & info [ "seq" ]
+             ~doc:"Sequential reference run (same as --islands 1).")
+  in
+  let epoch =
+    Arg.(value & opt float 0.25
+         & info [ "epoch" ] ~docv:"S"
+             ~doc:"Control-traffic batching epoch in seconds; each island \
+                   pair's lookahead is this plus its path latency.")
+  in
+  let rate =
+    Arg.(value & opt float 0.02
+         & info [ "rate" ] ~docv:"S" ~doc:"Mean job interarrival in seconds.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"PATH"
+             ~doc:"Write the report to PATH instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Global cluster scheduling over a rack topology: power-capped \
+          bin packing, energy/EDP-aware global dynamic migration, or \
+          work stealing across up to 1024 mixed-ISA nodes, on the \
+          parallel time-island runtime with topology-aware lookahead. \
+          The report is a pure function of the configuration, not of \
+          the domain count.")
+    Term.(const run $ nodes $ racks $ mix $ jobs $ seed $ policy $ power_cap
+          $ islands $ seq $ epoch $ rate $ out)
 
 (* --- serve ------------------------------------------------------------------ *)
 
@@ -705,6 +867,18 @@ let serve_cmd =
           exit 2
       end
     in
+    let must v = validated ~cmd:"serve" v in
+    let nodes = must (Sched.Validate.at_least ~what:"--nodes" ~min:2 nodes) in
+    let epoch = must (Sched.Validate.positive_float ~what:"--epoch" epoch) in
+    let islands = must (Sched.Validate.islands islands) in
+    let check_rate what = function
+      | None -> ()
+      | Some r -> ignore (must (Sched.Validate.positive_float ~what r))
+    in
+    check_rate "--rate-high" rate_high;
+    check_rate "--rate-low" rate_low;
+    check_rate "--peak-rps" peak_rps;
+    must (Sched.Validate.crashes_in_range ~nodes crashes);
     (match save_trace with
     | Some path ->
       let s =
@@ -991,9 +1165,14 @@ let () =
     Cmd.info "hetmig" ~version:"1.0.0"
       ~doc:"Heterogeneous-ISA execution migration (ASPLOS 2017 reproduction)"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group ~default info
-          [ compile_cmd; migrate_cmd; emulation_cmd; schedule_cmd; fleet_cmd;
-            serve_cmd; state_map_cmd; trace_cmd; lint_cmd; audit_cmd;
-            metrics_cmd; experiment_cmd ]))
+  let rc =
+    Cmd.eval
+      (Cmd.group ~default info
+         [ compile_cmd; migrate_cmd; emulation_cmd; schedule_cmd; fleet_cmd;
+           cluster_cmd; serve_cmd; state_map_cmd; trace_cmd; lint_cmd;
+           audit_cmd; metrics_cmd; experiment_cmd ])
+  in
+  (* Usage errors — including malformed option values like a bad
+     --crash spec — exit 2, the conventional usage-error status, rather
+     than cmdliner's 124. *)
+  exit (if rc = Cmd.Exit.cli_error then 2 else rc)

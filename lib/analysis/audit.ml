@@ -27,20 +27,22 @@
 module D = Diagnostic
 module Det = Determinism_check
 
-type scenario = Fleet | Serve | Scheduler
+type scenario = Fleet | Cluster | Serve | Scheduler
 
 let scenario_name = function
   | Fleet -> "fleet"
+  | Cluster -> "cluster"
   | Serve -> "serve"
   | Scheduler -> "scheduler"
 
 let scenario_of_name = function
   | "fleet" -> Some Fleet
+  | "cluster" -> Some Cluster
   | "serve" -> Some Serve
   | "scheduler" -> Some Scheduler
   | _ -> None
 
-let all_scenarios = [ Fleet; Serve; Scheduler ]
+let all_scenarios = [ Fleet; Cluster; Serve; Scheduler ]
 
 let rules =
   Islands_check.rules @ Island_race.rules @ Determinism_check.rules
@@ -69,6 +71,15 @@ let wants_prefix rules prefix =
    sequential-vs-islands diffs already pin down. *)
 let default_fleet = Sched.Fleet.default ~nodes:64 ~jobs:1000 ~seed:42
 
+(* The CI cluster smoke: 256 nodes in 8 racks, EDP-aware global
+   migration — the topology-aware lookahead paths under certification. *)
+let default_cluster () =
+  Sched.Cluster.default
+    ~topology:
+      (Machine.Topology.make ~mix:Machine.Topology.Alternate ~racks:8
+         ~nodes_per_rack:32 ())
+    ~jobs:2000 ~seed:42
+
 let default_serve () =
   Sched.Service.default ~nodes:16 ~seed:42
     ~source:
@@ -83,10 +94,13 @@ let body render =
   | None -> render
 
 let run ?rules:ids ?(scenarios = all_scenarios) ?(domains = 4) ?jobs
-    ?(fleet = default_fleet) ?serve () =
+    ?(fleet = default_fleet) ?cluster ?serve () =
   validate_rules ids;
   if domains < 1 then invalid_arg "Audit.run: domains must be positive";
   let serve = match serve with Some s -> s | None -> default_serve () in
+  let cluster =
+    match cluster with Some c -> c | None -> default_cluster ()
+  in
   let wants_cap = wants_prefix ids "island" in
   let wants_det = wants_prefix ids "det-" in
   let dn_label = Printf.sprintf "domains=%d" domains in
@@ -118,6 +132,41 @@ let run ?rules:ids ?(scenarios = all_scenarios) ?(domains = 4) ?jobs
     let label = "fleet" in
     let render1 = Sched.Fleet.render cfg (Sched.Fleet.run ~domains:1 cfg) in
     let rendern = Sched.Fleet.render cfg (Sched.Fleet.run ~domains cfg) in
+    let diags =
+      Det.certify ~label
+        ~reference:
+          { Det.r_label = "domains=1"; r_render = render1; r_capture = None }
+        ~candidate:
+          { Det.r_label = dn_label; r_render = rendern; r_capture = None }
+    in
+    (diags, [ (tag, body render1) ])
+  in
+  let cluster_base () =
+    let label = "cluster" in
+    let r1, cap1 = Sched.Cluster.run_audited ~domains:1 cluster in
+    let rn, capn = Sched.Cluster.run_audited ~domains cluster in
+    let render1 = Sched.Cluster.render cluster r1 in
+    let rendern = Sched.Cluster.render cluster rn in
+    let obs1 =
+      { Det.r_label = "domains=1"; r_render = render1; r_capture = Some cap1 }
+    in
+    let obsn =
+      { Det.r_label = dn_label; r_render = rendern; r_capture = Some capn }
+    in
+    let diags =
+      (if wants_cap then
+         Islands_check.check ~label cap1 @ Island_race.check ~label cap1
+       else [])
+      @
+      if wants_det then Det.certify ~label ~reference:obs1 ~candidate:obsn
+      else []
+    in
+    (diags, [ ("cluster:base", body render1) ])
+  in
+  let cluster_variant ~tag cfg () =
+    let label = "cluster" in
+    let render1 = Sched.Cluster.render cfg (Sched.Cluster.run ~domains:1 cfg) in
+    let rendern = Sched.Cluster.render cfg (Sched.Cluster.run ~domains cfg) in
     let diags =
       Det.certify ~label
         ~reference:
@@ -205,6 +254,24 @@ let run ?rules:ids ?(scenarios = all_scenarios) ?(domains = 4) ?jobs
                   };
               ]
             else []
+        | Cluster ->
+            (if wants_cap || wants_det then [ cluster_base ] else [])
+            @
+            if wants_det then
+              [
+                cluster_variant ~tag:"cluster:seed"
+                  {
+                    cluster with
+                    Sched.Cluster.seed = cluster.Sched.Cluster.seed + 1;
+                  };
+                cluster_variant ~tag:"cluster:epoch"
+                  {
+                    cluster with
+                    Sched.Cluster.epoch_s =
+                      cluster.Sched.Cluster.epoch_s *. 2.0;
+                  };
+              ]
+            else []
         | Serve ->
             (if wants_cap || wants_det then [ serve_base ] else [])
             @
@@ -253,6 +320,9 @@ let run ?rules:ids ?(scenarios = all_scenarios) ?(domains = 4) ?jobs
           | Fleet ->
               probe ~variant:"fleet:seed" ~vlabel:"seed+1"
               @ probe ~variant:"fleet:epoch" ~vlabel:"epoch*2"
+          | Cluster ->
+              probe ~variant:"cluster:seed" ~vlabel:"seed+1"
+              @ probe ~variant:"cluster:epoch" ~vlabel:"epoch*2"
           | Serve ->
               probe ~variant:"serve:seed" ~vlabel:"seed+1"
               @ probe ~variant:"serve:epoch" ~vlabel:"epoch*2"

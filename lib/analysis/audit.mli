@@ -8,13 +8,13 @@
     seed/epoch sensitivity probes). The scheduler scenario certifies
     the engine-hosted run against the island-hosted one. *)
 
-type scenario = Fleet | Serve | Scheduler
+type scenario = Fleet | Cluster | Serve | Scheduler
 
 val scenario_name : scenario -> string
 val scenario_of_name : string -> scenario option
 
 val all_scenarios : scenario list
-(** [Fleet; Serve; Scheduler] — the default sweep. *)
+(** [Fleet; Cluster; Serve; Scheduler] — the default sweep. *)
 
 val rules : (string * Diagnostic.severity * string) list
 (** Every rule an audit can emit: the union of {!Islands_check.rules},
@@ -28,6 +28,7 @@ val run :
   ?domains:int ->
   ?jobs:int ->
   ?fleet:Sched.Fleet.config ->
+  ?cluster:Sched.Cluster.config ->
   ?serve:Sched.Service.config ->
   unit ->
   Diagnostic.t list
@@ -37,6 +38,8 @@ val run :
     [Invalid_argument]. [domains] (default 4) is the parallel lane
     count certified against the sequential reference. [jobs] bounds the
     {!Parallel.Pool} fan-out over scenario tasks; the report is
-    byte-identical whatever its value. [fleet] and [serve] override the
-    committed scenario configs (defaults: the 64-node/1000-job fleet
-    smoke and the bursty 16-node/8-service serve, both seed 42). *)
+    byte-identical whatever its value. [fleet], [cluster] and [serve]
+    override the committed scenario configs (defaults: the
+    64-node/1000-job fleet smoke, the 256-node/8-rack/2000-job
+    EDP-migrate cluster, and the bursty 16-node/8-service serve, all
+    seed 42). *)

@@ -67,17 +67,29 @@ let win_site w = Printf.sprintf "w%d" w
 let check_posts ~label (cap : I.capture) =
   (* Reads only [p_after] against the recorded lookahead: the delay is
      stored exactly as passed to [post], so a float re-derivation can
-     never create a spurious boundary miss. *)
+     never create a spurious boundary miss. Under a per-edge matrix
+     (topology-aware lookahead) each post is held to its own edge's
+     floor, which is at least the window lookahead. *)
+  let bound ~src ~dst =
+    if
+      cap.I.c_edge <> [||]
+      && src >= 0 && src < Array.length cap.I.c_edge
+      && dst >= 0 && dst < Array.length cap.I.c_edge.(src)
+    then cap.I.c_edge.(src).(dst)
+    else cap.I.c_lookahead
+  in
   List.filter_map
     (fun (p : I.post_rec) ->
-      if p.I.p_after < cap.I.c_lookahead then
+      let b = bound ~src:p.I.p_src ~dst:p.I.p_dst in
+      if p.I.p_after < b then
         Some
           (D.make ~rule:"island-post-lookahead" ~severity:D.Error ~prog:label
              ~func:(isl_name p.I.p_src) ~site:(win_site p.I.p_window)
              (Printf.sprintf
-                "post %d -> %d at t=%g has delay %g below lookahead %g"
-                p.I.p_src p.I.p_dst p.I.p_send_time p.I.p_after
-                cap.I.c_lookahead))
+                "post %d -> %d at t=%g has delay %g below %s %g" p.I.p_src
+                p.I.p_dst p.I.p_send_time p.I.p_after
+                (if cap.I.c_edge = [||] then "lookahead" else "edge lookahead")
+                b))
       else None)
     cap.I.c_posts
 

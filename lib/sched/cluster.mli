@@ -1,0 +1,71 @@
+(** Global cluster scheduling over a {!Machine.Topology}: policies that
+    choose *which node* as well as *which ISA*, at warehouse scale.
+
+    Runtime shape is {!Fleet}'s — island 0 is the scheduler at the
+    cluster head, islands 1..N the topology's nodes, control traffic
+    batched per [epoch_s] and carried over its rack-fabric path, the
+    per-edge minimum delay forming the runtime's topology-aware
+    lookahead matrix. The report is a pure function of the config:
+    domain count never changes a byte. *)
+
+type policy =
+  | Pack_power_cap
+      (** power-capped bin packing: fewest, fullest nodes under a
+          global projected-power budget; admission blocks at the cap *)
+  | Edp_migrate
+      (** energy/EDP-aware placement (throughput per watt for the
+          job's category) plus per-epoch global dynamic migration of
+          the worst-placed job, cross-ISA and cross-rack *)
+  | Work_steal
+      (** round-robin local placement; idle nodes steal from the
+          most-loaded victim, in-rack victims preferred *)
+
+val policy_name : policy -> string
+val policy_of_name : string -> policy option
+val all_policies : policy list
+
+type config = {
+  topology : Machine.Topology.t;
+  jobs : int;
+  seed : int;
+  mean_interarrival_s : float;  (** open-loop Poisson arrivals *)
+  epoch_s : float;  (** control-traffic batching epoch *)
+  policy : policy;
+  power_cap_w : float;
+      (** [Pack_power_cap]: projected cluster power admission budget *)
+  quantum_instructions : float;
+}
+
+val default : topology:Machine.Topology.t -> jobs:int -> seed:int -> config
+
+type result = {
+  completed : int;
+  migrations : int;
+  steals : int;  (** jobs that landed on a node via work stealing *)
+  deferred : int;  (** admissions blocked at least once by the power cap *)
+  makespan : float;
+  total_energy_j : float;
+  energy_x86_j : float;
+  energy_arm_j : float;
+  edp : float;
+  peak_power_w : float;  (** max projected cluster power at placement *)
+  p50_latency_s : float;
+  p99_latency_s : float;
+  events : int;
+  windows : int;
+}
+
+val run : ?domains:int -> config -> result
+(** Deterministic: the result is a pure function of [config], not of
+    [domains]. Raises [Invalid_argument] for a topology with fewer than
+    2 nodes, [jobs < 1], or non-positive [epoch_s]/[power_cap_w]. *)
+
+val run_audited : ?domains:int -> config -> result * Sim.Islands.capture
+(** Like {!run}, with the runtime's audit capture enabled (ownership
+    map: scheduler island owns resource 0, node island [i+1] owns
+    resource [i+1]) for the [hetmig audit] passes. Capture is pure
+    observation — the result is identical to {!run}'s. *)
+
+val render : config -> result -> string
+(** Byte-stable text report (no wall-clock, no domain count): the
+    artifact CI diffs between [--seq] and [--islands N] runs. *)

@@ -2,13 +2,18 @@
    (`Sim.Islands`): the "Instruction Set Migration at Warehouse Scale"
    scenario the paper's two-node evaluation cannot express.
 
-   Topology: island 0 is the fleet scheduler; islands 1..N are nodes,
-   alternating x86 (Xeon) and arm64 (X-Gene) servers. All control
-   traffic is batched on epoch boundaries — the scheduler dispatches,
-   nodes report completions, and migration commands travel, once per
-   [epoch_s] — so the minimum cross-island delay is the epoch, which is
-   therefore the runtime's conservative lookahead (it dominates the
-   interconnect hop by orders of magnitude).
+   Topology: island 0 is the fleet scheduler (the cluster head, sitting
+   beside rack 0's ToR in `Machine.Topology`); islands 1..N are the
+   topology's nodes. All control traffic is batched on epoch boundaries
+   — the scheduler dispatches, nodes report completions, and migration
+   commands travel, once per [epoch_s] — and every message additionally
+   crosses its path through the rack fabric, so the minimum delay on
+   edge (s, d) is the epoch plus that path's latency. That per-edge
+   floor is handed to the runtime as a topology-aware lookahead matrix:
+   posts are checked against their own edge, and the synchronization
+   window advances by the matrix minimum (>= the epoch), keeping the
+   conservative argument intact while cross-rack edges admit wider
+   windows.
 
    Every node island owns its state outright: running set, busy-core
    count, energy integral, PRNG stream for phase-locality sampling, and
@@ -33,9 +38,13 @@ type config = {
   migration : bool;
   fail_rate : float;  (** per-phase failure probability; failed phases retry *)
   quantum_instructions : float;
-  interconnect : Machine.Interconnect.t;
+  topology : Machine.Topology.t;  (** must have exactly [nodes] nodes *)
 }
 
+(* The default topology is one rack whose local link is the paper's
+   10GbE interconnect: every distinct pair sees the original
+   point-to-point cost model, so pre-cluster fleet scenarios keep their
+   meaning. *)
 let default ~nodes ~jobs ~seed =
   {
     nodes;
@@ -47,8 +56,13 @@ let default ~nodes ~jobs ~seed =
     migration = true;
     fail_rate = 0.0;
     quantum_instructions = 1e8;
-    interconnect = Machine.Interconnect.ethernet_10g;
+    topology =
+      Machine.Topology.flat ~nodes
+        ~interconnect:Machine.Interconnect.ethernet_10g ();
   }
+
+let with_topology cfg topo =
+  { cfg with nodes = Machine.Topology.nodes topo; topology = topo }
 
 type result = {
   completed : int;
@@ -106,6 +120,9 @@ type running = {
   job : job;
   mutable remaining : int;
   mutable cold : bool;  (** working set not yet resident: next phase faults *)
+  mutable src_node : int;
+      (** where a cold set streams from: -1 = the head's job store,
+          else the node the job migrated away from *)
   mutable phase_retries : int;
   mutable pending_dst : int;  (** -1 = none; else migrate there at boundary *)
 }
@@ -132,9 +149,6 @@ type sched_state = {
   mutable failed : int;
 }
 
-let machine_for i =
-  if i mod 2 = 0 then Machine.Server.xeon_e5_1650_v2 else Machine.Server.xgene1
-
 let utilization ns =
   Float.min 1.0
     (float_of_int ns.busy /. float_of_int ns.machine.Machine.Server.cores)
@@ -152,11 +166,16 @@ let adjust_busy ns ~now delta =
   ns.busy <- ns.busy + delta
 
 (* Remote page fault served by the hDSM protocol: handler software on
-   top of the interconnect round trip, as in `Dsm.Hdsm`. *)
-let page_fault_cost cfg =
-  50e-6
-  +. Machine.Interconnect.page_transfer_time cfg.interconnect
-       ~page_bytes:Memsys.Page.size
+   top of a round trip over the given path, as in `Dsm.Hdsm`. Warm
+   misses hit the nearest replica (one local hop); cold working sets
+   stream from wherever the job last lived — the head's job store on
+   first placement, the previous host after a migration — so fault cost
+   is path-dependent. *)
+let fault_handler_s = 50e-6
+
+let fault_cost_over link =
+  fault_handler_s
+  +. Machine.Topology.page_transfer_time_link link ~page_bytes:Memsys.Page.size
 
 (* Pages a phase touches; kept small — locality within a quantum — but
    a cold (just-placed or just-migrated) working set faults on all of
@@ -170,11 +189,40 @@ let max_phase_retries = 3
 let run_impl ?(domains = 1) ~capture cfg =
   if cfg.nodes < 2 then invalid_arg "Fleet.run: need at least 2 nodes";
   if cfg.jobs < 1 then invalid_arg "Fleet.run: need at least 1 job";
-  if cfg.epoch_s <= cfg.interconnect.Machine.Interconnect.latency_s then
-    invalid_arg "Fleet.run: epoch must exceed the interconnect latency";
+  if not (Float.is_finite cfg.epoch_s) || cfg.epoch_s <= 0.0 then
+    invalid_arg "Fleet.run: epoch must be positive";
+  if Machine.Topology.nodes cfg.topology <> cfg.nodes then
+    invalid_arg
+      (Printf.sprintf
+         "Fleet.run: topology has %d node(s) but the config says %d"
+         (Machine.Topology.nodes cfg.topology)
+         cfg.nodes);
+  let topo = cfg.topology in
+  (* Per-edge control delays: a message from/to the scheduler (island 0)
+     crosses the head path to its node; node-to-node traffic crosses the
+     rack fabric. Each is the batching epoch plus the path latency, and
+     the same values form the runtime's topology-aware lookahead
+     matrix — posts below their edge's floor are runtime errors. *)
+  let ctrl_delay =
+    Array.init cfg.nodes (fun i ->
+        cfg.epoch_s
+        +. (Machine.Topology.head_path topo ~dst:i).Machine.Topology.latency_s)
+  in
+  let node_delay i j =
+    cfg.epoch_s
+    +. (Machine.Topology.path topo ~src:i ~dst:j).Machine.Topology.latency_s
+  in
+  let edge_lookahead =
+    Array.init (cfg.nodes + 1) (fun s ->
+        Array.init (cfg.nodes + 1) (fun d ->
+            if s = d then 0.0
+            else if s = 0 then ctrl_delay.(d - 1)
+            else if d = 0 then ctrl_delay.(s - 1)
+            else node_delay (s - 1) (d - 1)))
+  in
   let rt =
-    Sim.Islands.create ~capture ~islands:(cfg.nodes + 1) ~lookahead:cfg.epoch_s
-      ~seed:cfg.seed ()
+    Sim.Islands.create ~capture ~edge_lookahead ~islands:(cfg.nodes + 1)
+      ~lookahead:cfg.epoch_s ~seed:cfg.seed ()
   in
   (* Ownership tags for the island race audit: the scheduler island (0)
      owns the queue and load estimates (resource 0); node island i+1
@@ -193,7 +241,7 @@ let run_impl ?(domains = 1) ~capture cfg =
     Array.init cfg.nodes (fun i ->
         {
           node_id = i;
-          machine = machine_for i;
+          machine = Machine.Topology.server topo i;
           busy = 0;
           energy_j = 0.0;
           last_update = 0.0;
@@ -215,7 +263,14 @@ let run_impl ?(domains = 1) ~capture cfg =
       failed = 0;
     }
   in
-  let fault_cost = page_fault_cost cfg in
+  let warm_fault_cost = fault_cost_over topo.Machine.Topology.local in
+  let cold_fault_cost (r : running) ns =
+    if r.src_node < 0 then
+      fault_cost_over (Machine.Topology.head_path topo ~dst:ns.node_id)
+    else
+      fault_cost_over
+        (Machine.Topology.path topo ~src:r.src_node ~dst:ns.node_id)
+  in
   (* Job arrivals: drawn up-front from the run seed (independent of any
      island stream), Poisson-spaced. *)
   let arrivals =
@@ -244,16 +299,17 @@ let run_impl ?(domains = 1) ~capture cfg =
        working set faults on every page of the phase window; a warm one
        occasionally takes a small burst of misses (cross-job
        interference, page stealing). *)
-    let misses =
-      if r.cold then phase_pages
+    let misses, miss_cost =
+      if r.cold then (phase_pages, cold_fault_cost r ns)
       else begin
         let u = Sim.Prng.float (Sim.Islands.prng isl) 1.0 in
-        if u < 0.05 then 1 + Sim.Prng.int (Sim.Islands.prng isl) 4 else 0
+        ( (if u < 0.05 then 1 + Sim.Prng.int (Sim.Islands.prng isl) 4 else 0),
+          warm_fault_cost )
       end
     in
     r.cold <- false;
     let duration =
-      (compute *. contention) +. (float_of_int misses *. fault_cost)
+      (compute *. contention) +. (float_of_int misses *. miss_cost)
     in
     Sim.Islands.schedule isl ~at:(now +. duration) (fun isl ->
         phase_done r ns isl)
@@ -272,7 +328,8 @@ let run_impl ?(domains = 1) ~capture cfg =
         (* Give up on the job: report the failure at the next epoch. *)
         adjust_busy ns ~now (-r.job.threads);
         ns.running <- List.filter (fun x -> x != r) ns.running;
-        Sim.Islands.post isl ~dst:0 ~after:cfg.epoch_s (fun isl ->
+        Sim.Islands.post isl ~dst:0 ~after:ctrl_delay.(ns.node_id)
+          (fun isl ->
             touch_sched isl;
             sched.outstanding <- sched.outstanding - 1;
             sched.failed <- sched.failed + 1;
@@ -292,7 +349,8 @@ let run_impl ?(domains = 1) ~capture cfg =
         adjust_busy ns ~now (-r.job.threads);
         ns.running <- List.filter (fun x -> x != r) ns.running;
         let latency = now -. r.job.arrival in
-        Sim.Islands.post isl ~dst:0 ~after:cfg.epoch_s (fun isl ->
+        Sim.Islands.post isl ~dst:0 ~after:ctrl_delay.(ns.node_id)
+          (fun isl ->
             touch_sched isl;
             sched.outstanding <- sched.outstanding - 1;
             sched.est_load.(ns.node_id) <-
@@ -301,8 +359,9 @@ let run_impl ?(domains = 1) ~capture cfg =
       end
       else if r.pending_dst >= 0 then begin
         (* Migration point: stop-and-copy to the commanded node. The
-           thread state transforms, then the working set crosses the
-           interconnect as one batched stream. *)
+           thread state transforms, then the working set crosses its
+           path through the rack fabric as one batched stream — a
+           cross-rack move pays the aggregation hop. *)
         let dst = r.pending_dst in
         r.pending_dst <- -1;
         adjust_busy ns ~now (-r.job.threads);
@@ -313,17 +372,19 @@ let run_impl ?(domains = 1) ~capture cfg =
           Memsys.Page.count ~bytes:r.job.spec.Workload.Spec.footprint_bytes
         in
         let xfer =
-          Machine.Interconnect.batch_transfer_time cfg.interconnect ~pages
-            ~page_bytes:Memsys.Page.size
+          Machine.Topology.batch_transfer_time topo ~src:ns.node_id ~dst
+            ~pages ~page_bytes:Memsys.Page.size
         in
         let pause = transform +. xfer in
         ns.downtime_s <- ns.downtime_s +. pause;
         r.cold <- true;
+        r.src_node <- ns.node_id;
         Sim.Islands.post isl ~dst:(dst + 1)
-          ~after:(Float.max cfg.epoch_s pause)
+          ~after:(Float.max (node_delay ns.node_id dst) pause)
           (fun isl -> job_land r isl);
         (* Keep the scheduler's placement estimates truthful. *)
-        Sim.Islands.post isl ~dst:0 ~after:cfg.epoch_s (fun isl ->
+        Sim.Islands.post isl ~dst:0 ~after:ctrl_delay.(ns.node_id)
+          (fun isl ->
             touch_sched isl;
             sched.est_load.(ns.node_id) <-
               sched.est_load.(ns.node_id) - r.job.threads;
@@ -343,8 +404,8 @@ let run_impl ?(domains = 1) ~capture cfg =
     let ns = nodes.(Sim.Islands.id isl - 1) in
     touch_node isl ns;
     let r =
-      { job; remaining = job.n_phases; cold = true; phase_retries = 0;
-        pending_dst = -1 }
+      { job; remaining = job.n_phases; cold = true; src_node = -1;
+        phase_retries = 0; pending_dst = -1 }
     in
     adjust_busy ns ~now:(Sim.Islands.now isl) job.threads;
     ns.running <- r :: ns.running;
@@ -422,7 +483,7 @@ let run_impl ?(domains = 1) ~capture cfg =
         && norm !hi -. norm !lo >= 0.75
         && sched.est_load.(!hi) >= 2
       then
-        Sim.Islands.post isl ~dst:(!hi + 1) ~after:cfg.epoch_s
+        Sim.Islands.post isl ~dst:(!hi + 1) ~after:ctrl_delay.(!hi)
           (migrate_cmd ~dst:!lo)
     end
   in
@@ -438,7 +499,8 @@ let run_impl ?(domains = 1) ~capture cfg =
       | Some n ->
         ignore (Queue.pop sched.queue);
         sched.est_load.(n) <- sched.est_load.(n) + job.threads;
-        Sim.Islands.post isl ~dst:(n + 1) ~after:cfg.epoch_s (job_start job)
+        Sim.Islands.post isl ~dst:(n + 1) ~after:ctrl_delay.(n)
+          (job_start job)
     done;
     try_migrate isl;
     if sched.outstanding > 0 then
@@ -519,14 +581,16 @@ let run_audited ?domains cfg =
    clean. No wall-clock, no domain count. *)
 let render cfg r =
   let b = Buffer.create 512 in
-  let x86 = (cfg.nodes + 1) / 2 in
+  let x86 = Machine.Topology.isa_count cfg.topology Isa.Arch.X86_64 in
+  let arm = Machine.Topology.isa_count cfg.topology Isa.Arch.Arm64 in
   Printf.bprintf b
     "fleet: nodes=%d (x86=%d arm64=%d) jobs=%d seed=%d epoch=%.3fs \
      placement=%s migration=%s fail-rate=%.3f\n"
-    cfg.nodes x86 (cfg.nodes - x86) cfg.jobs cfg.seed cfg.epoch_s
+    cfg.nodes x86 arm cfg.jobs cfg.seed cfg.epoch_s
     (placement_name cfg.placement)
     (if cfg.migration then "on" else "off")
     cfg.fail_rate;
+  Printf.bprintf b "topology: %s\n" (Machine.Topology.describe cfg.topology);
   Printf.bprintf b "completed=%d failed=%d retried-phases=%d migrations=%d\n"
     r.completed r.failed r.retried_phases r.migrations;
   Printf.bprintf b

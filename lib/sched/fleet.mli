@@ -1,12 +1,16 @@
 (** Warehouse-scale mixed-ISA fleet simulation on the time-island
     runtime ({!Sim.Islands}).
 
-    Island 0 is the fleet scheduler; islands 1..N are alternating
-    x86/arm64 nodes. All control traffic (dispatch, completion reports,
-    migration commands) is batched on [epoch_s] boundaries, so the epoch
-    is the conservative lookahead: a run spans domains with
-    [run ~domains:n] and is bit-identical to the sequential reference
-    ([domains:1]). *)
+    Island 0 is the fleet scheduler (the cluster head of the config's
+    {!Machine.Topology}); islands 1..N are the topology's nodes. All
+    control traffic (dispatch, completion reports, migration commands)
+    is batched on [epoch_s] boundaries and additionally crosses its
+    path through the rack fabric, so each island pair's minimum delay —
+    the epoch plus that path's latency — forms a topology-aware
+    per-edge lookahead matrix. Migration transfers and cold-set page
+    faults are path-dependent: cross-rack moves pay the aggregation
+    hop. A run spans domains with [run ~domains:n] and is bit-identical
+    to the sequential reference ([domains:1]). *)
 
 type placement = Least_loaded | Round_robin
 
@@ -24,10 +28,17 @@ type config = {
       (** per-phase failure probability; phases retry up to a budget,
           then the job fails *)
   quantum_instructions : float;
-  interconnect : Machine.Interconnect.t;
+  topology : Machine.Topology.t;
+      (** must have exactly [nodes] nodes; {!run} validates *)
 }
 
 val default : nodes:int -> jobs:int -> seed:int -> config
+(** One flat rack of alternating x86/arm64 nodes whose local link is
+    the paper's 10GbE point-to-point interconnect — the pre-cluster
+    fleet cost model, exactly. *)
+
+val with_topology : config -> Machine.Topology.t -> config
+(** Replace the topology, keeping [nodes] consistent with it. *)
 
 type result = {
   completed : int;

@@ -20,7 +20,12 @@ let is_dynamic = function
   | Dynamic_balanced | Dynamic_unbalanced -> true
   | Static_x86_pair | Static_het_balanced | Static_het_unbalanced -> false
 
-let projected_xgene =
+(* Rebuilt on every call: Domain-parallel grid cells each get machine
+   records they own outright, so no scheduler can alias another's state
+   even if a future Server field becomes mutable. ([Server.t] is
+   immutable today — test_sched pins that down — but freshness keeps
+   the no-sharing contract structural rather than conventional.) *)
+let projected_xgene () =
   Machine.Server.with_power Machine.Server.xgene1
     (Machine.Mcpat.project_finfet Machine.Server.xgene1.Machine.Server.power)
 
@@ -29,8 +34,10 @@ let machines = function
     [ Machine.Server.xeon_e5_1650_v2; Machine.Server.xeon_e5_1650_v2 ]
   | Static_het_balanced | Static_het_unbalanced | Dynamic_balanced
   | Dynamic_unbalanced ->
-    [ Machine.Server.xeon_e5_1650_v2; projected_xgene ]
+    [ Machine.Server.xeon_e5_1650_v2; projected_xgene () ]
 
+(* Array literals in a function body are allocated per call, so every
+   caller may freely mutate its copy. *)
 let share = function
   | Static_x86_pair | Static_het_balanced | Dynamic_balanced -> [| 0.5; 0.5 |]
   | Static_het_unbalanced | Dynamic_unbalanced -> [| 0.75; 0.25 |]

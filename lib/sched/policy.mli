@@ -22,8 +22,11 @@ val is_dynamic : t -> bool
 val machines : t -> Machine.Server.t list
 (** The two servers the policy schedules onto. Heterogeneous policies use
     the Xeon plus the X-Gene with the McPAT FinFET power projection
-    applied (as the paper does for the scheduling study). *)
+    applied (as the paper does for the scheduling study). The list and
+    the projected record are built fresh on every call, so
+    Domain-parallel grid cells never alias scheduler state. *)
 
 val share : t -> float array
 (** Target share of running threads per machine, summing to 1. The
-    unbalanced policies put 3/4 of the threads on the x86. *)
+    unbalanced policies put 3/4 of the threads on the x86. A fresh
+    array on every call: callers may mutate their copy. *)

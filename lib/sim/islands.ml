@@ -74,7 +74,9 @@ type barrier_rec = {
 
 type capture = {
   c_islands : int;
-  c_lookahead : float;
+  c_lookahead : float;  (* window lookahead: min over the edge matrix *)
+  c_edge : float array array;
+      (* per-(src,dst) minimum post delay; [||] = uniform c_lookahead *)
   c_prng0 : int64 array;  (* per-island PRNG fingerprints at creation *)
   c_execs : exec_rec list array;  (* per island, in execution order *)
   c_posts : post_rec list;  (* merged, (send_time, seq, src) order *)
@@ -91,7 +93,10 @@ type island_cap = {
 type island = {
   id : int;
   n_islands : int;
-  lookahead : float;
+  lookahead : float;  (* window lookahead: min over this island's edges *)
+  out_lookahead : float array;
+      (* per-destination minimum post delay (uniform rows when no edge
+         matrix was given) — the topology-aware post contract *)
   cal : (island -> unit) Calendar.t;
   mutable clock : float;
   mutable next_seq : int;
@@ -122,7 +127,8 @@ and outbox = {
 }
 
 type t = {
-  lookahead : float;
+  lookahead : float;  (* window lookahead: min over all edges *)
+  edge : float array array;  (* [||] when uniform *)
   islands : island array;
   mutable windows : int;
   cap_on : bool;
@@ -150,18 +156,60 @@ let outbox_grow box =
   box.o_seqs <- seqs';
   box.o_acts <- acts'
 
-let create ?(record = false) ?(capture = false) ~islands:n ~lookahead ~seed ()
-    =
+let create ?(record = false) ?(capture = false) ?edge_lookahead ~islands:n
+    ~lookahead ~seed () =
   if n < 1 then invalid_arg "Islands.create: need at least one island";
   if not (Float.is_finite lookahead) || lookahead <= 0.0 then
     invalid_arg "Islands.create: lookahead must be finite and positive";
+  (* Per-edge minimum delays (topology-aware lookahead): entry (s, d) is
+     the floor under posts from island s to island d. Every entry must
+     be at least the scalar [lookahead]; the window advance then uses
+     the matrix minimum, which is >= the scalar — windows can only grow
+     wider, never unsafe (see DESIGN.md §7b). *)
+  let edge =
+    match edge_lookahead with
+    | None -> [||]
+    | Some m ->
+      if Array.length m <> n then
+        invalid_arg "Islands.create: edge_lookahead must be islands x islands";
+      Array.iteri
+        (fun s row ->
+          if Array.length row <> n then
+            invalid_arg
+              "Islands.create: edge_lookahead must be islands x islands";
+          Array.iteri
+            (fun d l ->
+              if s <> d && (not (Float.is_finite l) || l < lookahead) then
+                invalid_arg
+                  (Printf.sprintf
+                     "Islands.create: edge lookahead %d -> %d is %g, below \
+                      the base lookahead %g"
+                     s d l lookahead))
+            row)
+        m;
+      Array.map Array.copy m
+  in
+  let window_lookahead =
+    if edge = [||] then lookahead
+    else begin
+      let acc = ref Float.infinity in
+      Array.iteri
+        (fun s row ->
+          Array.iteri (fun d l -> if s <> d then acc := Float.min !acc l) row)
+        edge;
+      if !acc = Float.infinity then lookahead else !acc
+    end
+  in
   let master = Prng.create seed in
   let islands =
     Array.init n (fun id ->
         {
           id;
           n_islands = n;
-          lookahead;
+          lookahead = window_lookahead;
+          out_lookahead =
+            (if edge = [||] then Array.make n lookahead
+             else Array.copy edge.(id));
           cal = Calendar.create ~check_order:capture ~dummy:noop_action ();
           clock = 0.0;
           next_seq = 0;
@@ -183,7 +231,8 @@ let create ?(record = false) ?(capture = false) ~islands:n ~lookahead ~seed ()
     if capture then Array.map (fun isl -> Prng.fingerprint isl.prng) islands
     else [||]
   in
-  { lookahead; islands; windows = 0; cap_on = capture; prng0; cap_barriers = [] }
+  { lookahead = window_lookahead; edge; islands; windows = 0; cap_on = capture;
+    prng0; cap_barriers = [] }
 
 let island t id = t.islands.(id)
 let island_count t = Array.length t.islands
@@ -205,11 +254,11 @@ let schedule_in isl ~after act = schedule isl ~at:(isl.clock +. after) act
 let post isl ~dst ~after act =
   if dst < 0 || dst >= isl.n_islands then
     invalid_arg (Printf.sprintf "Islands.post: unknown island %d" dst);
-  if after < isl.lookahead then
+  if after < isl.out_lookahead.(dst) then
     invalid_arg
       (Printf.sprintf
          "Islands.post: delay %g violates the lookahead %g (island %d -> %d)"
-         after isl.lookahead isl.id dst);
+         after isl.out_lookahead.(dst) isl.id dst);
   if dst = isl.id then schedule_in isl ~after act
   else begin
     let box = isl.outboxes.(dst) in
@@ -531,6 +580,7 @@ let capture t =
       {
         c_islands = Array.length t.islands;
         c_lookahead = t.lookahead;
+        c_edge = Array.map Array.copy t.edge;
         c_prng0 = Array.copy t.prng0;
         c_execs =
           Array.map

@@ -66,7 +66,10 @@ type barrier_rec = {
 
 type capture = {
   c_islands : int;
-  c_lookahead : float;
+  c_lookahead : float;  (** window lookahead (minimum over edges) *)
+  c_edge : float array array;
+      (** per-edge lookahead matrix as passed to {!create}, or [[||]]
+          when the runtime used the uniform scalar lookahead *)
   c_prng0 : int64 array;  (** per-island PRNG fingerprints at creation *)
   c_execs : exec_rec list array;
       (** per island, in true execution order (deliberately not
@@ -80,6 +83,7 @@ type capture = {
 val create :
   ?record:bool ->
   ?capture:bool ->
+  ?edge_lookahead:float array array ->
   islands:int ->
   lookahead:float ->
   seed:int ->
@@ -89,7 +93,15 @@ val create :
     tests (see {!log}); [capture:true] additionally records the full
     audit capture (see {!capture}) and arms the calendars' pop-order
     tripwires. Both are off by default, costing nothing. [lookahead]
-    must be finite and positive. *)
+    must be finite and positive.
+
+    [edge_lookahead], when given, is an [islands × islands] matrix of
+    per-edge delivery floors (topology-aware lookahead): a {!post} from
+    [src] to [dst] must request [after >= edge_lookahead.(src).(dst)].
+    Every distinct-pair entry must be finite and at least [lookahead] —
+    the scalar stays the global safety floor, and the synchronization
+    window still advances by the matrix minimum, so the §7b argument is
+    unchanged while wider edges admit wider windows. *)
 
 val island : t -> int -> island
 val island_count : t -> int

@@ -97,6 +97,7 @@ let base_cap =
   {
     I.c_islands = 2;
     c_lookahead = 1.0;
+    c_edge = [||];
     c_prng0 = [| 10L; 20L |];
     c_execs = [| [ exec_a; exec_d ]; [ exec_b; exec_c ] |];
     c_posts = [ base_post ];
@@ -332,6 +333,11 @@ let seed_sensitivity () =
 
 let small_fleet = Sched.Fleet.default ~nodes:8 ~jobs:60 ~seed:42
 
+let small_cluster =
+  Sched.Cluster.default
+    ~topology:(Machine.Topology.make ~racks:2 ~nodes_per_rack:4 ())
+    ~jobs:60 ~seed:42
+
 let small_serve ?(crashes = []) () =
   {
     (Sched.Service.default ~nodes:4 ~seed:42
@@ -348,6 +354,15 @@ let fleet_capture_is_clean () =
   checkb "and is not vacuously empty" true
     (Array.exists (fun l -> l <> []) cap.I.c_execs);
   checkb "with cross-island posts recorded" true (cap.I.c_posts <> [])
+
+let cluster_capture_is_clean () =
+  let _, cap = Sched.Cluster.run_audited ~domains:2 small_cluster in
+  let ds = verify cap in
+  checki "cluster capture certifies clean" 0 (List.length ds);
+  checkb "and is not vacuously empty" true
+    (Array.exists (fun l -> l <> []) cap.I.c_execs);
+  checkb "with cross-island posts recorded" true (cap.I.c_posts <> []);
+  checkb "under a per-edge lookahead matrix" true (cap.I.c_edge <> [||])
 
 let serve_capture_is_clean () =
   let _, cap = Sched.Service.run_audited ~domains:2 (small_serve ()) in
@@ -376,15 +391,15 @@ let audited_run_matches_plain () =
 let audit_small_corpus_clean () =
   let ds =
     Analysis.Audit.run ~domains:2 ~jobs:1 ~fleet:small_fleet
-      ~serve:(small_serve ()) ()
+      ~cluster:small_cluster ~serve:(small_serve ()) ()
   in
-  checki "zero errors over fleet+serve+scheduler" 0 (D.errors ds);
+  checki "zero errors over fleet+cluster+serve+scheduler" 0 (D.errors ds);
   checki "zero warnings either" 0 (D.warnings ds)
 
 let audit_json_stable_across_jobs () =
   let run jobs =
     Analysis.Audit.run ~domains:2 ~jobs ~fleet:small_fleet
-      ~serve:(small_serve ()) ()
+      ~cluster:small_cluster ~serve:(small_serve ()) ()
   in
   checks "byte-identical report" (D.report_to_json (run 1))
     (D.report_to_json (run 4))
@@ -429,6 +444,7 @@ let suite =
     ("certify: render divergence", `Quick, certify_render_divergence);
     ("certify: seed sensitivity", `Quick, seed_sensitivity);
     ("corpus: fleet capture clean", `Quick, fleet_capture_is_clean);
+    ("corpus: cluster capture clean", `Quick, cluster_capture_is_clean);
     ("corpus: serve capture clean", `Quick, serve_capture_is_clean);
     ("corpus: crashy serve clean", `Quick, crashy_serve_capture_is_clean);
     ("corpus: capture is pure observation", `Quick, audited_run_matches_plain);

@@ -205,6 +205,81 @@ let qcheck_islands_deterministic =
       Sim.Islands.log a = Sim.Islands.log b
       && Sim.Islands.events_executed a = Sim.Islands.events_executed b)
 
+(* --- Per-edge lookahead: topology-aware windows ------------------------- *)
+
+let islands_edge_lookahead_contract () =
+  (* A per-edge matrix tightens the post floor edge by edge while the
+     window still advances by the matrix minimum (= the scalar floor). *)
+  let edge =
+    [| [| 0.0; 1.5; 2.0 |]; [| 1.0; 0.0; 3.0 |]; [| 2.5; 1.25; 0.0 |] |]
+  in
+  let rt =
+    Sim.Islands.create ~edge_lookahead:edge ~islands:3 ~lookahead:1.0 ~seed:2 ()
+  in
+  let i0 = Sim.Islands.island rt 0 and i1 = Sim.Islands.island rt 1 in
+  checkb "post at the edge floor accepted" true
+    (Sim.Islands.post i1 ~dst:0 ~after:1.0 ignore;
+     true);
+  checkb "post below its edge floor rejected" true
+    (try
+       Sim.Islands.post i0 ~dst:2 ~after:1.5 ignore;
+       false
+     with Invalid_argument _ -> true);
+  checkb "even though the scalar floor would allow it" true
+    (Sim.Islands.post i0 ~dst:2 ~after:2.0 ignore;
+     true)
+
+let islands_edge_lookahead_validation () =
+  checkb "ragged matrix rejected" true
+    (try
+       ignore
+         (Sim.Islands.create ~edge_lookahead:[| [| 0.0; 1.0 |] |] ~islands:2
+            ~lookahead:1.0 ~seed:2 ());
+       false
+     with Invalid_argument _ -> true);
+  checkb "edge below the scalar lookahead rejected" true
+    (try
+       ignore
+         (Sim.Islands.create
+            ~edge_lookahead:[| [| 0.0; 0.5 |]; [| 1.0; 0.0 |] |]
+            ~islands:2 ~lookahead:1.0 ~seed:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+let islands_edge_seq_equals_parallel () =
+  (* Heterogeneous edge floors (a fast pair and a slow pair) must keep
+     the run a pure function of the configuration. *)
+  let edge =
+    [| [| 0.0; 0.5; 2.0 |]; [| 0.5; 0.0; 2.0 |]; [| 2.0; 2.0; 0.0 |] |]
+  in
+  let build () =
+    let rt =
+      Sim.Islands.create ~record:true ~edge_lookahead:edge ~islands:3
+        ~lookahead:0.5 ~seed:11 ()
+    in
+    let rec ping hops isl =
+      if hops > 0 then begin
+        let id = Sim.Islands.id isl in
+        let dst = (id + 1) mod 3 in
+        let floor = edge.(id).(dst) in
+        let jitter = Sim.Prng.float (Sim.Islands.prng isl) 0.25 in
+        Sim.Islands.post isl ~dst ~after:(floor +. jitter) (ping (hops - 1))
+      end
+    in
+    for i = 0 to 2 do
+      Sim.Islands.schedule (Sim.Islands.island rt i)
+        ~at:(0.05 *. float_of_int i)
+        (ping 15)
+    done;
+    rt
+  in
+  let a = build () and b = build () in
+  Sim.Islands.run ~domains:1 a;
+  Sim.Islands.run ~domains:3 b;
+  checkb "logs identical under per-edge floors" true
+    (Sim.Islands.log a = Sim.Islands.log b);
+  checki "same windows" (Sim.Islands.windows a) (Sim.Islands.windows b)
+
 (* --- Fleet: the end-to-end consumer ------------------------------------ *)
 
 let fleet_render_stable () =
@@ -242,6 +317,52 @@ let qcheck_fleet_deterministic =
       let a = Sched.Fleet.run ~domains:1 cfg in
       let b = Sched.Fleet.run ~domains:2 cfg in
       Sched.Fleet.render cfg a = Sched.Fleet.render cfg b)
+
+(* --- Cluster: warehouse scale on the island runtime ---------------------- *)
+
+(* The acceptance scenario: 256 mixed-ISA nodes in 8 racks, run
+   sequentially and across 8 domains, byte-identical reports. *)
+let cluster_256_nodes_byte_identical () =
+  let topo = Machine.Topology.make ~racks:8 ~nodes_per_rack:32 () in
+  let cfg = Sched.Cluster.default ~topology:topo ~jobs:2000 ~seed:42 in
+  let a = Sched.Cluster.run ~domains:1 cfg in
+  let b = Sched.Cluster.run ~domains:8 cfg in
+  check Alcotest.string "256-node render byte-identical seq vs 8 domains"
+    (Sched.Cluster.render cfg a) (Sched.Cluster.render cfg b);
+  checki "all jobs complete" 2000 a.Sched.Cluster.completed;
+  checkb "the EDP policy migrated work across the fabric" true
+    (a.Sched.Cluster.migrations > 0);
+  checkb "both ISAs burned energy" true
+    (a.Sched.Cluster.energy_x86_j > 0.0 && a.Sched.Cluster.energy_arm_j > 0.0)
+
+let qcheck_cluster_deterministic =
+  QCheck.Test.make
+    ~name:"cluster report independent of domain count (seeds x topology x policy)"
+    ~count:8
+    QCheck.(int_bound 10_000)
+    (fun raw ->
+      let seed = raw mod 1000 in
+      let policy =
+        match raw mod 3 with
+        | 0 -> Sched.Cluster.Pack_power_cap
+        | 1 -> Sched.Cluster.Edp_migrate
+        | _ -> Sched.Cluster.Work_steal
+      in
+      let racks, nodes_per_rack =
+        match raw mod 4 with 0 -> (1, 6) | 1 -> (2, 4) | 2 -> (3, 4) | _ -> (4, 2)
+      in
+      let mix =
+        if raw mod 2 = 0 then Machine.Topology.Alternate
+        else Machine.Topology.Isa_racks
+      in
+      let topo = Machine.Topology.make ~mix ~racks ~nodes_per_rack () in
+      let cfg =
+        { (Sched.Cluster.default ~topology:topo ~jobs:40 ~seed) with
+          Sched.Cluster.policy }
+      in
+      let a = Sched.Cluster.run ~domains:1 cfg in
+      let b = Sched.Cluster.run ~domains:2 cfg in
+      Sched.Cluster.render cfg a = Sched.Cluster.render cfg b)
 
 (* --- Popcorn-ensemble scheduler on the island runtime -------------------- *)
 
@@ -305,9 +426,18 @@ let suite =
     Alcotest.test_case "islands: seq = parallel (ping-pong)" `Quick
       islands_seq_equals_parallel_simple;
     QCheck_alcotest.to_alcotest qcheck_islands_deterministic;
+    Alcotest.test_case "islands: per-edge lookahead contract" `Quick
+      islands_edge_lookahead_contract;
+    Alcotest.test_case "islands: per-edge matrix validation" `Quick
+      islands_edge_lookahead_validation;
+    Alcotest.test_case "islands: seq = parallel under edge floors" `Quick
+      islands_edge_seq_equals_parallel;
     Alcotest.test_case "fleet: render stable across domains" `Quick
       fleet_render_stable;
     QCheck_alcotest.to_alcotest qcheck_fleet_deterministic;
+    Alcotest.test_case "cluster: 256 nodes byte-identical" `Slow
+      cluster_256_nodes_byte_identical;
+    QCheck_alcotest.to_alcotest qcheck_cluster_deterministic;
     Alcotest.test_case "scheduler: fig12-scale run on islands" `Quick
       scheduler_on_islands_byte_identical;
     Alcotest.test_case "workload: phase expansion memoized" `Quick

@@ -82,6 +82,97 @@ let machine_specs_match_paper () =
     (Machine.Server.peak_mips x Isa.Cost_model.Compute
     > Machine.Server.peak_mips a Isa.Cost_model.Compute)
 
+(* --- cluster topology ----------------------------------------------------- *)
+
+module T = Machine.Topology
+
+let topology_flat_matches_interconnect () =
+  (* The flat topology is the pre-cluster model: every distinct pair
+     sees exactly the paper's point-to-point interconnect numbers. *)
+  let ic = Machine.Interconnect.ethernet_10g in
+  let topo = T.flat ~nodes:4 ~interconnect:ic () in
+  let p = T.path topo ~src:0 ~dst:3 in
+  checkf "pair latency is the interconnect's" ic.Machine.Interconnect.latency_s
+    p.T.latency_s;
+  checkf "pair bandwidth too" ic.Machine.Interconnect.bandwidth_bps
+    p.T.bandwidth_bps;
+  checkf "page transfer time matches the two-node model"
+    (Machine.Interconnect.page_transfer_time ic ~page_bytes:4096)
+    (T.page_transfer_time topo ~src:1 ~dst:2 ~page_bytes:4096);
+  checkf "batch transfer time too"
+    (Machine.Interconnect.batch_transfer_time ic ~pages:16 ~page_bytes:4096)
+    (T.batch_transfer_time topo ~src:1 ~dst:2 ~pages:16 ~page_bytes:4096)
+
+let topology_paths_and_hops () =
+  let topo = T.make ~racks:2 ~nodes_per_rack:4 () in
+  Alcotest.check Alcotest.int "8 nodes" 8 (T.nodes topo);
+  Alcotest.check Alcotest.int "2 racks" 2 (T.racks topo);
+  Alcotest.check Alcotest.int "self: no hops" 0 (T.hops topo ~src:2 ~dst:2);
+  Alcotest.check Alcotest.int "same rack: one switch" 1
+    (T.hops topo ~src:0 ~dst:3);
+  Alcotest.check Alcotest.int "cross rack: three switches" 3
+    (T.hops topo ~src:0 ~dst:4);
+  let local = topo.T.local and agg = topo.T.aggregation in
+  checkf "same-rack latency is one local hop" local.T.latency_s
+    (T.path topo ~src:0 ~dst:3).T.latency_s;
+  checkf "cross-rack latency sums the hops"
+    ((2.0 *. local.T.latency_s) +. agg.T.latency_s)
+    (T.path topo ~src:0 ~dst:4).T.latency_s;
+  checkf "bandwidth is the bottleneck hop"
+    (Float.min local.T.bandwidth_bps agg.T.bandwidth_bps)
+    (T.path topo ~src:0 ~dst:4).T.bandwidth_bps;
+  checkf "self path is free" 0.0 (T.path topo ~src:5 ~dst:5).T.latency_s;
+  (* The head sits beside rack 0's ToR: local hop to rack 0, the full
+     fabric to anyone else. *)
+  checkf "head to rack 0 is local" local.T.latency_s
+    (T.head_path topo ~dst:1).T.latency_s;
+  checkb "head to rack 1 crosses the aggregation" true
+    ((T.head_path topo ~dst:4).T.latency_s > local.T.latency_s);
+  checkf "min path latency is the same-rack floor" local.T.latency_s
+    (T.min_path_latency topo)
+
+let topology_mixes () =
+  let alt = T.make ~mix:T.Alternate ~racks:2 ~nodes_per_rack:4 () in
+  Alcotest.check Alcotest.int "alternate: half x86" 4
+    (T.isa_count alt Isa.Arch.X86_64);
+  Alcotest.check Alcotest.int "alternate: half arm" 4
+    (T.isa_count alt Isa.Arch.Arm64);
+  let ir = T.make ~mix:T.Isa_racks ~racks:2 ~nodes_per_rack:4 () in
+  checkb "isa-racks: rack 0 is homogeneous" true
+    (let a = (T.server ir 0).Machine.Server.arch in
+     List.for_all (fun i -> (T.server ir i).Machine.Server.arch = a) [ 1; 2; 3 ]);
+  checkb "isa-racks: rack 1 is the other ISA" true
+    ((T.server ir 0).Machine.Server.arch <> (T.server ir 4).Machine.Server.arch);
+  let x86 = T.make ~mix:T.X86_only ~racks:1 ~nodes_per_rack:4 () in
+  Alcotest.check Alcotest.int "x86-only has no arm" 0
+    (T.isa_count x86 Isa.Arch.Arm64);
+  checkb "mix names round-trip" true
+    (List.for_all
+       (fun m -> T.mix_of_name (T.mix_name m) = Some m)
+       [ T.Alternate; T.Isa_racks; T.X86_only; T.Arm_only ])
+
+let topology_validation_raises () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  checkb "zero racks rejected" true
+    (raises (fun () -> T.make ~racks:0 ~nodes_per_rack:4 ()));
+  checkb "zero nodes per rack rejected" true
+    (raises (fun () -> T.make ~racks:2 ~nodes_per_rack:0 ()));
+  checkb "negative link latency rejected" true
+    (raises (fun () ->
+         T.make ~local:{ T.latency_s = -1.0; bandwidth_bps = 1e9 } ~racks:1
+           ~nodes_per_rack:2 ()));
+  checkb "non-finite bandwidth rejected" true
+    (raises (fun () ->
+         T.make
+           ~aggregation:{ T.latency_s = 1e-6; bandwidth_bps = Float.nan }
+           ~racks:2 ~nodes_per_rack:2 ()));
+  checkb "out-of-range node rejected" true
+    (raises (fun () -> ignore (T.server (T.make ~racks:1 ~nodes_per_rack:2 ()) 5)))
+
 let suite =
   [
     ("power affine in utilization", `Quick, power_affine);
@@ -93,4 +184,9 @@ let suite =
     ("interconnect transfer times", `Quick, interconnect_transfer_times);
     ("pcie beats ethernet", `Quick, interconnect_ethernet_slower);
     ("machine specs match the paper", `Quick, machine_specs_match_paper);
+    ("topology: flat matches the interconnect", `Quick,
+     topology_flat_matches_interconnect);
+    ("topology: paths, hops and the head", `Quick, topology_paths_and_hops);
+    ("topology: ISA mixes", `Quick, topology_mixes);
+    ("topology: validation raises", `Quick, topology_validation_raises);
   ]

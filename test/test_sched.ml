@@ -55,6 +55,98 @@ let policy_finfet_projection_applied () =
     (arm.Machine.Server.power.Machine.Power.cpu_max_w
     < Machine.Server.xgene1.Machine.Server.power.Machine.Power.cpu_max_w /. 5.0)
 
+let policy_results_are_fresh () =
+  (* Regression: [machines] shared one projected-X-Gene record and
+     [share] could have aliased one array across calls; a caller mutating
+     either must not poison later calls. *)
+  let p = Sched.Policy.Dynamic_balanced in
+  let a = Sched.Policy.machines p and b = Sched.Policy.machines p in
+  checkb "machines equal by value" true
+    (List.for_all2
+       (fun (x : Machine.Server.t) (y : Machine.Server.t) ->
+         x.Machine.Server.name = y.Machine.Server.name
+         && x.Machine.Server.arch = y.Machine.Server.arch
+         && x.Machine.Server.power = y.Machine.Server.power)
+       a b);
+  (* The catalog Xeon is an immutable library constant and may be
+     shared; the FinFET-projected X-Gene is computed and must be fresh
+     (it used to be built once at module init and shared forever). *)
+  let arm ms =
+    List.find (fun m -> m.Machine.Server.arch = Isa.Arch.Arm64) ms
+  in
+  checkb "projected record fresh per call" true (arm a != arm b);
+  let s = Sched.Policy.share p in
+  s.(0) <- 42.0;
+  checkb "mutating a returned share does not leak" true
+    ((Sched.Policy.share p).(0) <> 42.0)
+
+let validate_messages () =
+  let module V = Sched.Validate in
+  let err = function Error e -> e | Ok _ -> Alcotest.fail "expected Error" in
+  Alcotest.check Alcotest.string "at_least names flag and value"
+    "--islands must be at least 1 (got 0)"
+    (err (V.at_least ~what:"--islands" ~min:1 0));
+  Alcotest.check Alcotest.string "positive_float rejects zero"
+    "--epoch must be a positive number (got 0)"
+    (err (V.positive_float ~what:"--epoch" 0.0));
+  Alcotest.check Alcotest.string "positive_float rejects nan"
+    "--rate must be a positive number (got nan)"
+    (err (V.positive_float ~what:"--rate" Float.nan));
+  Alcotest.check Alcotest.string "probability bounds"
+    "--fail-rate must be a probability in [0, 1] (got 1.5)"
+    (err (V.probability ~what:"--fail-rate" 1.5));
+  checkb "islands: None passes" true (V.islands None = Ok None);
+  checkb "islands: 1 passes" true (V.islands (Some 1) = Ok (Some 1));
+  Alcotest.check Alcotest.string "islands: 0 rejected"
+    "--islands must be at least 1 (got 0)"
+    (err (V.islands (Some 0)))
+
+let validate_crash_specs () =
+  let module V = Sched.Validate in
+  let err = function Error e -> e | Ok _ -> Alcotest.fail "expected Error" in
+  checkb "well-formed spec parses" true
+    (V.crash_spec "3@10.5" = Ok { Faults.Plan.node = 3; at = 10.5 });
+  Alcotest.check Alcotest.string "names the bad node token"
+    "bad crash spec \"twelve@3.0\": \"twelve\" is not a node id"
+    (err (V.crash_spec "twelve@3.0"));
+  Alcotest.check Alcotest.string "names the bad time token"
+    "bad crash spec \"3@soon\": \"soon\" is not a time"
+    (err (V.crash_spec "3@soon"));
+  Alcotest.check Alcotest.string "negative node"
+    "bad crash spec \"-1@2.0\": node -1 is negative"
+    (err (V.crash_spec "-1@2.0"));
+  Alcotest.check Alcotest.string "malformed shape"
+    "bad crash spec \"3\" (want NODE@TIME, e.g. 3@10.5)"
+    (err (V.crash_spec "3"));
+  Alcotest.check Alcotest.string "out-of-range node at run setup"
+    "--crash 99@10: node 99 is out of range (nodes are 0..15)"
+    (err (V.crashes_in_range ~nodes:16 [ { Faults.Plan.node = 99; at = 10.0 } ]));
+  checkb "in-range crashes pass" true
+    (V.crashes_in_range ~nodes:16 [ { Faults.Plan.node = 15; at = 10.0 } ]
+    = Ok ())
+
+let validate_topology () =
+  let module V = Sched.Validate in
+  let err = function Error e -> e | Ok _ -> Alcotest.fail "expected Error" in
+  Alcotest.check Alcotest.string "divisibility check"
+    "--nodes 10 is not divisible by --racks 3"
+    (err (V.topology ~nodes:10 ~racks:3 ~mix_name:"alternate"));
+  Alcotest.check Alcotest.string "unknown mix"
+    "unknown --mix bogus (want alternate, isa-racks, x86-only or arm-only)"
+    (err (V.topology ~nodes:8 ~racks:2 ~mix_name:"bogus"));
+  Alcotest.check Alcotest.string "more racks than nodes"
+    "--racks 9 exceeds --nodes 8"
+    (err (V.topology ~nodes:8 ~racks:9 ~mix_name:"alternate"));
+  (match V.topology ~nodes:8 ~racks:1 ~mix_name:"alternate" with
+  | Ok t ->
+    checkb "racks=1 is the flat paper interconnect" true
+      (t.Machine.Topology.local.Machine.Topology.latency_s
+      = Machine.Interconnect.ethernet_10g.Machine.Interconnect.latency_s)
+  | Error e -> Alcotest.fail e);
+  match V.topology ~nodes:8 ~racks:2 ~mix_name:"isa-racks" with
+  | Ok t -> checki "racked topology built" 2 (Machine.Topology.racks t)
+  | Error e -> Alcotest.fail e
+
 let small_jobs seed n = Sched.Arrival.sustained ~seed ~jobs:n
 
 let scheduler_completes_all_jobs () =
@@ -214,6 +306,10 @@ let suite =
     ("arrivals deterministic", `Quick, arrival_deterministic);
     ("policy machine pairs", `Quick, policy_machines);
     ("policy applies FinFET projection", `Quick, policy_finfet_projection_applied);
+    ("policy results are fresh per call", `Quick, policy_results_are_fresh);
+    ("validate: flag messages", `Quick, validate_messages);
+    ("validate: crash specs name the token", `Quick, validate_crash_specs);
+    ("validate: topology knobs", `Quick, validate_topology);
     ("scheduler completes all jobs", `Slow, scheduler_completes_all_jobs);
     ("infeasible jobs counted as rejected", `Slow,
      infeasible_jobs_counted_as_rejected);
